@@ -1,0 +1,288 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/messaging"
+	"repro/internal/ranking"
+	"repro/internal/synth"
+)
+
+func cmdTable1() error {
+	fmt.Println("Table 1 — Four-Branch Model of Emotional Intelligence (MSCEIT V2.0)")
+	fmt.Println(strings.Repeat("=", 76))
+	for _, row := range emotion.Table1() {
+		fmt.Printf("\n%s\n%s\n", row.Branch, strings.Repeat("-", len(row.Branch.String())))
+		fmt.Printf("%s.\n", row.Description)
+		fmt.Printf("Deployed attributes probing this branch:")
+		for _, a := range row.Attributes {
+			fmt.Printf("  %s (valence %+.1f)", a, a.BaseValence())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	product := fs.String("product", "Course in Digital Marketing", "course to sell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db := messaging.NewDB()
+	samples, err := messaging.Fig5(db, *product)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5 — individualized messages by dominant sensibilities")
+	fmt.Println(strings.Repeat("=", 76))
+	for _, s := range samples {
+		fmt.Printf("\n%s  [case %s]\n", s.Label, s.Case)
+		if len(s.Attributes) > 0 {
+			names := make([]string, len(s.Attributes))
+			for i, a := range s.Attributes {
+				names[i] = a.String()
+			}
+			fmt.Printf("  matched: %s\n", strings.Join(names, " > "))
+		}
+		fmt.Printf("  %s\n", s.Rendered)
+	}
+	return nil
+}
+
+func cmdFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	users, seed, depth := experimentFlags(fs)
+	learner := fs.String("learner", "svm-pegasos", "svm-pegasos | svm-dualcd | logistic | random | popularity")
+	features := fs.String("features", "OSE", "feature blocks: any of O (objective), S (subjective), E (emotional)")
+	baseline := fs.Bool("baseline", true, "also run the objective-only logistic baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := campaign.DefaultExperiment(*users, *seed)
+	cfg.Depth = *depth
+	var err error
+	cfg.Learner, err = parseLearner(*learner)
+	if err != nil {
+		return err
+	}
+	cfg.Features = parseFeatures(*features)
+
+	fmt.Printf("Figure 6 — %d users, seed %d, depth %.0f%%, learner %s, features %s\n",
+		cfg.Users, cfg.Seed, cfg.Depth*100, cfg.Learner, cfg.Features)
+	fig, ex, err := campaign.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiles: %d weblog events, %d EIT answers, %d training rows\n\n",
+		ex.WebLogEvents, ex.EITAnswers, ex.TrainSize)
+
+	fmt.Println("(a) cumulative redemption curve, pooled over ten campaigns")
+	fmt.Println("    contacted%   captured%   redemption%")
+	for _, p := range fig.Gains {
+		fmt.Printf("    %9.0f%%   %8.1f%%   %10.1f%%  %s\n",
+			p.ContactedFrac*100, p.CapturedFrac*100, p.Redemption*100,
+			strings.Repeat("#", int(p.CapturedFrac*40)))
+	}
+	fmt.Printf("    capture at 40%% commercial action: %.1f%%   (paper: >76%%)\n\n", fig.CapturedAt40*100)
+
+	var pooled []ranking.Scored
+	for _, r := range fig.PerCampaign {
+		pooled = append(pooled, r.Scored...)
+	}
+	if deciles, derr := ranking.DecileTable(pooled); derr == nil {
+		fmt.Println("    decile lift table (pooled):")
+		fmt.Println("    decile   rate    lift   cum-capture")
+		for _, d := range deciles {
+			fmt.Printf("    %6d  %5.1f%%  %5.2f  %10.1f%%\n", d.Decile, d.Rate*100, d.Lift, d.CumCapture*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("(b) predictive scores per campaign")
+	for _, r := range fig.PerCampaign {
+		fmt.Printf("    c%02d %-36s %-10s %5.1f%%  %7d impacts\n",
+			r.Campaign.ID, r.Campaign.Product.Name, r.Campaign.Kind,
+			r.PredictiveScore*100, r.UsefulImpacts)
+	}
+	fmt.Printf("\n    average predictive score : %.1f%%   (paper: 21%%)\n", fig.AvgPredictiveScore*100)
+	fmt.Printf("    total useful impacts     : %d / %d contacted (paper: 282,938 / 1,340,432 targets)\n",
+		fig.TotalUsefulImpacts, fig.TotalContacted)
+	fmt.Printf("    untargeted redemption    : %.1f%%\n", fig.ObservedRate*100)
+	fmt.Printf("    redemption improvement   : %+.1f%%   (paper: +90%%)\n", fig.RedemptionImprovement*100)
+	fmt.Printf("    pooled AUC               : %.3f\n", fig.AUC)
+
+	if *baseline {
+		cfgB := cfg
+		cfgB.Features = campaign.ObjectiveOnly()
+		cfgB.Learner = campaign.LearnerLogistic
+		figB, _, err := campaign.RunExperiment(cfgB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline (objective-only logistic): capture@40 %.1f%%, score %.1f%%, AUC %.3f\n",
+			figB.CapturedAt40*100, figB.AvgPredictiveScore*100, figB.AUC)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	users := fs.Int("users", 5000, "population size")
+	seed := fs.Uint64("seed", 7, "seed")
+	weeks := fs.Int("weeks", 4, "weeks of browsing")
+	out := fs.String("out", "weblogs", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pop, err := synth.Generate(synth.DefaultConfig(*users, *seed))
+	if err != nil {
+		return err
+	}
+	w, err := lifelog.NewWriter(*out, 0)
+	if err != nil {
+		return err
+	}
+	cfg := synth.WebLogConfig{Weeks: *weeks, Seed: *seed + 1, TransactionBias: 0.35}
+	if err := pop.GenerateWebLogs(cfg, w.Append); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events for %d users over %d weeks to %s\n", w.Count(), *users, *weeks, *out)
+	return nil
+}
+
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	users, seed, depth := experimentFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := campaign.DefaultExperiment(*users, *seed)
+	base.Depth = *depth
+
+	fmt.Printf("Ablations — %d users, seed %d, depth %.0f%%\n\n", *users, *seed, *depth*100)
+
+	fmt.Println("A1: feature sets (learner = svm-pegasos)")
+	for _, fsel := range []campaign.FeatureSet{
+		campaign.ObjectiveOnly(),
+		{Objective: true, Subjective: true},
+		campaign.FullFeatures(),
+	} {
+		cfg := base
+		cfg.Features = fsel
+		fig, _, err := campaign.RunExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %-4s capture@40 %5.1f%%  score %5.1f%%  AUC %.3f\n",
+			fsel, fig.CapturedAt40*100, fig.AvgPredictiveScore*100, fig.AUC)
+	}
+
+	fmt.Println("\nA2: learners (features = OSE)")
+	for _, l := range []campaign.Learner{
+		campaign.LearnerSVM, campaign.LearnerSVMDual, campaign.LearnerLogistic,
+		campaign.LearnerRandom, campaign.LearnerPopularity,
+	} {
+		cfg := base
+		cfg.Learner = l
+		fig, _, err := campaign.RunExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %-12s capture@40 %5.1f%%  score %5.1f%%\n",
+			l, fig.CapturedAt40*100, fig.AvgPredictiveScore*100)
+	}
+
+	fmt.Println("\nA3: reward/punish loop during evaluation")
+	for _, update := range []bool{true, false} {
+		cfg := base
+		cfg.UpdateSUM = update
+		fig, _, err := campaign.RunExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    update=%-5v capture@40 %5.1f%%  score %5.1f%%  AUC %.3f\n",
+			update, fig.CapturedAt40*100, fig.AvgPredictiveScore*100, fig.AUC)
+	}
+	return nil
+}
+
+func cmdInventory(args []string) error {
+	fs := flag.NewFlagSet("inventory", flag.ExitOnError)
+	users := fs.Int("users", 2000, "population size")
+	seed := fs.Uint64("seed", 7, "seed")
+	warmup := fs.Int("warmup", 20, "Gradual EIT warmup touches before measuring")
+	weeks := fs.Int("weeks", 4, "weeks of WebLogs to ingest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pop, err := synth.Generate(synth.DefaultConfig(*users, *seed))
+	if err != nil {
+		return err
+	}
+	pl, err := campaign.NewPipeline(pop, *seed)
+	if err != nil {
+		return err
+	}
+	if *weeks > 0 {
+		if _, err := pl.IngestWebLogs(*weeks, *seed+1); err != nil {
+			return err
+		}
+	}
+	if *warmup > 0 {
+		if _, err := pl.WarmupEIT(*warmup); err != nil {
+			return err
+		}
+	}
+	inv, err := pl.AttributeInventory()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Attribute inventory — %d users, %d EIT touches, %d weeks of WebLogs\n", *users, *warmup, *weeks)
+	fmt.Println("  kind        attribute                    density    mean       std")
+	for _, r := range inv {
+		fmt.Printf("  %-10s  %-27s %6.1f%%  %9.3f  %9.3f\n", r.Kind, r.Name, r.Density*100, r.Mean, r.Std)
+	}
+	return nil
+}
+
+func parseLearner(s string) (campaign.Learner, error) {
+	switch s {
+	case "svm-pegasos":
+		return campaign.LearnerSVM, nil
+	case "svm-dualcd":
+		return campaign.LearnerSVMDual, nil
+	case "logistic":
+		return campaign.LearnerLogistic, nil
+	case "random":
+		return campaign.LearnerRandom, nil
+	case "popularity":
+		return campaign.LearnerPopularity, nil
+	default:
+		return 0, fmt.Errorf("unknown learner %q", s)
+	}
+}
+
+func parseFeatures(s string) campaign.FeatureSet {
+	var fsel campaign.FeatureSet
+	for _, c := range s {
+		switch c {
+		case 'O', 'o':
+			fsel.Objective = true
+		case 'S', 's':
+			fsel.Subjective = true
+		case 'E', 'e':
+			fsel.Emotional = true
+		}
+	}
+	return fsel
+}

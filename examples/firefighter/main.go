@@ -1,0 +1,97 @@
+// Firefighter reproduces the paper's future-work scenario (§7): an Ambient
+// Recommender System advising a Paris-brigade commander from firefighters'
+// physiological signals, "so he can better assess the operational fitness
+// of his colleague in particular situations".
+//
+// Three firefighters with different stress reactivity run the same scripted
+// rescue incident; the program streams their (synthetic) wearable readings
+// through the baseline → mapper → advisor pipeline and prints the
+// commander's console at one-minute intervals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/physio"
+	"repro/internal/rng"
+)
+
+func main() {
+	r := rng.New(2006)
+	subjects := []physio.Subject{
+		physio.NewSubject(1, r),
+		physio.NewSubject(2, r),
+		physio.NewSubject(3, r),
+	}
+	// Spread reactivity so the squad differs visibly.
+	subjects[0].Reactivity = 0.35
+	subjects[1].Reactivity = 0.65
+	subjects[2].Reactivity = 0.95
+
+	mapper := physio.NewMapper()
+	advisor := physio.NewAdvisor()
+
+	// Baselines from a calm pre-shift period.
+	calm := []physio.Phase{{Name: "pre-shift rest", Duration: 6 * time.Minute, Exertion: 0.05, Stress: 0.05}}
+	baselines := map[uint64]physio.Baseline{}
+	for _, s := range subjects {
+		samples, err := physio.Simulate(s, calm, physio.SimulateConfig{Seed: 10 + s.ID})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := physio.LearnBaseline(s.ID, samples, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines[s.ID] = b
+		fmt.Printf("firefighter %d baseline: HR %.0f bpm, HRV %.0f ms, reactivity %.2f\n",
+			s.ID, b.HeartRate, b.HRV, s.Reactivity)
+	}
+
+	// Run the incident; interleave the three streams.
+	phases := physio.StandardIncident()
+	fmt.Println("\nincident timeline:")
+	for _, p := range phases {
+		fmt.Printf("  %-16s %v (exertion %.1f, stress %.1f)\n", p.Name, p.Duration, p.Exertion, p.Stress)
+	}
+	streams := map[uint64][]physio.Sample{}
+	for _, s := range subjects {
+		samples, err := physio.Simulate(s, phases, physio.SimulateConfig{Seed: 20 + s.ID, FaultRate: 0.01})
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams[s.ID] = samples
+	}
+
+	fmt.Println("\ncommander console (1-minute cadence):")
+	fmt.Println("  t+min  ff  fitness  arousal  valence  dominant      advice")
+	n := len(streams[1])
+	faults := 0
+	for i := 0; i < n; i++ {
+		for _, s := range subjects {
+			sample := streams[s.ID][i]
+			st, err := mapper.Map(baselines[s.ID], sample)
+			if err != nil {
+				faults++ // sensor fault rejected by validation
+				continue
+			}
+			advisor.Observe(st)
+		}
+		// Print the console once per simulated minute (12 samples at 5 s).
+		if i%12 != 11 {
+			continue
+		}
+		for _, s := range subjects {
+			a, err := advisor.Advise(s.ID)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %5d  %2d  %-7s  %7.2f  %+7.2f  %-12s  %s\n",
+				(i+1)/12, s.ID, a.Fitness, a.MeanArousal, a.MeanValence, a.Dominant, a.Recommendation)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("sensor faults rejected: %d\n", faults)
+}

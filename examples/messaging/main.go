@@ -1,0 +1,54 @@
+// Messaging reproduces the paper's Figure 5: the three kinds of
+// individualized messages the Messaging Agent assigns, driven by each
+// user's dominant sensibilities —
+//
+//	(a) one matching attribute            → that attribute's message (3.b),
+//	(b) several matches, priority policy  → highest-priority message (3.c.i),
+//	(c) several matches, sensibility rule → strongest-sensibility message (3.c.ii).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/emotion"
+	"repro/internal/messaging"
+)
+
+func main() {
+	db := messaging.NewDB()
+	samples, err := messaging.Fig5(db, "Course in Digital Marketing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range samples {
+		fmt.Printf("%s\n", s.Label)
+		fmt.Printf("  case     : %s\n", s.Case)
+		if len(s.Attributes) > 0 {
+			fmt.Printf("  matched  : ")
+			for i, a := range s.Attributes {
+				if i > 0 {
+					fmt.Print(" > ")
+				}
+				fmt.Print(a)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  message  : %s\n\n", s.Rendered)
+	}
+
+	// Beyond the figure: the standard-message fallback (case 3.a) for a
+	// user with no sensibilities over the product's sales attributes.
+	product := messaging.Product{
+		Name: "English B2 Certification",
+		SalesAttributes: []emotion.Attribute{
+			emotion.Hopeful, emotion.Shy, emotion.Frightened,
+		},
+	}
+	none := make([]float64, emotion.NumAttributes)
+	asg, err := db.Assign(product, none, 0.5, messaging.ByPriority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no sensibilities\n  case     : %s\n  message  : %s\n", asg.Case, asg.Rendered)
+}

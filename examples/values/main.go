@@ -1,0 +1,83 @@
+// Values demonstrates the fifth SPA component (Fig. 3): the Human Values
+// Scale. Two users state their value preferences; their actions either
+// confirm or contradict the statement, and the coherence function — "the
+// coherence function between a user's actions and his/her implicit and
+// explicit preferences" (§4 component 5) — quantifies the gap. The example
+// also shows life-cycle drift detection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/values"
+)
+
+func main() {
+	now := clock.Epoch
+
+	// User A: claims achievement-driven, acts achievement-driven.
+	a := values.NewTracker(nil, 0, now)
+	var statedA values.Scale
+	statedA[values.Achievement] = 0.6
+	statedA[values.SelfDirection] = 0.4
+	a.SetExplicit(statedA)
+
+	// User B: claims the same, but browses for fun and sticks to known
+	// providers.
+	b := values.NewTracker(nil, 0, now)
+	b.SetExplicit(statedA)
+
+	t := now
+	for week := 0; week < 8; week++ {
+		t = t.Add(7 * 24 * time.Hour)
+		mustObserve(a, "enroll_career_course", 1, t)
+		mustObserve(a, "request_certification_info", 1, t)
+		mustObserve(b, "enroll_hobby_course", 1, t)
+		mustObserve(b, "repeat_known_provider", 1, t)
+	}
+
+	printUser := func(name string, tr *values.Tracker) {
+		imp := tr.Implicit()
+		fmt.Printf("%s — implicit scale (top 3):", name)
+		for _, v := range imp.Top(3) {
+			fmt.Printf("  %s %.0f%%", v, imp[v]*100)
+		}
+		c, err := tr.Coherence()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s — coherence with stated preferences: %.2f\n\n", name, c)
+	}
+	fmt.Println("both users state: achievement 60%, self-direction 40%")
+	printUser("user A (acts as stated)", a)
+	printUser("user B (acts otherwise)", b)
+
+	// Life-cycle drift: user A changes jobs and turns exploratory.
+	a.TakeSnapshot(t)
+	for week := 0; week < 30; week++ {
+		t = t.Add(7 * 24 * time.Hour)
+		mustObserve(a, "browse_new_topics", 2, t)
+		mustObserve(a, "enroll_hobby_course", 1, t)
+	}
+	a.TakeSnapshot(t)
+	drift, err := a.Drift()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user A after a 30-week life change — scale drift: %.2f (0 = stable)\n", drift)
+	imp := a.Implicit()
+	fmt.Printf("user A new top values:")
+	for _, v := range imp.Top(3) {
+		fmt.Printf("  %s %.0f%%", v, imp[v]*100)
+	}
+	fmt.Println()
+}
+
+func mustObserve(tr *values.Tracker, cat string, w float64, t time.Time) {
+	if err := tr.Observe(cat, w, t); err != nil {
+		log.Fatal(err)
+	}
+}

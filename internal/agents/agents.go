@@ -1,0 +1,188 @@
+// Package agents provides the light multi-agent runtime underlying SPA's
+// architecture (Fig. 3): named agents with mailboxes, a supervisor that
+// routes messages and collects failures, and an elastic worker pool that
+// "replicates itself in [a] pro-active way depending [on] user's
+// interaction" — the LifeLogs Pre-processor Agent's scaling behaviour (§4
+// component 1).
+//
+// The runtime is deliberately small: goroutines + channels, no reflection,
+// bounded mailboxes with back-pressure, and a clean Stop that drains
+// in-flight work.
+package agents
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is the unit of agent communication.
+type Message struct {
+	// Topic routes the message (e.g. "lifelog.raw", "profile.update").
+	Topic string
+	// Payload is the opaque content.
+	Payload any
+}
+
+// Handler processes one message. Returning an error reports the failure to
+// the supervisor without killing the agent.
+type Handler func(Message) error
+
+// Agent is a named handler with a bounded mailbox served by one goroutine.
+type Agent struct {
+	name    string
+	handler Handler
+	mailbox chan Message
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	processed atomic.Uint64
+	failures  atomic.Uint64
+	errSink   func(name string, err error)
+}
+
+// ErrStopped is returned when sending to a stopped agent.
+var ErrStopped = errors.New("agents: agent stopped")
+
+// NewAgent creates and starts an agent with the given mailbox capacity.
+func NewAgent(name string, capacity int, handler Handler, errSink func(string, error)) (*Agent, error) {
+	if name == "" {
+		return nil, errors.New("agents: empty name")
+	}
+	if capacity < 1 {
+		return nil, errors.New("agents: capacity must be >= 1")
+	}
+	if handler == nil {
+		return nil, errors.New("agents: nil handler")
+	}
+	a := &Agent{
+		name:    name,
+		handler: handler,
+		mailbox: make(chan Message, capacity),
+		done:    make(chan struct{}),
+		errSink: errSink,
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	for msg := range a.mailbox {
+		if err := a.handler(msg); err != nil {
+			a.failures.Add(1)
+			if a.errSink != nil {
+				a.errSink(a.name, fmt.Errorf("%s: %w", msg.Topic, err))
+			}
+		}
+		a.processed.Add(1)
+	}
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Send enqueues a message, blocking when the mailbox is full (back-pressure
+// keeps ingest from out-running the pre-processor). Sending to a stopped
+// agent returns ErrStopped.
+func (a *Agent) Send(msg Message) error {
+	select {
+	case <-a.done:
+		return ErrStopped
+	default:
+	}
+	select {
+	case a.mailbox <- msg:
+		return nil
+	case <-a.done:
+		return ErrStopped
+	}
+}
+
+// Stop closes the mailbox, waits for in-flight work, and returns processing
+// counters. Idempotent.
+func (a *Agent) Stop() (processed, failures uint64) {
+	select {
+	case <-a.done:
+	default:
+		close(a.done)
+		close(a.mailbox)
+	}
+	a.wg.Wait()
+	return a.processed.Load(), a.failures.Load()
+}
+
+// Stats returns live counters.
+func (a *Agent) Stats() (processed, failures uint64) {
+	return a.processed.Load(), a.failures.Load()
+}
+
+// Supervisor owns a set of agents and a shared failure log.
+type Supervisor struct {
+	mu     sync.Mutex
+	agents map[string]*Agent
+	errs   []error
+}
+
+// NewSupervisor returns an empty supervisor.
+func NewSupervisor() *Supervisor {
+	return &Supervisor{agents: make(map[string]*Agent)}
+}
+
+// Spawn creates, registers and starts an agent.
+func (s *Supervisor) Spawn(name string, capacity int, handler Handler) (*Agent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.agents[name]; dup {
+		return nil, fmt.Errorf("agents: %q already spawned", name)
+	}
+	a, err := NewAgent(name, capacity, handler, s.recordError)
+	if err != nil {
+		return nil, err
+	}
+	s.agents[name] = a
+	return a, nil
+}
+
+func (s *Supervisor) recordError(name string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errs = append(s.errs, fmt.Errorf("%s: %w", name, err))
+}
+
+// Send routes a message to a named agent.
+func (s *Supervisor) Send(name string, msg Message) error {
+	s.mu.Lock()
+	a, ok := s.agents[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("agents: no agent %q", name)
+	}
+	return a.Send(msg)
+}
+
+// Errors returns a snapshot of recorded handler failures.
+func (s *Supervisor) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.errs...)
+}
+
+// StopAll stops every agent and returns aggregate counters.
+func (s *Supervisor) StopAll() (processed, failures uint64) {
+	s.mu.Lock()
+	agents := make([]*Agent, 0, len(s.agents))
+	for _, a := range s.agents {
+		agents = append(agents, a)
+	}
+	s.agents = make(map[string]*Agent)
+	s.mu.Unlock()
+	for _, a := range agents {
+		p, f := a.Stop()
+		processed += p
+		failures += f
+	}
+	return processed, failures
+}

@@ -1,0 +1,254 @@
+package agents
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAgentProcessesMessages(t *testing.T) {
+	var count atomic.Int64
+	a, err := NewAgent("worker", 16, func(m Message) error {
+		count.Add(1)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := a.Send(Message{Topic: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	processed, failures := a.Stop()
+	if processed != 100 || failures != 0 {
+		t.Fatalf("processed %d failures %d", processed, failures)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("handler ran %d times", count.Load())
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	h := func(Message) error { return nil }
+	if _, err := NewAgent("", 1, h, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewAgent("x", 0, h, nil); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewAgent("x", 1, nil, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestAgentFailureCounting(t *testing.T) {
+	boom := errors.New("boom")
+	var sunk []error
+	var mu sync.Mutex
+	a, _ := NewAgent("flaky", 8, func(m Message) error {
+		if m.Topic == "bad" {
+			return boom
+		}
+		return nil
+	}, func(name string, err error) {
+		mu.Lock()
+		sunk = append(sunk, err)
+		mu.Unlock()
+	})
+	a.Send(Message{Topic: "good"})
+	a.Send(Message{Topic: "bad"})
+	a.Send(Message{Topic: "bad"})
+	processed, failures := a.Stop()
+	if processed != 3 || failures != 2 {
+		t.Fatalf("processed %d failures %d", processed, failures)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sunk) != 2 {
+		t.Fatalf("error sink got %d", len(sunk))
+	}
+	if !errors.Is(sunk[0], boom) {
+		t.Fatalf("sink error %v", sunk[0])
+	}
+}
+
+func TestSendAfterStop(t *testing.T) {
+	a, _ := NewAgent("x", 1, func(Message) error { return nil }, nil)
+	a.Stop()
+	if err := a.Send(Message{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("send after stop: %v", err)
+	}
+	// Stop is idempotent.
+	a.Stop()
+}
+
+func TestSupervisorRouting(t *testing.T) {
+	s := NewSupervisor()
+	var got atomic.Int64
+	if _, err := s.Spawn("a", 4, func(Message) error { got.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Spawn("a", 4, func(Message) error { return nil }); err == nil {
+		t.Fatal("duplicate spawn accepted")
+	}
+	if err := s.Send("a", Message{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send("ghost", Message{}); err == nil {
+		t.Fatal("routing to missing agent succeeded")
+	}
+	p, f := s.StopAll()
+	if p != 1 || f != 0 {
+		t.Fatalf("stopall %d %d", p, f)
+	}
+	if got.Load() != 1 {
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestSupervisorCollectsErrors(t *testing.T) {
+	s := NewSupervisor()
+	s.Spawn("bad", 4, func(Message) error { return errors.New("fail") })
+	s.Send("bad", Message{Topic: "x"})
+	s.StopAll()
+	errs := s.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("%d errors recorded", len(errs))
+	}
+}
+
+func TestPoolProcessesAll(t *testing.T) {
+	var count atomic.Int64
+	p, err := NewPool(PoolConfig{Min: 2, Max: 8, QueueCap: 64}, func(Message) error {
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := p.Submit(Message{Topic: "work"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	processed, failures := p.Stop()
+	if processed != n || failures != 0 {
+		t.Fatalf("processed %d failures %d", processed, failures)
+	}
+	if count.Load() != n {
+		t.Fatalf("handler ran %d", count.Load())
+	}
+}
+
+func TestPoolReplicatesUnderLoad(t *testing.T) {
+	block := make(chan struct{})
+	p, err := NewPool(PoolConfig{Min: 1, Max: 6, QueueCap: 256, ScaleAt: 4}, func(Message) error {
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood while workers are blocked → pool must replicate.
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(Message{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.PeakWorkers() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	peak := p.PeakWorkers()
+	close(block)
+	p.Stop()
+	if peak < 2 {
+		t.Fatalf("pool never replicated: peak %d", peak)
+	}
+	if peak > 6 {
+		t.Fatalf("pool exceeded max: %d", peak)
+	}
+}
+
+func TestPoolElasticWorkersRetire(t *testing.T) {
+	p, err := NewPool(PoolConfig{Min: 1, Max: 8, QueueCap: 512, ScaleAt: 2}, func(Message) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p.Submit(Message{})
+	}
+	// Wait for the queue to drain, then check retirement to the core.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pr, _ := p.Stats(); pr == 500 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for p.Workers() > 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w := p.Workers(); w != 1 {
+		t.Fatalf("elastic workers did not retire: %d live", w)
+	}
+	p.Stop()
+}
+
+func TestPoolValidation(t *testing.T) {
+	h := func(Message) error { return nil }
+	if _, err := NewPool(PoolConfig{Min: 0, Max: 2}, h); err == nil {
+		t.Fatal("min 0 accepted")
+	}
+	if _, err := NewPool(PoolConfig{Min: 3, Max: 2}, h); err == nil {
+		t.Fatal("max < min accepted")
+	}
+	if _, err := NewPool(PoolConfig{Min: 1, Max: 2}, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestPoolSubmitAfterStop(t *testing.T) {
+	p, _ := NewPool(PoolConfig{Min: 1, Max: 1}, func(Message) error { return nil })
+	p.Stop()
+	if err := p.Submit(Message{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit after stop: %v", err)
+	}
+}
+
+func TestPoolCountsFailures(t *testing.T) {
+	p, _ := NewPool(PoolConfig{Min: 1, Max: 1}, func(m Message) error {
+		if m.Topic == "bad" {
+			return errors.New("x")
+		}
+		return nil
+	})
+	p.Submit(Message{Topic: "good"})
+	p.Submit(Message{Topic: "bad"})
+	processed, failures := p.Stop()
+	if processed != 2 || failures != 1 {
+		t.Fatalf("%d/%d", processed, failures)
+	}
+}
+
+func BenchmarkPoolThroughput(b *testing.B) {
+	p, err := NewPool(PoolConfig{Min: 4, Max: 8, QueueCap: 4096}, func(Message) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Submit(Message{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Stop()
+}

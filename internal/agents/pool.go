@@ -1,0 +1,141 @@
+package agents
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the elastic worker group behind the LifeLogs Pre-processor Agent:
+// it "replicates itself" — spawning additional workers while the shared
+// queue is deep, retiring them when it drains — between a configured min
+// and max replica count.
+type Pool struct {
+	handler Handler
+	queue   chan Message
+	min     int
+	max     int
+	// scaleAt is the queue depth per live worker that triggers replication.
+	scaleAt int
+
+	mu      sync.Mutex
+	workers int
+	stopped bool
+	wg      sync.WaitGroup
+
+	processed atomic.Uint64
+	failures  atomic.Uint64
+	peak      atomic.Int64
+}
+
+// PoolConfig sizes the pool.
+type PoolConfig struct {
+	Min, Max int
+	QueueCap int
+	ScaleAt  int // queue depth per worker triggering growth; default 16
+}
+
+// NewPool starts a pool with Min workers.
+func NewPool(cfg PoolConfig, handler Handler) (*Pool, error) {
+	if handler == nil {
+		return nil, errors.New("agents: nil handler")
+	}
+	if cfg.Min < 1 || cfg.Max < cfg.Min {
+		return nil, errors.New("agents: need 1 <= Min <= Max")
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.ScaleAt < 1 {
+		cfg.ScaleAt = 16
+	}
+	p := &Pool{
+		handler: handler,
+		queue:   make(chan Message, cfg.QueueCap),
+		min:     cfg.Min,
+		max:     cfg.Max,
+		scaleAt: cfg.ScaleAt,
+	}
+	for i := 0; i < cfg.Min; i++ {
+		p.spawn(true)
+	}
+	return p, nil
+}
+
+// spawn adds a worker; core workers never retire, elastic ones retire when
+// the queue is empty.
+func (p *Pool) spawn(core bool) {
+	p.mu.Lock()
+	if p.stopped || p.workers >= p.max {
+		p.mu.Unlock()
+		return
+	}
+	p.workers++
+	if int64(p.workers) > p.peak.Load() {
+		p.peak.Store(int64(p.workers))
+	}
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer func() {
+			p.mu.Lock()
+			p.workers--
+			p.mu.Unlock()
+		}()
+		for msg := range p.queue {
+			if err := p.handler(msg); err != nil {
+				p.failures.Add(1)
+			}
+			p.processed.Add(1)
+			if !core && len(p.queue) == 0 {
+				return // elastic worker retires when the burst is over
+			}
+		}
+	}()
+}
+
+// Submit enqueues work, growing the pool when the backlog per worker
+// exceeds the scale threshold. Blocks when the queue is full.
+func (p *Pool) Submit(msg Message) error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	workers := p.workers
+	p.mu.Unlock()
+	if workers > 0 && len(p.queue) >= workers*p.scaleAt {
+		p.spawn(false)
+	}
+	p.queue <- msg
+	return nil
+}
+
+// Stop drains the queue and waits for all workers to finish.
+func (p *Pool) Stop() (processed, failures uint64) {
+	p.mu.Lock()
+	if !p.stopped {
+		p.stopped = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return p.processed.Load(), p.failures.Load()
+}
+
+// Stats returns live processed/failure counters.
+func (p *Pool) Stats() (processed, failures uint64) {
+	return p.processed.Load(), p.failures.Load()
+}
+
+// Workers reports the current live worker count.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers
+}
+
+// PeakWorkers reports the maximum simultaneous workers observed — the
+// replication behaviour the paper describes.
+func (p *Pool) PeakWorkers() int { return int(p.peak.Load()) }

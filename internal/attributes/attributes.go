@@ -1,0 +1,208 @@
+// Package attributes implements the paper's Attributes Manager Agent: the
+// component that is "able to create, extract, select, and fuse attributes in
+// order to evaluate similar attributes for multiple domains of interaction",
+// and that "automatically detects the level of sensibility of each user for
+// each of his/her dominant attributes by automatically assigning weights
+// (relevancies)" (§4, component 3).
+//
+// The registry types every attribute as objective (socio-demographic),
+// subjective (behavioural, from WebLogs) or emotional (from the Gradual EIT
+// and reward/punish updates) — the three classes of the business case's 75
+// attributes (§5.1).
+package attributes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind classifies an attribute.
+type Kind int
+
+const (
+	// Objective attributes come from socio-demographic databases.
+	Objective Kind = iota
+	// Subjective attributes are behavioural, derived from WebLogs.
+	Subjective
+	// Emotional attributes come from the Gradual EIT and interaction
+	// reinforcement; they are the paper's contribution.
+	Emotional
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Objective:
+		return "objective"
+	case Subjective:
+		return "subjective"
+	case Emotional:
+		return "emotional"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Def declares one attribute.
+type Def struct {
+	Name   string
+	Kind   Kind
+	Domain string // interaction domain, e.g. "training", "leisure"
+	// Priority orders attributes for the Messaging Agent's case 3.c.i
+	// (higher wins). Zero is the default.
+	Priority int
+}
+
+// Registry is the authoritative set of attribute definitions. Safe for
+// concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	defs   []Def
+	byName map[string]int
+}
+
+// ErrUnknown is returned for lookups of unregistered attributes.
+var ErrUnknown = errors.New("attributes: unknown attribute")
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Register adds a definition. Duplicate names are rejected.
+func (r *Registry) Register(d Def) (int, error) {
+	if d.Name == "" {
+		return 0, errors.New("attributes: empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[d.Name]; dup {
+		return 0, fmt.Errorf("attributes: %q already registered", d.Name)
+	}
+	id := len(r.defs)
+	r.defs = append(r.defs, d)
+	r.byName[d.Name] = id
+	return id, nil
+}
+
+// MustRegister is Register that panics on error; for static setup code.
+func (r *Registry) MustRegister(d Def) int {
+	id, err := r.Register(d)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// ID resolves a name.
+func (r *Registry) ID(name string) (int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return id, nil
+}
+
+// Def returns the definition for an ID.
+func (r *Registry) Def(id int) (Def, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id < 0 || id >= len(r.defs) {
+		return Def{}, fmt.Errorf("%w: id %d", ErrUnknown, id)
+	}
+	return r.defs[id], nil
+}
+
+// Len returns the number of registered attributes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.defs)
+}
+
+// OfKind returns the IDs of all attributes of the given kind, in
+// registration order.
+func (r *Registry) OfKind(k Kind) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []int
+	for i, d := range r.defs {
+		if d.Kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Names returns all names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.defs))
+	for i, d := range r.defs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Sensibility is a user's weight for one attribute: the automatic relevance
+// assignment of the Attributes Manager. Weight lives in [0, 1].
+type Sensibility struct {
+	AttrID int
+	Weight float64
+}
+
+// DominantAttributes returns the attributes whose weight exceeds threshold,
+// strongest first — the paper's "dominant attributes" feeding the Messaging
+// Agent. Ties break by ascending ID for determinism.
+func DominantAttributes(weights []float64, threshold float64) []Sensibility {
+	var out []Sensibility
+	for id, w := range weights {
+		if w > threshold {
+			out = append(out, Sensibility{AttrID: id, Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].AttrID < out[j].AttrID
+	})
+	return out
+}
+
+// AutoWeigh converts raw attribute evidence into sensibility weights via a
+// softmax-tempered normalization: attributes with more concentrated
+// evidence get proportionally more weight, and the result always sums to at
+// most 1 per attribute (each weight in [0,1]).
+//
+// raw may contain negative values (aversions); sensibility is about
+// magnitude of response, so the absolute value drives the weight while the
+// caller keeps the sign separately as valence.
+func AutoWeigh(raw []float64, temperature float64) []float64 {
+	if temperature <= 0 {
+		temperature = 1
+	}
+	out := make([]float64, len(raw))
+	maxAbs := 0.0
+	for _, v := range raw {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return out
+	}
+	for i, v := range raw {
+		// Scaled magnitude through a temperature-controlled exponent keeps
+		// ordering while letting hot attributes saturate toward 1.
+		x := math.Abs(v) / maxAbs
+		out[i] = math.Pow(x, 1/temperature)
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package attributes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	id, err := r.Register(Def{Name: "age", Kind: Objective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first id %d", id)
+	}
+	id2, _ := r.Register(Def{Name: "enthusiastic", Kind: Emotional, Priority: 3})
+	if id2 != 1 {
+		t.Fatalf("second id %d", id2)
+	}
+	got, err := r.ID("enthusiastic")
+	if err != nil || got != 1 {
+		t.Fatalf("ID lookup: %d %v", got, err)
+	}
+	d, err := r.Def(1)
+	if err != nil || d.Priority != 3 || d.Kind != Emotional {
+		t.Fatalf("Def: %+v %v", d, err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len %d", r.Len())
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Def{Name: "x"})
+	if _, err := r.Register(Def{Name: "x"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := r.Register(Def{Name: ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestRegistryUnknownLookups(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.ID("ghost"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	if _, err := r.Def(5); err == nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestOfKind(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Def{Name: "a", Kind: Objective})
+	r.MustRegister(Def{Name: "b", Kind: Emotional})
+	r.MustRegister(Def{Name: "c", Kind: Emotional})
+	r.MustRegister(Def{Name: "d", Kind: Subjective})
+	em := r.OfKind(Emotional)
+	if len(em) != 2 || em[0] != 1 || em[1] != 2 {
+		t.Fatalf("OfKind emotional: %v", em)
+	}
+	if len(r.OfKind(Objective)) != 1 || len(r.OfKind(Subjective)) != 1 {
+		t.Fatal("kind partition wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Objective.String() != "objective" || Subjective.String() != "subjective" || Emotional.String() != "emotional" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestDominantAttributes(t *testing.T) {
+	weights := []float64{0.2, 0.9, 0.5, 0.9, 0.1}
+	dom := DominantAttributes(weights, 0.4)
+	if len(dom) != 3 {
+		t.Fatalf("dominant count %d", len(dom))
+	}
+	// Ties (0.9) break by lower ID first.
+	if dom[0].AttrID != 1 || dom[1].AttrID != 3 || dom[2].AttrID != 2 {
+		t.Fatalf("dominant order %+v", dom)
+	}
+}
+
+func TestDominantAttributesEmptyWhenBelowThreshold(t *testing.T) {
+	if got := DominantAttributes([]float64{0.1, 0.2}, 0.5); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAutoWeigh(t *testing.T) {
+	raw := []float64{0, 0.5, -1.0} // aversion magnitude counts
+	w := AutoWeigh(raw, 1)
+	if w[0] != 0 {
+		t.Fatalf("zero raw weight %v", w[0])
+	}
+	if w[2] != 1 {
+		t.Fatalf("max magnitude weight %v, want 1", w[2])
+	}
+	if !(w[1] > 0 && w[1] < w[2]) {
+		t.Fatalf("ordering broken: %v", w)
+	}
+}
+
+func TestAutoWeighAllZero(t *testing.T) {
+	w := AutoWeigh([]float64{0, 0}, 1)
+	if w[0] != 0 || w[1] != 0 {
+		t.Fatalf("all-zero weights %v", w)
+	}
+}
+
+func TestAutoWeighRangeProperty(t *testing.T) {
+	f := func(raw []float64, temp float64) bool {
+		tp := math.Abs(math.Mod(temp, 5))
+		w := AutoWeigh(raw, tp)
+		if len(w) != len(raw) {
+			return false
+		}
+		for _, v := range w {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutualInformationDiscriminates(t *testing.T) {
+	// Feature A perfectly separates the classes; feature B is noise.
+	r := rng.New(1)
+	n := 2000
+	xa := make([]float64, n)
+	xb := make([]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		y[i] = i%2 == 0
+		if y[i] {
+			xa[i] = 1 + 0.1*r.NormFloat64()
+		} else {
+			xa[i] = -1 + 0.1*r.NormFloat64()
+		}
+		xb[i] = r.NormFloat64()
+	}
+	miA, err := MutualInformation(xa, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miB, err := MutualInformation(xb, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miA < 0.5 {
+		t.Fatalf("separating feature MI %v too low", miA)
+	}
+	if miB > 0.05 {
+		t.Fatalf("noise feature MI %v too high", miB)
+	}
+	if miA <= miB {
+		t.Fatal("MI failed to rank separating feature above noise")
+	}
+}
+
+func TestMutualInformationDegenerate(t *testing.T) {
+	mi, err := MutualInformation([]float64{1, 1, 1}, []bool{true, false, true}, 4)
+	if err != nil || mi != 0 {
+		t.Fatalf("constant feature: %v %v", mi, err)
+	}
+	mi, err = MutualInformation([]float64{1, 2, 3}, []bool{true, true, true}, 4)
+	if err != nil || mi != 0 {
+		t.Fatalf("single class: %v %v", mi, err)
+	}
+	if _, err := MutualInformation([]float64{1}, []bool{true, false}, 4); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MutualInformation(nil, nil, 4); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMutualInformationNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 200
+		x := make([]float64, n)
+		y := make([]bool, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.Bool(0.5)
+		}
+		mi, err := MutualInformation(x, y, 8)
+		return err == nil && mi >= 0 && !math.IsNaN(mi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointBiserial(t *testing.T) {
+	x := []float64{1, 2, 3, 10, 11, 12}
+	y := []bool{false, false, false, true, true, true}
+	r, err := PointBiserial(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Fatalf("strong separation gives r=%v", r)
+	}
+	// Inverted labels flip the sign.
+	yInv := []bool{true, true, true, false, false, false}
+	r2, _ := PointBiserial(x, yInv)
+	if r2 > -0.9 {
+		t.Fatalf("inverted r=%v", r2)
+	}
+}
+
+func TestPointBiserialDegenerate(t *testing.T) {
+	if r, _ := PointBiserial([]float64{5, 5, 5}, []bool{true, false, true}); r != 0 {
+		t.Fatalf("constant x r=%v", r)
+	}
+	if r, _ := PointBiserial([]float64{1, 2, 3}, []bool{true, true, true}); r != 0 {
+		t.Fatalf("single class r=%v", r)
+	}
+	if _, err := PointBiserial([]float64{1}, []bool{true}); err == nil {
+		t.Fatal("too-few accepted")
+	}
+}
+
+func TestSelectTopK(t *testing.T) {
+	r := rng.New(2)
+	n := 1000
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		y[i] = i%2 == 0
+		sig := -1.0
+		if y[i] {
+			sig = 1.0
+		}
+		X[i] = []float64{
+			r.NormFloat64(),           // noise
+			sig + 0.2*r.NormFloat64(), // strong
+			r.NormFloat64(),           // noise
+			sig*0.4 + r.NormFloat64(), // weak
+		}
+	}
+	top, err := SelectTopK(X, y, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("top len %d", len(top))
+	}
+	if top[0].Index != 1 {
+		t.Fatalf("best feature %d, want 1 (scores %+v)", top[0].Index, top)
+	}
+	if top[1].Index != 3 {
+		t.Fatalf("second feature %d, want 3", top[1].Index)
+	}
+}
+
+func TestSelectTopKErrors(t *testing.T) {
+	if _, err := SelectTopK(nil, nil, 1, 4); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := SelectTopK([][]float64{{1}}, []bool{true, false}, 1, 4); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := SelectTopK([][]float64{{1, 2}, {1}}, []bool{true, false}, 1, 4); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestFuse(t *testing.T) {
+	domains := []WeightedDomain{
+		{Domain: "training", Weights: []float64{0.8, 0.2}, Evidence: 30},
+		{Domain: "leisure", Weights: []float64{0.2, 0.6}, Evidence: 10},
+	}
+	fused := Fuse(domains)
+	if len(fused) != 2 {
+		t.Fatalf("fused len %d", len(fused))
+	}
+	want0 := (0.8*30 + 0.2*10) / 40
+	if math.Abs(fused[0]-want0) > 1e-12 {
+		t.Fatalf("fused[0]=%v want %v", fused[0], want0)
+	}
+}
+
+func TestFuseIgnoresZeroEvidence(t *testing.T) {
+	fused := Fuse([]WeightedDomain{
+		{Weights: []float64{0.5}, Evidence: 10},
+		{Weights: []float64{99}, Evidence: 0},
+	})
+	if fused[0] != 0.5 {
+		t.Fatalf("zero-evidence domain leaked: %v", fused[0])
+	}
+}
+
+func TestFuseRaggedDomains(t *testing.T) {
+	fused := Fuse([]WeightedDomain{
+		{Weights: []float64{1, 1}, Evidence: 1},
+		{Weights: []float64{1, 1, 1}, Evidence: 1},
+	})
+	if len(fused) != 3 {
+		t.Fatalf("fused len %d, want max domain size 3", len(fused))
+	}
+	if fused[2] != 1 {
+		t.Fatalf("lone-domain attribute fused to %v", fused[2])
+	}
+}
+
+func BenchmarkMutualInformation(b *testing.B) {
+	r := rng.New(1)
+	n := 10000
+	x := make([]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+		y[i] = r.Bool(0.3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MutualInformation(x, y, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutoWeigh(b *testing.B) {
+	raw := make([]float64, 75)
+	for i := range raw {
+		raw[i] = float64(i%10) / 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AutoWeigh(raw, 1.5)
+	}
+}

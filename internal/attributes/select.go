@@ -1,0 +1,204 @@
+package attributes
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Feature selection: the paper uses SVMs "to classify and to predict users'
+// behaviors from attributes which have a high impact on their emotional
+// responses" (§5.2). Before training, the Attributes Manager ranks candidate
+// attributes by how much information they carry about the response label;
+// this file implements mutual information over discretized values plus a
+// simple correlation ranker, both stdlib-only.
+
+// MutualInformation estimates I(X; Y) in nats between a continuous feature x
+// and a binary label y, discretizing x into bins equal-width over its range.
+// Returns 0 for degenerate inputs (constant x, single-class y).
+func MutualInformation(x []float64, y []bool, bins int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("attributes: length mismatch")
+	}
+	if len(x) == 0 {
+		return 0, errors.New("attributes: empty input")
+	}
+	if bins < 2 {
+		bins = 8
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return 0, nil
+	}
+	// joint[b][c] counts bin b with class c.
+	joint := make([][2]float64, bins)
+	var classTotal [2]float64
+	n := float64(len(x))
+	for i, v := range x {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		c := 0
+		if y[i] {
+			c = 1
+		}
+		joint[b][c]++
+		classTotal[c]++
+	}
+	if classTotal[0] == 0 || classTotal[1] == 0 {
+		return 0, nil
+	}
+	var mi float64
+	for b := 0; b < bins; b++ {
+		binTotal := joint[b][0] + joint[b][1]
+		if binTotal == 0 {
+			continue
+		}
+		for c := 0; c < 2; c++ {
+			if joint[b][c] == 0 {
+				continue
+			}
+			pxy := joint[b][c] / n
+			px := binTotal / n
+			py := classTotal[c] / n
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // float noise
+	}
+	return mi, nil
+}
+
+// PointBiserial computes the point-biserial correlation between a continuous
+// feature and a binary label — the cheap linear complement to MI.
+func PointBiserial(x []float64, y []bool) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("attributes: length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, errors.New("attributes: too few samples")
+	}
+	var sum1, sum0 float64
+	var n1, n0 float64
+	for i, v := range x {
+		if y[i] {
+			sum1 += v
+			n1++
+		} else {
+			sum0 += v
+			n0++
+		}
+	}
+	if n1 == 0 || n0 == 0 {
+		return 0, nil
+	}
+	mean1, mean0 := sum1/n1, sum0/n0
+	n := float64(len(x))
+	var mean, ss float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	for _, v := range x {
+		d := v - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / n)
+	if std == 0 {
+		return 0, nil
+	}
+	return (mean1 - mean0) / std * math.Sqrt(n1*n0/(n*n)), nil
+}
+
+// Ranked is one feature's selection score.
+type Ranked struct {
+	Index int
+	Score float64
+}
+
+// SelectTopK ranks columns of the design matrix by mutual information with
+// the label and returns the k best (all, ranked, when k <= 0 or k exceeds
+// the column count). rows are samples; columns features.
+func SelectTopK(features [][]float64, y []bool, k, bins int) ([]Ranked, error) {
+	if len(features) == 0 {
+		return nil, errors.New("attributes: empty design matrix")
+	}
+	if len(features) != len(y) {
+		return nil, errors.New("attributes: label length mismatch")
+	}
+	cols := len(features[0])
+	col := make([]float64, len(features))
+	ranked := make([]Ranked, 0, cols)
+	for c := 0; c < cols; c++ {
+		for r := range features {
+			if len(features[r]) != cols {
+				return nil, errors.New("attributes: ragged design matrix")
+			}
+			col[r] = features[r][c]
+		}
+		mi, err := MutualInformation(col, y, bins)
+		if err != nil {
+			return nil, err
+		}
+		ranked = append(ranked, Ranked{Index: c, Score: mi})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Index < ranked[j].Index
+	})
+	if k > 0 && k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked, nil
+}
+
+// Fuse merges attribute weight vectors observed in different interaction
+// domains into one cross-domain vector — the Attributes Manager's "fuse
+// attributes ... for multiple domains of interaction". Each domain
+// contributes proportionally to its evidence count; missing attributes
+// contribute nothing.
+func Fuse(domains []WeightedDomain) []float64 {
+	size := 0
+	for _, d := range domains {
+		if len(d.Weights) > size {
+			size = len(d.Weights)
+		}
+	}
+	out := make([]float64, size)
+	totals := make([]float64, size)
+	for _, d := range domains {
+		if d.Evidence <= 0 {
+			continue
+		}
+		w := float64(d.Evidence)
+		for i, v := range d.Weights {
+			out[i] += v * w
+			totals[i] += w
+		}
+	}
+	for i := range out {
+		if totals[i] > 0 {
+			out[i] /= totals[i]
+		}
+	}
+	return out
+}
+
+// WeightedDomain is one domain's attribute weights plus its evidence mass.
+type WeightedDomain struct {
+	Domain   string
+	Weights  []float64
+	Evidence int
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/svm"
+)
+
+func blobs(n int, mu float64, seed uint64) *svm.Dataset {
+	r := rng.New(seed)
+	d := &svm.Dataset{}
+	for i := 0; i < n; i++ {
+		y := 1
+		m := mu
+		if i%2 == 1 {
+			y = -1
+			m = -mu
+		}
+		d.X = append(d.X, []float64{m + r.NormFloat64(), m + r.NormFloat64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	d := blobs(2000, 2, 1)
+	l, err := TrainLogistic(d, DefaultLogistic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := l.Accuracy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Fatalf("logistic accuracy %v", acc)
+	}
+}
+
+func TestLogisticProbabilitiesCalibratedShape(t *testing.T) {
+	d := blobs(4000, 1, 2)
+	l, err := TrainLogistic(d, DefaultLogistic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := range d.X {
+		p, err := l.Score(d.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v", p)
+		}
+		sum += p
+	}
+	if mean := sum / float64(d.Len()); math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean probability %v, want ~0.5", mean)
+	}
+}
+
+func TestLogisticDeterministic(t *testing.T) {
+	d := blobs(300, 1, 3)
+	a, _ := TrainLogistic(d, DefaultLogistic())
+	b, _ := TrainLogistic(d, DefaultLogistic())
+	for j := range a.Weights {
+		if a.Weights[j] != b.Weights[j] {
+			t.Fatal("logistic nondeterministic")
+		}
+	}
+}
+
+func TestLogisticParamValidation(t *testing.T) {
+	d := blobs(10, 1, 1)
+	bad := []LogisticParams{
+		{LearnRate: 0, Epochs: 1},
+		{LearnRate: 0.1, Epochs: 0},
+		{LearnRate: 0.1, Epochs: 1, Lambda: -1},
+	}
+	for i, p := range bad {
+		if _, err := TrainLogistic(d, p); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+	if _, err := TrainLogistic(&svm.Dataset{}, DefaultLogistic()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestLogisticDimensionCheck(t *testing.T) {
+	l := &Logistic{Weights: []float64{1, 2}}
+	if _, err := l.Score([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestRandomScorerDeterministicPerInput(t *testing.T) {
+	r := &Random{Seed: 7}
+	x := []float64{1, 2, 3}
+	a, _ := r.Score(x)
+	b, _ := r.Score(x)
+	if a != b {
+		t.Fatal("same input scored differently")
+	}
+	c, _ := r.Score([]float64{1, 2, 4})
+	if a == c {
+		t.Fatal("different inputs collided (suspicious)")
+	}
+	if a < 0 || a >= 1 {
+		t.Fatalf("score %v out of [0,1)", a)
+	}
+}
+
+func TestRandomScorerSeedMatters(t *testing.T) {
+	x := []float64{5, 5}
+	a, _ := (&Random{Seed: 1}).Score(x)
+	b, _ := (&Random{Seed: 2}).Score(x)
+	if a == b {
+		t.Fatal("seeds produced identical scores")
+	}
+}
+
+func TestRandomScoresRoughlyUniform(t *testing.T) {
+	r := &Random{Seed: 3}
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s, _ := r.Score([]float64{float64(i), float64(i * 31)})
+		sum += s
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("random score mean %v", mean)
+	}
+}
+
+func TestPopularityScorer(t *testing.T) {
+	p := &Popularity{BaseRate: 0.21}
+	a, _ := p.Score([]float64{1})
+	b, _ := p.Score([]float64{99, 2})
+	if a != 0.21 || b != 0.21 {
+		t.Fatal("popularity must score everyone identically")
+	}
+}
+
+func TestSVMScorerAdapts(t *testing.T) {
+	d := blobs(1000, 2, 9)
+	m, err := svm.TrainCalibrated(d, svm.PegasosTrainer(svm.DefaultPegasos()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &SVMScorer{Model: m}
+	hi, err := s.Score([]float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := s.Score([]float64{-3, -3})
+	if hi <= lo {
+		t.Fatalf("svm scorer ranking broken: %v <= %v", hi, lo)
+	}
+}
+
+func TestLogisticBeatsRandomOnStructure(t *testing.T) {
+	d := blobs(2000, 1, 11)
+	l, _ := TrainLogistic(d, DefaultLogistic())
+	r := &Random{Seed: 1}
+	correct := func(s Scorer) int {
+		n := 0
+		for i := range d.X {
+			p, _ := s.Score(d.X[i])
+			pred := -1
+			if p >= 0.5 {
+				pred = 1
+			}
+			if pred == d.Y[i] {
+				n++
+			}
+		}
+		return n
+	}
+	if correct(l) <= correct(r) {
+		t.Fatal("logistic no better than random on separable data")
+	}
+}
+
+func BenchmarkTrainLogistic(b *testing.B) {
+	d := blobs(5000, 1, 1)
+	p := LogisticParams{LearnRate: 0.1, Lambda: 1e-4, Epochs: 3, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainLogistic(d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogisticScore(b *testing.B) {
+	d := blobs(100, 1, 1)
+	l, _ := TrainLogistic(d, DefaultLogistic())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Score(d.X[i%d.Len()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/emotion"
+	"repro/internal/messaging"
+	"repro/internal/synth"
+)
+
+func smallPipeline(t *testing.T, users int, seed uint64) *Pipeline {
+	t.Helper()
+	pop, err := synth.Generate(synth.DefaultConfig(users, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(pop, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestDefaultCampaignsMix(t *testing.T) {
+	cs := DefaultCampaigns()
+	if len(cs) != 10 {
+		t.Fatalf("%d campaigns, want 10", len(cs))
+	}
+	push, news := 0, 0
+	for i, c := range cs {
+		if c.ID != i+1 {
+			t.Fatalf("campaign %d has id %d", i, c.ID)
+		}
+		if err := c.Product.Validate(); err != nil {
+			t.Fatalf("campaign %d product: %v", i, err)
+		}
+		switch c.Kind {
+		case Push:
+			push++
+		case Newsletter:
+			news++
+		}
+	}
+	// §5.4: "eight Push and two newsletters campaigns".
+	if push != 8 || news != 2 {
+		t.Fatalf("mix %d push / %d newsletter", push, news)
+	}
+}
+
+func TestKindAndFeatureSetStrings(t *testing.T) {
+	if Push.String() != "push" || Newsletter.String() != "newsletter" {
+		t.Fatal("kind strings")
+	}
+	if FullFeatures().String() != "OSE" || ObjectiveOnly().String() != "O" {
+		t.Fatal("feature set strings")
+	}
+	if (FeatureSet{}).String() != "none" {
+		t.Fatal("empty feature set string")
+	}
+}
+
+func TestNewPipelineInitializesProfiles(t *testing.T) {
+	pl := smallPipeline(t, 200, 1)
+	if len(pl.Profiles) != 200 {
+		t.Fatalf("%d profiles", len(pl.Profiles))
+	}
+	for i, p := range pl.Profiles {
+		if p.UserID != uint64(i+1) {
+			t.Fatalf("profile %d has user %d", i, p.UserID)
+		}
+		if len(p.Objective) != synth.NumObjective {
+			t.Fatalf("objective len %d", len(p.Objective))
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewPipeline(nil, 1); err == nil {
+		t.Fatal("nil population accepted")
+	}
+}
+
+func TestIngestWebLogsFillsSubjective(t *testing.T) {
+	pl := smallPipeline(t, 300, 2)
+	events, err := pl.IngestWebLogs(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events < 300 {
+		t.Fatalf("only %d events", events)
+	}
+	nonZero := 0
+	for _, p := range pl.Profiles {
+		for _, v := range p.Subjective {
+			if v != 0 {
+				nonZero++
+				break
+			}
+		}
+	}
+	if nonZero < 150 {
+		t.Fatalf("only %d profiles got subjective features", nonZero)
+	}
+}
+
+func TestWarmupEITActivatesProfiles(t *testing.T) {
+	pl := smallPipeline(t, 300, 3)
+	answers, err := pl.WarmupEIT(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers < 1000 {
+		t.Fatalf("only %d answers from 300 users × 10 touches", answers)
+	}
+	activated := 0
+	for _, p := range pl.Profiles {
+		for _, s := range p.Emotional {
+			if s.Activation > 0 {
+				activated++
+				break
+			}
+		}
+	}
+	if activated < 200 {
+		t.Fatalf("only %d profiles activated", activated)
+	}
+}
+
+func TestWarmupEITCyclesBank(t *testing.T) {
+	pl := smallPipeline(t, 50, 4)
+	// More touches than the bank has items must not error.
+	bankLen := pl.Model.Bank().Len()
+	if _, err := pl.WarmupEIT(bankLen + 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	pl := smallPipeline(t, 100, 5)
+	c := DefaultCampaigns()[0]
+	full := pl.Features(0, FullFeatures(), c)
+	objOnly := pl.Features(0, ObjectiveOnly(), c)
+	if len(objOnly) != synth.NumObjective {
+		t.Fatalf("objective-only len %d", len(objOnly))
+	}
+	if len(full) <= len(objOnly) {
+		t.Fatal("full features not larger")
+	}
+	// Emotional on adds the match block.
+	emoOnly := pl.Features(0, FeatureSet{Emotional: true}, c)
+	if len(emoOnly) != 2*emotion.NumAttributes+MatchBlockLen {
+		t.Fatalf("emotional feature len %d", len(emoOnly))
+	}
+}
+
+func TestTrainingDataShapeAndLabels(t *testing.T) {
+	pl := smallPipeline(t, 400, 6)
+	pl.WarmupEIT(5)
+	d, err := pl.TrainingData(DefaultCampaigns()[:2], FullFeatures(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 800 {
+		t.Fatalf("training size %d, want 800", d.Len())
+	}
+	pos := 0
+	for _, y := range d.Y {
+		if y == 1 {
+			pos++
+		}
+	}
+	rate := float64(pos) / float64(d.Len())
+	if rate < 0.01 || rate > 0.5 {
+		t.Fatalf("implausible training response rate %v", rate)
+	}
+}
+
+func TestTrainingDataValidation(t *testing.T) {
+	pl := smallPipeline(t, 200, 7)
+	if _, err := pl.TrainingData(DefaultCampaigns()[:1], FullFeatures(), 0); err == nil {
+		t.Fatal("zero sample frac accepted")
+	}
+	if _, err := pl.TrainingData(DefaultCampaigns()[:1], FullFeatures(), 1.5); err == nil {
+		t.Fatal("frac > 1 accepted")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	pl := smallPipeline(t, 200, 8)
+	r := &Runner{}
+	if err := r.Validate(); err == nil {
+		t.Fatal("empty runner validated")
+	}
+	r.Pipeline = pl
+	if err := r.Validate(); err == nil {
+		t.Fatal("nil scorer validated")
+	}
+	r.Scorer = &baseline.Random{Seed: 1}
+	r.Depth = 0
+	if err := r.Validate(); err == nil {
+		t.Fatal("zero depth validated")
+	}
+	r.Depth = 0.4
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProducesConsistentCounts(t *testing.T) {
+	pl := smallPipeline(t, 500, 9)
+	pl.WarmupEIT(5)
+	r := &Runner{Pipeline: pl, Scorer: &baseline.Random{Seed: 1}, Features: FullFeatures(), Depth: 0.4}
+	res, err := r.Run(DefaultCampaigns()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scored) != 500 {
+		t.Fatalf("scored %d", len(res.Scored))
+	}
+	if res.Contacted != 200 {
+		t.Fatalf("contacted %d, want 40%% of 500", res.Contacted)
+	}
+	if res.UsefulImpacts > res.Contacted {
+		t.Fatal("impacts exceed contacts")
+	}
+	if res.PredictiveScore < 0 || res.PredictiveScore > 1 {
+		t.Fatalf("predictive score %v", res.PredictiveScore)
+	}
+	total := 0
+	for _, n := range res.CaseCounts {
+		total += n
+	}
+	if total != 500 {
+		t.Fatalf("case counts sum %d", total)
+	}
+}
+
+func TestRunAllAggregates(t *testing.T) {
+	pl := smallPipeline(t, 400, 10)
+	pl.WarmupEIT(5)
+	r := &Runner{Pipeline: pl, Scorer: &baseline.Random{Seed: 1}, Features: FullFeatures(), Depth: 0.4}
+	fig, err := r.RunAll(DefaultCampaigns()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.PerCampaign) != 3 {
+		t.Fatalf("%d campaigns", len(fig.PerCampaign))
+	}
+	if fig.TotalContacted != 3*160 {
+		t.Fatalf("total contacted %d", fig.TotalContacted)
+	}
+	if len(fig.Gains) == 0 {
+		t.Fatal("no gains curve")
+	}
+	if fig.BaseRate <= 0 || fig.BaseRate >= 1 {
+		t.Fatalf("base rate %v", fig.BaseRate)
+	}
+	// Random scorer must capture ≈ depth at 40%.
+	if fig.CapturedAt40 < 0.25 || fig.CapturedAt40 > 0.55 {
+		t.Fatalf("random scorer captured %v at 40%%", fig.CapturedAt40)
+	}
+	if _, err := r.RunAll(nil); err == nil {
+		t.Fatal("empty campaign set accepted")
+	}
+}
+
+func TestExperimentConfigValidation(t *testing.T) {
+	bad := []ExperimentConfig{
+		{Users: 10, TrainCampaigns: 1, Depth: 0.4},
+		{Users: 200, TrainCampaigns: 0, Depth: 0.4},
+		{Users: 200, TrainCampaigns: 1, Depth: 0},
+		{Users: 200, TrainCampaigns: 1, Depth: 0.4, WarmupTouches: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Prepare(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLearnerStrings(t *testing.T) {
+	names := map[Learner]string{
+		LearnerSVM: "svm-pegasos", LearnerSVMDual: "svm-dualcd",
+		LearnerLogistic: "logistic", LearnerRandom: "random",
+		LearnerPopularity: "popularity",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("learner %d string %q", l, l.String())
+		}
+	}
+}
+
+// TestFig6Shape is the headline reproduction check (DESIGN.md §5): at the
+// paper's 40 % commercial-action operating point the SPA configuration must
+// capture well over half of responders (paper: >76 %; pinned seed at test
+// scale gives ~0.77), achieve a predictive score near 21 %, and beat the
+// objective-only baseline decisively.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in -short mode")
+	}
+	cfg := DefaultExperiment(3000, 2)
+	fig, ex, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.TrainSize < 10000 {
+		t.Fatalf("training set only %d", ex.TrainSize)
+	}
+	if fig.CapturedAt40 < 0.65 {
+		t.Fatalf("captured@40 = %v, want >= 0.65 (paper: >0.76)", fig.CapturedAt40)
+	}
+	if fig.AvgPredictiveScore < 0.15 || fig.AvgPredictiveScore > 0.30 {
+		t.Fatalf("avg predictive score %v, want ~0.21", fig.AvgPredictiveScore)
+	}
+	if fig.RedemptionImprovement < 0.6 {
+		t.Fatalf("redemption improvement %v, want ~0.9", fig.RedemptionImprovement)
+	}
+	if fig.AUC < 0.70 {
+		t.Fatalf("pooled AUC %v", fig.AUC)
+	}
+
+	// Baseline: objective-only logistic must be clearly worse.
+	cfgB := cfg
+	cfgB.Features = ObjectiveOnly()
+	cfgB.Learner = LearnerLogistic
+	figB, _, err := RunExperiment(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figB.CapturedAt40 >= fig.CapturedAt40-0.1 {
+		t.Fatalf("baseline captured %v too close to SPA %v", figB.CapturedAt40, fig.CapturedAt40)
+	}
+}
+
+// TestFig6Deterministic pins byte-level reproducibility of the headline
+// experiment.
+func TestFig6Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in -short mode")
+	}
+	cfg := DefaultExperiment(500, 11)
+	a, _, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CapturedAt40 != b.CapturedAt40 || a.TotalUsefulImpacts != b.TotalUsefulImpacts {
+		t.Fatalf("experiment not deterministic: %v/%v vs %v/%v",
+			a.CapturedAt40, a.TotalUsefulImpacts, b.CapturedAt40, b.TotalUsefulImpacts)
+	}
+}
+
+func TestMessagingCasesAppearInCampaign(t *testing.T) {
+	pl := smallPipeline(t, 800, 12)
+	pl.WarmupEIT(30)
+	r := &Runner{Pipeline: pl, Scorer: &baseline.Random{Seed: 1}, Features: FullFeatures(), Depth: 0.4}
+	res, err := r.Run(DefaultCampaigns()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CaseCounts[messaging.CaseStandard] == 0 {
+		t.Fatal("no standard-message users (implausible)")
+	}
+	if res.CaseCounts[messaging.CaseSingle]+res.CaseCounts[messaging.CaseMultiSensibility] == 0 {
+		t.Fatal("no emotionally-matched users after warmup")
+	}
+}
+
+func TestPipelineClockAdvances(t *testing.T) {
+	pl := smallPipeline(t, 100, 13)
+	t0 := pl.Now()
+	pl.WarmupEIT(3)
+	if !pl.Now().After(t0) {
+		t.Fatal("warmup did not advance clock")
+	}
+	t1 := pl.Now()
+	pl.Advance(time.Hour)
+	if pl.Now().Sub(t1) != time.Hour {
+		t.Fatal("advance wrong")
+	}
+}
+
+func BenchmarkPipelineWarmupTouch(b *testing.B) {
+	pop, err := synth.Generate(synth.DefaultConfig(1000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := NewPipeline(pop, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.WarmupEIT(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignRun(b *testing.B) {
+	pop, err := synth.Generate(synth.DefaultConfig(2000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := NewPipeline(pop, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl.WarmupEIT(10)
+	r := &Runner{Pipeline: pl, Scorer: &baseline.Random{Seed: 1}, Features: FullFeatures(), Depth: 0.4}
+	cs := DefaultCampaigns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cs[i%len(cs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

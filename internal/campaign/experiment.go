@@ -1,0 +1,255 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/svm"
+	"repro/internal/synth"
+)
+
+// ExperimentConfig drives the end-to-end Fig. 6 reproduction.
+type ExperimentConfig struct {
+	Users int
+	Seed  uint64
+	// WarmupTouches is how many Gradual EIT rounds precede training.
+	WarmupTouches int
+	// WebLogWeeks is how much organic browsing to ingest.
+	WebLogWeeks int
+	// TrainCampaigns is how many historical waves generate labels.
+	TrainCampaigns int
+	// TrainSampleFrac subsamples targets per historical wave.
+	TrainSampleFrac float64
+	// Depth is the selection operating point (paper: 0.40).
+	Depth float64
+	// Features is the learner input (FullFeatures for SPA).
+	Features FeatureSet
+	// Learner picks the propensity model.
+	Learner Learner
+	// UpdateSUM keeps the reward/punish loop on during evaluation.
+	UpdateSUM bool
+}
+
+// Learner selects the trained scorer for the experiment.
+type Learner int
+
+const (
+	// LearnerSVM is the paper's configuration (Pegasos + Platt).
+	LearnerSVM Learner = iota
+	// LearnerSVMDual uses dual coordinate descent (offline trainer).
+	LearnerSVMDual
+	// LearnerLogistic is the conventional baseline.
+	LearnerLogistic
+	// LearnerRandom is the null baseline.
+	LearnerRandom
+	// LearnerPopularity scores everyone identically.
+	LearnerPopularity
+)
+
+// String implements fmt.Stringer.
+func (l Learner) String() string {
+	switch l {
+	case LearnerSVM:
+		return "svm-pegasos"
+	case LearnerSVMDual:
+		return "svm-dualcd"
+	case LearnerLogistic:
+		return "logistic"
+	case LearnerRandom:
+		return "random"
+	case LearnerPopularity:
+		return "popularity"
+	default:
+		return fmt.Sprintf("Learner(%d)", int(l))
+	}
+}
+
+// DefaultExperiment returns the SPA configuration at the given scale. At
+// paper scale (users in the millions) the training subsample shrinks so the
+// labelled dataset stays near one million rows — propensity accuracy
+// saturates well before that, and an unsampled 1.34M × 10-wave design
+// matrix would need several GiB.
+func DefaultExperiment(users int, seed uint64) ExperimentConfig {
+	sampleFrac := 0.5
+	if users > 200_000 {
+		sampleFrac = 100_000.0 / float64(users)
+	}
+	return ExperimentConfig{
+		Users:           users,
+		Seed:            seed,
+		WarmupTouches:   96,
+		WebLogWeeks:     8,
+		TrainCampaigns:  10,
+		TrainSampleFrac: sampleFrac,
+		Depth:           0.40,
+		Features:        FullFeatures(),
+		Learner:         LearnerSVM,
+		UpdateSUM:       true,
+	}
+}
+
+func (c ExperimentConfig) validate() error {
+	if c.Users < 100 {
+		return errors.New("campaign: need at least 100 users")
+	}
+	if c.WarmupTouches < 0 || c.WebLogWeeks < 0 {
+		return errors.New("campaign: negative phase lengths")
+	}
+	if c.TrainCampaigns < 1 {
+		return errors.New("campaign: need at least one training campaign")
+	}
+	if c.Depth <= 0 || c.Depth > 1 {
+		return errors.New("campaign: depth out of (0,1]")
+	}
+	return nil
+}
+
+// Experiment holds the assembled state after Prepare, so callers can run
+// several evaluation variants against identical profiles.
+type Experiment struct {
+	Config   ExperimentConfig
+	Pipeline *Pipeline
+	Scorer   baseline.Scorer
+	// TrainSize is the number of labelled examples used.
+	TrainSize int
+	// WebLogEvents is how many raw events were ingested.
+	WebLogEvents int
+	// EITAnswers is how many Gradual EIT answers were collected.
+	EITAnswers int
+}
+
+// Prepare builds population, profiles (weblogs + EIT warmup), and the
+// trained scorer — everything up to the evaluation campaigns.
+func Prepare(cfg ExperimentConfig) (*Experiment, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pop, err := synth.Generate(synth.DefaultConfig(cfg.Users, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	pl, err := NewPipeline(pop, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Experiment{Config: cfg, Pipeline: pl}
+	if cfg.WebLogWeeks > 0 {
+		ex.WebLogEvents, err = pl.IngestWebLogs(cfg.WebLogWeeks, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.WarmupTouches > 0 {
+		ex.EITAnswers, err = pl.WarmupEIT(cfg.WarmupTouches)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Historical waves for labels: reuse the campaign catalogue cyclically.
+	catalogue := DefaultCampaigns()
+	var hist []Campaign
+	for i := 0; i < cfg.TrainCampaigns; i++ {
+		c := catalogue[i%len(catalogue)]
+		c.ID = -(i + 1) // negative ids mark historical waves
+		hist = append(hist, c)
+	}
+	data, err := pl.TrainingData(hist, cfg.Features, cfg.TrainSampleFrac)
+	if err != nil {
+		return nil, err
+	}
+	ex.TrainSize = data.Len()
+	// Standardize: raw LifeLog counts span orders of magnitude while the
+	// emotional block lives in [-1,1]; unscaled, the margin is dominated by
+	// whichever block has the largest numbers.
+	scaler, err := svm.FitScaler(data.X)
+	if err != nil {
+		return nil, err
+	}
+	if err := scaler.TransformAll(data.X); err != nil {
+		return nil, err
+	}
+	inner, err := trainLearner(cfg.Learner, data, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ex.Scorer = &ScaledScorer{Scaler: scaler, Inner: inner}
+	return ex, nil
+}
+
+// ScaledScorer standardizes the feature vector with the training-time
+// scaler before delegating. It copies the input so callers' buffers are
+// untouched.
+type ScaledScorer struct {
+	Scaler *svm.Scaler
+	Inner  baseline.Scorer
+}
+
+// Score implements baseline.Scorer.
+func (s *ScaledScorer) Score(x []float64) (float64, error) {
+	buf := append([]float64(nil), x...)
+	if _, err := s.Scaler.Transform(buf); err != nil {
+		return 0, err
+	}
+	return s.Inner.Score(buf)
+}
+
+func trainLearner(l Learner, data *svm.Dataset, seed uint64) (baseline.Scorer, error) {
+	switch l {
+	case LearnerSVM:
+		m, err := svm.TrainCalibrated(data, svm.PegasosTrainer(svm.DefaultPegasos()), seed)
+		if err != nil {
+			return nil, err
+		}
+		return &baseline.SVMScorer{Model: m}, nil
+	case LearnerSVMDual:
+		m, err := svm.TrainCalibrated(data, svm.DualCDTrainer(svm.DefaultDualCD()), seed)
+		if err != nil {
+			return nil, err
+		}
+		return &baseline.SVMScorer{Model: m}, nil
+	case LearnerLogistic:
+		m, err := baseline.TrainLogistic(data, baseline.DefaultLogistic())
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case LearnerRandom:
+		return &baseline.Random{Seed: seed}, nil
+	case LearnerPopularity:
+		pos := 0
+		for _, y := range data.Y {
+			if y == 1 {
+				pos++
+			}
+		}
+		return &baseline.Popularity{BaseRate: float64(pos) / float64(data.Len())}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown learner %v", l)
+	}
+}
+
+// RunFig6 executes the ten evaluation campaigns and assembles Fig. 6.
+func (ex *Experiment) RunFig6() (*Fig6, error) {
+	runner := &Runner{
+		Pipeline:  ex.Pipeline,
+		Scorer:    ex.Scorer,
+		Features:  ex.Config.Features,
+		Depth:     ex.Config.Depth,
+		UpdateSUM: ex.Config.UpdateSUM,
+	}
+	return runner.RunAll(DefaultCampaigns())
+}
+
+// RunExperiment is the one-call convenience: Prepare + RunFig6.
+func RunExperiment(cfg ExperimentConfig) (*Fig6, *Experiment, error) {
+	ex, err := Prepare(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fig, err := ex.RunFig6()
+	if err != nil {
+		return nil, nil, err
+	}
+	return fig, ex, nil
+}

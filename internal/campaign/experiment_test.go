@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// tinyExperiment keeps learner-path tests fast.
+func tinyExperiment(seed uint64, l Learner, fs FeatureSet) ExperimentConfig {
+	return ExperimentConfig{
+		Users:           300,
+		Seed:            seed,
+		WarmupTouches:   6,
+		WebLogWeeks:     1,
+		TrainCampaigns:  2,
+		TrainSampleFrac: 1.0,
+		Depth:           0.40,
+		Features:        fs,
+		Learner:         l,
+		UpdateSUM:       true,
+	}
+}
+
+func TestPrepareAllLearners(t *testing.T) {
+	for _, l := range []Learner{
+		LearnerSVM, LearnerSVMDual, LearnerLogistic, LearnerRandom, LearnerPopularity,
+	} {
+		t.Run(l.String(), func(t *testing.T) {
+			ex, err := Prepare(tinyExperiment(3, l, FullFeatures()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Scorer == nil {
+				t.Fatal("nil scorer")
+			}
+			if ex.TrainSize != 600 {
+				t.Fatalf("train size %d", ex.TrainSize)
+			}
+			// One campaign run must work for every learner.
+			runner := &Runner{Pipeline: ex.Pipeline, Scorer: ex.Scorer, Features: FullFeatures(), Depth: 0.4}
+			res, err := runner.Run(DefaultCampaigns()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Contacted != 120 {
+				t.Fatalf("contacted %d", res.Contacted)
+			}
+		})
+	}
+}
+
+func TestPrepareUnknownLearner(t *testing.T) {
+	cfg := tinyExperiment(1, Learner(99), FullFeatures())
+	if _, err := Prepare(cfg); err == nil {
+		t.Fatal("unknown learner accepted")
+	}
+}
+
+func TestPrepareSkipsOptionalPhases(t *testing.T) {
+	cfg := tinyExperiment(5, LearnerLogistic, ObjectiveOnly())
+	cfg.WarmupTouches = 0
+	cfg.WebLogWeeks = 0
+	ex, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.WebLogEvents != 0 || ex.EITAnswers != 0 {
+		t.Fatalf("phases ran: %d events %d answers", ex.WebLogEvents, ex.EITAnswers)
+	}
+}
+
+func TestScaledScorerCopiesInput(t *testing.T) {
+	ex, err := Prepare(tinyExperiment(7, LearnerLogistic, ObjectiveOnly()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ex.Pipeline.Features(0, ObjectiveOnly(), DefaultCampaigns()[0])
+	orig := append([]float64(nil), x...)
+	if _, err := ex.Scorer.Score(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("scorer mutated caller's feature vector")
+		}
+	}
+}
+
+func TestFeatureSetAffectsDimension(t *testing.T) {
+	pl := smallPipeline(t, 100, 9)
+	c := DefaultCampaigns()[0]
+	dims := map[string]int{}
+	for _, fs := range []FeatureSet{
+		ObjectiveOnly(),
+		{Subjective: true},
+		{Emotional: true},
+		FullFeatures(),
+	} {
+		dims[fs.String()] = len(pl.Features(0, fs, c))
+	}
+	if dims["OSE"] != dims["O"]+dims["S"]+dims["E"] {
+		t.Fatalf("feature blocks not additive: %v", dims)
+	}
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/synth"
+)
+
+func TestAttributeColumnsLayout(t *testing.T) {
+	names := AttributeColumns()
+	want := synth.NumObjective + lifelog.DenseLen + 2*emotion.NumAttributes
+	if len(names) != want {
+		t.Fatalf("%d columns, want %d", len(names), want)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate column %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAttributeMatrixDensity(t *testing.T) {
+	pl := smallPipeline(t, 300, 21)
+	// Before any EIT, emotional columns must be fully null; objective full.
+	m, err := pl.AttributeMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 300 {
+		t.Fatalf("rows %d", m.Rows())
+	}
+	age, _ := m.Column("obj_age")
+	if age.Density() != 1 {
+		t.Fatalf("objective density %v", age.Density())
+	}
+	emo, _ := m.Column("emo_enthusiastic")
+	if emo.Density() != 0 {
+		t.Fatalf("pre-EIT emotional density %v", emo.Density())
+	}
+
+	// After warmup, emotional coverage rises but stays below 1 (users who
+	// never answer remain null — the sparsity problem).
+	if _, err := pl.WarmupEIT(10); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pl.AttributeMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emo2, _ := m2.Column("emo_enthusiastic")
+	if emo2.Density() <= 0.3 {
+		t.Fatalf("post-EIT emotional density %v", emo2.Density())
+	}
+	conf, _ := m2.Column("emo_conf_enthusiastic")
+	if conf.Density() != emo2.Density() {
+		t.Fatal("confidence density differs from activation density")
+	}
+}
+
+func TestAttributeInventory(t *testing.T) {
+	pl := smallPipeline(t, 200, 22)
+	pl.WarmupEIT(5)
+	inv, err := pl.AttributeInventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != len(AttributeColumns()) {
+		t.Fatalf("inventory size %d", len(inv))
+	}
+	kinds := map[string]int{}
+	for _, r := range inv {
+		if r.Density < 0 || r.Density > 1 {
+			t.Fatalf("density %v for %s", r.Density, r.Name)
+		}
+		kinds[r.Kind]++
+	}
+	if kinds["objective"] != synth.NumObjective {
+		t.Fatalf("objective kinds %d", kinds["objective"])
+	}
+	if kinds["subjective"] != lifelog.DenseLen {
+		t.Fatalf("subjective kinds %d", kinds["subjective"])
+	}
+	if kinds["emotional"] != 2*emotion.NumAttributes {
+		t.Fatalf("emotional kinds %d", kinds["emotional"])
+	}
+}
+
+func BenchmarkAttributeMatrix(b *testing.B) {
+	pop, err := synth.Generate(synth.DefaultConfig(2000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := NewPipeline(pop, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl.WarmupEIT(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.AttributeMatrix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

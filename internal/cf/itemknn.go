@@ -1,0 +1,141 @@
+package cf
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Item-based kNN: the complementary neighborhood model (Sarwar et al. 2001,
+// the dominant production CF of the paper's era). Item–item cosine
+// similarities are precomputed once over the frozen matrix; per-user
+// recommendation then scores candidates from the similarity lists of the
+// user's own actions, which is much cheaper per query than user-kNN when
+// users outnumber actions — exactly the deployment's regime (3.1 M users,
+// 984 actions).
+type ItemKNN struct {
+	m *Interactions
+	k int
+	// sims[a] holds the top-k similar actions of a, descending.
+	sims [][]itemSim
+}
+
+type itemSim struct {
+	action uint32
+	sim    float64
+}
+
+// NewItemKNN precomputes the item–item model with neighborhood size k.
+func NewItemKNN(m *Interactions, k int) (*ItemKNN, error) {
+	if !m.frozen {
+		return nil, ErrNotFrozen
+	}
+	if k < 1 {
+		return nil, errors.New("cf: k must be >= 1")
+	}
+	ik := &ItemKNN{m: m, k: k, sims: make([][]itemSim, m.nActions)}
+
+	// Column norms in one pass over the row-major storage.
+	norms := make([]float64, m.nActions)
+	for ui := range m.userIDs {
+		start, end := m.rowPtr[ui], m.rowPtr[ui+1]
+		for i := start; i < end; i++ {
+			w := m.val[i]
+			norms[m.colIdx[i]] += w * w
+		}
+	}
+	for a := range norms {
+		norms[a] = math.Sqrt(norms[a])
+	}
+	// Sparse dot products: accumulate co-occurrences by walking user rows.
+	dots := make(map[uint64]float64) // key = a<<32|b with a<b
+	for ui := range m.userIDs {
+		start, end := m.rowPtr[ui], m.rowPtr[ui+1]
+		for i := start; i < end; i++ {
+			for j := i + 1; j < end; j++ {
+				a, b := m.colIdx[i], m.colIdx[j]
+				dots[uint64(a)<<32|uint64(b)] += m.val[i] * m.val[j]
+			}
+		}
+	}
+	neighbors := make([][]itemSim, m.nActions)
+	for key, dot := range dots {
+		a := uint32(key >> 32)
+		b := uint32(key)
+		if norms[a] == 0 || norms[b] == 0 {
+			continue
+		}
+		s := dot / (norms[a] * norms[b])
+		neighbors[a] = append(neighbors[a], itemSim{b, s})
+		neighbors[b] = append(neighbors[b], itemSim{a, s})
+	}
+	for a := range neighbors {
+		ns := neighbors[a]
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].sim != ns[j].sim {
+				return ns[i].sim > ns[j].sim
+			}
+			return ns[i].action < ns[j].action
+		})
+		if len(ns) > k {
+			ns = ns[:k]
+		}
+		ik.sims[a] = ns
+	}
+	return ik, nil
+}
+
+// Similar returns the precomputed top similar actions of a.
+func (ik *ItemKNN) Similar(action uint32) []Recommendation {
+	if int(action) >= len(ik.sims) {
+		return nil
+	}
+	out := make([]Recommendation, len(ik.sims[action]))
+	for i, s := range ik.sims[action] {
+		out[i] = Recommendation{Action: s.action, Score: s.sim}
+	}
+	return out
+}
+
+// RecommendTopN scores unseen actions by similarity-weighted aggregation
+// over the user's history; cold-start users fall back to popularity.
+func (ik *ItemKNN) RecommendTopN(user uint64, n int) ([]Recommendation, error) {
+	if n < 1 {
+		return nil, errors.New("cf: n must be >= 1")
+	}
+	actions, weights, ok := ik.m.Row(user)
+	if !ok {
+		var out []Recommendation
+		for _, a := range ik.m.TopPopular(n) {
+			out = append(out, Recommendation{Action: a, Score: ik.m.Popularity(a)})
+		}
+		return out, nil
+	}
+	seen := map[uint32]bool{}
+	for _, a := range actions {
+		seen[a] = true
+	}
+	scores := map[uint32]float64{}
+	for i, a := range actions {
+		for _, nb := range ik.sims[a] {
+			if seen[nb.action] {
+				continue
+			}
+			scores[nb.action] += nb.sim * weights[i]
+		}
+	}
+	out := make([]Recommendation, 0, len(scores))
+	for a, s := range scores {
+		out = append(out, Recommendation{Action: a, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Action < out[j].Action
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

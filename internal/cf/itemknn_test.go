@@ -1,0 +1,177 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestItemKNNSimilar(t *testing.T) {
+	m := NewInteractions(50)
+	// Actions 1 and 2 co-occur for three users; action 3 is independent.
+	for u := uint64(1); u <= 3; u++ {
+		m.Add(u, 1, 1)
+		m.Add(u, 2, 1)
+	}
+	m.Add(4, 3, 1)
+	m.Freeze()
+	ik, err := NewItemKNN(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := ik.Similar(1)
+	if len(sims) != 1 || sims[0].Action != 2 {
+		t.Fatalf("similar(1) = %v", sims)
+	}
+	if math.Abs(sims[0].Score-1) > 1e-9 {
+		t.Fatalf("perfect co-occurrence similarity %v", sims[0].Score)
+	}
+	if got := ik.Similar(3); len(got) != 0 {
+		t.Fatalf("independent action has neighbors %v", got)
+	}
+	if ik.Similar(999) != nil {
+		t.Fatal("out-of-range action")
+	}
+}
+
+func TestItemKNNRecommend(t *testing.T) {
+	m := NewInteractions(50)
+	// Users 1..3: {1,2}; user 4: {1} only → should be recommended 2.
+	for u := uint64(1); u <= 3; u++ {
+		m.Add(u, 1, 1)
+		m.Add(u, 2, 1)
+	}
+	m.Add(4, 1, 1)
+	m.Freeze()
+	ik, _ := NewItemKNN(m, 10)
+	recs, err := ik.RecommendTopN(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Action != 2 {
+		t.Fatalf("recs %v, want action 2", recs)
+	}
+	// Must not recommend what user 4 already did.
+	for _, r := range recs {
+		if r.Action == 1 {
+			t.Fatal("recommended seen action")
+		}
+	}
+}
+
+func TestItemKNNColdStart(t *testing.T) {
+	m := buildMatrix(t)
+	ik, _ := NewItemKNN(m, 5)
+	recs, err := ik.RecommendTopN(999, 2)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("cold start: %v %v", recs, err)
+	}
+	if recs[0].Action != 11 { // popularity fallback, same as user-kNN
+		t.Fatalf("cold-start top %v", recs[0])
+	}
+}
+
+func TestItemKNNValidation(t *testing.T) {
+	m := NewInteractions(5)
+	m.Add(1, 1, 1)
+	if _, err := NewItemKNN(m, 3); err != ErrNotFrozen {
+		t.Fatalf("unfrozen accepted: %v", err)
+	}
+	m.Freeze()
+	if _, err := NewItemKNN(m, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	ik, _ := NewItemKNN(m, 3)
+	if _, err := ik.RecommendTopN(1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestItemKNNAgreesWithUserKNNOnBlocks(t *testing.T) {
+	// Block-structured data: both neighborhood models must keep users
+	// inside their block.
+	r := rng.New(9)
+	m := NewInteractions(40)
+	for u := uint64(1); u <= 30; u++ {
+		base := 0
+		if u > 15 {
+			base = 20
+		}
+		for i := 0; i < 6; i++ {
+			m.Add(u, uint32(base+r.Intn(20)), 1)
+		}
+	}
+	m.Freeze()
+	ik, _ := NewItemKNN(m, 10)
+	uk, _ := NewKNN(m, 10)
+	inBlock := func(recs []Recommendation, lo, hi uint32) int {
+		n := 0
+		for _, rec := range recs {
+			if rec.Action >= lo && rec.Action < hi {
+				n++
+			}
+		}
+		return n
+	}
+	for _, u := range []uint64{1, 5, 20, 28} {
+		lo, hi := uint32(0), uint32(20)
+		if u > 15 {
+			lo, hi = 20, 40
+		}
+		ri, err := ik.RecommendTopN(u, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := uk.RecommendTopN(u, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inBlock(ri, lo, hi) < 4 {
+			t.Fatalf("item-kNN left block for user %d: %v", u, ri)
+		}
+		if inBlock(ru, lo, hi) < 4 {
+			t.Fatalf("user-kNN left block for user %d: %v", u, ru)
+		}
+	}
+}
+
+func BenchmarkItemKNNBuild(b *testing.B) {
+	r := rng.New(1)
+	m := NewInteractions(984)
+	z := rng.NewZipf(984, 1.05)
+	for u := uint64(1); u <= 1000; u++ {
+		for i := 0; i < 25; i++ {
+			m.Add(u, uint32(z.Draw(r)), 1)
+		}
+	}
+	m.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewItemKNN(m, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkItemKNNRecommend(b *testing.B) {
+	r := rng.New(1)
+	m := NewInteractions(984)
+	z := rng.NewZipf(984, 1.05)
+	for u := uint64(1); u <= 1000; u++ {
+		for i := 0; i < 25; i++ {
+			m.Add(u, uint32(z.Draw(r)), 1)
+		}
+	}
+	m.Freeze()
+	ik, err := NewItemKNN(m, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ik.RecommendTopN(uint64(i%1000+1), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

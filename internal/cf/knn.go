@@ -1,0 +1,156 @@
+package cf
+
+import (
+	"errors"
+	"sort"
+)
+
+// User-kNN collaborative filtering: predict a user's affinity for an action
+// as the similarity-weighted sum of their neighbors' weights on it. This is
+// the 2006-era non-emotional recommender the reproduction uses as the CF
+// baseline (DESIGN.md A2).
+
+// KNN is a frozen-matrix neighborhood model.
+type KNN struct {
+	m *Interactions
+	k int
+}
+
+// NewKNN builds a model over a frozen matrix with neighborhood size k.
+func NewKNN(m *Interactions, k int) (*KNN, error) {
+	if !m.frozen {
+		return nil, ErrNotFrozen
+	}
+	if k < 1 {
+		return nil, errors.New("cf: k must be >= 1")
+	}
+	return &KNN{m: m, k: k}, nil
+}
+
+// Neighbor is one similar user.
+type Neighbor struct {
+	UserID uint64
+	Sim    float64
+}
+
+// Neighbors returns the k most cosine-similar users to user (excluding the
+// user), descending similarity; ties break by ascending user id. Brute
+// force over users — fine at reproduction scale; the production path in
+// the paper used SVM ranking precisely because kNN does not scale.
+func (knn *KNN) Neighbors(user uint64) ([]Neighbor, error) {
+	ia, ok := knn.m.userIdx[user]
+	if !ok {
+		return nil, nil
+	}
+	var out []Neighbor
+	for ib, id := range knn.m.userIDs {
+		if ib == ia {
+			continue
+		}
+		d := knn.m.rowDot(ia, ib)
+		if d == 0 {
+			continue
+		}
+		na, nb := knn.m.rowNorm[ia], knn.m.rowNorm[ib]
+		if na == 0 || nb == 0 {
+			continue
+		}
+		out = append(out, Neighbor{UserID: id, Sim: d / (na * nb)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	if len(out) > knn.k {
+		out = out[:knn.k]
+	}
+	return out, nil
+}
+
+// ScoreAction predicts user affinity for one action.
+func (knn *KNN) ScoreAction(user uint64, action uint32) (float64, error) {
+	neigh, err := knn.Neighbors(user)
+	if err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for _, n := range neigh {
+		ib := knn.m.userIdx[n.UserID]
+		start, end := knn.m.rowPtr[ib], knn.m.rowPtr[ib+1]
+		idx := sort.Search(end-start, func(i int) bool { return knn.m.colIdx[start+i] >= action })
+		var w float64
+		if idx < end-start && knn.m.colIdx[start+idx] == action {
+			w = knn.m.val[start+idx]
+		}
+		num += n.Sim * w
+		den += n.Sim
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// Recommendation is one ranked action.
+type Recommendation struct {
+	Action uint32
+	Score  float64
+}
+
+// RecommendTopN returns the n best unseen actions for the user. Users
+// without history fall back to global popularity.
+func (knn *KNN) RecommendTopN(user uint64, n int) ([]Recommendation, error) {
+	if n < 1 {
+		return nil, errors.New("cf: n must be >= 1")
+	}
+	seen := map[uint32]bool{}
+	if actions, _, ok := knn.m.Row(user); ok {
+		for _, a := range actions {
+			seen[a] = true
+		}
+	} else {
+		// Cold start: popularity fallback.
+		var out []Recommendation
+		for _, a := range knn.m.TopPopular(n) {
+			out = append(out, Recommendation{Action: a, Score: knn.m.Popularity(a)})
+		}
+		return out, nil
+	}
+	neigh, err := knn.Neighbors(user)
+	if err != nil {
+		return nil, err
+	}
+	scores := map[uint32]float64{}
+	var simSum float64
+	for _, nb := range neigh {
+		simSum += nb.Sim
+		ib := knn.m.userIdx[nb.UserID]
+		start, end := knn.m.rowPtr[ib], knn.m.rowPtr[ib+1]
+		for i := start; i < end; i++ {
+			a := knn.m.colIdx[i]
+			if seen[a] {
+				continue
+			}
+			scores[a] += nb.Sim * knn.m.val[i]
+		}
+	}
+	out := make([]Recommendation, 0, len(scores))
+	for a, s := range scores {
+		if simSum > 0 {
+			s /= simSum
+		}
+		out = append(out, Recommendation{Action: a, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Action < out[j].Action
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

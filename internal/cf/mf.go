@@ -1,0 +1,160 @@
+package cf
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Matrix factorization with SGD: the "modern" extension point the paper's
+// future-work section gestures at. Factorizes the implicit-feedback matrix
+// into user and action embeddings minimizing squared error with L2
+// regularization on observed cells plus sampled negatives.
+
+// MFParams configure training.
+type MFParams struct {
+	Factors   int
+	Epochs    int
+	LearnRate float64
+	Reg       float64
+	// NegPerPos is how many random negative cells are sampled per observed
+	// cell each epoch (implicit feedback needs negatives).
+	NegPerPos int
+	Seed      uint64
+}
+
+// DefaultMF returns reproduction-scale defaults.
+func DefaultMF() MFParams {
+	return MFParams{Factors: 16, Epochs: 20, LearnRate: 0.05, Reg: 0.01, NegPerPos: 2, Seed: 1}
+}
+
+// MF is a trained factorization model.
+type MF struct {
+	m        *Interactions
+	factors  int
+	userVecs map[uint64][]float64
+	itemVecs [][]float64
+}
+
+// TrainMF factorizes a frozen matrix.
+func TrainMF(m *Interactions, p MFParams) (*MF, error) {
+	if !m.frozen {
+		return nil, ErrNotFrozen
+	}
+	if p.Factors < 1 || p.Epochs < 1 {
+		return nil, errors.New("cf: bad MF params")
+	}
+	if p.LearnRate <= 0 || p.Reg < 0 {
+		return nil, errors.New("cf: bad MF rates")
+	}
+	r := rng.New(p.Seed)
+	scale := 1 / math.Sqrt(float64(p.Factors))
+	mf := &MF{
+		m:        m,
+		factors:  p.Factors,
+		userVecs: make(map[uint64][]float64, m.Users()),
+		itemVecs: make([][]float64, m.Actions()),
+	}
+	for _, id := range m.userIDs {
+		v := make([]float64, p.Factors)
+		for f := range v {
+			v[f] = r.NormFloat64() * scale
+		}
+		mf.userVecs[id] = v
+	}
+	for a := range mf.itemVecs {
+		v := make([]float64, p.Factors)
+		for f := range v {
+			v[f] = r.NormFloat64() * scale
+		}
+		mf.itemVecs[a] = v
+	}
+	// Binarized implicit target: observed = 1, sampled negative = 0.
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		for ui, id := range m.userIDs {
+			uv := mf.userVecs[id]
+			start, end := m.rowPtr[ui], m.rowPtr[ui+1]
+			for i := start; i < end; i++ {
+				mf.sgdStep(uv, mf.itemVecs[m.colIdx[i]], 1, p)
+				for neg := 0; neg < p.NegPerPos; neg++ {
+					a := uint32(r.Intn(m.Actions()))
+					// Cheap membership check via binary search in the row.
+					idx := sort.Search(end-start, func(k int) bool { return m.colIdx[start+k] >= a })
+					if idx < end-start && m.colIdx[start+idx] == a {
+						continue
+					}
+					mf.sgdStep(uv, mf.itemVecs[a], 0, p)
+				}
+			}
+		}
+	}
+	return mf, nil
+}
+
+func (mf *MF) sgdStep(u, v []float64, target float64, p MFParams) {
+	var pred float64
+	for f := range u {
+		pred += u[f] * v[f]
+	}
+	err := target - pred
+	for f := range u {
+		du := p.LearnRate * (err*v[f] - p.Reg*u[f])
+		dv := p.LearnRate * (err*u[f] - p.Reg*v[f])
+		u[f] += du
+		v[f] += dv
+	}
+}
+
+// Score predicts the affinity of user for action.
+func (mf *MF) Score(user uint64, action uint32) float64 {
+	uv, ok := mf.userVecs[user]
+	if !ok || int(action) >= len(mf.itemVecs) {
+		return 0
+	}
+	var s float64
+	for f := range uv {
+		s += uv[f] * mf.itemVecs[action][f]
+	}
+	return s
+}
+
+// RecommendTopN returns the n highest-scoring unseen actions.
+func (mf *MF) RecommendTopN(user uint64, n int) ([]Recommendation, error) {
+	if n < 1 {
+		return nil, errors.New("cf: n must be >= 1")
+	}
+	uv, ok := mf.userVecs[user]
+	if !ok {
+		var out []Recommendation
+		for _, a := range mf.m.TopPopular(n) {
+			out = append(out, Recommendation{Action: a, Score: mf.m.Popularity(a)})
+		}
+		return out, nil
+	}
+	_ = uv
+	seen := map[uint32]bool{}
+	if actions, _, ok := mf.m.Row(user); ok {
+		for _, a := range actions {
+			seen[a] = true
+		}
+	}
+	out := make([]Recommendation, 0, mf.m.Actions())
+	for a := 0; a < mf.m.Actions(); a++ {
+		if seen[uint32(a)] {
+			continue
+		}
+		out = append(out, Recommendation{Action: uint32(a), Score: mf.Score(user, uint32(a))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Action < out[j].Action
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

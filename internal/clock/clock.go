@@ -1,0 +1,77 @@
+// Package clock provides the simulated time source used by campaign
+// timelines, LifeLog event streams and reward/punish decay. The paper's
+// deployment spans months of push and newsletter campaigns; the reproduction
+// compresses that timeline into a deterministic virtual clock so experiments
+// are repeatable and independent of wall time.
+package clock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the rest of the system depends on.
+// Production code would use Wall; every experiment uses Simulated.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// Wall is the real-time clock.
+type Wall struct{}
+
+// Now implements Clock using the operating system clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Simulated is a manually advanced clock. It is safe for concurrent use:
+// agents read it while the campaign driver advances it.
+type Simulated struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// Epoch is the default start of simulated timelines: the paper's data cutoff
+// (profiles of 3,162,069 users "till 14th March of 2006").
+var Epoch = time.Date(2006, time.March, 14, 0, 0, 0, 0, time.UTC)
+
+// NewSimulated returns a simulated clock starting at the given instant. A
+// zero time starts at Epoch.
+func NewSimulated(start time.Time) *Simulated {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Simulated{now: start}
+}
+
+// Now returns the current simulated instant.
+func (s *Simulated) Now() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d. Negative durations are rejected:
+// simulated time is monotone, and the decay math in internal/sum depends on
+// that.
+func (s *Simulated) Advance(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("clock: cannot advance by negative duration %v", d)
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+	return nil
+}
+
+// Set jumps to an absolute instant, which must not be before the current
+// simulated time.
+func (s *Simulated) Set(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.Before(s.now) {
+		return fmt.Errorf("clock: cannot move backwards from %v to %v", s.now, t)
+	}
+	s.now = t
+	return nil
+}

@@ -1,0 +1,82 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimulatedStartsAtEpochByDefault(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("default start %v, want %v", c.Now(), Epoch)
+	}
+}
+
+func TestSimulatedAdvance(t *testing.T) {
+	c := NewSimulated(Epoch)
+	if err := c.Advance(48 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	want := Epoch.Add(48 * time.Hour)
+	if !c.Now().Equal(want) {
+		t.Fatalf("after advance: %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSimulatedRejectsNegativeAdvance(t *testing.T) {
+	c := NewSimulated(Epoch)
+	if err := c.Advance(-time.Second); err == nil {
+		t.Fatal("negative advance accepted")
+	}
+	if !c.Now().Equal(Epoch) {
+		t.Fatal("failed advance moved the clock")
+	}
+}
+
+func TestSimulatedSetMonotone(t *testing.T) {
+	c := NewSimulated(Epoch)
+	later := Epoch.Add(time.Hour)
+	if err := c.Set(later); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(Epoch); err == nil {
+		t.Fatal("backwards Set accepted")
+	}
+	if !c.Now().Equal(later) {
+		t.Fatal("failed Set moved the clock")
+	}
+}
+
+func TestSimulatedConcurrentAccess(t *testing.T) {
+	c := NewSimulated(Epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = c.Now()
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		if err := c.Advance(time.Millisecond); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	want := Epoch.Add(1000 * time.Millisecond)
+	if !c.Now().Equal(want) {
+		t.Fatalf("clock drifted under concurrency: %v, want %v", c.Now(), want)
+	}
+}
+
+func TestWallClockMovesForward(t *testing.T) {
+	w := Wall{}
+	a := w.Now()
+	b := w.Now()
+	if b.Before(a) {
+		t.Fatal("wall clock went backwards")
+	}
+}

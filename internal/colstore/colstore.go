@@ -1,0 +1,312 @@
+// Package colstore implements the columnar attribute matrix that backs SPA's
+// Smart Component scan path. Campaign scoring evaluates a linear model over a
+// handful of the 75 attributes for every one of millions of users; a
+// row-oriented profile store would drag the other 70 columns through the
+// cache on every scan. The column store keeps one float32 slice per
+// attribute plus a validity bitmap (attributes discovered gradually by the
+// EIT are null until their first activation — the paper's sparsity problem).
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ErrNoColumn is returned when a named column does not exist.
+var ErrNoColumn = errors.New("colstore: no such column")
+
+// Matrix is a resizable set of named float32 columns over a fixed row
+// universe (row = user ordinal). Safe for concurrent reads; writes serialize
+// internally.
+type Matrix struct {
+	mu    sync.RWMutex
+	rows  int
+	names []string
+	byIdx []*Column
+	byKey map[string]int
+}
+
+// Column is a single attribute: values plus a null bitmap.
+type Column struct {
+	Name   string
+	values []float32
+	valid  []uint64 // bitmap, 1 = value present
+	nSet   int
+}
+
+// New creates a matrix with the given fixed row count.
+func New(rows int) *Matrix {
+	if rows < 0 {
+		panic("colstore: negative row count")
+	}
+	return &Matrix{rows: rows, byKey: make(map[string]int)}
+}
+
+// Rows returns the row universe size.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byIdx)
+}
+
+// ColumnNames returns column names in creation order.
+func (m *Matrix) ColumnNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.names...)
+}
+
+// AddColumn creates an all-null column. Adding an existing name is an error:
+// the attribute registry owns name uniqueness and a silent overwrite would
+// hide a registry bug.
+func (m *Matrix) AddColumn(name string) (*Column, error) {
+	if name == "" {
+		return nil, errors.New("colstore: empty column name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byKey[name]; ok {
+		return nil, fmt.Errorf("colstore: column %q already exists", name)
+	}
+	c := &Column{
+		Name:   name,
+		values: make([]float32, m.rows),
+		valid:  make([]uint64, (m.rows+63)/64),
+	}
+	m.byKey[name] = len(m.byIdx)
+	m.byIdx = append(m.byIdx, c)
+	m.names = append(m.names, name)
+	return c, nil
+}
+
+// Column returns the named column.
+func (m *Matrix) Column(name string) (*Column, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i, ok := m.byKey[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoColumn, name)
+	}
+	return m.byIdx[i], nil
+}
+
+// MustColumn is Column for callers that have already validated the name.
+func (m *Matrix) MustColumn(name string) *Column {
+	c, err := m.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Set stores a value at row.
+func (c *Column) Set(row int, v float32) {
+	if row < 0 || row >= len(c.values) {
+		panic(fmt.Sprintf("colstore: row %d out of range [0,%d)", row, len(c.values)))
+	}
+	word, bit := row/64, uint(row%64)
+	if c.valid[word]&(1<<bit) == 0 {
+		c.valid[word] |= 1 << bit
+		c.nSet++
+	}
+	c.values[row] = v
+}
+
+// Clear nulls the value at row.
+func (c *Column) Clear(row int) {
+	word, bit := row/64, uint(row%64)
+	if c.valid[word]&(1<<bit) != 0 {
+		c.valid[word] &^= 1 << bit
+		c.nSet--
+		c.values[row] = 0
+	}
+}
+
+// Get returns the value at row and whether it is set.
+func (c *Column) Get(row int) (float32, bool) {
+	if row < 0 || row >= len(c.values) {
+		return 0, false
+	}
+	word, bit := row/64, uint(row%64)
+	if c.valid[word]&(1<<bit) == 0 {
+		return 0, false
+	}
+	return c.values[row], true
+}
+
+// GetOr returns the value at row or def when null.
+func (c *Column) GetOr(row int, def float32) float32 {
+	if v, ok := c.Get(row); ok {
+		return v
+	}
+	return def
+}
+
+// Len returns the row count.
+func (c *Column) Len() int { return len(c.values) }
+
+// CountSet returns how many rows have values.
+func (c *Column) CountSet() int { return c.nSet }
+
+// Density is the fraction of non-null rows — the paper's sparsity measure.
+func (c *Column) Density() float64 {
+	if len(c.values) == 0 {
+		return 0
+	}
+	return float64(c.nSet) / float64(len(c.values))
+}
+
+// Stats summarizes the non-null values of a column.
+type Stats struct {
+	Count          int
+	Mean, Std      float64
+	Min, Max       float64
+	NullCount      int
+	DensityPercent float64
+}
+
+// Stats computes summary statistics over non-null rows in one pass.
+func (c *Column) Stats() Stats {
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumsq float64
+	for i, v := range c.values {
+		word, bit := i/64, uint(i%64)
+		if c.valid[word]&(1<<bit) == 0 {
+			continue
+		}
+		f := float64(v)
+		s.Count++
+		sum += f
+		sumsq += f * f
+		if f < s.Min {
+			s.Min = f
+		}
+		if f > s.Max {
+			s.Max = f
+		}
+	}
+	s.NullCount = len(c.values) - s.Count
+	if s.Count > 0 {
+		s.Mean = sum / float64(s.Count)
+		variance := sumsq/float64(s.Count) - s.Mean*s.Mean
+		if variance < 0 {
+			variance = 0
+		}
+		s.Std = math.Sqrt(variance)
+		s.DensityPercent = 100 * float64(s.Count) / float64(len(c.values))
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// ForEachSet calls fn for every non-null row in ascending order, skipping
+// whole 64-row words that are entirely null.
+func (c *Column) ForEachSet(fn func(row int, v float32)) {
+	for w, word := range c.valid {
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		for word != 0 {
+			bit := trailingZeros64(word)
+			row := base + bit
+			fn(row, c.values[row])
+			word &= word - 1
+		}
+	}
+}
+
+func trailingZeros64(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// GatherRow copies the values of the named columns at row into dst (which is
+// allocated when nil), using def for nulls. This is the row-materialization
+// step feeding a model's feature vector.
+func (m *Matrix) GatherRow(row int, cols []string, def float32, dst []float32) ([]float32, error) {
+	if dst == nil {
+		dst = make([]float32, len(cols))
+	}
+	if len(dst) != len(cols) {
+		return nil, errors.New("colstore: dst length mismatch")
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i, name := range cols {
+		idx, ok := m.byKey[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoColumn, name)
+		}
+		dst[i] = m.byIdx[idx].GetOr(row, def)
+	}
+	return dst, nil
+}
+
+// TopRows returns the k row ordinals with the largest values in the named
+// column (nulls excluded), descending. Ties break toward lower row numbers
+// so the result is deterministic.
+func (m *Matrix) TopRows(name string, k int) ([]int, error) {
+	c, err := m.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	type rv struct {
+		row int
+		v   float32
+	}
+	all := make([]rv, 0, c.nSet)
+	c.ForEachSet(func(row int, v float32) { all = append(all, rv{row, v}) })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].row < all[j].row
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].row
+	}
+	return out, nil
+}
+
+// Normalize rescales the column's non-null values to zero mean, unit
+// variance in place and returns the (mean, std) used, enabling the same
+// transform on future values. Constant columns get std 1.
+func (c *Column) Normalize() (mean, std float64) {
+	s := c.Stats()
+	mean, std = s.Mean, s.Std
+	if std == 0 {
+		std = 1
+	}
+	for w, word := range c.valid {
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		for word != 0 {
+			bit := trailingZeros64(word)
+			row := base + bit
+			c.values[row] = float32((float64(c.values[row]) - mean) / std)
+			word &= word - 1
+		}
+	}
+	return mean, std
+}

@@ -1,0 +1,289 @@
+package colstore
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndGetColumn(t *testing.T) {
+	m := New(10)
+	c, err := m.AddColumn("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(3, 42)
+	got, err := m.Column("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := got.Get(3)
+	if !ok || v != 42 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	m := New(5)
+	if _, err := m.AddColumn("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddColumn("x"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	m := New(5)
+	if _, err := m.AddColumn(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestMissingColumn(t *testing.T) {
+	m := New(5)
+	if _, err := m.Column("ghost"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("want ErrNoColumn, got %v", err)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	m := New(8)
+	c, _ := m.AddColumn("valence")
+	if _, ok := c.Get(0); ok {
+		t.Fatal("fresh column has non-null value")
+	}
+	c.Set(0, 1.5)
+	if v, ok := c.Get(0); !ok || v != 1.5 {
+		t.Fatalf("set value lost: %v %v", v, ok)
+	}
+	c.Clear(0)
+	if _, ok := c.Get(0); ok {
+		t.Fatal("cleared value still present")
+	}
+	if c.GetOr(0, -9) != -9 {
+		t.Fatal("GetOr default not applied")
+	}
+}
+
+func TestCountSetAndDensity(t *testing.T) {
+	m := New(100)
+	c, _ := m.AddColumn("a")
+	for i := 0; i < 25; i++ {
+		c.Set(i*4, float32(i))
+	}
+	if c.CountSet() != 25 {
+		t.Fatalf("CountSet=%d", c.CountSet())
+	}
+	if math.Abs(c.Density()-0.25) > 1e-9 {
+		t.Fatalf("Density=%v", c.Density())
+	}
+	// Re-setting the same row must not double count.
+	c.Set(0, 7)
+	if c.CountSet() != 25 {
+		t.Fatalf("CountSet after overwrite=%d", c.CountSet())
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(6)
+	c, _ := m.AddColumn("s")
+	for i, v := range []float32{2, 4, 6} {
+		c.Set(i, v)
+	}
+	s := c.Stats()
+	if s.Count != 3 || s.NullCount != 3 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("moments: %+v", s)
+	}
+	wantStd := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.Std-wantStd) > 1e-9 {
+		t.Fatalf("std %v want %v", s.Std, wantStd)
+	}
+}
+
+func TestStatsEmptyColumn(t *testing.T) {
+	m := New(4)
+	c, _ := m.AddColumn("e")
+	s := c.Stats()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestForEachSetSkipsNulls(t *testing.T) {
+	m := New(200)
+	c, _ := m.AddColumn("f")
+	want := map[int]float32{1: 10, 63: 20, 64: 30, 127: 40, 199: 50}
+	for row, v := range want {
+		c.Set(row, v)
+	}
+	got := map[int]float32{}
+	prev := -1
+	c.ForEachSet(func(row int, v float32) {
+		if row <= prev {
+			t.Fatalf("rows out of order: %d after %d", row, prev)
+		}
+		prev = row
+		got[row] = v
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d rows, want %d", len(got), len(want))
+	}
+	for row, v := range want {
+		if got[row] != v {
+			t.Fatalf("row %d: got %v want %v", row, got[row], v)
+		}
+	}
+}
+
+func TestGatherRow(t *testing.T) {
+	m := New(3)
+	a, _ := m.AddColumn("a")
+	b, _ := m.AddColumn("b")
+	a.Set(1, 5)
+	b.Set(1, 7)
+	vec, err := m.GatherRow(1, []string{"b", "a"}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0] != 7 || vec[1] != 5 {
+		t.Fatalf("gathered %v", vec)
+	}
+	// Null fills default.
+	vec, err = m.GatherRow(0, []string{"a", "b"}, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0] != -1 || vec[1] != -1 {
+		t.Fatalf("defaults %v", vec)
+	}
+	if _, err := m.GatherRow(0, []string{"ghost"}, 0, nil); err == nil {
+		t.Fatal("gather with missing column succeeded")
+	}
+}
+
+func TestTopRows(t *testing.T) {
+	m := New(5)
+	c, _ := m.AddColumn("score")
+	c.Set(0, 0.1)
+	c.Set(1, 0.9)
+	c.Set(2, 0.5)
+	c.Set(4, 0.9) // tie with row 1: lower row wins
+	top, err := m.TopRows("score", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 || top[0] != 1 || top[1] != 4 || top[2] != 2 {
+		t.Fatalf("top rows %v", top)
+	}
+	// k larger than available clamps.
+	top, _ = m.TopRows("score", 99)
+	if len(top) != 4 {
+		t.Fatalf("clamped top len %d", len(top))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	m := New(4)
+	c, _ := m.AddColumn("n")
+	for i, v := range []float32{10, 20, 30, 40} {
+		c.Set(i, v)
+	}
+	mean, std := c.Normalize()
+	if mean != 25 {
+		t.Fatalf("mean %v", mean)
+	}
+	if std <= 0 {
+		t.Fatalf("std %v", std)
+	}
+	s := c.Stats()
+	if math.Abs(s.Mean) > 1e-6 || math.Abs(s.Std-1) > 1e-6 {
+		t.Fatalf("normalized stats %+v", s)
+	}
+}
+
+func TestNormalizeConstantColumn(t *testing.T) {
+	m := New(3)
+	c, _ := m.AddColumn("const")
+	for i := 0; i < 3; i++ {
+		c.Set(i, 5)
+	}
+	_, std := c.Normalize()
+	if std != 1 {
+		t.Fatalf("constant column std %v, want fallback 1", std)
+	}
+	if v, _ := c.Get(0); v != 0 {
+		t.Fatalf("constant column normalized to %v, want 0", v)
+	}
+}
+
+func TestSetPanicsOutOfRange(t *testing.T) {
+	m := New(2)
+	c, _ := m.AddColumn("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Set did not panic")
+		}
+	}()
+	c.Set(2, 1)
+}
+
+// Property: CountSet always equals the number of rows ForEachSet visits,
+// under arbitrary interleavings of Set and Clear.
+func TestPropertyCountMatchesIteration(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New(128)
+		c, _ := m.AddColumn("p")
+		for _, op := range ops {
+			row := int(op) % 128
+			if op&0x8000 != 0 {
+				c.Clear(row)
+			} else {
+				c.Set(row, float32(op))
+			}
+		}
+		visited := 0
+		c.ForEachSet(func(int, float32) { visited++ })
+		return visited == c.CountSet()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkColumnScan(b *testing.B) {
+	m := New(100000)
+	c, _ := m.AddColumn("score")
+	for i := 0; i < 100000; i += 2 {
+		c.Set(i, float32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		c.ForEachSet(func(_ int, v float32) { sum += float64(v) })
+		_ = sum
+	}
+}
+
+func BenchmarkGatherRow(b *testing.B) {
+	m := New(1000)
+	names := make([]string, 75)
+	for i := range names {
+		names[i] = "attr" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		c, _ := m.AddColumn(names[i])
+		for r := 0; r < 1000; r++ {
+			c.Set(r, float32(r+i))
+		}
+	}
+	dst := make([]float32, len(names))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.GatherRow(i%1000, names, 0, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

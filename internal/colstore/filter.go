@@ -1,0 +1,142 @@
+package colstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Predicate scans: the campaign-segmentation queries the Smart Component's
+// graphical tools run ("rankings of attributes, items and users, user
+// propensity", §4 component 2). A Filter is a conjunction of per-column
+// range predicates evaluated column-at-a-time over the validity bitmaps, so
+// a selective first predicate prunes most rows before later columns load.
+
+// Pred is one column predicate: Min <= value <= Max. Unset bounds use
+// ±infinity semantics via the Lo/Hi flags.
+type Pred struct {
+	Column string
+	// HasLo/HasHi select which bounds apply.
+	HasLo, HasHi bool
+	Lo, Hi       float32
+	// RequireSet, when no bounds are set, matches any non-null value.
+	// (Predicates always skip null rows.)
+	RequireSet bool
+}
+
+// matches reports whether v satisfies the bounds.
+func (p Pred) matches(v float32) bool {
+	if p.HasLo && v < p.Lo {
+		return false
+	}
+	if p.HasHi && v > p.Hi {
+		return false
+	}
+	return true
+}
+
+// Validate checks bound sanity.
+func (p Pred) Validate() error {
+	if p.Column == "" {
+		return errors.New("colstore: predicate without column")
+	}
+	if p.HasLo && p.HasHi && p.Lo > p.Hi {
+		return fmt.Errorf("colstore: predicate on %q has Lo %v > Hi %v", p.Column, p.Lo, p.Hi)
+	}
+	return nil
+}
+
+// Between builds a two-sided predicate.
+func Between(column string, lo, hi float32) Pred {
+	return Pred{Column: column, HasLo: true, Lo: lo, HasHi: true, Hi: hi}
+}
+
+// AtLeast builds a lower-bounded predicate.
+func AtLeast(column string, lo float32) Pred {
+	return Pred{Column: column, HasLo: true, Lo: lo}
+}
+
+// AtMost builds an upper-bounded predicate.
+func AtMost(column string, hi float32) Pred {
+	return Pred{Column: column, HasHi: true, Hi: hi}
+}
+
+// IsSet matches any non-null value in the column.
+func IsSet(column string) Pred {
+	return Pred{Column: column, RequireSet: true}
+}
+
+// Filter returns the row ordinals satisfying every predicate, ascending.
+// Rows null in any predicate column are excluded (three-valued logic
+// collapses to false, like SQL WHERE).
+func (m *Matrix) Filter(preds ...Pred) ([]int, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("colstore: no predicates")
+	}
+	cols := make([]*Column, len(preds))
+	for i, p := range preds {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		c, err := m.Column(p.Column)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	// Drive the scan from the most selective (lowest-density) column.
+	drive := 0
+	for i := 1; i < len(cols); i++ {
+		if cols[i].Density() < cols[drive].Density() {
+			drive = i
+		}
+	}
+	var out []int
+	cols[drive].ForEachSet(func(row int, v float32) {
+		if !preds[drive].matches(v) {
+			return
+		}
+		for i := range preds {
+			if i == drive {
+				continue
+			}
+			w, ok := cols[i].Get(row)
+			if !ok || !preds[i].matches(w) {
+				return
+			}
+		}
+		out = append(out, row)
+	})
+	return out, nil
+}
+
+// Count returns how many rows satisfy the predicates, without
+// materializing them.
+func (m *Matrix) Count(preds ...Pred) (int, error) {
+	rows, err := m.Filter(preds...)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// Aggregate computes Stats over the named column restricted to the rows
+// matching the predicates — the per-segment summary behind "classifications,
+// rankings of attributes".
+func (m *Matrix) Aggregate(column string, preds ...Pred) (Stats, error) {
+	target, err := m.Column(column)
+	if err != nil {
+		return Stats{}, err
+	}
+	rows, err := m.Filter(preds...)
+	if err != nil {
+		return Stats{}, err
+	}
+	sub := New(len(rows))
+	c, _ := sub.AddColumn("agg")
+	for i, row := range rows {
+		if v, ok := target.Get(row); ok {
+			c.Set(i, v)
+		}
+	}
+	return c.Stats(), nil
+}

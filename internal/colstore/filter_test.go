@@ -1,0 +1,155 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func filterFixture(t *testing.T) *Matrix {
+	t.Helper()
+	m := New(10)
+	age, _ := m.AddColumn("age")
+	score, _ := m.AddColumn("score")
+	for i := 0; i < 10; i++ {
+		age.Set(i, float32(20+i*5)) // 20,25,...,65
+	}
+	// score set only on even rows: 0.0, 0.2, ..., 0.8.
+	for i := 0; i < 10; i += 2 {
+		score.Set(i, float32(i)/10)
+	}
+	return m
+}
+
+func TestFilterSingle(t *testing.T) {
+	m := filterFixture(t)
+	rows, err := m.Filter(Between("age", 30, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ages 30,35,40,45 → rows 2..5.
+	want := []int{2, 3, 4, 5}
+	if len(rows) != len(want) {
+		t.Fatalf("rows %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows %v want %v", rows, want)
+		}
+	}
+}
+
+func TestFilterConjunctionAndNulls(t *testing.T) {
+	m := filterFixture(t)
+	// age >= 30 AND score <= 0.6: score nulls (odd rows) are excluded.
+	rows, err := m.Filter(AtLeast("age", 30), AtMost("score", 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 6}
+	if len(rows) != len(want) {
+		t.Fatalf("rows %v want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows %v want %v", rows, want)
+		}
+	}
+}
+
+func TestFilterIsSet(t *testing.T) {
+	m := filterFixture(t)
+	n, err := m.Count(IsSet("score"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("IsSet count %d", n)
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	m := filterFixture(t)
+	if _, err := m.Filter(); err == nil {
+		t.Fatal("no predicates accepted")
+	}
+	if _, err := m.Filter(AtLeast("ghost", 1)); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := m.Filter(Between("age", 50, 40)); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := m.Filter(Pred{HasLo: true, Lo: 1}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	m := filterFixture(t)
+	// Mean score among users aged <= 40 (rows 0,2,4 have scores 0,0.2,0.4).
+	st, err := m.Aggregate("score", AtMost("age", 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 3 {
+		t.Fatalf("aggregate count %d", st.Count)
+	}
+	if st.Mean < 0.19 || st.Mean > 0.21 {
+		t.Fatalf("aggregate mean %v", st.Mean)
+	}
+}
+
+// Property: Filter with an unbounded IsSet predicate equals ForEachSet row
+// enumeration.
+func TestFilterMatchesForEachSetProperty(t *testing.T) {
+	f := func(mask []bool) bool {
+		if len(mask) == 0 {
+			return true
+		}
+		if len(mask) > 200 {
+			mask = mask[:200]
+		}
+		m := New(len(mask))
+		c, _ := m.AddColumn("x")
+		var want []int
+		for i, set := range mask {
+			if set {
+				c.Set(i, float32(i))
+				want = append(want, i)
+			}
+		}
+		got, err := m.Filter(IsSet("x"))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	m := New(100000)
+	a, _ := m.AddColumn("a")
+	c, _ := m.AddColumn("b")
+	for i := 0; i < 100000; i++ {
+		a.Set(i, float32(i%100))
+		if i%3 == 0 {
+			c.Set(i, float32(i%50))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Filter(Between("a", 20, 60), AtLeast("b", 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+// Package core is the Smart Prediction Assistant (SPA) facade: the public
+// API a downstream application uses. It wires the four deployed components
+// of the paper's Fig. 3 around a persistent profile store:
+//
+//  1. LifeLogs Pre-processor Agent — IngestEvents runs raw events through an
+//     elastic agent pool into session/feature extraction,
+//  2. Smart Component — TrainPropensity / Propensity wrap the calibrated
+//     linear SVM,
+//  3. Attributes Manager Agent — Sensibilities / DominantAttributes expose
+//     automatic relevance weights,
+//  4. Messaging Agent — AssignMessage generates the individualized
+//     emotional argument.
+//
+// The fifth component (Intelligent User Interface / Human Values Scale) is
+// out of scope, exactly as in the paper's deployment (§4).
+//
+// Profiles are write-through: every mutation is persisted to the embedded
+// store so a restarted process resumes with the same Smart User Models.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/attributes"
+	"repro/internal/baseline"
+	"repro/internal/cf"
+	"repro/internal/clock"
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/messaging"
+	"repro/internal/store"
+	"repro/internal/sum"
+	"repro/internal/svm"
+	"repro/internal/values"
+)
+
+// Options configure a SPA instance.
+type Options struct {
+	// DataDir is the storage directory for profiles. Empty selects an
+	// in-memory-only instance (no durability).
+	DataDir string
+	// Params tune the SUM learning dynamics; zero value selects defaults.
+	Params sum.Params
+	// Clock is the time source; nil selects the wall clock.
+	Clock clock.Clock
+	// SensibilityThreshold feeds the Messaging Agent; zero selects 0.30.
+	SensibilityThreshold float64
+	// Policy is the multi-match messaging rule (default BySensibility,
+	// the paper's case 3.c.ii).
+	Policy messaging.Policy
+}
+
+// SPA is the Smart Prediction Assistant. All methods are safe for
+// concurrent use.
+type SPA struct {
+	mu        sync.RWMutex
+	db        *store.DB // nil when non-durable
+	model     *sum.Model
+	msgdb     *messaging.DB
+	registry  *attributes.Registry
+	clk       clock.Clock
+	threshold float64
+	policy    messaging.Policy
+
+	profiles map[uint64]*sum.Profile
+	scorer   baseline.Scorer
+	scaler   *svm.Scaler
+
+	// Recommendation-function state (see recommend.go).
+	pendingInteractions map[uint64]map[uint32]float64
+	knn                 *cf.KNN
+	tagger              ActionTagger
+
+	// Human Values Scale trackers (see values.go).
+	valueTrackers map[uint64]*values.Tracker
+}
+
+// ErrNoProfile is returned for operations on unregistered users.
+var ErrNoProfile = errors.New("core: no such user profile")
+
+// ErrNoModel is returned by Propensity before TrainPropensity has run.
+var ErrNoModel = errors.New("core: propensity model not trained")
+
+// New creates (or reopens) a SPA instance.
+func New(opts Options) (*SPA, error) {
+	params := opts.Params
+	if params == (sum.Params{}) {
+		params = sum.DefaultParams()
+	}
+	model, err := sum.NewModel(params, nil)
+	if err != nil {
+		return nil, err
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	threshold := opts.SensibilityThreshold
+	if threshold == 0 {
+		threshold = 0.30
+	}
+	s := &SPA{
+		model:     model,
+		msgdb:     messaging.NewDB(),
+		registry:  defaultRegistry(),
+		clk:       clk,
+		threshold: threshold,
+		policy:    opts.Policy,
+		profiles:  make(map[uint64]*sum.Profile),
+	}
+	if opts.DataDir != "" {
+		db, err := store.Open(opts.DataDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.db = db
+		if err := sum.ForEach(db, func(p *sum.Profile) bool {
+			s.profiles[p.UserID] = p
+			return true
+		}); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("core: loading profiles: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// defaultRegistry declares the attribute vocabulary: objective
+// socio-demographics, the LifeLog subjective digest, and the ten emotional
+// attributes of the deployment.
+func defaultRegistry() *attributes.Registry {
+	r := attributes.NewRegistry()
+	for _, n := range []string{
+		"obj_age", "obj_gender", "obj_education", "obj_employment",
+		"obj_income_band", "obj_city_size", "obj_prior_courses", "obj_tenure_months",
+	} {
+		r.MustRegister(attributes.Def{Name: n, Kind: attributes.Objective, Domain: "training"})
+	}
+	for _, n := range lifelog.DenseNames() {
+		r.MustRegister(attributes.Def{Name: n, Kind: attributes.Subjective, Domain: "training"})
+	}
+	for _, a := range emotion.AllAttributes() {
+		r.MustRegister(attributes.Def{Name: "emo_" + a.String(), Kind: attributes.Emotional, Domain: "training"})
+	}
+	return r
+}
+
+// Registry exposes the attribute vocabulary.
+func (s *SPA) Registry() *attributes.Registry { return s.registry }
+
+// Close flushes and releases the store.
+func (s *SPA) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.db != nil {
+		err := s.db.Close()
+		s.db = nil
+		return err
+	}
+	return nil
+}
+
+// Register creates a Smart User Model for a new user with the given
+// objective attributes. Registering an existing user is an error.
+func (s *SPA) Register(userID uint64, objective []float64) error {
+	if userID == 0 {
+		return errors.New("core: zero user id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.profiles[userID]; dup {
+		return fmt.Errorf("core: user %d already registered", userID)
+	}
+	p := sum.NewProfile(userID, s.clk.Now())
+	p.Objective = append([]float64(nil), objective...)
+	p.Subjective = make([]float64, lifelog.DenseLen)
+	s.profiles[userID] = p
+	return s.persistLocked(p)
+}
+
+func (s *SPA) persistLocked(p *sum.Profile) error {
+	if s.db == nil {
+		return nil
+	}
+	return sum.Save(s.db, p)
+}
+
+// Users returns the number of registered profiles.
+func (s *SPA) Users() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// Profile returns a copy of the user's SUM (callers cannot mutate internal
+// state).
+func (s *SPA) Profile(userID uint64) (sum.Profile, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return sum.Profile{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	cp := *p
+	cp.Objective = append([]float64(nil), p.Objective...)
+	cp.Subjective = append([]float64(nil), p.Subjective...)
+	return cp, nil
+}
+
+// IngestEvents runs a batch of raw LifeLog events through the pre-processor
+// (sessionization + feature extraction) and folds the digests into the
+// profiles' subjective blocks. Events of unregistered users are counted and
+// skipped, mirroring the deployment's handling of anonymous traffic.
+func (s *SPA) IngestEvents(events []lifelog.Event) (processed, skippedUnknown int, err error) {
+	if len(events) == 0 {
+		return 0, 0, nil
+	}
+	x := lifelog.NewExtractor(30*time.Minute, s.clk.Now())
+	s.mu.RLock()
+	for _, e := range events {
+		if _, ok := s.profiles[e.UserID]; !ok {
+			skippedUnknown++
+			continue
+		}
+		if ferr := x.Feed(e); ferr != nil {
+			s.mu.RUnlock()
+			return processed, skippedUnknown, ferr
+		}
+		processed++
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
+		if _, ok := s.profiles[e.UserID]; ok {
+			s.noteInteraction(e)
+		}
+	}
+	for id, fv := range x.Finish() {
+		p := s.profiles[id]
+		p.Subjective = fv.Dense()
+		if err := s.persistLocked(p); err != nil {
+			return processed, skippedUnknown, err
+		}
+	}
+	return processed, skippedUnknown, nil
+}
+
+// NextQuestion returns the user's next Gradual EIT item (cycling the bank
+// when exhausted, as the deployment keeps asking indefinitely).
+func (s *SPA) NextQuestion(userID uint64) (emotion.Item, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return emotion.Item{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	item, err := s.model.NextItem(p)
+	if errors.Is(err, emotion.ErrExhausted) {
+		return s.model.Bank().Item(p.AnsweredItems % s.model.Bank().Len())
+	}
+	return item, err
+}
+
+// SubmitAnswer applies a Gradual EIT answer to the user's SUM.
+func (s *SPA) SubmitAnswer(userID uint64, ans emotion.Answer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	if err := s.model.ApplyEITAnswer(p, ans, s.clk.Now()); err != nil {
+		return err
+	}
+	return s.persistLocked(p)
+}
+
+// Reward applies positive reinforcement for the given attributes (the user
+// acted on a recommendation built on them).
+func (s *SPA) Reward(userID uint64, attrs []emotion.Attribute) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	s.model.Reward(p, attrs, s.clk.Now())
+	return s.persistLocked(p)
+}
+
+// Punish applies negative reinforcement (recommendation ignored/rejected).
+func (s *SPA) Punish(userID uint64, attrs []emotion.Attribute) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	s.model.Punish(p, attrs, s.clk.Now())
+	return s.persistLocked(p)
+}
+
+// Sensibilities returns the user's absolute sensibility weights, indexed by
+// emotion.Attribute.
+func (s *SPA) Sensibilities(userID uint64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	return s.model.Sensibilities(p), nil
+}
+
+// DominantAttributes reports the user's dominant emotional attributes
+// (relative weights above the threshold), strongest first.
+func (s *SPA) DominantAttributes(userID uint64) ([]attributes.Sensibility, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	return attributes.DominantAttributes(s.model.RelativeSensibilities(p), 0.5), nil
+}
+
+// Advise returns the SUM advice-stage excitation/inhibition vector for a
+// domain.
+func (s *SPA) Advise(userID uint64, domain string) (sum.Advice, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return sum.Advice{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	return s.model.Advise(p, domain), nil
+}
+
+// AssignMessage runs the Messaging Agent for a product (§5.3).
+func (s *SPA) AssignMessage(userID uint64, product messaging.Product) (messaging.Assignment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return messaging.Assignment{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	return s.msgdb.Assign(product, s.model.Sensibilities(p), s.threshold, s.policy)
+}
+
+// MessageDB exposes the message database (priority configuration etc.).
+func (s *SPA) MessageDB() *messaging.DB { return s.msgdb }
+
+// FeatureVector materializes a user's full learner input (objective +
+// subjective + emotional blocks).
+func (s *SPA) FeatureVector(userID uint64) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	return p.FeatureVector(true, true, true), nil
+}
+
+// TrainPropensity fits the Smart Component's propensity model from labelled
+// examples: user feature vectors (as returned by FeatureVector) and
+// responded flags.
+func (s *SPA) TrainPropensity(features [][]float64, responded []bool) error {
+	if len(features) != len(responded) {
+		return errors.New("core: label count mismatch")
+	}
+	d := &svm.Dataset{X: make([][]float64, len(features)), Y: make([]int, len(responded))}
+	for i := range features {
+		d.X[i] = append([]float64(nil), features[i]...)
+		if responded[i] {
+			d.Y[i] = 1
+		} else {
+			d.Y[i] = -1
+		}
+	}
+	scaler, err := svm.FitScaler(d.X)
+	if err != nil {
+		return err
+	}
+	if err := scaler.TransformAll(d.X); err != nil {
+		return err
+	}
+	m, err := svm.TrainCalibrated(d, svm.PegasosTrainer(svm.DefaultPegasos()), 1)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.scaler = scaler
+	s.scorer = &baseline.SVMScorer{Model: m}
+	s.mu.Unlock()
+	return nil
+}
+
+// Propensity returns the calibrated probability that the user responds to a
+// touch — the selection function's ranking key.
+func (s *SPA) Propensity(userID uint64) (float64, error) {
+	s.mu.RLock()
+	scorer, scaler := s.scorer, s.scaler
+	p, ok := s.profiles[userID]
+	s.mu.RUnlock()
+	if scorer == nil {
+		return 0, ErrNoModel
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	x := p.FeatureVector(true, true, true)
+	if _, err := scaler.Transform(x); err != nil {
+		return 0, err
+	}
+	return scorer.Score(x)
+}
+
+// SelectTop ranks all registered users by propensity and returns the top-k
+// user IDs — the paper's selection function. Ties break by ascending ID.
+func (s *SPA) SelectTop(k int) ([]uint64, error) {
+	if k < 1 {
+		return nil, errors.New("core: k must be >= 1")
+	}
+	s.mu.RLock()
+	ids := make([]uint64, 0, len(s.profiles))
+	for id := range s.profiles {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	type scored struct {
+		id    uint64
+		score float64
+	}
+	all := make([]scored, 0, len(ids))
+	for _, id := range ids {
+		v, err := s.Propensity(id)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, scored{id, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out, nil
+}

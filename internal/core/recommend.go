@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cf"
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+)
+
+// The recommendation function (§5.4 #1): "to send in an individualized
+// manner the action with most probabilities of execution by the user."
+// Collaborative filtering over the 984-action universe produces the base
+// ranking; the SUM's advice-stage vector then re-weights actions whose
+// emotional tags resonate with (or repel) the user — the paper's
+// "activation or inhibition of excitatory attributes from each domain"
+// applied to the action catalogue.
+
+// ActionTagger maps an action ordinal to the emotional attributes its
+// content exercises (e.g. a fast-paced bootcamp page → stimulated,
+// impatient). A nil tagger disables emotional re-weighting.
+type ActionTagger func(action uint32) []emotion.Attribute
+
+// SetActionTagger installs the tagger used by RecommendActions.
+func (s *SPA) SetActionTagger(t ActionTagger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tagger = t
+}
+
+// interactionWeight grades event types for the CF matrix: transactions are
+// stronger preference evidence than clicks.
+func interactionWeight(t lifelog.EventType) float64 {
+	switch t {
+	case lifelog.EventEnroll:
+		return 3
+	case lifelog.EventInfoRequest:
+		return 2
+	case lifelog.EventClick:
+		return 1
+	case lifelog.EventPageView:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// noteInteraction accumulates a raw event into the pending interaction
+// counts (called from IngestEvents with the write lock held).
+func (s *SPA) noteInteraction(e lifelog.Event) {
+	w := interactionWeight(e.Type)
+	if w == 0 || int(e.Action) >= lifelog.ActionUniverse {
+		return
+	}
+	if s.pendingInteractions == nil {
+		s.pendingInteractions = make(map[uint64]map[uint32]float64)
+	}
+	row := s.pendingInteractions[e.UserID]
+	if row == nil {
+		row = make(map[uint32]float64)
+		s.pendingInteractions[e.UserID] = row
+	}
+	row[e.Action] += w
+	s.knn = nil // invalidate the frozen model
+}
+
+// buildKNNLocked freezes the accumulated interactions into a kNN model.
+func (s *SPA) buildKNNLocked() error {
+	if len(s.pendingInteractions) == 0 {
+		return errors.New("core: no interactions ingested yet")
+	}
+	m := cf.NewInteractions(lifelog.ActionUniverse)
+	for user, row := range s.pendingInteractions {
+		for action, w := range row {
+			if err := m.Add(user, action, w); err != nil {
+				return err
+			}
+		}
+	}
+	m.Freeze()
+	knn, err := cf.NewKNN(m, 25)
+	if err != nil {
+		return err
+	}
+	s.knn = knn
+	return nil
+}
+
+// RecommendActions returns the top-n actions for the user: the CF ranking
+// re-weighted by the user's advice vector over the tagged attributes.
+// Positive excitation boosts resonant actions; negative excitation
+// (aversion) inhibits them.
+func (s *SPA) RecommendActions(userID uint64, n int) ([]cf.Recommendation, error) {
+	if n < 1 {
+		return nil, errors.New("core: n must be >= 1")
+	}
+	s.mu.Lock()
+	if s.knn == nil {
+		if err := s.buildKNNLocked(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	knn := s.knn
+	p, ok := s.profiles[userID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	adv := s.model.Advise(p, "training")
+	tagger := s.tagger
+	s.mu.Unlock()
+
+	// Over-fetch so emotional re-ranking has candidates to promote.
+	fetch := n * 3
+	if fetch < 10 {
+		fetch = 10
+	}
+	recs, err := knn.RecommendTopN(userID, fetch)
+	if err != nil {
+		return nil, err
+	}
+	if tagger != nil {
+		for i := range recs {
+			boost := 0.0
+			for _, attr := range tagger(recs[i].Action) {
+				if int(attr) >= 0 && int(attr) < emotion.NumAttributes {
+					boost += adv.Excitation[attr]
+				}
+			}
+			// 1 + boost keeps inhibition meaningful (boost can be negative)
+			// without flipping score signs for mild aversions.
+			factor := 1 + 0.8*boost
+			if factor < 0.1 {
+				factor = 0.1
+			}
+			recs[i].Score *= factor
+		}
+		sortRecs(recs)
+	}
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs, nil
+}
+
+func sortRecs(recs []cf.Recommendation) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Score != recs[j].Score {
+			return recs[i].Score > recs[j].Score
+		}
+		return recs[i].Action < recs[j].Action
+	})
+}

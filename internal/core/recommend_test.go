@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+)
+
+// ingestClicks feeds a set of (user, action) click events.
+func ingestClicks(t *testing.T, s *SPA, rows map[uint64][]uint32) {
+	t.Helper()
+	var events []lifelog.Event
+	at := t0.Add(-24 * time.Hour)
+	for user, actions := range rows {
+		tm := at
+		for _, a := range actions {
+			events = append(events, lifelog.Event{
+				UserID: user, Time: tm, Type: lifelog.EventClick, Action: a,
+			})
+			tm = tm.Add(time.Minute)
+		}
+	}
+	if _, _, err := s.IngestEvents(events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendActionsCF(t *testing.T) {
+	s := newSPA(t, "")
+	for id := uint64(1); id <= 3; id++ {
+		s.Register(id, nil)
+	}
+	// Users 1 and 2 share tastes; user 2 also did action 30, which user 1
+	// has not seen — the canonical CF recommendation.
+	ingestClicks(t, s, map[uint64][]uint32{
+		1: {10, 11, 12},
+		2: {10, 11, 30},
+		3: {500, 501},
+	})
+	recs, err := s.RecommendActions(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Action != 30 {
+		t.Fatalf("recommendations %v, want action 30 first", recs)
+	}
+	for _, r := range recs {
+		if r.Action == 10 || r.Action == 11 || r.Action == 12 {
+			t.Fatalf("recommended seen action %d", r.Action)
+		}
+	}
+}
+
+func TestRecommendActionsErrors(t *testing.T) {
+	s := newSPA(t, "")
+	s.Register(1, nil)
+	if _, err := s.RecommendActions(1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	// No interactions ingested yet.
+	if _, err := s.RecommendActions(1, 3); err == nil {
+		t.Fatal("empty interactions accepted")
+	}
+	ingestClicks(t, s, map[uint64][]uint32{1: {5}})
+	if _, err := s.RecommendActions(99, 3); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestRecommendActionsEmotionalReweighting(t *testing.T) {
+	s := newSPA(t, "")
+	for id := uint64(1); id <= 4; id++ {
+		s.Register(id, nil)
+	}
+	// User 1's neighbors expose two candidate actions equally: 100 and 200.
+	ingestClicks(t, s, map[uint64][]uint32{
+		1: {10, 11},
+		2: {10, 11, 100},
+		3: {10, 11, 200},
+	})
+	// Tag action 100 as "stimulated" content, 200 as "frightened" content.
+	s.SetActionTagger(func(a uint32) []emotion.Attribute {
+		switch a {
+		case 100:
+			return []emotion.Attribute{emotion.Stimulated}
+		case 200:
+			return []emotion.Attribute{emotion.Frightened}
+		default:
+			return nil
+		}
+	})
+	// Build strong positive sensibility for Stimulated on user 1.
+	for i := 0; i < 8; i++ {
+		if err := s.Reward(1, []emotion.Attribute{emotion.Stimulated}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := s.RecommendActions(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("recs %v", recs)
+	}
+	if recs[0].Action != 100 {
+		t.Fatalf("emotional boost did not promote action 100: %v", recs)
+	}
+	if recs[0].Score <= recs[1].Score {
+		t.Fatalf("boost did not change scores: %v", recs)
+	}
+}
+
+func TestRecommendActionsInvalidatedByNewIngest(t *testing.T) {
+	s := newSPA(t, "")
+	s.Register(1, nil)
+	s.Register(2, nil)
+	ingestClicks(t, s, map[uint64][]uint32{1: {10}, 2: {10, 20}})
+	r1, err := s.RecommendActions(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].Action != 20 {
+		t.Fatalf("first recs %v", r1)
+	}
+	// New neighbor evidence arrives: action 21 becomes stronger.
+	var events []lifelog.Event
+	at := t0.Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		events = append(events, lifelog.Event{UserID: 2, Time: at, Type: lifelog.EventEnroll, Action: 21})
+		at = at.Add(time.Minute)
+	}
+	if _, _, err := s.IngestEvents(events); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RecommendActions(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2[0].Action != 21 {
+		t.Fatalf("model not rebuilt after ingest: %v", r2)
+	}
+}
+
+func BenchmarkRecommendActions(b *testing.B) {
+	s, err := New(Options{Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var events []lifelog.Event
+	at := t0.Add(-100 * time.Hour)
+	for id := uint64(1); id <= 200; id++ {
+		s.Register(id, nil)
+		for k := 0; k < 20; k++ {
+			events = append(events, lifelog.Event{
+				UserID: id, Time: at, Type: lifelog.EventClick,
+				Action: uint32((int(id)*7 + k*13) % lifelog.ActionUniverse),
+			})
+			at = at.Add(time.Second)
+		}
+	}
+	if _, _, err := s.IngestEvents(events); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RecommendActions(uint64(i%200+1), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package emotion
+
+import "math"
+
+// Circumplex coordinates. Affect research (Russell's circumplex, which the
+// MSCEIT literature and the paper's wearIT@work follow-up both lean on)
+// places emotional states on a valence × arousal plane. The reproduction
+// uses the plane in two directions:
+//
+//   - internal/physio maps physiological signals to (arousal, valence) and
+//     then to the nearest deployed attributes;
+//   - this file gives each deployed attribute its canonical circumplex
+//     position, closing the loop (attribute → plane → attribute is
+//     approximately the identity for well-separated attributes).
+
+// Circumplex is a point on the affect plane.
+type Circumplex struct {
+	// Valence in [-1, 1].
+	Valence float64
+	// Arousal in [0, 1].
+	Arousal float64
+}
+
+// Circumplex returns the attribute's canonical position. Valences reuse
+// BaseValence; arousal follows the standard placements (excited states
+// high, lethargic states low).
+func (a Attribute) Circumplex() Circumplex {
+	arousal := map[Attribute]float64{
+		Enthusiastic: 0.85,
+		Motivated:    0.65,
+		Empathic:     0.45,
+		Hopeful:      0.50,
+		Lively:       0.80,
+		Stimulated:   0.75,
+		Impatient:    0.70,
+		Frightened:   0.90,
+		Shy:          0.35,
+		Apathetic:    0.10,
+	}[a]
+	return Circumplex{Valence: float64(a.BaseValence()), Arousal: arousal}
+}
+
+// Distance is the Euclidean distance on the plane (valence span 2, arousal
+// span 1; both kept in natural units).
+func (c Circumplex) Distance(o Circumplex) float64 {
+	dv := c.Valence - o.Valence
+	da := c.Arousal - o.Arousal
+	return math.Sqrt(dv*dv + da*da)
+}
+
+// NearestAttributes returns the k deployed attributes closest to the point,
+// ascending by distance; ties break in attribute order.
+func (c Circumplex) NearestAttributes(k int) []Attribute {
+	if k < 1 {
+		return nil
+	}
+	type ad struct {
+		a Attribute
+		d float64
+	}
+	all := make([]ad, 0, NumAttributes)
+	for _, a := range AllAttributes() {
+		all = append(all, ad{a, c.Distance(a.Circumplex())})
+	}
+	// Insertion sort: ten elements.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			x, y := all[j-1], all[j]
+			if y.d < x.d || (y.d == x.d && y.a < x.a) {
+				all[j-1], all[j] = y, x
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Attribute, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].a
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package emotion
+
+import (
+	"testing"
+)
+
+func TestCircumplexPositionsValid(t *testing.T) {
+	for _, a := range AllAttributes() {
+		c := a.Circumplex()
+		if c.Valence < -1 || c.Valence > 1 {
+			t.Fatalf("%v valence %v", a, c.Valence)
+		}
+		if c.Arousal < 0 || c.Arousal > 1 {
+			t.Fatalf("%v arousal %v", a, c.Arousal)
+		}
+		if c.Valence != float64(a.BaseValence()) {
+			t.Fatalf("%v circumplex valence diverges from base valence", a)
+		}
+	}
+}
+
+func TestCircumplexSeparatesApproachAvoidance(t *testing.T) {
+	// Approach attributes sit right of avoidance ones; frightened is the
+	// highest-arousal negative state, apathetic the lowest-arousal one.
+	if Frightened.Circumplex().Arousal <= Apathetic.Circumplex().Arousal {
+		t.Fatal("frightened should out-arouse apathetic")
+	}
+	if Enthusiastic.Circumplex().Valence <= Frightened.Circumplex().Valence {
+		t.Fatal("valence ordering broken")
+	}
+}
+
+func TestNearestAttributesIdentity(t *testing.T) {
+	// Each attribute's own position must rank itself first.
+	for _, a := range AllAttributes() {
+		got := a.Circumplex().NearestAttributes(1)
+		if len(got) != 1 || got[0] != a {
+			t.Fatalf("%v nearest is %v", a, got)
+		}
+	}
+}
+
+func TestNearestAttributesQuadrants(t *testing.T) {
+	// High-arousal negative → frightened-ish; low-arousal negative →
+	// apathetic-ish; high-arousal positive → an energized approach state.
+	cases := []struct {
+		point Circumplex
+		want  Attribute
+	}{
+		{Circumplex{Valence: -0.8, Arousal: 0.9}, Frightened},
+		{Circumplex{Valence: -0.7, Arousal: 0.1}, Apathetic},
+		{Circumplex{Valence: 0.9, Arousal: 0.85}, Enthusiastic},
+	}
+	for _, c := range cases {
+		got := c.point.NearestAttributes(1)[0]
+		if got != c.want {
+			t.Fatalf("point %+v nearest %v, want %v", c.point, got, c.want)
+		}
+	}
+}
+
+func TestNearestAttributesOrderingAndBounds(t *testing.T) {
+	p := Circumplex{Valence: 0, Arousal: 0.5}
+	all := p.NearestAttributes(NumAttributes)
+	if len(all) != NumAttributes {
+		t.Fatalf("%d attributes", len(all))
+	}
+	prev := -1.0
+	for _, a := range all {
+		d := p.Distance(a.Circumplex())
+		if d < prev {
+			t.Fatal("distances not ascending")
+		}
+		prev = d
+	}
+	if p.NearestAttributes(0) != nil {
+		t.Fatal("k=0 returned attributes")
+	}
+	if len(p.NearestAttributes(99)) != NumAttributes {
+		t.Fatal("k clamp")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	a := Circumplex{Valence: 0.5, Arousal: 0.2}
+	b := Circumplex{Valence: -0.3, Arousal: 0.9}
+	if a.Distance(b) != b.Distance(a) {
+		t.Fatal("distance asymmetric")
+	}
+	if a.Distance(a) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}

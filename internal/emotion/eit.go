@@ -1,0 +1,213 @@
+package emotion
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The Gradual Emotional Intelligence Test (Gradual EIT).
+//
+// The paper (§3 stage 1, §5.2) acquires emotional attributes through "a
+// gradual and noninvasive emotional intelligence test": each push or
+// newsletter carries exactly one question about an everyday situation
+// (opinions, tastes, pictures); the answer gradually activates the impacted
+// emotional attributes. The MSCEIT V2.0 instrument itself is proprietary, so
+// this reproduction ships a synthetic item bank with the same interface: every
+// item is tagged with a Four-Branch branch, and every answer option carries a
+// per-attribute valence impact.
+
+// Item is a single EIT question.
+type Item struct {
+	ID     int
+	Branch Branch
+	Prompt string
+	// Options are the selectable answers; each activates attributes.
+	Options []Option
+}
+
+// Option is one answer with its attribute impacts.
+type Option struct {
+	Text string
+	// Impacts maps attribute → valence contribution in [-1, 1]. Choosing
+	// this option is evidence that the user's sensibility for the attribute
+	// moves toward that valence.
+	Impacts map[Attribute]Valence
+}
+
+// Answer records a user's reply to an item.
+type Answer struct {
+	ItemID int
+	Option int
+}
+
+// Bank is an ordered collection of EIT items, served one per campaign touch
+// in round-robin order per user (the "gradual" part).
+type Bank struct {
+	items []Item
+}
+
+// ErrExhausted is returned by Next when the user has answered every item.
+var ErrExhausted = errors.New("emotion: item bank exhausted for user")
+
+// NewBank builds the default 64-item synthetic bank: 16 items per branch,
+// each probing a subset of the deployed attributes with alternating
+// scenario framings. The bank is deterministic — no randomness — so tests
+// and experiments see identical items.
+func NewBank() *Bank {
+	b := &Bank{}
+	id := 0
+	scenarios := bankScenarios()
+	for _, sc := range scenarios {
+		b.items = append(b.items, Item{
+			ID:      id,
+			Branch:  sc.branch,
+			Prompt:  sc.prompt,
+			Options: sc.options,
+		})
+		id++
+	}
+	for i := range b.items {
+		b.items[i].ID = i
+	}
+	return b
+}
+
+// Len returns the number of items.
+func (b *Bank) Len() int { return len(b.items) }
+
+// Item returns the item with the given ID.
+func (b *Bank) Item(id int) (Item, error) {
+	if id < 0 || id >= len(b.items) {
+		return Item{}, fmt.Errorf("emotion: no item %d", id)
+	}
+	return b.items[id], nil
+}
+
+// Next returns the item a user should be asked next given how many they
+// have already answered: items are served in order, one per touch.
+func (b *Bank) Next(answered int) (Item, error) {
+	if answered < 0 {
+		return Item{}, errors.New("emotion: negative answered count")
+	}
+	if answered >= len(b.items) {
+		return Item{}, ErrExhausted
+	}
+	return b.items[answered], nil
+}
+
+// Score converts an answer into its attribute impacts.
+func (b *Bank) Score(a Answer) (map[Attribute]Valence, error) {
+	item, err := b.Item(a.ItemID)
+	if err != nil {
+		return nil, err
+	}
+	if a.Option < 0 || a.Option >= len(item.Options) {
+		return nil, fmt.Errorf("emotion: item %d has no option %d", a.ItemID, a.Option)
+	}
+	impacts := item.Options[a.Option].Impacts
+	out := make(map[Attribute]Valence, len(impacts))
+	for attr, v := range impacts {
+		if v == 0 {
+			continue // zero-impact entries carry no evidence
+		}
+		out[attr] = v.Clamp()
+	}
+	return out, nil
+}
+
+// scenario is an item template before ID assignment.
+type scenario struct {
+	branch  Branch
+	prompt  string
+	options []Option
+}
+
+// bankScenarios enumerates 64 items: for each of the four branches, four
+// framing templates instantiated over four attribute pairings. Positive
+// options push the approach attribute up; negative options push the
+// avoidance attribute up (recall avoidance attributes have negative base
+// valence — "activating" them is learning an aversion).
+func bankScenarios() []scenario {
+	type pairing struct {
+		up, down Attribute
+	}
+	// Two pairing sets alternate by round so all ten attributes are
+	// reachable through the bank.
+	pairingSets := [2][]pairing{
+		{
+			{Enthusiastic, Apathetic},
+			{Motivated, Shy},
+			{Hopeful, Frightened},
+			{Lively, Impatient},
+		},
+		{
+			{Stimulated, Apathetic},
+			{Lively, Shy},
+			{Hopeful, Frightened},
+			{Enthusiastic, Impatient},
+		},
+	}
+	frames := []struct {
+		branch   Branch
+		template string
+		posText  string
+		negText  string
+		neuText  string
+	}{
+		{BranchPerceiving, "Look at this photo from a course classroom. What do you notice first about the people in it?", "Their energy and engagement", "Their distance and unease", "The room itself"},
+		{BranchFacilitating, "A new training topic just opened. How does thinking about starting it make you feel?", "Eager to dive in right away", "Worried it is not for me", "No particular feeling"},
+		{BranchUnderstanding, "A colleague just finished a course and talks about it constantly. Why, do you think?", "Finishing it genuinely excited them", "They fear falling behind otherwise", "People just talk about work"},
+		{BranchManaging, "You have 30 free minutes today. A lesson from your saved course is pending. What do you do?", "Start it now while the mood is right", "Put it off; today is not the day", "Decide later"},
+	}
+	var out []scenario
+	for round := 0; round < 4; round++ {
+		// Pairings outer, frames inner: consecutive items rotate through the
+		// four branches, as a real gradual test would.
+		for _, p := range pairingSets[round%2] {
+			for _, f := range frames {
+				pos := Option{
+					Text: f.posText,
+					Impacts: map[Attribute]Valence{
+						p.up: Valence(0.6 + 0.1*float64(round%2)),
+						// Mild co-activation of the empathic channel on
+						// perceiving-branch items: noticing others is itself
+						// evidence of perception ability.
+						Empathic: co(f.branch, 0.2),
+					},
+				}
+				neg := Option{
+					Text: f.negText,
+					Impacts: map[Attribute]Valence{
+						p.down:   Valence(-0.6 - 0.1*float64(round%2)).Clamp().negAbs(),
+						Empathic: co(f.branch, 0.1),
+					},
+				}
+				neu := Option{
+					Text:    f.neuText,
+					Impacts: map[Attribute]Valence{},
+				}
+				out = append(out, scenario{
+					branch:  f.branch,
+					prompt:  f.template,
+					options: []Option{pos, neg, neu},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// negAbs forces a negative sign: avoidance activations are aversions.
+func (v Valence) negAbs() Valence {
+	if v > 0 {
+		return -v
+	}
+	return v
+}
+
+func co(b Branch, v Valence) Valence {
+	if b == BranchPerceiving {
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,262 @@
+// Package emotion models the paper's emotional-context machinery: valences,
+// the ten emotional attributes deployed in the emagister.com business case,
+// and the Four-Branch Model of Emotional Intelligence (Table 1 of the paper,
+// after Mayer–Salovey–Caruso's MSCEIT V2.0) that organizes them. The
+// companion file eit.go implements the Gradual Emotional Intelligence Test —
+// the paper's non-invasive, one-question-per-touch acquisition channel.
+package emotion
+
+import (
+	"fmt"
+	"math"
+)
+
+// Valence is "the degree of attraction or aversion that a person feels
+// toward a specific object or event" (paper §3). It is kept in [-1, 1]:
+// -1 strong aversion, 0 neutral, +1 strong attraction.
+type Valence float64
+
+// Clamp returns the valence limited to [-1, 1].
+func (v Valence) Clamp() Valence {
+	if v < -1 {
+		return -1
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// IsPositive reports attraction (v > 0).
+func (v Valence) IsPositive() bool { return v > 0 }
+
+// Polarity returns -1, 0 or +1.
+func (v Valence) Polarity() int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Blend returns the exponential moving average of v toward target with
+// learning rate alpha in [0,1] — the primitive behind the reward/punish
+// update stage.
+func (v Valence) Blend(target Valence, alpha float64) Valence {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return Valence(float64(v)*(1-alpha) + float64(target)*alpha).Clamp()
+}
+
+// Branch is one branch of the Four-Branch Model of Emotional Intelligence
+// (MSCEIT V2.0), the paper's Table 1.
+type Branch int
+
+const (
+	// BranchPerceiving is the ability to perceive emotions in oneself and
+	// others as well as in objects, art, stories, music and other stimuli.
+	BranchPerceiving Branch = iota
+	// BranchFacilitating is the ability to generate, use and feel emotion
+	// as necessary to communicate feelings or employ them in other
+	// cognitive processes.
+	BranchFacilitating
+	// BranchUnderstanding is the ability to understand emotional
+	// information, to understand how emotions combine and progress through
+	// relationship transitions, and to appreciate such emotional meanings.
+	BranchUnderstanding
+	// BranchManaging is the ability to be open to feelings, and to
+	// modulate them in oneself and others so as to promote personal
+	// understanding and growth.
+	BranchManaging
+
+	numBranches = 4
+)
+
+// String implements fmt.Stringer with the MSCEIT branch names.
+func (b Branch) String() string {
+	switch b {
+	case BranchPerceiving:
+		return "Perceiving Emotions"
+	case BranchFacilitating:
+		return "Facilitating Thought"
+	case BranchUnderstanding:
+		return "Understanding Emotions"
+	case BranchManaging:
+		return "Managing Emotions"
+	default:
+		return fmt.Sprintf("Branch(%d)", int(b))
+	}
+}
+
+// Description returns the MSCEIT V2.0 ability definition for the branch, as
+// summarized in the paper's Table 1.
+func (b Branch) Description() string {
+	switch b {
+	case BranchPerceiving:
+		return "Ability to perceive emotions in oneself and others as well as in objects, art, stories, music, and other stimuli"
+	case BranchFacilitating:
+		return "Ability to generate, use, and feel emotion as necessary to communicate feelings or employ them in other cognitive processes"
+	case BranchUnderstanding:
+		return "Ability to understand emotional information, to understand how emotions combine and progress through relationship transitions, and to appreciate such emotional meanings"
+	case BranchManaging:
+		return "Ability to be open to feelings, and to modulate them in oneself and others so as to promote personal understanding and growth"
+	default:
+		return ""
+	}
+}
+
+// Branches returns the four branches in MSCEIT order.
+func Branches() []Branch {
+	return []Branch{BranchPerceiving, BranchFacilitating, BranchUnderstanding, BranchManaging}
+}
+
+// Attribute identifies one of the ten emotional attributes of the business
+// case (§5.1): "enthusiastic, motivated, empathic, hopeful, lively,
+// stimulated, impatient, frightened, shy and apathetic".
+type Attribute int
+
+const (
+	Enthusiastic Attribute = iota
+	Motivated
+	Empathic
+	Hopeful
+	Lively
+	Stimulated
+	Impatient
+	Frightened
+	Shy
+	Apathetic
+
+	// NumAttributes is the size of the deployed emotional attribute set.
+	NumAttributes = 10
+)
+
+var attrNames = [NumAttributes]string{
+	"enthusiastic", "motivated", "empathic", "hopeful", "lively",
+	"stimulated", "impatient", "frightened", "shy", "apathetic",
+}
+
+// String returns the lowercase attribute name used throughout the paper.
+func (a Attribute) String() string {
+	if a < 0 || int(a) >= NumAttributes {
+		return fmt.Sprintf("Attribute(%d)", int(a))
+	}
+	return attrNames[a]
+}
+
+// ParseAttribute resolves a name (as printed by String) to an Attribute.
+func ParseAttribute(name string) (Attribute, error) {
+	for i, n := range attrNames {
+		if n == name {
+			return Attribute(i), nil
+		}
+	}
+	return 0, fmt.Errorf("emotion: unknown attribute %q", name)
+}
+
+// AllAttributes returns the ten attributes in canonical order.
+func AllAttributes() []Attribute {
+	out := make([]Attribute, NumAttributes)
+	for i := range out {
+		out[i] = Attribute(i)
+	}
+	return out
+}
+
+// BaseValence is the intrinsic polarity of each attribute: the first six are
+// approach emotions (positive valence), the last four avoidance emotions
+// (negative valence). The magnitudes encode typical arousal and follow the
+// circumplex placement of each term.
+func (a Attribute) BaseValence() Valence {
+	switch a {
+	case Enthusiastic:
+		return 0.9
+	case Motivated:
+		return 0.8
+	case Empathic:
+		return 0.6
+	case Hopeful:
+		return 0.7
+	case Lively:
+		return 0.8
+	case Stimulated:
+		return 0.7
+	case Impatient:
+		return -0.4
+	case Frightened:
+		return -0.8
+	case Shy:
+		return -0.5
+	case Apathetic:
+		return -0.7
+	default:
+		return 0
+	}
+}
+
+// Branch maps the attribute to the Four-Branch ability that the Gradual EIT
+// probes when activating it. Perception-flavored states (empathic,
+// frightened) sit in Perceiving; energizing states in Facilitating;
+// relational/anticipatory states in Understanding; regulation-flavored
+// states in Managing.
+func (a Attribute) Branch() Branch {
+	switch a {
+	case Empathic, Frightened:
+		return BranchPerceiving
+	case Enthusiastic, Lively, Stimulated:
+		return BranchFacilitating
+	case Hopeful, Shy:
+		return BranchUnderstanding
+	case Motivated, Impatient, Apathetic:
+		return BranchManaging
+	default:
+		return BranchPerceiving
+	}
+}
+
+// State is an activation snapshot of one emotional attribute in a Smart
+// User Model: how strongly it is activated, with what valence, and how
+// confident the system is in the estimate (confidence grows with evidence).
+type State struct {
+	Attribute  Attribute
+	Activation float64 // [0, 1]: 0 dormant, 1 fully activated (sensibility)
+	Valence    Valence
+	Evidence   int // number of observations contributing
+}
+
+// Confidence maps evidence count to (0, 1) with diminishing returns; five
+// observations already yield ~0.78.
+func (s State) Confidence() float64 {
+	return 1 - math.Exp(-0.3*float64(s.Evidence))
+}
+
+// Table1Row is one row of the paper's Table 1 rendering.
+type Table1Row struct {
+	Branch      Branch
+	Description string
+	Attributes  []Attribute // deployed attributes probing this branch
+}
+
+// Table1 returns the Four-Branch Model exactly as the reproduction renders
+// the paper's Table 1: branch, MSCEIT ability definition, and the deployed
+// attributes mapped to it.
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 0, numBranches)
+	for _, b := range Branches() {
+		row := Table1Row{Branch: b, Description: b.Description()}
+		for _, a := range AllAttributes() {
+			if a.Branch() == b {
+				row.Attributes = append(row.Attributes, a)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

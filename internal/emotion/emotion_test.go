@@ -1,0 +1,318 @@
+package emotion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValenceClamp(t *testing.T) {
+	cases := []struct{ in, want Valence }{
+		{-2, -1}, {-1, -1}, {-0.5, -0.5}, {0, 0}, {0.5, 0.5}, {1, 1}, {3, 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(); got != c.want {
+			t.Fatalf("Clamp(%v)=%v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValencePolarity(t *testing.T) {
+	if Valence(0.3).Polarity() != 1 || Valence(-0.3).Polarity() != -1 || Valence(0).Polarity() != 0 {
+		t.Fatal("polarity wrong")
+	}
+	if !Valence(0.1).IsPositive() || Valence(-0.1).IsPositive() || Valence(0).IsPositive() {
+		t.Fatal("IsPositive wrong")
+	}
+}
+
+func TestValenceBlend(t *testing.T) {
+	v := Valence(0)
+	v = v.Blend(1, 0.5)
+	if v != 0.5 {
+		t.Fatalf("blend half: %v", v)
+	}
+	// alpha 0 keeps, alpha 1 replaces.
+	if Valence(0.2).Blend(0.9, 0) != 0.2 {
+		t.Fatal("alpha 0 changed value")
+	}
+	if Valence(0.2).Blend(0.9, 1) != 0.9 {
+		t.Fatal("alpha 1 did not replace")
+	}
+	// Out-of-range alphas clamp.
+	if Valence(0.2).Blend(0.9, -3) != 0.2 || Valence(0.2).Blend(0.9, 7) != 0.9 {
+		t.Fatal("alpha clamp wrong")
+	}
+}
+
+func TestValenceBlendStaysInRange(t *testing.T) {
+	f := func(v, target, alpha float64) bool {
+		start := Valence(math.Mod(v, 1)).Clamp()
+		tgt := Valence(math.Mod(target, 1)).Clamp()
+		a := math.Abs(math.Mod(alpha, 1))
+		out := start.Blend(tgt, a)
+		return out >= -1 && out <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchStringsAndDescriptions(t *testing.T) {
+	want := map[Branch]string{
+		BranchPerceiving:    "Perceiving Emotions",
+		BranchFacilitating:  "Facilitating Thought",
+		BranchUnderstanding: "Understanding Emotions",
+		BranchManaging:      "Managing Emotions",
+	}
+	for b, s := range want {
+		if b.String() != s {
+			t.Fatalf("branch %d string %q", b, b.String())
+		}
+		if b.Description() == "" {
+			t.Fatalf("branch %v missing description", b)
+		}
+	}
+	if Branch(99).Description() != "" {
+		t.Fatal("invalid branch has description")
+	}
+}
+
+func TestTenAttributesMatchPaper(t *testing.T) {
+	// §5.1: "enthusiastic, motivated, empathic, hopeful, lively, stimulated,
+	// impatient, frightened, shy and apathetic".
+	want := []string{
+		"enthusiastic", "motivated", "empathic", "hopeful", "lively",
+		"stimulated", "impatient", "frightened", "shy", "apathetic",
+	}
+	attrs := AllAttributes()
+	if len(attrs) != len(want) {
+		t.Fatalf("%d attributes, want %d", len(attrs), len(want))
+	}
+	for i, a := range attrs {
+		if a.String() != want[i] {
+			t.Fatalf("attribute %d = %q, want %q", i, a.String(), want[i])
+		}
+	}
+}
+
+func TestParseAttributeRoundTrip(t *testing.T) {
+	for _, a := range AllAttributes() {
+		got, err := ParseAttribute(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip %v: %v %v", a, got, err)
+		}
+	}
+	if _, err := ParseAttribute("angry"); err == nil {
+		t.Fatal("unknown attribute parsed")
+	}
+}
+
+func TestBaseValencePolarity(t *testing.T) {
+	positive := []Attribute{Enthusiastic, Motivated, Empathic, Hopeful, Lively, Stimulated}
+	negative := []Attribute{Impatient, Frightened, Shy, Apathetic}
+	for _, a := range positive {
+		if v := a.BaseValence(); v <= 0 || v > 1 {
+			t.Fatalf("%v base valence %v, want positive in (0,1]", a, v)
+		}
+	}
+	for _, a := range negative {
+		if v := a.BaseValence(); v >= 0 || v < -1 {
+			t.Fatalf("%v base valence %v, want negative in [-1,0)", a, v)
+		}
+	}
+}
+
+func TestEveryAttributeHasBranch(t *testing.T) {
+	counts := map[Branch]int{}
+	for _, a := range AllAttributes() {
+		b := a.Branch()
+		if b < BranchPerceiving || b > BranchManaging {
+			t.Fatalf("%v maps to invalid branch %v", a, b)
+		}
+		counts[b]++
+	}
+	for _, b := range Branches() {
+		if counts[b] == 0 {
+			t.Fatalf("branch %v has no attributes", b)
+		}
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows, want 4", len(rows))
+	}
+	seen := map[Attribute]bool{}
+	for i, row := range rows {
+		if row.Branch != Branches()[i] {
+			t.Fatalf("row %d branch %v", i, row.Branch)
+		}
+		if row.Description == "" {
+			t.Fatalf("row %d missing description", i)
+		}
+		for _, a := range row.Attributes {
+			if seen[a] {
+				t.Fatalf("attribute %v in two branches", a)
+			}
+			seen[a] = true
+		}
+	}
+	if len(seen) != NumAttributes {
+		t.Fatalf("Table 1 covers %d attributes, want %d", len(seen), NumAttributes)
+	}
+}
+
+func TestStateConfidence(t *testing.T) {
+	s := State{Evidence: 0}
+	if s.Confidence() != 0 {
+		t.Fatalf("zero evidence confidence %v", s.Confidence())
+	}
+	prev := 0.0
+	for e := 1; e <= 20; e++ {
+		c := State{Evidence: e}.Confidence()
+		if c <= prev || c >= 1 {
+			t.Fatalf("confidence not monotone in (0,1): e=%d c=%v prev=%v", e, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestBankSizeAndBranchCoverage(t *testing.T) {
+	b := NewBank()
+	if b.Len() != 64 {
+		t.Fatalf("bank size %d, want 64", b.Len())
+	}
+	perBranch := map[Branch]int{}
+	for i := 0; i < b.Len(); i++ {
+		item, err := b.Item(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.ID != i {
+			t.Fatalf("item %d has ID %d", i, item.ID)
+		}
+		if len(item.Options) < 2 {
+			t.Fatalf("item %d has %d options", i, len(item.Options))
+		}
+		if item.Prompt == "" {
+			t.Fatalf("item %d has empty prompt", i)
+		}
+		perBranch[item.Branch]++
+	}
+	for _, br := range Branches() {
+		if perBranch[br] != 16 {
+			t.Fatalf("branch %v has %d items, want 16", br, perBranch[br])
+		}
+	}
+}
+
+func TestBankNextIsGradual(t *testing.T) {
+	b := NewBank()
+	for answered := 0; answered < b.Len(); answered++ {
+		item, err := b.Next(answered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.ID != answered {
+			t.Fatalf("Next(%d) returned item %d", answered, item.ID)
+		}
+	}
+	if _, err := b.Next(b.Len()); err != ErrExhausted {
+		t.Fatalf("exhausted bank returned %v", err)
+	}
+	if _, err := b.Next(-1); err == nil {
+		t.Fatal("negative answered accepted")
+	}
+}
+
+func TestBankScore(t *testing.T) {
+	b := NewBank()
+	item, _ := b.Item(0)
+	impacts, err := b.Score(Answer{ItemID: 0, Option: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) == 0 {
+		t.Fatal("positive option produced no impacts")
+	}
+	foundPositive := false
+	for attr, v := range impacts {
+		if v < -1 || v > 1 {
+			t.Fatalf("impact %v out of range: %v", attr, v)
+		}
+		if v > 0 {
+			foundPositive = true
+		}
+	}
+	if !foundPositive {
+		t.Fatal("positive option has no positive impact")
+	}
+	_ = item
+
+	// Negative option activates an avoidance attribute with negative valence.
+	impacts, err = b.Score(Answer{ItemID: 0, Option: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNegative := false
+	for _, v := range impacts {
+		if v < 0 {
+			foundNegative = true
+		}
+	}
+	if !foundNegative {
+		t.Fatal("negative option has no negative-valence impact")
+	}
+}
+
+func TestBankScoreNeutralOption(t *testing.T) {
+	b := NewBank()
+	impacts, err := b.Score(Answer{ItemID: 0, Option: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) != 0 {
+		t.Fatalf("neutral option impacted %d attributes", len(impacts))
+	}
+}
+
+func TestBankScoreErrors(t *testing.T) {
+	b := NewBank()
+	if _, err := b.Score(Answer{ItemID: -1}); err == nil {
+		t.Fatal("bad item accepted")
+	}
+	if _, err := b.Score(Answer{ItemID: 0, Option: 99}); err == nil {
+		t.Fatal("bad option accepted")
+	}
+}
+
+func TestBankEveryAttributeReachable(t *testing.T) {
+	b := NewBank()
+	impacted := map[Attribute]bool{}
+	for i := 0; i < b.Len(); i++ {
+		item, _ := b.Item(i)
+		for opt := range item.Options {
+			impacts, err := b.Score(Answer{ItemID: i, Option: opt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for attr := range impacts {
+				impacted[attr] = true
+			}
+		}
+	}
+	if len(impacted) != NumAttributes {
+		t.Fatalf("only %d/%d attributes reachable via bank", len(impacted), NumAttributes)
+	}
+}
+
+func BenchmarkBankScore(b *testing.B) {
+	bank := NewBank()
+	for i := 0; i < b.N; i++ {
+		if _, err := bank.Score(Answer{ItemID: i % bank.Len(), Option: i % 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package lifelog
+
+import (
+	"math"
+	"time"
+)
+
+// FeatureVector is the pre-processor's per-user digest of a raw stream: the
+// behavioural (subjective) attributes the Attributes Manager fuses with
+// socio-demographics and EIT-derived emotional attributes.
+type FeatureVector struct {
+	UserID uint64
+
+	// Volume features.
+	Events       int
+	Sessions     int
+	Transactions int
+	Enrollments  int
+	Ratings      int
+	EITAnswers   int
+
+	// Intensity features.
+	MeanSessionMinutes  float64
+	MeanEventsPerSess   float64
+	TransactionRate     float64 // transactions / events
+	MeanRating          float64
+	MessageOpenRate     float64 // opens / (opens + unopened campaign touches unknown here: opens per campaign event)
+	MessageClickThrough float64 // clicks / opens
+
+	// Recency: days between last event and the extraction horizon.
+	RecencyDays float64
+
+	// ActionHistogram counts clicks per action bucket (coarsened to
+	// NumActionBuckets so the vector stays dense).
+	ActionHistogram [NumActionBuckets]float64
+}
+
+// NumActionBuckets coarsens the 984-action universe into dense buckets for
+// the feature vector; the raw sparse histogram lives in internal/cf.
+const NumActionBuckets = 24
+
+// ActionBucket maps an action ordinal to its bucket.
+func ActionBucket(action uint32) int {
+	return int(action) * NumActionBuckets / ActionUniverse
+}
+
+// Extractor accumulates per-user features from a stream. It embeds a
+// Sessionizer so session statistics are computed on the fly — this is the
+// online half of the LifeLogs Pre-processor Agent.
+type Extractor struct {
+	sz      *Sessionizer
+	byUser  map[uint64]*acc
+	horizon time.Time
+}
+
+type acc struct {
+	fv            FeatureVector
+	sessions      int
+	sessionMins   float64
+	sessionEvents int
+	ratingSum     float64
+	msgOpens      int
+	msgClicks     int
+	lastEvent     time.Time
+}
+
+// NewExtractor creates an extractor; horizon is the "now" used for recency
+// (typically the campaign send time).
+func NewExtractor(idleGap time.Duration, horizon time.Time) *Extractor {
+	return &Extractor{
+		sz:      NewSessionizer(idleGap),
+		byUser:  make(map[uint64]*acc),
+		horizon: horizon,
+	}
+}
+
+// Feed consumes one event.
+func (x *Extractor) Feed(e Event) error {
+	done, err := x.sz.Feed(e)
+	if err != nil {
+		return err
+	}
+	a := x.byUser[e.UserID]
+	if a == nil {
+		a = &acc{fv: FeatureVector{UserID: e.UserID}}
+		x.byUser[e.UserID] = a
+	}
+	if done != nil {
+		x.closeSession(done)
+	}
+	a.fv.Events++
+	a.lastEvent = e.Time
+	switch e.Type {
+	case EventEnroll:
+		a.fv.Enrollments++
+	case EventRating:
+		a.fv.Ratings++
+		a.ratingSum += float64(e.Value)
+	case EventEITAnswer:
+		a.fv.EITAnswers++
+	case EventMessageOpen:
+		a.msgOpens++
+	case EventMessageClick:
+		a.msgClicks++
+	case EventClick, EventPageView:
+		a.fv.ActionHistogram[ActionBucket(e.Action)]++
+	}
+	if e.Type.IsTransaction() {
+		a.fv.Transactions++
+	}
+	return nil
+}
+
+func (x *Extractor) closeSession(s *Session) {
+	a := x.byUser[s.UserID]
+	if a == nil {
+		return
+	}
+	a.sessions++
+	a.sessionMins += s.Duration().Minutes()
+	a.sessionEvents += len(s.Events)
+}
+
+// Finish closes open sessions and returns the per-user feature vectors.
+func (x *Extractor) Finish() map[uint64]FeatureVector {
+	for _, s := range x.sz.FlushAll() {
+		x.closeSession(s)
+	}
+	out := make(map[uint64]FeatureVector, len(x.byUser))
+	for id, a := range x.byUser {
+		fv := a.fv
+		fv.Sessions = a.sessions
+		if a.sessions > 0 {
+			fv.MeanSessionMinutes = a.sessionMins / float64(a.sessions)
+			fv.MeanEventsPerSess = float64(a.sessionEvents) / float64(a.sessions)
+		}
+		if fv.Events > 0 {
+			fv.TransactionRate = float64(fv.Transactions) / float64(fv.Events)
+		}
+		if fv.Ratings > 0 {
+			fv.MeanRating = a.ratingSum / float64(fv.Ratings)
+		}
+		if fv.Events > 0 {
+			fv.MessageOpenRate = float64(a.msgOpens) / float64(fv.Events)
+		}
+		if a.msgOpens > 0 {
+			fv.MessageClickThrough = float64(a.msgClicks) / float64(a.msgOpens)
+		}
+		if !a.lastEvent.IsZero() {
+			fv.RecencyDays = x.horizon.Sub(a.lastEvent).Hours() / 24
+			if fv.RecencyDays < 0 {
+				fv.RecencyDays = 0
+			}
+		}
+		out[id] = fv
+	}
+	return out
+}
+
+// Dense flattens the vector into the fixed feature layout used by the
+// learners: 11 scalars followed by the action histogram. Count features are
+// log1p-compressed — raw click-stream counts span orders of magnitude, and
+// the linear learners downstream converge far better on the compressed
+// scale.
+func (fv FeatureVector) Dense() []float64 {
+	out := make([]float64, 0, 11+NumActionBuckets)
+	out = append(out,
+		log1p(float64(fv.Events)),
+		log1p(float64(fv.Sessions)),
+		log1p(float64(fv.Transactions)),
+		log1p(float64(fv.Enrollments)),
+		log1p(float64(fv.Ratings)),
+		log1p(float64(fv.EITAnswers)),
+		fv.MeanSessionMinutes,
+		fv.MeanEventsPerSess,
+		fv.TransactionRate,
+		fv.MeanRating,
+		fv.RecencyDays,
+	)
+	for _, h := range fv.ActionHistogram {
+		out = append(out, log1p(h))
+	}
+	return out
+}
+
+func log1p(x float64) float64 { return math.Log1p(x) }
+
+// DenseLen is the length of the Dense layout.
+const DenseLen = 11 + NumActionBuckets
+
+// DenseNames labels the Dense layout, index-aligned; used when registering
+// subjective attributes.
+func DenseNames() []string {
+	names := []string{
+		"ll_events", "ll_sessions", "ll_transactions", "ll_enrollments",
+		"ll_ratings", "ll_eit_answers", "ll_mean_session_min",
+		"ll_mean_events_per_sess", "ll_transaction_rate", "ll_mean_rating",
+		"ll_recency_days",
+	}
+	for i := 0; i < NumActionBuckets; i++ {
+		names = append(names, "ll_action_bucket_"+itoa2(i))
+	}
+	return names
+}
+
+func itoa2(i int) string {
+	const digits = "0123456789"
+	return string([]byte{digits[i/10], digits[i%10]})
+}

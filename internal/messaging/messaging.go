@@ -1,0 +1,331 @@
+// Package messaging implements the paper's Messaging Agent (§4 component 4,
+// §5.3): the component that "automatically generate[s] emotional arguments
+// from users' dominant attributes" — simulating the salesman who adapts the
+// sales talk to each customer's sensibilities.
+//
+// The assignment logic is exactly §5.3 step 3 / Fig. 5:
+//
+//	(a)    no matching sensibility            → standard message,
+//	(b)    exactly one match                  → that attribute's message,
+//	(c.i)  several matches, ByPriority policy → highest-priority attribute,
+//	(c.ii) several matches, BySensibility     → highest-sensibility attribute.
+package messaging
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/emotion"
+)
+
+// Message is one sales-talk template, generated once per (product attribute)
+// and stored in the message database (§5.3 step 2).
+type Message struct {
+	ID        int
+	Attribute emotion.Attribute
+	// Standard marks the fallback message (case 3.a); Attribute is ignored.
+	Standard bool
+	Template string
+}
+
+// Render fills the product name into the template.
+func (m Message) Render(product string) string {
+	return strings.ReplaceAll(m.Template, "{product}", product)
+}
+
+// Policy selects between the paper's two multi-match options.
+type Policy int
+
+const (
+	// ByPriority is case 3.c.i: order product attributes by priority and
+	// use the top one's message.
+	ByPriority Policy = iota
+	// BySensibility is case 3.c.ii: use the message of the attribute the
+	// user is most sensitive to.
+	BySensibility
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case ByPriority:
+		return "by-priority"
+	case BySensibility:
+		return "by-sensibility"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Case identifies which §5.3 branch fired, for reporting and the Fig. 5
+// reproduction.
+type Case int
+
+const (
+	// CaseStandard is 3.a — no sensibilities match the product attributes.
+	CaseStandard Case = iota
+	// CaseSingle is 3.b — exactly one match.
+	CaseSingle
+	// CaseMultiPriority is 3.c.i.
+	CaseMultiPriority
+	// CaseMultiSensibility is 3.c.ii.
+	CaseMultiSensibility
+)
+
+// String implements fmt.Stringer with the paper's case labels.
+func (c Case) String() string {
+	switch c {
+	case CaseStandard:
+		return "3.a"
+	case CaseSingle:
+		return "3.b"
+	case CaseMultiPriority:
+		return "3.c.i"
+	case CaseMultiSensibility:
+		return "3.c.ii"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// DB is the message database: one message per emotional attribute plus the
+// standard fallback.
+type DB struct {
+	standard Message
+	byAttr   map[emotion.Attribute]Message
+	// priority orders attributes for ByPriority; higher value wins.
+	priority map[emotion.Attribute]int
+}
+
+// NewDB builds the default message database with the reproduction's
+// templates and a priority table. Priorities default to the attribute's
+// base-valence magnitude ordering; SetPriority overrides.
+func NewDB() *DB {
+	db := &DB{
+		byAttr:   make(map[emotion.Attribute]Message),
+		priority: make(map[emotion.Attribute]int),
+	}
+	db.standard = Message{ID: 0, Standard: true,
+		Template: "Discover {product} — a course selected for you from our catalogue."}
+	templates := map[emotion.Attribute]string{
+		emotion.Enthusiastic: "Jump right in! {product} is the course people can't stop talking about — join the excitement today.",
+		emotion.Motivated:    "You set goals. {product} is how you reach the next one — enrol and keep the momentum.",
+		emotion.Empathic:     "Learn alongside people like you: {product} has an active community helping each other succeed.",
+		emotion.Hopeful:      "A better position is closer than you think — {product} opens that door.",
+		emotion.Lively:       "Bring your energy: {product} is hands-on, fast-paced and never boring.",
+		emotion.Stimulated:   "New ideas every lesson — {product} keeps your curiosity fed.",
+		emotion.Impatient:    "No waiting: {product} starts immediately and you see results from week one.",
+		emotion.Frightened:   "Take it at your own pace — {product} includes step-by-step guidance and a friendly tutor.",
+		emotion.Shy:          "Study from home, no pressure: {product} lets you learn privately and shine quietly.",
+		emotion.Apathetic:    "Ten minutes a day is enough — {product} fits effortlessly into your routine.",
+	}
+	id := 1
+	for _, a := range emotion.AllAttributes() {
+		db.byAttr[a] = Message{ID: id, Attribute: a, Template: templates[a]}
+		// Default priority: scaled base-valence magnitude (approach first).
+		db.priority[a] = int(100 * abs(float64(a.BaseValence())))
+		id++
+	}
+	return db
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SetPriority overrides the priority of an attribute (higher wins in
+// ByPriority assignments).
+func (db *DB) SetPriority(a emotion.Attribute, p int) error {
+	if _, ok := db.byAttr[a]; !ok {
+		return fmt.Errorf("messaging: unknown attribute %v", a)
+	}
+	db.priority[a] = p
+	return nil
+}
+
+// Priority returns an attribute's priority.
+func (db *DB) Priority(a emotion.Attribute) int { return db.priority[a] }
+
+// Standard returns the fallback message.
+func (db *DB) Standard() Message { return db.standard }
+
+// ForAttribute returns the message for an attribute.
+func (db *DB) ForAttribute(a emotion.Attribute) (Message, error) {
+	m, ok := db.byAttr[a]
+	if !ok {
+		return Message{}, fmt.Errorf("messaging: no message for attribute %v", a)
+	}
+	return m, nil
+}
+
+// Product describes the item being sold: the training course and the subset
+// of emotional attributes usable as its sales arguments (§5.3 step 1).
+type Product struct {
+	Name string
+	// SalesAttributes are the attributes selected for this course's talk.
+	SalesAttributes []emotion.Attribute
+}
+
+// Validate checks the product definition.
+func (p Product) Validate() error {
+	if p.Name == "" {
+		return errors.New("messaging: empty product name")
+	}
+	seen := map[emotion.Attribute]bool{}
+	for _, a := range p.SalesAttributes {
+		if int(a) < 0 || int(a) >= emotion.NumAttributes {
+			return fmt.Errorf("messaging: invalid sales attribute %d", a)
+		}
+		if seen[a] {
+			return fmt.Errorf("messaging: duplicate sales attribute %v", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// Assignment is the outcome for one user.
+type Assignment struct {
+	Case    Case
+	Message Message
+	// Matched lists the user's matching sensibilities, strongest first
+	// (ByPriority: priority order; BySensibility: weight order).
+	Matched []Match
+	// Rendered is the final text.
+	Rendered string
+}
+
+// Match pairs an attribute with the user's sensibility weight for it.
+type Match struct {
+	Attribute emotion.Attribute
+	Weight    float64
+}
+
+// Assign implements §5.3 step 3. sensibilities is indexed by
+// emotion.Attribute; threshold is the sensibility cutoff; policy picks the
+// multi-match rule.
+func (db *DB) Assign(p Product, sensibilities []float64, threshold float64, policy Policy) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if len(sensibilities) != emotion.NumAttributes {
+		return Assignment{}, fmt.Errorf("messaging: want %d sensibilities, got %d", emotion.NumAttributes, len(sensibilities))
+	}
+	var matched []Match
+	for _, a := range p.SalesAttributes {
+		if w := sensibilities[a]; w > threshold {
+			matched = append(matched, Match{Attribute: a, Weight: w})
+		}
+	}
+	switch len(matched) {
+	case 0: // case 3.a
+		msg := db.standard
+		return Assignment{Case: CaseStandard, Message: msg, Rendered: msg.Render(p.Name)}, nil
+	case 1: // case 3.b
+		msg, err := db.ForAttribute(matched[0].Attribute)
+		if err != nil {
+			return Assignment{}, err
+		}
+		return Assignment{Case: CaseSingle, Message: msg, Matched: matched, Rendered: msg.Render(p.Name)}, nil
+	}
+	// case 3.c
+	var kase Case
+	switch policy {
+	case ByPriority:
+		kase = CaseMultiPriority
+		sort.SliceStable(matched, func(i, j int) bool {
+			pi, pj := db.priority[matched[i].Attribute], db.priority[matched[j].Attribute]
+			if pi != pj {
+				return pi > pj
+			}
+			return matched[i].Attribute < matched[j].Attribute
+		})
+	case BySensibility:
+		kase = CaseMultiSensibility
+		sort.SliceStable(matched, func(i, j int) bool {
+			if matched[i].Weight != matched[j].Weight {
+				return matched[i].Weight > matched[j].Weight
+			}
+			return matched[i].Attribute < matched[j].Attribute
+		})
+	default:
+		return Assignment{}, fmt.Errorf("messaging: unknown policy %v", policy)
+	}
+	msg, err := db.ForAttribute(matched[0].Attribute)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return Assignment{Case: kase, Message: msg, Matched: matched, Rendered: msg.Render(p.Name)}, nil
+}
+
+// Fig5Sample reproduces the paper's Figure 5: three users demonstrating
+// cases 3.b, 3.c.i (lively > stimulated > shy > frightened by priority) and
+// 3.c.ii (hopeful over motivated by sensibility).
+type Fig5Sample struct {
+	Label      string
+	Case       Case
+	Attributes []emotion.Attribute // matched attributes in report order
+	Rendered   string
+}
+
+// Fig5 builds the three canonical samples of the paper's Figure 5 against
+// the given product.
+func Fig5(db *DB, productName string) ([]Fig5Sample, error) {
+	product := Product{
+		Name: productName,
+		SalesAttributes: []emotion.Attribute{
+			emotion.Enthusiastic, emotion.Motivated, emotion.Hopeful,
+			emotion.Lively, emotion.Stimulated, emotion.Frightened, emotion.Shy,
+		},
+	}
+	// Fig. 5(b) priority order: lively > stimulated > shy > frightened.
+	for i, a := range []emotion.Attribute{emotion.Lively, emotion.Stimulated, emotion.Shy, emotion.Frightened} {
+		if err := db.SetPriority(a, 400-i*100); err != nil {
+			return nil, err
+		}
+	}
+	mkSens := func(pairs map[emotion.Attribute]float64) []float64 {
+		s := make([]float64, emotion.NumAttributes)
+		for a, w := range pairs {
+			s[a] = w
+		}
+		return s
+	}
+	type spec struct {
+		label  string
+		sens   map[emotion.Attribute]float64
+		policy Policy
+	}
+	specs := []spec{
+		// (a) "very much sensibility for the emotional attribute
+		// enthusiastic" — single match, case 3.b.
+		{"Fig5(a) single attribute (enthusiastic)", map[emotion.Attribute]float64{emotion.Enthusiastic: 0.95}, ByPriority},
+		// (b) four attributes ordered by priority: lively, stimulated, shy,
+		// frightened — case 3.c.i.
+		{"Fig5(b) several attributes by priority", map[emotion.Attribute]float64{
+			emotion.Lively: 0.6, emotion.Stimulated: 0.7, emotion.Shy: 0.8, emotion.Frightened: 0.65,
+		}, ByPriority},
+		// (c) motivated and hopeful; hopeful impacts most — case 3.c.ii.
+		{"Fig5(c) several attributes by sensibility", map[emotion.Attribute]float64{
+			emotion.Motivated: 0.7, emotion.Hopeful: 0.9,
+		}, BySensibility},
+	}
+	var out []Fig5Sample
+	for _, sp := range specs {
+		asg, err := db.Assign(product, mkSens(sp.sens), 0.5, sp.policy)
+		if err != nil {
+			return nil, err
+		}
+		sample := Fig5Sample{Label: sp.label, Case: asg.Case, Rendered: asg.Rendered}
+		for _, m := range asg.Matched {
+			sample.Attributes = append(sample.Attributes, m.Attribute)
+		}
+		out = append(out, sample)
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package messaging
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emotion"
+)
+
+func sens(pairs map[emotion.Attribute]float64) []float64 {
+	s := make([]float64, emotion.NumAttributes)
+	for a, w := range pairs {
+		s[a] = w
+	}
+	return s
+}
+
+var product = Product{
+	Name: "Advanced Project Management",
+	SalesAttributes: []emotion.Attribute{
+		emotion.Enthusiastic, emotion.Motivated, emotion.Hopeful,
+		emotion.Lively, emotion.Stimulated, emotion.Shy, emotion.Frightened,
+	},
+}
+
+func TestDBHasMessageForEveryAttribute(t *testing.T) {
+	db := NewDB()
+	for _, a := range emotion.AllAttributes() {
+		m, err := db.ForAttribute(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Template == "" || !strings.Contains(m.Template, "{product}") {
+			t.Fatalf("attribute %v template %q", a, m.Template)
+		}
+		if m.Standard {
+			t.Fatalf("attribute message %v marked standard", a)
+		}
+	}
+	if !db.Standard().Standard {
+		t.Fatal("standard message not marked")
+	}
+}
+
+func TestMessageIDsUnique(t *testing.T) {
+	db := NewDB()
+	seen := map[int]bool{db.Standard().ID: true}
+	for _, a := range emotion.AllAttributes() {
+		m, _ := db.ForAttribute(a)
+		if seen[m.ID] {
+			t.Fatalf("duplicate message id %d", m.ID)
+		}
+		seen[m.ID] = true
+	}
+}
+
+func TestRenderSubstitutesProduct(t *testing.T) {
+	db := NewDB()
+	m, _ := db.ForAttribute(emotion.Hopeful)
+	out := m.Render("English B2")
+	if !strings.Contains(out, "English B2") || strings.Contains(out, "{product}") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestCaseStandardNoMatches(t *testing.T) {
+	db := NewDB()
+	asg, err := db.Assign(product, sens(nil), 0.5, ByPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Case != CaseStandard {
+		t.Fatalf("case %v", asg.Case)
+	}
+	if !asg.Message.Standard {
+		t.Fatal("not the standard message")
+	}
+	if len(asg.Matched) != 0 {
+		t.Fatal("matches on standard case")
+	}
+	if !strings.Contains(asg.Rendered, product.Name) {
+		t.Fatal("standard message not rendered")
+	}
+}
+
+func TestCaseSingleMatch(t *testing.T) {
+	db := NewDB()
+	asg, err := db.Assign(product, sens(map[emotion.Attribute]float64{emotion.Enthusiastic: 0.95}), 0.5, ByPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Case != CaseSingle {
+		t.Fatalf("case %v", asg.Case)
+	}
+	if asg.Message.Attribute != emotion.Enthusiastic {
+		t.Fatalf("message attribute %v", asg.Message.Attribute)
+	}
+}
+
+func TestCaseMultiByPriority(t *testing.T) {
+	db := NewDB()
+	db.SetPriority(emotion.Lively, 400)
+	db.SetPriority(emotion.Stimulated, 300)
+	db.SetPriority(emotion.Shy, 200)
+	db.SetPriority(emotion.Frightened, 100)
+	// Shy has the highest *sensibility* but lively the highest *priority*.
+	s := sens(map[emotion.Attribute]float64{
+		emotion.Lively: 0.6, emotion.Stimulated: 0.7, emotion.Shy: 0.9, emotion.Frightened: 0.65,
+	})
+	asg, err := db.Assign(product, s, 0.5, ByPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Case != CaseMultiPriority {
+		t.Fatalf("case %v", asg.Case)
+	}
+	if asg.Message.Attribute != emotion.Lively {
+		t.Fatalf("priority winner %v, want lively", asg.Message.Attribute)
+	}
+	want := []emotion.Attribute{emotion.Lively, emotion.Stimulated, emotion.Shy, emotion.Frightened}
+	for i, m := range asg.Matched {
+		if m.Attribute != want[i] {
+			t.Fatalf("priority order %v", asg.Matched)
+		}
+	}
+}
+
+func TestCaseMultiBySensibility(t *testing.T) {
+	db := NewDB()
+	s := sens(map[emotion.Attribute]float64{emotion.Motivated: 0.7, emotion.Hopeful: 0.9})
+	asg, err := db.Assign(product, s, 0.5, BySensibility)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Case != CaseMultiSensibility {
+		t.Fatalf("case %v", asg.Case)
+	}
+	if asg.Message.Attribute != emotion.Hopeful {
+		t.Fatalf("sensibility winner %v, want hopeful", asg.Message.Attribute)
+	}
+}
+
+func TestThresholdExcludesWeakSensibilities(t *testing.T) {
+	db := NewDB()
+	s := sens(map[emotion.Attribute]float64{emotion.Motivated: 0.49, emotion.Hopeful: 0.51})
+	asg, err := db.Assign(product, s, 0.5, BySensibility)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Case != CaseSingle || asg.Message.Attribute != emotion.Hopeful {
+		t.Fatalf("threshold filtering broken: %v %v", asg.Case, asg.Message.Attribute)
+	}
+}
+
+func TestNonSalesAttributesIgnored(t *testing.T) {
+	db := NewDB()
+	// Apathetic is strong but not a sales attribute of this product.
+	s := sens(map[emotion.Attribute]float64{emotion.Apathetic: 0.99})
+	asg, err := db.Assign(product, s, 0.5, ByPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Case != CaseStandard {
+		t.Fatalf("non-sales attribute matched: %v", asg.Case)
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Assign(Product{}, sens(nil), 0.5, ByPriority); err == nil {
+		t.Fatal("empty product accepted")
+	}
+	if _, err := db.Assign(product, []float64{1, 2}, 0.5, ByPriority); err == nil {
+		t.Fatal("wrong sensibility length accepted")
+	}
+	dup := Product{Name: "x", SalesAttributes: []emotion.Attribute{emotion.Shy, emotion.Shy}}
+	if _, err := db.Assign(dup, sens(nil), 0.5, ByPriority); err == nil {
+		t.Fatal("duplicate sales attribute accepted")
+	}
+	bad := Product{Name: "x", SalesAttributes: []emotion.Attribute{emotion.Attribute(99)}}
+	if _, err := db.Assign(bad, sens(nil), 0.5, ByPriority); err == nil {
+		t.Fatal("invalid sales attribute accepted")
+	}
+	s := sens(map[emotion.Attribute]float64{emotion.Shy: 0.9, emotion.Hopeful: 0.9})
+	if _, err := db.Assign(product, s, 0.5, Policy(9)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestSetPriorityUnknownAttribute(t *testing.T) {
+	db := NewDB()
+	if err := db.SetPriority(emotion.Attribute(42), 1); err == nil {
+		t.Fatal("unknown attribute priority set")
+	}
+}
+
+func TestCaseAndPolicyStrings(t *testing.T) {
+	if CaseStandard.String() != "3.a" || CaseSingle.String() != "3.b" ||
+		CaseMultiPriority.String() != "3.c.i" || CaseMultiSensibility.String() != "3.c.ii" {
+		t.Fatal("case labels")
+	}
+	if ByPriority.String() != "by-priority" || BySensibility.String() != "by-sensibility" {
+		t.Fatal("policy labels")
+	}
+}
+
+func TestFig5ReproducesPaperCases(t *testing.T) {
+	db := NewDB()
+	samples, err := Fig5(db, "Course in Digital Marketing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	// (a) case 3.b on enthusiastic.
+	if samples[0].Case != CaseSingle || samples[0].Attributes[0] != emotion.Enthusiastic {
+		t.Fatalf("Fig5(a): %+v", samples[0])
+	}
+	// (b) case 3.c.i, priority order lively > stimulated > shy > frightened.
+	if samples[1].Case != CaseMultiPriority {
+		t.Fatalf("Fig5(b) case %v", samples[1].Case)
+	}
+	wantOrder := []emotion.Attribute{emotion.Lively, emotion.Stimulated, emotion.Shy, emotion.Frightened}
+	for i, a := range samples[1].Attributes {
+		if a != wantOrder[i] {
+			t.Fatalf("Fig5(b) order %v", samples[1].Attributes)
+		}
+	}
+	// (c) case 3.c.ii, hopeful wins over motivated.
+	if samples[2].Case != CaseMultiSensibility || samples[2].Attributes[0] != emotion.Hopeful {
+		t.Fatalf("Fig5(c): %+v", samples[2])
+	}
+	for _, s := range samples {
+		if !strings.Contains(s.Rendered, "Course in Digital Marketing") {
+			t.Fatalf("sample %q not rendered", s.Label)
+		}
+	}
+}
+
+// Property: Assign never errors on valid inputs and always returns a
+// rendered message containing the product name.
+func TestAssignTotalProperty(t *testing.T) {
+	db := NewDB()
+	f := func(raw [emotion.NumAttributes]uint8, policyBit bool) bool {
+		s := make([]float64, emotion.NumAttributes)
+		for i, v := range raw {
+			s[i] = float64(v) / 255
+		}
+		policy := ByPriority
+		if policyBit {
+			policy = BySensibility
+		}
+		asg, err := db.Assign(product, s, 0.5, policy)
+		if err != nil {
+			return false
+		}
+		if !strings.Contains(asg.Rendered, product.Name) {
+			return false
+		}
+		switch asg.Case {
+		case CaseStandard:
+			return len(asg.Matched) == 0
+		case CaseSingle:
+			return len(asg.Matched) == 1
+		case CaseMultiPriority, CaseMultiSensibility:
+			return len(asg.Matched) >= 2
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	db := NewDB()
+	s := sens(map[emotion.Attribute]float64{
+		emotion.Lively: 0.6, emotion.Stimulated: 0.7, emotion.Shy: 0.9,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Assign(product, s, 0.5, ByPriority); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package physio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/emotion"
+)
+
+// The commander advisor: the Ambient Recommender System of the paper's
+// future work. It maintains a rolling emotional-state window per firefighter
+// and produces operational-fitness advice "so he can better assess the
+// operational fitness of his colleague in particular situations" (§7).
+
+// Fitness grades operational fitness.
+type Fitness int
+
+const (
+	// FitnessGreen: fully operational.
+	FitnessGreen Fitness = iota
+	// FitnessAmber: elevated load; monitor, avoid assigning critical tasks.
+	FitnessAmber
+	// FitnessRed: acute distress; rotate out or pair with support.
+	FitnessRed
+)
+
+// String implements fmt.Stringer.
+func (f Fitness) String() string {
+	switch f {
+	case FitnessGreen:
+		return "green"
+	case FitnessAmber:
+		return "amber"
+	case FitnessRed:
+		return "red"
+	default:
+		return fmt.Sprintf("Fitness(%d)", int(f))
+	}
+}
+
+// Advice is one commander recommendation for one firefighter.
+type Advice struct {
+	SubjectID uint64
+	Time      time.Time
+	Fitness   Fitness
+	// MeanArousal and MeanValence summarize the window.
+	MeanArousal float64
+	MeanValence float64
+	// Dominant is the strongest mapped emotional attribute in the window.
+	Dominant emotion.Attribute
+	// Recommendation is the operational text for the commander.
+	Recommendation string
+}
+
+// Advisor accumulates mapped states and grades fitness over a sliding
+// window.
+type Advisor struct {
+	// Window is the assessment horizon (default 2 minutes).
+	Window time.Duration
+	// AmberArousal and RedArousal are the grade thresholds.
+	AmberArousal float64
+	RedArousal   float64
+
+	states map[uint64][]State
+}
+
+// NewAdvisor returns an advisor with calibrated defaults.
+func NewAdvisor() *Advisor {
+	return &Advisor{
+		Window:       2 * time.Minute,
+		AmberArousal: 0.45,
+		RedArousal:   0.65,
+		states:       make(map[uint64][]State),
+	}
+}
+
+// Observe records a mapped state.
+func (a *Advisor) Observe(st State) {
+	ss := append(a.states[st.SubjectID], st)
+	// Trim outside the window.
+	cut := st.Time.Add(-a.Window)
+	start := 0
+	for start < len(ss) && ss[start].Time.Before(cut) {
+		start++
+	}
+	a.states[st.SubjectID] = ss[start:]
+}
+
+// ErrNoObservations is returned when advising on an unobserved subject.
+var ErrNoObservations = errors.New("physio: no observations for subject")
+
+// Advise grades a firefighter's current operational fitness.
+func (a *Advisor) Advise(subject uint64) (Advice, error) {
+	ss := a.states[subject]
+	if len(ss) == 0 {
+		return Advice{}, fmt.Errorf("%w: %d", ErrNoObservations, subject)
+	}
+	var arousal, valence float64
+	attrSum := map[emotion.Attribute]float64{}
+	for _, st := range ss {
+		arousal += st.Arousal
+		valence += float64(st.Valence)
+		for attr, w := range st.Attributes {
+			attrSum[attr] += w
+		}
+	}
+	n := float64(len(ss))
+	adv := Advice{
+		SubjectID:   subject,
+		Time:        ss[len(ss)-1].Time,
+		MeanArousal: arousal / n,
+		MeanValence: valence / n,
+	}
+	// Dominant attribute: highest accumulated weight; ties break by
+	// attribute order for determinism.
+	type aw struct {
+		a emotion.Attribute
+		w float64
+	}
+	var all []aw
+	for attr, w := range attrSum {
+		all = append(all, aw{attr, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].a < all[j].a
+	})
+	if len(all) > 0 {
+		adv.Dominant = all[0].a
+	}
+	distressed := adv.MeanValence < -0.1
+	switch {
+	case adv.MeanArousal >= a.RedArousal && distressed:
+		adv.Fitness = FitnessRed
+		adv.Recommendation = "acute distress: rotate out of the hot zone and pair with support"
+	case adv.MeanArousal >= a.RedArousal:
+		adv.Fitness = FitnessAmber
+		adv.Recommendation = "very high load but engaged: shorten task cycles and schedule relief"
+	case adv.MeanArousal >= a.AmberArousal:
+		adv.Fitness = FitnessAmber
+		adv.Recommendation = "elevated load: monitor closely, avoid assigning new critical tasks"
+	default:
+		adv.Fitness = FitnessGreen
+		adv.Recommendation = "operational: fit for assignment"
+	}
+	return adv, nil
+}
+
+// Subjects lists observed subjects in ascending order.
+func (a *Advisor) Subjects() []uint64 {
+	out := make([]uint64, 0, len(a.states))
+	for id := range a.states {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,223 @@
+// Package physio implements the paper's future-work extension (§7): "We are
+// sensing physiological and contextual parameters of firefighters in Paris
+// brigades through wearable computing in the wearIT@work project ... mapping
+// physiological signals to user's emotional context. The objective of the
+// team commander is to receive advice from the system about firefighter's
+// current emotional state and its implications in the rescue operation."
+//
+// The package provides:
+//
+//   - a typed physiological sample stream (heart rate, heart-rate
+//     variability, skin conductance, respiration, skin temperature,
+//     movement),
+//   - per-subject baselines learned from calm periods,
+//   - a mapper from baseline-normalized signals to the circumplex
+//     (arousal/valence) plane and onto the deployment's ten emotional
+//     attributes,
+//   - an operational-fitness assessor producing the commander advice the
+//     paper describes.
+//
+// Real wearIT@work sensor data is unavailable; internal/physio/simulate.go
+// generates the synthetic equivalent (scripted incident timelines with
+// subject-specific physiology), which exercises the same code path.
+package physio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/emotion"
+)
+
+// Sample is one multi-sensor reading from a wearable.
+type Sample struct {
+	SubjectID uint64
+	Time      time.Time
+	// HeartRate in beats per minute.
+	HeartRate float64
+	// HRV is heart-rate variability (RMSSD, milliseconds); low HRV under
+	// load indicates stress.
+	HRV float64
+	// SkinConductance in microsiemens; rises with sympathetic arousal.
+	SkinConductance float64
+	// RespirationRate in breaths per minute.
+	RespirationRate float64
+	// SkinTemp in °C; peripheral temperature drops under acute stress.
+	SkinTemp float64
+	// Movement is accelerometer magnitude in g.
+	Movement float64
+}
+
+// Validate checks physiological plausibility bounds (a reading outside
+// them indicates sensor fault, and the mapper must not interpret it).
+func (s Sample) Validate() error {
+	if s.SubjectID == 0 {
+		return errors.New("physio: zero subject id")
+	}
+	if s.Time.IsZero() {
+		return errors.New("physio: zero timestamp")
+	}
+	checks := []struct {
+		name      string
+		v, lo, hi float64
+	}{
+		{"heart rate", s.HeartRate, 20, 250},
+		{"hrv", s.HRV, 0, 300},
+		{"skin conductance", s.SkinConductance, 0, 60},
+		{"respiration", s.RespirationRate, 2, 80},
+		{"skin temp", s.SkinTemp, 15, 45},
+		{"movement", s.Movement, 0, 20},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || c.v < c.lo || c.v > c.hi {
+			return fmt.Errorf("physio: %s %.2f outside [%g, %g]", c.name, c.v, c.lo, c.hi)
+		}
+	}
+	return nil
+}
+
+// Baseline is a subject's resting physiology, learned from calm periods.
+type Baseline struct {
+	SubjectID uint64
+	HeartRate float64
+	HRV       float64
+	SkinCond  float64
+	Resp      float64
+	SkinTemp  float64
+	Samples   int
+}
+
+// LearnBaseline averages validated samples from a calm period. At least
+// minSamples readings are required for a usable baseline.
+func LearnBaseline(subject uint64, samples []Sample, minSamples int) (Baseline, error) {
+	if minSamples < 1 {
+		minSamples = 30
+	}
+	b := Baseline{SubjectID: subject}
+	for _, s := range samples {
+		if s.SubjectID != subject {
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			continue // faulty readings don't poison the baseline
+		}
+		b.HeartRate += s.HeartRate
+		b.HRV += s.HRV
+		b.SkinCond += s.SkinConductance
+		b.Resp += s.RespirationRate
+		b.SkinTemp += s.SkinTemp
+		b.Samples++
+	}
+	if b.Samples < minSamples {
+		return Baseline{}, fmt.Errorf("physio: only %d valid samples, need %d", b.Samples, minSamples)
+	}
+	n := float64(b.Samples)
+	b.HeartRate /= n
+	b.HRV /= n
+	b.SkinCond /= n
+	b.Resp /= n
+	b.SkinTemp /= n
+	return b, nil
+}
+
+// State is the mapped emotional reading.
+type State struct {
+	SubjectID uint64
+	Time      time.Time
+	// Arousal in [0, 1]: 0 calm, 1 maximal sympathetic activation.
+	Arousal float64
+	// Valence in [-1, 1]: negative = distress, positive = engaged/positive.
+	Valence emotion.Valence
+	// Attributes maps the reading onto the deployment's vocabulary.
+	Attributes map[emotion.Attribute]float64
+}
+
+// Mapper converts baseline-normalized samples to emotional state. One
+// mapper serves many subjects (baselines are passed per call).
+type Mapper struct {
+	// ExertionDiscount reduces arousal attributed to physical effort
+	// (movement explains heart-rate elevation during a climb without
+	// emotional stress). In [0,1]; default 0.5.
+	ExertionDiscount float64
+}
+
+// NewMapper returns a mapper with defaults.
+func NewMapper() *Mapper { return &Mapper{ExertionDiscount: 0.5} }
+
+// Map converts one sample to an emotional state estimate.
+func (m *Mapper) Map(b Baseline, s Sample) (State, error) {
+	if err := s.Validate(); err != nil {
+		return State{}, err
+	}
+	if b.SubjectID != s.SubjectID {
+		return State{}, fmt.Errorf("physio: baseline subject %d != sample subject %d", b.SubjectID, s.SubjectID)
+	}
+	// Baseline-relative deviations, each squashed to [0,1].
+	hrDev := squash((s.HeartRate - b.HeartRate) / 40)
+	scDev := squash((s.SkinConductance - b.SkinCond) / 8)
+	respDev := squash((s.RespirationRate - b.Resp) / 12)
+	hrvDrop := squash((b.HRV - s.HRV) / 30)
+	tempDrop := squash((b.SkinTemp - s.SkinTemp) / 2)
+
+	// Physical exertion explains part of cardio-respiratory elevation.
+	exertion := squash(s.Movement / 3)
+	discount := m.ExertionDiscount * exertion
+	cardio := math.Max(0, (hrDev+respDev)/2-discount)
+
+	arousal := clamp01(0.40*cardio + 0.35*scDev + 0.25*hrvDrop)
+
+	// Valence: distress markers are HRV collapse and peripheral temperature
+	// drop with high arousal; engaged-positive is elevated cardio without
+	// them.
+	distress := clamp01(0.6*hrvDrop + 0.4*tempDrop)
+	valence := emotion.Valence(0.5*cardio - 1.6*distress*arousal).Clamp()
+
+	attrs := map[emotion.Attribute]float64{}
+	switch {
+	case arousal >= 0.55 && valence < -0.15:
+		attrs[emotion.Frightened] = arousal * float64(-valence)
+		attrs[emotion.Impatient] = 0.5 * arousal
+	case arousal >= 0.55:
+		attrs[emotion.Stimulated] = arousal
+		attrs[emotion.Lively] = 0.6 * arousal
+	case valence < -0.15 && arousal >= 0.3:
+		// Mid-arousal distress: apprehension building before the acute
+		// threshold.
+		attrs[emotion.Frightened] = arousal * (0.4 + float64(-valence))
+		attrs[emotion.Shy] = 0.3 * arousal
+	case valence < -0.15:
+		attrs[emotion.Apathetic] = 0.4 * (1 - arousal)
+	case arousal <= 0.2:
+		attrs[emotion.Motivated] = 0.4 + 0.3*float64(valence)
+	default:
+		attrs[emotion.Hopeful] = 0.3
+	}
+	return State{
+		SubjectID:  s.SubjectID,
+		Time:       s.Time,
+		Arousal:    arousal,
+		Valence:    valence,
+		Attributes: attrs,
+	}, nil
+}
+
+// squash maps a deviation (already scaled to ~1 at "strong") into [0,1]
+// smoothly, clipping negatives.
+func squash(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x / (1 + x)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,325 @@
+package physio
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/emotion"
+	"repro/internal/rng"
+)
+
+var testStart = time.Date(2006, 6, 1, 10, 0, 0, 0, time.UTC)
+
+func calmSample(subject uint64, at time.Time) Sample {
+	return Sample{
+		SubjectID: subject, Time: at,
+		HeartRate: 62, HRV: 70, SkinConductance: 4,
+		RespirationRate: 14, SkinTemp: 33.5, Movement: 0.1,
+	}
+}
+
+func stressedSample(subject uint64, at time.Time) Sample {
+	return Sample{
+		SubjectID: subject, Time: at,
+		HeartRate: 135, HRV: 18, SkinConductance: 14,
+		RespirationRate: 26, SkinTemp: 31.6, Movement: 0.4,
+	}
+}
+
+func learnCalm(t *testing.T, subject uint64) Baseline {
+	t.Helper()
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		samples = append(samples, calmSample(subject, testStart.Add(time.Duration(i)*5*time.Second)))
+	}
+	b, err := LearnBaseline(subject, samples, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSampleValidate(t *testing.T) {
+	good := calmSample(1, testStart)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Sample{
+		{},
+		func() Sample { s := good; s.SubjectID = 0; return s }(),
+		func() Sample { s := good; s.HeartRate = 800; return s }(),
+		func() Sample { s := good; s.HRV = -1; return s }(),
+		func() Sample { s := good; s.SkinTemp = 5; return s }(),
+		func() Sample { s := good; s.RespirationRate = 100; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad sample %d validated", i)
+		}
+	}
+}
+
+func TestLearnBaseline(t *testing.T) {
+	b := learnCalm(t, 1)
+	if b.HeartRate != 62 || b.HRV != 70 {
+		t.Fatalf("baseline %+v", b)
+	}
+	if b.Samples != 60 {
+		t.Fatalf("baseline samples %d", b.Samples)
+	}
+}
+
+func TestLearnBaselineRejectsTooFew(t *testing.T) {
+	if _, err := LearnBaseline(1, []Sample{calmSample(1, testStart)}, 30); err == nil {
+		t.Fatal("tiny baseline accepted")
+	}
+}
+
+func TestLearnBaselineSkipsFaultsAndOtherSubjects(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 40; i++ {
+		samples = append(samples, calmSample(1, testStart.Add(time.Duration(i)*time.Second)))
+	}
+	fault := calmSample(1, testStart)
+	fault.HeartRate = 999 // implausible
+	samples = append(samples, fault)
+	samples = append(samples, calmSample(2, testStart)) // other subject
+	b, err := LearnBaseline(1, samples, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Samples != 40 {
+		t.Fatalf("baseline counted %d samples", b.Samples)
+	}
+	if b.HeartRate != 62 {
+		t.Fatalf("fault poisoned baseline: %v", b.HeartRate)
+	}
+}
+
+func TestMapCalmVsStressed(t *testing.T) {
+	b := learnCalm(t, 1)
+	m := NewMapper()
+	calm, err := m.Map(b, calmSample(1, testStart))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressed, err := m.Map(b, stressedSample(1, testStart))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calm.Arousal > 0.15 {
+		t.Fatalf("calm arousal %v", calm.Arousal)
+	}
+	if stressed.Arousal < 0.5 {
+		t.Fatalf("stressed arousal %v", stressed.Arousal)
+	}
+	if stressed.Valence >= 0 {
+		t.Fatalf("distress valence %v", stressed.Valence)
+	}
+	if stressed.Attributes[emotion.Frightened] <= 0 {
+		t.Fatalf("distress attributes %v", stressed.Attributes)
+	}
+}
+
+func TestMapExertionDiscount(t *testing.T) {
+	b := learnCalm(t, 1)
+	m := NewMapper()
+	// Same cardio elevation; one subject is climbing (high movement), the
+	// other is still. The climber's emotional arousal must be lower.
+	working := Sample{
+		SubjectID: 1, Time: testStart,
+		HeartRate: 120, HRV: 55, SkinConductance: 6,
+		RespirationRate: 24, SkinTemp: 33.6, Movement: 3.0,
+	}
+	still := working
+	still.Movement = 0.1
+	sWork, _ := m.Map(b, working)
+	sStill, _ := m.Map(b, still)
+	if sWork.Arousal >= sStill.Arousal {
+		t.Fatalf("exertion not discounted: working %v vs still %v", sWork.Arousal, sStill.Arousal)
+	}
+}
+
+func TestMapRejectsFaultAndWrongSubject(t *testing.T) {
+	b := learnCalm(t, 1)
+	m := NewMapper()
+	fault := calmSample(1, testStart)
+	fault.HeartRate = 500
+	if _, err := m.Map(b, fault); err == nil {
+		t.Fatal("fault interpreted")
+	}
+	if _, err := m.Map(b, calmSample(2, testStart)); err == nil {
+		t.Fatal("wrong subject accepted")
+	}
+}
+
+func TestMapBoundsProperty(t *testing.T) {
+	b := Baseline{SubjectID: 1, HeartRate: 62, HRV: 70, SkinCond: 4, Resp: 14, SkinTemp: 33.5, Samples: 60}
+	m := NewMapper()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := Sample{
+			SubjectID:       1,
+			Time:            testStart,
+			HeartRate:       20 + r.Float64()*230,
+			HRV:             r.Float64() * 300,
+			SkinConductance: r.Float64() * 60,
+			RespirationRate: 2 + r.Float64()*78,
+			SkinTemp:        15 + r.Float64()*30,
+			Movement:        r.Float64() * 20,
+		}
+		st, err := m.Map(b, s)
+		if err != nil {
+			return false
+		}
+		return st.Arousal >= 0 && st.Arousal <= 1 && st.Valence >= -1 && st.Valence <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateStandardIncident(t *testing.T) {
+	r := rng.New(1)
+	subj := NewSubject(1, r)
+	samples, err := Simulate(subj, StandardIncident(), SimulateConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 200 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	// Heart rate in the acute phase must exceed staging.
+	var stagingHR, searchHR float64
+	var ns, nq int
+	for i, s := range samples {
+		frac := float64(i) / float64(len(samples))
+		if frac < 0.15 {
+			stagingHR += s.HeartRate
+			ns++
+		}
+		if frac > 0.55 && frac < 0.65 {
+			searchHR += s.HeartRate
+			nq++
+		}
+	}
+	if stagingHR/float64(ns) >= searchHR/float64(nq) {
+		t.Fatal("incident timeline has no physiological arc")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	subj := NewSubject(1, rng.New(1))
+	if _, err := Simulate(subj, nil, SimulateConfig{}); err == nil {
+		t.Fatal("empty timeline accepted")
+	}
+	if _, err := Simulate(subj, StandardIncident(), SimulateConfig{FaultRate: 1.5}); err == nil {
+		t.Fatal("bad fault rate accepted")
+	}
+}
+
+func TestAdvisorGradesIncident(t *testing.T) {
+	r := rng.New(7)
+	subj := NewSubject(3, r)
+	// Baseline from a scripted calm phase.
+	calmPhase := []Phase{{Name: "rest", Duration: 5 * time.Minute, Exertion: 0.05, Stress: 0.05}}
+	calm, err := Simulate(subj, calmPhase, SimulateConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LearnBaseline(subj.ID, calm, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Simulate(subj, StandardIncident(), SimulateConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper()
+	adv := NewAdvisor()
+	var grades []Fitness
+	for _, s := range samples {
+		st, err := m.Map(baseline, s)
+		if err != nil {
+			continue // sensor fault
+		}
+		adv.Observe(st)
+		a, err := adv.Advise(subj.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grades = append(grades, a.Fitness)
+	}
+	// The incident must start green and escalate beyond green at the acute
+	// phase.
+	if grades[5] != FitnessGreen {
+		t.Fatalf("staging graded %v", grades[5])
+	}
+	sawEscalation := false
+	for _, g := range grades {
+		if g == FitnessAmber || g == FitnessRed {
+			sawEscalation = true
+		}
+	}
+	if !sawEscalation {
+		t.Fatal("acute phase never escalated")
+	}
+	if len(adv.Subjects()) != 1 || adv.Subjects()[0] != subj.ID {
+		t.Fatalf("subjects %v", adv.Subjects())
+	}
+}
+
+func TestAdvisorUnknownSubject(t *testing.T) {
+	adv := NewAdvisor()
+	if _, err := adv.Advise(42); !errors.Is(err, ErrNoObservations) {
+		t.Fatalf("unknown subject: %v", err)
+	}
+}
+
+func TestAdvisorWindowTrims(t *testing.T) {
+	adv := NewAdvisor()
+	adv.Window = time.Minute
+	// Old distressed states followed by calm ones outside the window.
+	old := State{SubjectID: 1, Time: testStart, Arousal: 0.9, Valence: -0.8}
+	adv.Observe(old)
+	recent := State{SubjectID: 1, Time: testStart.Add(5 * time.Minute), Arousal: 0.1, Valence: 0.2}
+	adv.Observe(recent)
+	a, err := adv.Advise(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fitness != FitnessGreen {
+		t.Fatalf("stale distress leaked into grade: %v (arousal %v)", a.Fitness, a.MeanArousal)
+	}
+}
+
+func TestFitnessStrings(t *testing.T) {
+	if FitnessGreen.String() != "green" || FitnessAmber.String() != "amber" || FitnessRed.String() != "red" {
+		t.Fatal("fitness strings")
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	base := Baseline{SubjectID: 1, HeartRate: 62, HRV: 70, SkinCond: 4, Resp: 14, SkinTemp: 33.5, Samples: 60}
+	m := NewMapper()
+	s := stressedSample(1, testStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Map(base, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateIncident(b *testing.B) {
+	subj := NewSubject(1, rng.New(1))
+	phases := StandardIncident()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(subj, phases, SimulateConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package physio
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Synthetic wearable-sensor generation: the stand-in for wearIT@work
+// hardware. An incident timeline is a sequence of phases with target
+// physiological regimes; the simulator renders subject-specific noisy
+// samples at a fixed cadence, including occasional sensor faults (which the
+// mapper must reject rather than interpret).
+
+// Phase is one segment of an incident timeline.
+type Phase struct {
+	Name string
+	// Duration of the phase.
+	Duration time.Duration
+	// Exertion in [0,1]: physical load (drives movement + cardio).
+	Exertion float64
+	// Stress in [0,1]: psychological load (drives conductance, HRV drop,
+	// temperature drop).
+	Stress float64
+}
+
+// StandardIncident is the scripted rescue-operation timeline used by the
+// firefighter example and tests: staging → approach → interior attack →
+// victim search (acute) → withdrawal → recovery.
+func StandardIncident() []Phase {
+	return []Phase{
+		{Name: "staging", Duration: 4 * time.Minute, Exertion: 0.1, Stress: 0.1},
+		{Name: "approach", Duration: 3 * time.Minute, Exertion: 0.5, Stress: 0.3},
+		{Name: "interior attack", Duration: 5 * time.Minute, Exertion: 0.8, Stress: 0.55},
+		{Name: "victim search", Duration: 4 * time.Minute, Exertion: 0.7, Stress: 0.9},
+		{Name: "withdrawal", Duration: 3 * time.Minute, Exertion: 0.5, Stress: 0.5},
+		{Name: "recovery", Duration: 5 * time.Minute, Exertion: 0.1, Stress: 0.2},
+	}
+}
+
+// Subject models one firefighter's physiology.
+type Subject struct {
+	ID uint64
+	// RestHR etc. are resting values.
+	RestHR, RestHRV, RestSC, RestResp, RestTemp float64
+	// Reactivity scales the stress response (individual differences).
+	Reactivity float64
+}
+
+// NewSubject draws a plausible subject from the rng.
+func NewSubject(id uint64, r *rng.RNG) Subject {
+	return Subject{
+		ID:         id,
+		RestHR:     r.Gaussian(62, 5),
+		RestHRV:    r.Gaussian(70, 12),
+		RestSC:     r.Gaussian(4, 1),
+		RestResp:   r.Gaussian(14, 1.5),
+		RestTemp:   r.Gaussian(33.5, 0.5),
+		Reactivity: clamp01(r.Beta(4, 4) + 0.2),
+	}
+}
+
+// SimulateConfig controls rendering.
+type SimulateConfig struct {
+	Start time.Time
+	// Cadence between samples (default 5 s).
+	Cadence time.Duration
+	// FaultRate is the probability a sample is a sensor fault (default 0.01).
+	FaultRate float64
+	Seed      uint64
+}
+
+// Simulate renders the timeline for a subject into a sample slice.
+func Simulate(subject Subject, phases []Phase, cfg SimulateConfig) ([]Sample, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("physio: empty timeline")
+	}
+	if cfg.Cadence <= 0 {
+		cfg.Cadence = 5 * time.Second
+	}
+	if cfg.FaultRate < 0 || cfg.FaultRate >= 1 {
+		return nil, errors.New("physio: fault rate out of [0,1)")
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2006, 6, 1, 10, 0, 0, 0, time.UTC)
+	}
+	r := rng.New(cfg.Seed ^ subject.ID*0x9e3779b9)
+	var out []Sample
+	at := cfg.Start
+	for _, ph := range phases {
+		steps := int(ph.Duration / cfg.Cadence)
+		for i := 0; i < steps; i++ {
+			stress := ph.Stress * subject.Reactivity
+			exert := ph.Exertion
+			s := Sample{
+				SubjectID:       subject.ID,
+				Time:            at,
+				HeartRate:       subject.RestHR + 70*exert + 35*stress + r.Gaussian(0, 3),
+				HRV:             maxF(2, subject.RestHRV-45*stress-10*exert+r.Gaussian(0, 5)),
+				SkinConductance: maxF(0.5, subject.RestSC+9*stress+2*exert+r.Gaussian(0, 0.6)),
+				RespirationRate: subject.RestResp + 14*exert + 8*stress + r.Gaussian(0, 1),
+				SkinTemp:        subject.RestTemp - 1.6*stress + 0.4*exert + r.Gaussian(0, 0.15),
+				Movement:        maxF(0, 3.2*exert+r.Gaussian(0, 0.3)),
+			}
+			if r.Bool(cfg.FaultRate) {
+				// Sensor fault: an implausible spike the validator rejects.
+				s.HeartRate = 800
+			}
+			out = append(out, s)
+			at = at.Add(cfg.Cadence)
+		}
+	}
+	return out, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

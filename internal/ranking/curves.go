@@ -1,0 +1,199 @@
+package ranking
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Additional evaluation curves beyond the paper's Fig. 6: precision–recall
+// (the right lens for the 10 %-positive campaign regime), the Brier score
+// for probability quality, and top-decile lift tables — the standard CRM
+// report format of the paper's era.
+
+// PRPoint is one precision–recall operating point.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PrecisionRecallCurve computes PR points at every distinct score
+// threshold, descending. The first point is the highest-score prediction;
+// the last covers everything.
+func PrecisionRecallCurve(s []Scored) ([]PRPoint, error) {
+	if len(s) == 0 {
+		return nil, ErrEmpty
+	}
+	totalPos := 0
+	for _, x := range s {
+		if x.Responded {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return nil, errors.New("ranking: no responders")
+	}
+	idx := sortDesc(s)
+	var out []PRPoint
+	tp := 0
+	for i, j := range idx {
+		if s[j].Responded {
+			tp++
+		}
+		// Emit a point only at the end of a tie group.
+		if i+1 < len(idx) && s[idx[i+1]].Score == s[j].Score {
+			continue
+		}
+		out = append(out, PRPoint{
+			Threshold: s[j].Score,
+			Precision: float64(tp) / float64(i+1),
+			Recall:    float64(tp) / float64(totalPos),
+		})
+	}
+	return out, nil
+}
+
+// AUPRC integrates the precision–recall curve by the step rule (precision
+// envelope over recall increments).
+func AUPRC(s []Scored) (float64, error) {
+	pts, err := PrecisionRecallCurve(s)
+	if err != nil {
+		return 0, err
+	}
+	var area, prevRecall float64
+	for _, p := range pts {
+		area += p.Precision * (p.Recall - prevRecall)
+		prevRecall = p.Recall
+	}
+	return area, nil
+}
+
+// Brier computes the mean squared error of probability forecasts; scores
+// must be probabilities.
+func Brier(s []Scored) (float64, error) {
+	if len(s) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range s {
+		if x.Score < 0 || x.Score > 1 || math.IsNaN(x.Score) {
+			return 0, errors.New("ranking: Brier needs probability scores")
+		}
+		y := 0.0
+		if x.Responded {
+			y = 1
+		}
+		d := x.Score - y
+		sum += d * d
+	}
+	return sum / float64(len(s)), nil
+}
+
+// DecileRow is one row of the classic decile lift table.
+type DecileRow struct {
+	Decile     int // 1 = highest-scored tenth
+	Count      int
+	Responders int
+	Rate       float64
+	Lift       float64 // rate / base rate
+	CumCapture float64 // cumulative share of all responders
+}
+
+// DecileTable splits the scored population into ten equal score-ordered
+// bins and reports rate, lift and cumulative capture per decile.
+func DecileTable(s []Scored) ([]DecileRow, error) {
+	if len(s) < 10 {
+		return nil, errors.New("ranking: need at least 10 observations")
+	}
+	base := BaseRate(s)
+	totalResp := 0
+	for _, x := range s {
+		if x.Responded {
+			totalResp++
+		}
+	}
+	idx := sortDesc(s)
+	rows := make([]DecileRow, 10)
+	cum := 0
+	for d := 0; d < 10; d++ {
+		lo := d * len(s) / 10
+		hi := (d + 1) * len(s) / 10
+		row := DecileRow{Decile: d + 1, Count: hi - lo}
+		for _, j := range idx[lo:hi] {
+			if s[j].Responded {
+				row.Responders++
+			}
+		}
+		cum += row.Responders
+		row.Rate = float64(row.Responders) / float64(row.Count)
+		if base > 0 {
+			row.Lift = row.Rate / base
+		}
+		if totalResp > 0 {
+			row.CumCapture = float64(cum) / float64(totalResp)
+		}
+		rows[d] = row
+	}
+	return rows, nil
+}
+
+// KendallTau computes the rank correlation between two score vectors over
+// the same items — used to compare two rankers head-to-head (e.g. SVM vs
+// logistic orderings). O(n²); intended for sampled comparisons.
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("ranking: length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, errors.New("ranking: need at least 2 items")
+	}
+	var concordant, discordant float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			p := da * db
+			switch {
+			case p > 0:
+				concordant++
+			case p < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := float64(n*(n-1)) / 2
+	return (concordant - discordant) / pairs, nil
+}
+
+// TopKOverlap is the Jaccard overlap of the two rankers' top-k sets —
+// the operational question "would the two models contact the same people?".
+func TopKOverlap(a, b []float64, k int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("ranking: length mismatch")
+	}
+	if k < 1 || k > len(a) {
+		return 0, errors.New("ranking: k out of range")
+	}
+	top := func(x []float64) map[int]bool {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(p, q int) bool { return x[idx[p]] > x[idx[q]] })
+		out := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			out[i] = true
+		}
+		return out
+	}
+	ta, tb := top(a), top(b)
+	inter := 0
+	for i := range ta {
+		if tb[i] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(2*k-inter), nil
+}

@@ -1,0 +1,162 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionRecallPerfect(t *testing.T) {
+	s := perfect(100, 20)
+	pts, err := PrecisionRecallCurve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect ranking: precision stays 1 until recall hits 1.
+	for _, p := range pts {
+		if p.Recall < 1 && p.Precision != 1 {
+			t.Fatalf("perfect PR dipped early: %+v", p)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Recall != 1 || math.Abs(last.Precision-0.2) > 1e-12 {
+		t.Fatalf("final point %+v", last)
+	}
+}
+
+func TestPrecisionRecallErrors(t *testing.T) {
+	if _, err := PrecisionRecallCurve(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	s := []Scored{{1, false}, {2, false}}
+	if _, err := PrecisionRecallCurve(s); err == nil {
+		t.Fatal("no responders accepted")
+	}
+}
+
+func TestAUPRC(t *testing.T) {
+	// Perfect ranking → AUPRC 1.
+	a, err := AUPRC(perfect(100, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 {
+		t.Fatalf("perfect AUPRC %v", a)
+	}
+	// No-signal ranking → AUPRC ≈ base rate.
+	s := noisy(20000, 0.2, 0, 3)
+	a2, err := AUPRC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a2-0.2) > 0.03 {
+		t.Fatalf("no-signal AUPRC %v, want ~0.2", a2)
+	}
+}
+
+func TestBrier(t *testing.T) {
+	// Perfect forecasts → 0.
+	s := []Scored{{1, true}, {0, false}}
+	b, err := Brier(s)
+	if err != nil || b != 0 {
+		t.Fatalf("perfect Brier %v %v", b, err)
+	}
+	// Always-wrong forecasts → 1.
+	s = []Scored{{0, true}, {1, false}}
+	b, _ = Brier(s)
+	if b != 1 {
+		t.Fatalf("worst Brier %v", b)
+	}
+	if _, err := Brier([]Scored{{2, true}}); err == nil {
+		t.Fatal("non-probability accepted")
+	}
+	if _, err := Brier(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestDecileTable(t *testing.T) {
+	s := perfect(1000, 100)
+	rows, err := DecileTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Perfect ranking: decile 1 holds every responder.
+	if rows[0].Responders != 100 || rows[0].Rate != 1 {
+		t.Fatalf("decile 1: %+v", rows[0])
+	}
+	if math.Abs(rows[0].Lift-10) > 1e-9 {
+		t.Fatalf("decile 1 lift %v", rows[0].Lift)
+	}
+	if rows[0].CumCapture != 1 || rows[9].CumCapture != 1 {
+		t.Fatal("cumulative capture")
+	}
+	for d := 1; d < 10; d++ {
+		if rows[d].Responders != 0 {
+			t.Fatalf("decile %d has responders", d+1)
+		}
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Count
+	}
+	if total != 1000 {
+		t.Fatalf("decile counts sum %d", total)
+	}
+	if _, err := DecileTable(perfect(5, 1)); err == nil {
+		t.Fatal("tiny input accepted")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{3, 2, 1}
+	tau, err := KendallTau(a, a)
+	if err != nil || tau != 1 {
+		t.Fatalf("self tau %v %v", tau, err)
+	}
+	rev := []float64{1, 2, 3}
+	tau, _ = KendallTau(a, rev)
+	if tau != -1 {
+		t.Fatalf("reversed tau %v", tau)
+	}
+	if _, err := KendallTau(a, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single item accepted")
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{9, 8, 7, 1, 2, 3}
+	b := []float64{9, 8, 0, 1, 2, 7}
+	// Top-3 of a = {0,1,2}; of b = {0,1,5} → intersection 2, union 4.
+	o, err := TopKOverlap(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o-0.5) > 1e-12 {
+		t.Fatalf("overlap %v", o)
+	}
+	if o2, _ := TopKOverlap(a, a, 3); o2 != 1 {
+		t.Fatalf("self overlap %v", o2)
+	}
+	if _, err := TopKOverlap(a, b, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := TopKOverlap(a, []float64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func BenchmarkDecileTable(b *testing.B) {
+	s := noisy(100000, 0.2, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecileTable(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package ranking
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// perfect returns a ranking where score order exactly matches response.
+func perfect(n, nPos int) []Scored {
+	s := make([]Scored, n)
+	for i := range s {
+		s[i] = Scored{Score: float64(n - i), Responded: i < nPos}
+	}
+	return s
+}
+
+// noisy returns scores correlated with response at the given signal level.
+func noisy(n int, base, signal float64, seed uint64) []Scored {
+	r := rng.New(seed)
+	s := make([]Scored, n)
+	for i := range s {
+		resp := r.Bool(base)
+		mu := 0.0
+		if resp {
+			mu = signal
+		}
+		s[i] = Scored{Score: mu + r.NormFloat64(), Responded: resp}
+	}
+	return s
+}
+
+func TestGainsCurvePerfectRanking(t *testing.T) {
+	s := perfect(1000, 100) // 10% responders, perfectly ranked
+	pts, err := GainsCurve(s, []float64{0.1, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].CapturedFrac != 1 {
+		t.Fatalf("perfect ranking at 10%% captured %v", pts[0].CapturedFrac)
+	}
+	if pts[0].Redemption != 1 {
+		t.Fatalf("perfect redemption %v", pts[0].Redemption)
+	}
+	if pts[2].CapturedFrac != 1 || math.Abs(pts[2].Redemption-0.1) > 1e-12 {
+		t.Fatalf("full depth: %+v", pts[2])
+	}
+}
+
+func TestGainsCurveRandomRankingDiagonal(t *testing.T) {
+	r := rng.New(3)
+	s := make([]Scored, 20000)
+	for i := range s {
+		s[i] = Scored{Score: r.Float64(), Responded: r.Bool(0.2)}
+	}
+	pts, err := GainsCurve(s, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[0].CapturedFrac-0.4) > 0.03 {
+		t.Fatalf("random ranking at 40%% captured %v, want ~0.4", pts[0].CapturedFrac)
+	}
+}
+
+func TestGainsCurveDefaultDepths(t *testing.T) {
+	s := perfect(100, 10)
+	pts, err := GainsCurve(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("default depths: %d points", len(pts))
+	}
+	// Monotone non-decreasing capture.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CapturedFrac < pts[i-1].CapturedFrac {
+			t.Fatal("capture not monotone")
+		}
+	}
+	if pts[len(pts)-1].CapturedFrac != 1 {
+		t.Fatal("full depth must capture all")
+	}
+}
+
+func TestGainsCurveErrors(t *testing.T) {
+	if _, err := GainsCurve(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty accepted")
+	}
+	if _, err := GainsCurve(perfect(10, 2), []float64{0}); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := GainsCurve(perfect(10, 2), []float64{1.5}); err == nil {
+		t.Fatal("depth >1 accepted")
+	}
+}
+
+func TestCapturedAtAndLift(t *testing.T) {
+	s := perfect(1000, 100)
+	cap40, err := CapturedAt(s, 0.4)
+	if err != nil || cap40 != 1 {
+		t.Fatalf("captured@40 %v %v", cap40, err)
+	}
+	lift, err := Lift(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lift-10) > 1e-9 {
+		t.Fatalf("lift@10 %v, want 10 (perfect ranking, 10%% base)", lift)
+	}
+}
+
+func TestBaseRate(t *testing.T) {
+	if BaseRate(perfect(100, 25)) != 0.25 {
+		t.Fatal("base rate")
+	}
+	if BaseRate(nil) != 0 {
+		t.Fatal("empty base rate")
+	}
+}
+
+func TestAUCPerfect(t *testing.T) {
+	auc, err := AUC(perfect(100, 30))
+	if err != nil || auc != 1 {
+		t.Fatalf("perfect AUC %v %v", auc, err)
+	}
+}
+
+func TestAUCReversed(t *testing.T) {
+	s := perfect(100, 30)
+	for i := range s {
+		s[i].Score = -s[i].Score
+	}
+	auc, _ := AUC(s)
+	if auc != 0 {
+		t.Fatalf("reversed AUC %v", auc)
+	}
+}
+
+func TestAUCRandomNearHalf(t *testing.T) {
+	s := noisy(20000, 0.3, 0, 7)
+	auc, err := AUC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Fatalf("no-signal AUC %v", auc)
+	}
+}
+
+func TestAUCTiesMidrank(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 by midrank convention.
+	s := []Scored{{1, true}, {1, false}, {1, true}, {1, false}}
+	auc, err := AUC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Fatalf("all-ties AUC %v", auc)
+	}
+}
+
+func TestAUCSingleClassError(t *testing.T) {
+	s := []Scored{{1, true}, {2, true}}
+	if _, err := AUC(s); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	s := perfect(100, 10)
+	p, err := PrecisionAtK(s, 10)
+	if err != nil || p != 1 {
+		t.Fatalf("P@10 %v %v", p, err)
+	}
+	p, _ = PrecisionAtK(s, 100)
+	if p != 0.1 {
+		t.Fatalf("P@100 %v", p)
+	}
+	if _, err := PrecisionAtK(s, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PrecisionAtK(s, 101); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	ap, err := AveragePrecision(perfect(100, 10))
+	if err != nil || ap != 1 {
+		t.Fatalf("perfect AP %v %v", ap, err)
+	}
+	// No responders → 0.
+	s := []Scored{{1, false}, {2, false}}
+	ap, _ = AveragePrecision(s)
+	if ap != 0 {
+		t.Fatalf("no-responder AP %v", ap)
+	}
+}
+
+func TestECEWellCalibrated(t *testing.T) {
+	r := rng.New(11)
+	s := make([]Scored, 50000)
+	for i := range s {
+		p := r.Float64()
+		s[i] = Scored{Score: p, Responded: r.Bool(p)}
+	}
+	ece, err := ECE(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 0.01 {
+		t.Fatalf("well-calibrated ECE %v", ece)
+	}
+}
+
+func TestECEMiscalibrated(t *testing.T) {
+	s := make([]Scored, 1000)
+	for i := range s {
+		s[i] = Scored{Score: 0.9, Responded: i%10 == 0} // says 90%, is 10%
+	}
+	ece, _ := ECE(s, 10)
+	if ece < 0.7 {
+		t.Fatalf("miscalibrated ECE %v", ece)
+	}
+}
+
+func TestECERejectsNonProbabilities(t *testing.T) {
+	if _, err := ECE([]Scored{{Score: 2}}, 10); err == nil {
+		t.Fatal("score >1 accepted")
+	}
+	if _, err := ECE([]Scored{{Score: -0.1}}, 10); err == nil {
+		t.Fatal("negative score accepted")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	s := noisy(2000, 0.3, 1.5, 13)
+	point, err := AUC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := BootstrapCI(s, func(x []Scored) (float64, error) { return AUC(x) }, 200, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= point && point <= hi) {
+		t.Fatalf("CI [%v,%v] excludes point %v", lo, hi, point)
+	}
+	if hi-lo <= 0 || hi-lo > 0.2 {
+		t.Fatalf("CI width %v implausible", hi-lo)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	s := noisy(100, 0.3, 1, 1)
+	if _, _, err := BootstrapCI(nil, nil, 100, 0.95, 1); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, _, err := BootstrapCI(s, func(x []Scored) (float64, error) { return 0, nil }, 5, 0.95, 1); err == nil {
+		t.Fatal("too few resamples accepted")
+	}
+	if _, _, err := BootstrapCI(s, func(x []Scored) (float64, error) { return 0, nil }, 100, 1.5, 1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+// Property: gains capture is monotone in depth and redemption never exceeds 1.
+func TestGainsMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := noisy(500, 0.2, 1, seed)
+		pts, err := GainsCurve(s, nil)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, p := range pts {
+			if p.CapturedFrac < prev || p.Redemption < 0 || p.Redemption > 1 {
+				return false
+			}
+			prev = p.CapturedFrac
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AUC is within [0,1] and flipping all scores maps a to 1-a.
+func TestAUCFlipProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := noisy(300, 0.3, 0.8, seed)
+		a1, err := AUC(s)
+		if err != nil {
+			return true // degenerate single-class draw
+		}
+		flipped := make([]Scored, len(s))
+		for i, x := range s {
+			flipped[i] = Scored{Score: -x.Score, Responded: x.Responded}
+		}
+		a2, err := AUC(flipped)
+		if err != nil {
+			return false
+		}
+		return a1 >= 0 && a1 <= 1 && math.Abs(a1+a2-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGainsCurve(b *testing.B) {
+	s := noisy(100000, 0.2, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GainsCurve(s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAUC(b *testing.B) {
+	s := noisy(100000, 0.2, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AUC(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

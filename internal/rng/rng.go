@@ -1,0 +1,283 @@
+// Package rng provides deterministic pseudo-random utilities used across the
+// SPA reproduction: a splitmix64-seeded xoshiro-style generator plus the
+// distribution samplers the synthetic population generator needs (gaussian,
+// zipf, categorical, dirichlet, bernoulli) and order utilities (shuffle,
+// sample without replacement).
+//
+// Every experiment in this repository is seeded, so identical seeds reproduce
+// identical populations, campaigns and metrics bit-for-bit. The generator is
+// intentionally not safe for concurrent use; callers that fan out work derive
+// independent child generators with Split, which uses splitmix64 stream
+// separation so children are statistically independent of the parent and of
+// each other.
+package rng
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (xorshift128+ core seeded via
+// splitmix64). It is not cryptographically secure and not concurrency-safe.
+type RNG struct {
+	s0, s1 uint64
+	// spare holds a cached second gaussian from the Box-Muller transform.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded from the given seed. Any seed (including 0)
+// is valid: splitmix64 expands it into a full non-zero state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child generator. The child's stream is
+// decorrelated from the parent by hashing the parent's next output through
+// splitmix64 twice; the parent advances by one step.
+func (r *RNG) Split() *RNG {
+	seed := r.Uint64()
+	sm := seed ^ 0xbf58476d1ce4e5b9
+	c := &RNG{}
+	c.s0 = splitmix64(&sm)
+	c.s1 = splitmix64(&sm)
+	if c.s0 == 0 && c.s1 == 0 {
+		c.s1 = 0x94d049bb133111eb
+	}
+	return c
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster but a
+	// simple modulo of a 64-bit draw keeps bias below 2^-32 for any n that
+	// fits an int on 64-bit platforms, which is fine for simulation.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller with caching.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Exp returns an exponential variate with the given rate lambda (> 0).
+func (r *RNG) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp with non-positive lambda")
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) / lambda
+}
+
+// Beta samples a Beta(a, b) variate using Jöhnk's algorithm for small shapes
+// and the gamma-ratio method otherwise.
+func (r *RNG) Beta(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic("rng: Beta with non-positive shape")
+	}
+	ga := r.Gamma(a)
+	gb := r.Gamma(b)
+	if ga+gb == 0 {
+		return 0.5
+	}
+	return ga / (ga + gb)
+}
+
+// Gamma samples a Gamma(shape, 1) variate using Marsaglia & Tsang's method.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost to shape+1 and scale back.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet samples a probability vector from Dirichlet(alpha...). The result
+// sums to 1 (up to float error) and has len(alpha) entries.
+func (r *RNG) Dirichlet(alpha []float64) []float64 {
+	out := make([]float64, len(alpha))
+	var sum float64
+	for i, a := range alpha {
+		g := r.Gamma(a)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Categorical draws an index with probability proportional to weights[i].
+// Zero or negative weights contribute nothing; if all weights are
+// non-positive the draw is uniform.
+func (r *RNG) Categorical(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Categorical with empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// SampleInts returns k distinct uniform indices from [0, n) in random order.
+// It panics if k > n. For k close to n it shuffles; for sparse samples it
+// uses Floyd's algorithm, which needs O(k) memory.
+func (r *RNG) SampleInts(n, k int) []int {
+	if k > n {
+		panic("rng: SampleInts k > n")
+	}
+	if k <= 0 {
+		return nil
+	}
+	if k*3 >= n {
+		p := r.Perm(n)
+		return p[:k]
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,377 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero seed produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling children produced identical first draw")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(99).Split()
+	b := New(99).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split of same-seed parents diverged at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Intn bucket %d badly skewed: %d/70000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestGaussianScaling(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Gaussian(10, 2)
+	}
+	if math.Abs(sum/n-10) > 0.05 {
+		t.Fatalf("gaussian(10,2) mean %v", sum/n)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp(2)
+		if x < 0 {
+			t.Fatalf("negative exponential draw %v", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum/n-0.5) > 0.01 {
+		t.Fatalf("Exp(2) mean %v, want ~0.5", sum/n)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(23)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(shape)
+			if x < 0 {
+				t.Fatalf("negative gamma draw")
+			}
+			sum += x
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Fatalf("Gamma(%v) mean %v", shape, mean)
+		}
+	}
+}
+
+func TestBetaRangeAndMean(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Beta(2, 5)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta out of range: %v", x)
+		}
+		sum += x
+	}
+	want := 2.0 / 7.0
+	if math.Abs(sum/n-want) > 0.01 {
+		t.Fatalf("Beta(2,5) mean %v, want ~%v", sum/n, want)
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(31)
+	for i := 0; i < 1000; i++ {
+		v := r.Dirichlet([]float64{1, 2, 3, 0.5})
+		var sum float64
+		for _, x := range v {
+			if x < 0 {
+				t.Fatalf("negative dirichlet component")
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("dirichlet sum %v", sum)
+		}
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := New(37)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalAllZeroUniform(t *testing.T) {
+	r := New(41)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("all-zero-weight bucket %d skewed: %d", i, c)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(43)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleIntsProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw) % (n + 1)
+		r := New(seed)
+		s := r.SampleInts(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIntsPanicsWhenKExceedsN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleInts(2,3) did not panic")
+		}
+	}()
+	New(1).SampleInts(2, 3)
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(47)
+	z := NewZipf(100, 1.1)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Fatalf("zipf not monotone-ish: c0=%d c10=%d c90=%d", counts[0], counts[10], counts[90])
+	}
+	if counts[0] < 10000 {
+		t.Fatalf("rank 0 share too small for s=1.1: %d", counts[0])
+	}
+}
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	z := NewZipf(50, 0.8)
+	var sum float64
+	for i := 0; i < 50; i++ {
+		sum += z.PMF(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("zipf pmf sum %v", sum)
+	}
+	if z.PMF(-1) != 0 || z.PMF(50) != 0 {
+		t.Fatal("out-of-range PMF must be 0")
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		z := NewZipf(10, 1.0)
+		for i := 0; i < 100; i++ {
+			d := z.Draw(r)
+			if d < 0 || d >= 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(53)
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / 100000
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", p)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.NormFloat64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	r := New(1)
+	z := NewZipf(984, 1.05)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = z.Draw(r)
+	}
+	_ = sink
+}

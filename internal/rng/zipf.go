@@ -1,0 +1,63 @@
+package rng
+
+import "math"
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, the classic web-access popularity law. The synthetic WebLog
+// generator uses it to skew action popularity the way real click-streams are
+// skewed (a handful of landing and search actions dominate; the long tail of
+// the 984-action universe is rarely touched).
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for a Zipf(s) law over n ranks. s must be > 0
+// and n >= 1.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		panic("rng: NewZipf with n < 1")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{n: n, cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Draw returns a rank in [0, n) using binary search over the CDF.
+func (z *Zipf) Draw(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PMF returns the probability mass of the given rank.
+func (z *Zipf) PMF(rank int) float64 {
+	if rank < 0 || rank >= z.n {
+		return 0
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}

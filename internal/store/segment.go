@@ -1,0 +1,332 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// Segment file format (all integers little-endian):
+//
+//	[8]  magic "SPASEG01"
+//	records, each:
+//	  [1] op (0 = put, 1 = tombstone)
+//	  [uvarint] key length, key bytes
+//	  [uvarint] value length, value bytes (puts only)
+//	footer:
+//	  sparse index: [4] count, then count × { [uvarint] keyLen, key, [8] offset }
+//	  [8] index offset  [4] record count  [4] crc32 of the whole file up to here
+//
+// Records are sorted by key. The sparse index holds every indexStride-th
+// key so point lookups seek near the target and scan at most a stride.
+const (
+	segMagic    = "SPASEG01"
+	indexStride = 16
+)
+
+// segment is an immutable sorted file. Reads are served from a fully loaded
+// in-memory copy of the record block — profile values are small and campaign
+// scans touch everything anyway, so mmap-style paging buys nothing here.
+type segment struct {
+	path  string
+	id    uint64
+	data  []byte // record block (after magic)
+	index []indexEntry
+	count int
+}
+
+type indexEntry struct {
+	key    []byte
+	offset int64 // into data
+}
+
+// writeSegment writes sorted entries to a new file at path. The caller
+// guarantees key order; writeSegment verifies it and fails otherwise, since
+// an unsorted segment would corrupt every future merge.
+func writeSegment(path string, entries []entry) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	defer os.Remove(tmp)
+
+	h := crc32.New(castagnoli)
+	w := bufio.NewWriterSize(io.MultiWriter(f, h), 256<<10)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var (
+		offset  int64 // into record block
+		index   []indexEntry
+		prevKey []byte
+	)
+	for i, e := range entries {
+		if prevKey != nil && bytes.Compare(prevKey, e.key) >= 0 {
+			f.Close()
+			return fmt.Errorf("store: entries not strictly sorted at %d", i)
+		}
+		prevKey = e.key
+		if i%indexStride == 0 {
+			index = append(index, indexEntry{key: append([]byte(nil), e.key...), offset: offset})
+		}
+		rec := encodeRecord(e)
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+		offset += int64(len(rec))
+	}
+	indexOffset := offset
+	var ibuf []byte
+	ibuf = binary.LittleEndian.AppendUint32(ibuf, uint32(len(index)))
+	for _, ie := range index {
+		ibuf = binary.AppendUvarint(ibuf, uint64(len(ie.key)))
+		ibuf = append(ibuf, ie.key...)
+		ibuf = binary.LittleEndian.AppendUint64(ibuf, uint64(ie.offset))
+	}
+	if _, err := w.Write(ibuf); err != nil {
+		f.Close()
+		return err
+	}
+	var tail [12]byte
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(indexOffset))
+	binary.LittleEndian.PutUint32(tail[8:12], uint32(len(entries)))
+	if _, err := w.Write(tail[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], h.Sum32())
+	if _, err := f.Write(crcBuf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func encodeRecord(e entry) []byte {
+	var buf []byte
+	if e.tombstone {
+		buf = append(buf, opDelete)
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		return buf
+	}
+	buf = append(buf, opPut)
+	buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+	buf = append(buf, e.key...)
+	buf = binary.AppendUvarint(buf, uint64(len(e.value)))
+	buf = append(buf, e.value...)
+	return buf
+}
+
+func openSegment(path string, id uint64) (*segment, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(segMagic)+16 {
+		return nil, fmt.Errorf("store: segment %s too short", path)
+	}
+	if string(raw[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("store: segment %s has bad magic", path)
+	}
+	body := raw[:len(raw)-4]
+	wantCRC := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, fmt.Errorf("store: segment %s failed checksum", path)
+	}
+	tail := body[len(body)-12:]
+	indexOffset := int64(binary.LittleEndian.Uint64(tail[0:8]))
+	count := int(binary.LittleEndian.Uint32(tail[8:12]))
+	data := body[len(segMagic) : len(body)-12]
+	if indexOffset < 0 || indexOffset > int64(len(data)) {
+		return nil, fmt.Errorf("store: segment %s has bad index offset", path)
+	}
+	iraw := data[indexOffset:]
+	records := data[:indexOffset]
+	if len(iraw) < 4 {
+		return nil, fmt.Errorf("store: segment %s index truncated", path)
+	}
+	icount := int(binary.LittleEndian.Uint32(iraw[:4]))
+	iraw = iraw[4:]
+	index := make([]indexEntry, 0, icount)
+	for i := 0; i < icount; i++ {
+		klen, n := binary.Uvarint(iraw)
+		if n <= 0 || uint64(len(iraw)-n) < klen+8 {
+			return nil, fmt.Errorf("store: segment %s index entry %d truncated", path, i)
+		}
+		iraw = iraw[n:]
+		key := iraw[:klen]
+		iraw = iraw[klen:]
+		off := int64(binary.LittleEndian.Uint64(iraw[:8]))
+		iraw = iraw[8:]
+		index = append(index, indexEntry{key: key, offset: off})
+	}
+	return &segment{path: path, id: id, data: records, index: index, count: count}, nil
+}
+
+func (s *segment) close() {}
+
+// get performs a point lookup via the sparse index.
+func (s *segment) get(key []byte) (value []byte, tombstone, ok bool, err error) {
+	if len(s.index) == 0 {
+		return nil, false, false, nil
+	}
+	// Find the last index entry with key <= target.
+	i := sort.Search(len(s.index), func(i int) bool {
+		return bytes.Compare(s.index[i].key, key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	pos := s.index[i].offset
+	var end int64
+	if i+1 < len(s.index) {
+		end = s.index[i+1].offset
+	} else {
+		end = int64(len(s.data))
+	}
+	for pos < end {
+		e, next, derr := decodeRecordAt(s.data, pos)
+		if derr != nil {
+			return nil, false, false, derr
+		}
+		switch bytes.Compare(e.key, key) {
+		case 0:
+			return append([]byte(nil), e.value...), e.tombstone, true, nil
+		case 1:
+			return nil, false, false, nil
+		}
+		pos = next
+	}
+	return nil, false, false, nil
+}
+
+func decodeRecordAt(data []byte, pos int64) (entry, int64, error) {
+	if pos >= int64(len(data)) {
+		return entry{}, 0, errors.New("store: record offset past end")
+	}
+	p := data[pos:]
+	op := p[0]
+	p = p[1:]
+	consumed := int64(1)
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < klen {
+		return entry{}, 0, errors.New("store: bad record key")
+	}
+	p = p[n:]
+	consumed += int64(n)
+	key := p[:klen]
+	p = p[klen:]
+	consumed += int64(klen)
+	if op == opDelete {
+		return entry{key: key, tombstone: true}, pos + consumed, nil
+	}
+	vlen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < vlen {
+		return entry{}, 0, errors.New("store: bad record value")
+	}
+	p = p[n:]
+	consumed += int64(n)
+	value := p[:vlen]
+	consumed += int64(vlen)
+	return entry{key: key, value: value}, pos + consumed, nil
+}
+
+// segIter iterates records in [start, end).
+type segIter struct {
+	s   *segment
+	pos int64
+	end []byte
+}
+
+func (s *segment) iter(start, end []byte) (iterator, error) {
+	var pos int64
+	if start != nil && len(s.index) > 0 {
+		i := sort.Search(len(s.index), func(i int) bool {
+			return bytes.Compare(s.index[i].key, start) > 0
+		}) - 1
+		if i >= 0 {
+			pos = s.index[i].offset
+		}
+		// Advance record-by-record to the first key >= start.
+		for pos < int64(len(s.data)) {
+			e, next, err := decodeRecordAt(s.data, pos)
+			if err != nil {
+				return nil, err
+			}
+			if bytes.Compare(e.key, start) >= 0 {
+				break
+			}
+			pos = next
+		}
+	}
+	return &segIter{s: s, pos: pos, end: end}, nil
+}
+
+func (it *segIter) next() (entry, bool) {
+	if it.pos >= int64(len(it.s.data)) {
+		return entry{}, false
+	}
+	e, next, err := decodeRecordAt(it.s.data, it.pos)
+	if err != nil {
+		// Segments are checksummed at open; a decode error here means memory
+		// corruption. Treat as exhausted rather than panicking mid-scan.
+		it.pos = int64(len(it.s.data))
+		return entry{}, false
+	}
+	if it.end != nil && bytes.Compare(e.key, it.end) >= 0 {
+		it.pos = int64(len(it.s.data))
+		return entry{}, false
+	}
+	it.pos = next
+	return e, true
+}
+
+// mergeSegments produces the compacted, sorted, live+tombstone-free entry
+// list across segments (newest wins).
+func mergeSegments(segs []*segment) ([]entry, error) {
+	sources := make([]iterator, 0, len(segs))
+	for i := len(segs) - 1; i >= 0; i-- { // newest first
+		it, err := segs[i].iter(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, it)
+	}
+	mi := newMergeIter(sources)
+	var out []entry
+	for {
+		e, ok := mi.next()
+		if !ok {
+			return out, nil
+		}
+		if e.tombstone {
+			continue // compaction drops tombstones: no older segments remain
+		}
+		out = append(out, entry{
+			key:   append([]byte(nil), e.key...),
+			value: append([]byte(nil), e.value...),
+		})
+	}
+}

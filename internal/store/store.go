@@ -1,0 +1,435 @@
+// Package store implements the embedded key-value store that persists Smart
+// User Models and campaign state. The paper's deployment keeps profiles for
+// 3,162,069 users in a commercial customer database; this reproduction
+// provides the same durability contract with a small log-structured engine:
+//
+//   - every mutation is appended to a write-ahead log (CRC32-framed) before it
+//     is acknowledged,
+//   - recent data lives in a skiplist memtable with ordered iteration,
+//   - when the memtable exceeds a threshold it is flushed to an immutable
+//     sorted segment file,
+//   - reads consult the memtable first, then segments newest-to-oldest,
+//   - Compact merges all segments (dropping tombstones and shadowed
+//     versions) into one.
+//
+// The engine is deliberately single-writer/multi-reader: SPA's ingest loop is
+// a single pre-processor pipeline, and campaign scoring only reads.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when the key does not exist (or was
+// deleted).
+var ErrNotFound = errors.New("store: key not found")
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("store: database closed")
+
+// Options tune the engine. Zero values select defaults.
+type Options struct {
+	// MemtableBytes is the approximate memtable size that triggers a flush
+	// to a segment file. Default 4 MiB.
+	MemtableBytes int
+	// SyncWrites fsyncs the WAL after every mutation. Durable but slow;
+	// experiments leave it off and rely on explicit Sync at checkpoints.
+	SyncWrites bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	return o
+}
+
+// DB is the embedded key-value store. All methods are safe for concurrent
+// use; writes serialize internally.
+type DB struct {
+	dir  string
+	opts Options
+
+	mu       sync.RWMutex
+	mem      *memtable
+	wal      *wal
+	segments []*segment // ordered oldest → newest
+	nextSeg  uint64
+	closed   bool
+}
+
+// Open opens (or creates) a database in dir, replaying any WAL left by a
+// previous process.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating dir: %w", err)
+	}
+	db := &DB{dir: dir, opts: opts, mem: newMemtable()}
+
+	segs, maxID, err := loadSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	db.segments = segs
+	db.nextSeg = maxID + 1
+
+	w, entries, err := openWAL(filepath.Join(dir, "wal.log"), opts.SyncWrites)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	for _, e := range entries {
+		if e.tombstone {
+			db.mem.delete(e.key)
+		} else {
+			db.mem.put(e.key, e.value)
+		}
+	}
+	return db, nil
+}
+
+// Put stores value under key. Both are copied; the caller may reuse the
+// slices. Empty keys are rejected.
+func (db *DB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("store: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.wal.append(walEntry{key: key, value: value}); err != nil {
+		return err
+	}
+	db.mem.put(key, value)
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// Delete removes key. Deleting a missing key is not an error (the tombstone
+// still shadows any segment copy).
+func (db *DB) Delete(key []byte) error {
+	if len(key) == 0 {
+		return errors.New("store: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.wal.append(walEntry{key: key, tombstone: true}); err != nil {
+		return err
+	}
+	db.mem.delete(key)
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value stored under key. The returned slice is a copy.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if v, tomb, ok := db.mem.get(key); ok {
+		if tomb {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for i := len(db.segments) - 1; i >= 0; i-- {
+		v, tomb, ok, err := db.segments[i].get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if tomb {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Flush forces the memtable to a segment and truncates the WAL.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.len() == 0 {
+		return nil
+	}
+	id := db.nextSeg
+	path := segmentPath(db.dir, id)
+	if err := writeSegment(path, db.mem.sortedEntries()); err != nil {
+		return err
+	}
+	seg, err := openSegment(path, id)
+	if err != nil {
+		return err
+	}
+	db.segments = append(db.segments, seg)
+	db.nextSeg++
+	db.mem = newMemtable()
+	return db.wal.reset()
+}
+
+// Sync flushes the WAL to stable storage without flushing the memtable.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.wal.sync()
+}
+
+// Compact merges every segment into one, dropping tombstones and shadowed
+// versions. The memtable is flushed first so the result is a full snapshot.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	if len(db.segments) <= 1 {
+		return nil
+	}
+	merged, err := mergeSegments(db.segments)
+	if err != nil {
+		return err
+	}
+	id := db.nextSeg
+	path := segmentPath(db.dir, id)
+	if err := writeSegment(path, merged); err != nil {
+		return err
+	}
+	seg, err := openSegment(path, id)
+	if err != nil {
+		return err
+	}
+	old := db.segments
+	db.segments = []*segment{seg}
+	db.nextSeg++
+	for _, s := range old {
+		s.close()
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("store: removing old segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys. It is O(total entries) and intended
+// for tests and reporting, not hot paths.
+func (db *DB) Len() (int, error) {
+	n := 0
+	err := db.Scan(nil, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Scan visits live keys in [start, end) in ascending order, calling fn for
+// each; fn returning false stops the scan. nil start means the beginning,
+// nil end means past the last key. The key/value slices passed to fn are
+// only valid during the call.
+func (db *DB) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	sources := make([]iterator, 0, len(db.segments)+1)
+	// Newest source first: memtable, then segments newest→oldest. mergeIter
+	// resolves duplicate keys in favor of the earliest source.
+	sources = append(sources, db.mem.iter(start, end))
+	for i := len(db.segments) - 1; i >= 0; i-- {
+		it, err := db.segments[i].iter(start, end)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, it)
+	}
+	mi := newMergeIter(sources)
+	for {
+		e, ok := mi.next()
+		if !ok {
+			return nil
+		}
+		if e.tombstone {
+			continue
+		}
+		if !fn(e.key, e.value) {
+			return nil
+		}
+	}
+}
+
+// Keys returns all live keys in [start, end); convenience wrapper over Scan.
+func (db *DB) Keys(start, end []byte) ([][]byte, error) {
+	var keys [][]byte
+	err := db.Scan(start, end, func(k, _ []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	})
+	return keys, err
+}
+
+// SegmentCount reports how many immutable segments back the store.
+func (db *DB) SegmentCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.segments)
+}
+
+// Close flushes and releases all resources. The DB is unusable afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	err := db.flushLocked()
+	for _, s := range db.segments {
+		s.close()
+	}
+	if werr := db.wal.close(); err == nil {
+		err = werr
+	}
+	db.closed = true
+	return err
+}
+
+func loadSegments(dir string) ([]*segment, uint64, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.dat"))
+	if err != nil {
+		return nil, 0, err
+	}
+	type idPath struct {
+		id   uint64
+		path string
+	}
+	var found []idPath
+	for _, p := range names {
+		var id uint64
+		base := filepath.Base(p)
+		if _, err := fmt.Sscanf(base, "seg-%016x.dat", &id); err != nil {
+			continue // foreign file; ignore
+		}
+		found = append(found, idPath{id, p})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].id < found[j].id })
+	var segs []*segment
+	var maxID uint64
+	for _, f := range found {
+		s, err := openSegment(f.path, f.id)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: opening %s: %w", f.path, err)
+		}
+		segs = append(segs, s)
+		if f.id > maxID {
+			maxID = f.id
+		}
+	}
+	return segs, maxID, nil
+}
+
+func segmentPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016x.dat", id))
+}
+
+// entry is the unified record shape flowing between memtable, WAL and
+// segments.
+type entry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+type iterator interface {
+	// next returns the next entry in key order; ok=false means exhausted.
+	next() (entry, bool)
+}
+
+// mergeIter merges already-sorted iterators; on duplicate keys the iterator
+// that appears earliest in sources wins (sources must therefore be ordered
+// newest first).
+type mergeIter struct {
+	sources []iterator
+	heads   []*entry
+}
+
+func newMergeIter(sources []iterator) *mergeIter {
+	m := &mergeIter{sources: sources, heads: make([]*entry, len(sources))}
+	for i := range sources {
+		m.advance(i)
+	}
+	return m
+}
+
+func (m *mergeIter) advance(i int) {
+	e, ok := m.sources[i].next()
+	if ok {
+		m.heads[i] = &e
+	} else {
+		m.heads[i] = nil
+	}
+}
+
+func (m *mergeIter) next() (entry, bool) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best == -1 || bytes.Compare(h.key, m.heads[best].key) < 0 {
+			best = i
+		}
+	}
+	if best == -1 {
+		return entry{}, false
+	}
+	out := *m.heads[best]
+	// Consume the winner and every older duplicate of the same key.
+	key := append([]byte(nil), out.key...)
+	for i := range m.heads {
+		for m.heads[i] != nil && bytes.Equal(m.heads[i].key, key) {
+			m.advance(i)
+		}
+	}
+	return out, true
+}

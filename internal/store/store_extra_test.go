@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersDuringWrites exercises the single-writer /
+// multi-reader contract under the race detector.
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	db, _ := openTemp(t, Options{MemtableBytes: 4 << 10})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("k%03d", r*10))
+				if _, err := db.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				n := 0
+				db.Scan(nil, nil, func(_, _ []byte) bool { n++; return n < 50 })
+			}
+		}(r)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i%200)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestLargeValues(t *testing.T) {
+	db, _ := openTemp(t, Options{MemtableBytes: 1 << 20})
+	big := bytes.Repeat([]byte("x"), 1<<20) // 1 MiB value
+	if err := db.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("big"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large value corrupted")
+	}
+}
+
+func TestEmptyValueAllowed(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	if err := db.Put([]byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("empty value read as %q", v)
+	}
+	// Survives a flush (distinguishing empty value from tombstone).
+	db.Flush()
+	if _, err := db.Get([]byte("k")); err != nil {
+		t.Fatalf("empty value lost after flush: %v", err)
+	}
+}
+
+func TestSegmentIndexBoundaries(t *testing.T) {
+	// Exactly indexStride and indexStride±1 entries stress the sparse-index
+	// seek logic.
+	for _, n := range []int{indexStride - 1, indexStride, indexStride + 1, 3 * indexStride} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			db, _ := openTemp(t, Options{})
+			for i := 0; i < n; i++ {
+				db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+			}
+			db.Flush()
+			for i := 0; i < n; i++ {
+				v, err := db.Get([]byte(fmt.Sprintf("key-%05d", i)))
+				if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %d: %q %v", i, v, err)
+				}
+			}
+			// Missing keys around the boundaries.
+			if _, err := db.Get([]byte("key-99999")); !errors.Is(err, ErrNotFound) {
+				t.Fatal("phantom key after last")
+			}
+			if _, err := db.Get([]byte("a")); !errors.Is(err, ErrNotFound) {
+				t.Fatal("phantom key before first")
+			}
+		})
+	}
+}
+
+func TestCompactSingleSegmentNoop(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.SegmentCount() != 1 {
+		t.Fatalf("segments %d", db.SegmentCount())
+	}
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("%q %v", v, err)
+	}
+}
+
+func TestCompactEmptyDB(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanPrefixBounds(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	for _, k := range []string{"a/1", "a/2", "b/1", "b/2", "c/1"} {
+		db.Put([]byte(k), []byte("v"))
+	}
+	db.Flush()
+	var got []string
+	db.Scan([]byte("b/"), []byte("b0"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "b/1" || got[1] != "b/2" {
+		t.Fatalf("prefix scan %v", got)
+	}
+}
+
+func TestSyncDurableWithoutFlush(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("durable"), []byte("yes"))
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close (simulated crash); reopen must replay the WAL.
+	db.wal.f.Close()
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, err := db2.Get([]byte("durable"))
+	if err != nil || string(v) != "yes" {
+		t.Fatalf("synced write lost: %q %v", v, err)
+	}
+}
+
+func TestSyncWritesOption(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	db.wal.f.Close() // crash without Close or explicit Sync
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Get([]byte("k")); err != nil {
+		t.Fatalf("SyncWrites write lost: %v", err)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// A foreign file that matches the glob but not the name format.
+	os.WriteFile(filepath.Join(dir, "seg-garbage.dat"), []byte("junk"), 0o644)
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("foreign file broke open: %v", err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteEverythingThenCompact(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+	}
+	db.Flush()
+	for i := 0; i < 50; i++ {
+		db.Delete([]byte(fmt.Sprintf("k%02d", i)))
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("%d keys survived total deletion", n)
+	}
+}
+
+func TestReopenPreservesSegments(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir, Options{})
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 30; i++ {
+			db.Put([]byte(fmt.Sprintf("r%d-k%02d", round, i)), []byte("v"))
+		}
+		db.Flush()
+	}
+	segs := db.SegmentCount()
+	db.Close()
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.SegmentCount() != segs {
+		t.Fatalf("reopened with %d segments, had %d", db2.SegmentCount(), segs)
+	}
+	n, _ := db2.Len()
+	if n != 90 {
+		t.Fatalf("reopened Len %d", n)
+	}
+}

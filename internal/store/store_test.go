@@ -1,0 +1,518 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func TestPutGet(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	if err := db.Put([]byte("user:1"), []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("user:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "alice" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	if _, err := db.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	if err := db.Put(nil, []byte("x")); err == nil {
+		t.Fatal("empty key accepted by Put")
+	}
+	if err := db.Delete(nil); err == nil {
+		t.Fatal("empty key accepted by Delete")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	for i := 0; i < 5; i++ {
+		if err := db.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := db.Get([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v4" {
+		t.Fatalf("got %q, want v4", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key still readable: %v", err)
+	}
+	// Deleting a missing key is fine.
+	if err := db.Delete([]byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteShadowsSegment(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tombstone did not shadow segment value")
+	}
+	// Even after the tombstone itself is flushed.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("flushed tombstone did not shadow segment value")
+	}
+}
+
+func TestFlushAndReadBack(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("val-%04d", i))
+		if err := db.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.SegmentCount() == 0 {
+		t.Fatal("flush created no segment")
+	}
+	for i := 0; i < n; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		want := fmt.Sprintf("val-%04d", i)
+		if string(v) != want {
+			t.Fatalf("key %d: got %q want %q", i, v, want)
+		}
+	}
+}
+
+func TestRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	db.Delete([]byte("a"))
+	db.Sync()
+	// Simulate a crash: close without Flush by reopening over the same dir.
+	// (Close flushes, so instead abandon the handle after syncing the WAL.)
+	db.wal.f.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Get([]byte("a")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key resurrected after recovery")
+	}
+	v, err := db2.Get([]byte("b"))
+	if err != nil || string(v) != "2" {
+		t.Fatalf("recovered value %q err %v", v, err)
+	}
+}
+
+func TestRecoveryTruncatedWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	db.Sync()
+	db.wal.f.Close()
+
+	// Corrupt the tail: chop a few bytes off the last record.
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// First record must survive; the torn one is discarded.
+	v, err := db2.Get([]byte("a"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("intact record lost: %q %v", v, err)
+	}
+	if _, err := db2.Get([]byte("b")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("torn record partially applied")
+	}
+}
+
+func TestReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	n, err := db2.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("reopened Len=%d, want 100", n)
+	}
+}
+
+func TestScanOrderedAndBounded(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	keys := []string{"d", "a", "c", "b", "e"}
+	for _, k := range keys {
+		db.Put([]byte(k), []byte("v-"+k))
+	}
+	db.Flush()
+	db.Put([]byte("bb"), []byte("v-bb")) // memtable entry interleaved with segment
+
+	var got []string
+	err := db.Scan([]byte("b"), []byte("e"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b", "bb", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("scan got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan got %v want %v", got, want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	count := 0
+	db.Scan(nil, nil, func(_, _ []byte) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestScanNewestWins(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	db.Put([]byte("k"), []byte("old"))
+	db.Flush()
+	db.Put([]byte("k"), []byte("mid"))
+	db.Flush()
+	db.Put([]byte("k"), []byte("new"))
+
+	var vals []string
+	db.Scan(nil, nil, func(k, v []byte) bool {
+		vals = append(vals, string(v))
+		return true
+	})
+	if len(vals) != 1 || vals[0] != "new" {
+		t.Fatalf("scan saw %v, want [new]", vals)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 50; i++ {
+			db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("r%d", round)))
+		}
+		db.Flush()
+	}
+	db.Put([]byte("k00"), []byte("final"))
+	db.Delete([]byte("k01"))
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.SegmentCount() != 1 {
+		t.Fatalf("after compact: %d segments", db.SegmentCount())
+	}
+	v, err := db.Get([]byte("k00"))
+	if err != nil || string(v) != "final" {
+		t.Fatalf("k00=%q err=%v", v, err)
+	}
+	if _, err := db.Get([]byte("k01")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tombstoned key survived compaction")
+	}
+	v, err = db.Get([]byte("k02"))
+	if err != nil || string(v) != "r3" {
+		t.Fatalf("k02=%q err=%v, want r3", v, err)
+	}
+	n, _ := db.Len()
+	if n != 49 {
+		t.Fatalf("Len after compact = %d, want 49", n)
+	}
+}
+
+func TestMemtableAutoFlush(t *testing.T) {
+	db, _ := openTemp(t, Options{MemtableBytes: 1024})
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte("x"), 64))
+	}
+	if db.SegmentCount() == 0 {
+		t.Fatal("small memtable never flushed")
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatalf("key %d lost across auto-flush: %v", i, err)
+		}
+	}
+}
+
+func TestClosedDBRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get on closed: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	ok, err := db.Has([]byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("Has existing: %v %v", ok, err)
+	}
+	ok, err = db.Has([]byte("absent"))
+	if err != nil || ok {
+		t.Fatalf("Has missing: %v %v", ok, err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	db, _ := openTemp(t, Options{})
+	for _, k := range []string{"c", "a", "b"} {
+		db.Put([]byte(k), []byte("v"))
+	}
+	keys, err := db.Keys(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || string(keys[0]) != "a" || string(keys[2]) != "c" {
+		t.Fatalf("Keys = %q", keys)
+	}
+}
+
+// Property: a DB behaves like a map under an arbitrary sequence of
+// put/delete/flush operations.
+func TestPropertyMatchesMap(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value uint16
+	}
+	f := func(ops []op) bool {
+		dir, err := os.MkdirTemp("", "storeprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		db, err := Open(dir, Options{MemtableBytes: 512})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		model := map[string]string{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%02d", o.Key%32)
+			val := fmt.Sprintf("v%05d", o.Value)
+			switch o.Kind % 4 {
+			case 0, 1:
+				if db.Put([]byte(key), []byte(val)) != nil {
+					return false
+				}
+				model[key] = val
+			case 2:
+				if db.Delete([]byte(key)) != nil {
+					return false
+				}
+				delete(model, key)
+			case 3:
+				if db.Flush() != nil {
+					return false
+				}
+			}
+		}
+		// Verify every model key and a few absent ones.
+		for k, want := range model {
+			v, err := db.Get([]byte(k))
+			if err != nil || string(v) != want {
+				return false
+			}
+		}
+		n, err := db.Len()
+		if err != nil || n != len(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentChecksumDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	db.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.dat"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	raw, _ := os.ReadFile(segs[0])
+	raw[len(segMagic)+2] ^= 0xff // flip a byte in the record block
+	os.WriteFile(segs[0], raw, 0o644)
+
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt segment opened without error")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	key := make([]byte, 16)
+	val := bytes.Repeat([]byte("p"), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(key, fmt.Sprintf("user:%010d", i))
+		if err := db.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetFromSegment(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("user:%06d", i)), []byte("profile-data"))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("user:%06d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("user:%06d", i)), []byte("profile"))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		db.Scan(nil, nil, func(_, _ []byte) bool { count++; return true })
+		if count != n {
+			b.Fatalf("scan count %d", count)
+		}
+	}
+}

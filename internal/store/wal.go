@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// wal is the write-ahead log. Record framing:
+//
+//	[4] crc32 (Castagnoli) of everything after this field
+//	[4] payload length
+//	payload:
+//	  [1] op (0 = put, 1 = delete)
+//	  [uvarint] key length, key bytes
+//	  [uvarint] value length, value bytes (absent for deletes)
+//
+// Replay stops at the first corrupt or truncated record — the standard
+// torn-write recovery contract: everything acknowledged before a crash is
+// intact, a partial trailing record is discarded.
+type wal struct {
+	f         *os.File
+	w         *bufio.Writer
+	syncEvery bool
+	path      string
+}
+
+type walEntry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	opPut    = 0
+	opDelete = 1
+)
+
+// openWAL opens the log at path, replaying existing entries. A truncated or
+// corrupt tail is tolerated (and discarded on the next reset).
+func openWAL(path string, syncWrites bool) (*wal, []walEntry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening wal: %w", err)
+	}
+	entries, validLen, err := replayWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate any corrupt tail so new records don't append after garbage.
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: truncating wal tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), syncEvery: syncWrites, path: path}, entries, nil
+}
+
+func replayWAL(f *os.File) ([]walEntry, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReaderSize(f, 64<<10)
+	var entries []walEntry
+	var offset int64
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return entries, offset, nil
+			}
+			return nil, 0, err
+		}
+		wantCRC := binary.LittleEndian.Uint32(header[0:4])
+		plen := binary.LittleEndian.Uint32(header[4:8])
+		if plen == 0 || plen > 64<<20 {
+			return entries, offset, nil // implausible length: corrupt tail
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return entries, offset, nil
+			}
+			return nil, 0, err
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return entries, offset, nil // corrupt record: stop replay here
+		}
+		e, err := decodeWALPayload(payload)
+		if err != nil {
+			return entries, offset, nil
+		}
+		entries = append(entries, e)
+		offset += int64(8 + plen)
+	}
+}
+
+func decodeWALPayload(p []byte) (walEntry, error) {
+	if len(p) < 1 {
+		return walEntry{}, errors.New("store: short wal payload")
+	}
+	op := p[0]
+	rest := p[1:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < klen {
+		return walEntry{}, errors.New("store: bad wal key length")
+	}
+	rest = rest[n:]
+	key := append([]byte(nil), rest[:klen]...)
+	rest = rest[klen:]
+	switch op {
+	case opDelete:
+		return walEntry{key: key, tombstone: true}, nil
+	case opPut:
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < vlen {
+			return walEntry{}, errors.New("store: bad wal value length")
+		}
+		rest = rest[n:]
+		value := append([]byte(nil), rest[:vlen]...)
+		return walEntry{key: key, value: value}, nil
+	default:
+		return walEntry{}, fmt.Errorf("store: unknown wal op %d", op)
+	}
+}
+
+func (w *wal) append(e walEntry) error {
+	var buf []byte
+	if e.tombstone {
+		buf = make([]byte, 0, 1+binary.MaxVarintLen64+len(e.key))
+		buf = append(buf, opDelete)
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+	} else {
+		buf = make([]byte, 0, 1+2*binary.MaxVarintLen64+len(e.key)+len(e.value))
+		buf = append(buf, opPut)
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.value)))
+		buf = append(buf, e.value...)
+	}
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[0:4], crc32.Checksum(buf, castagnoli))
+	binary.LittleEndian.PutUint32(header[4:8], uint32(len(buf)))
+	if _, err := w.w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	if w.syncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *wal) sync() error { return w.syncLocked() }
+
+func (w *wal) syncLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// reset truncates the log after a memtable flush: the flushed segment now
+// owns that data.
+func (w *wal) reset() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

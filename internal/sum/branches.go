@@ -1,0 +1,67 @@
+package sum
+
+import (
+	"math"
+
+	"repro/internal/emotion"
+)
+
+// Branch-level Emotional Intelligence scoring. The paper (§3) notes that
+// "Emotional Intelligence can be measured, ranging from feelings of boredom
+// to feelings of happiness and euphoria, from hostility to fondness" — the
+// MSCEIT instrument reports one score per Four-Branch ability. The SUM
+// equivalent aggregates each branch's attribute states into a 0–100 score:
+// how much *resolved* emotional signal the model holds for that ability,
+// where resolution means activation backed by evidence and a decisive
+// valence.
+
+// BranchScore is one branch's aggregate.
+type BranchScore struct {
+	Branch emotion.Branch
+	// Score in [0, 100]: 0 = nothing known, 100 = fully resolved states on
+	// every attribute of the branch.
+	Score float64
+	// Evidence is the total observation count across the branch.
+	Evidence int
+	// Coverage is the fraction of the branch's attributes with any
+	// evidence.
+	Coverage float64
+}
+
+// BranchScores computes the four MSCEIT-style branch aggregates for a
+// profile.
+func (m *Model) BranchScores(p *Profile) [4]BranchScore {
+	var out [4]BranchScore
+	counts := [4]int{}
+	for _, br := range emotion.Branches() {
+		out[br].Branch = br
+	}
+	for _, s := range p.Emotional {
+		br := s.Attribute.Branch()
+		counts[br]++
+		out[br].Evidence += s.Evidence
+		if s.Evidence > 0 {
+			out[br].Coverage++
+		}
+		// Resolution of one attribute: activation × confidence × |valence|.
+		out[br].Score += s.Activation * s.Confidence() * math.Abs(float64(s.Valence))
+	}
+	for _, br := range emotion.Branches() {
+		if counts[br] > 0 {
+			out[br].Score = 100 * out[br].Score / float64(counts[br])
+			out[br].Coverage /= float64(counts[br])
+		}
+	}
+	return out
+}
+
+// TotalEIScore is the mean of the four branch scores — the single-number
+// summary MSCEIT calls the total EI score.
+func (m *Model) TotalEIScore(p *Profile) float64 {
+	scores := m.BranchScores(p)
+	var sum float64
+	for _, b := range scores {
+		sum += b.Score
+	}
+	return sum / 4
+}

@@ -1,0 +1,74 @@
+package sum
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/emotion"
+)
+
+func TestBranchScoresEmptyProfile(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	scores := m.BranchScores(p)
+	for i, b := range scores {
+		if b.Branch != emotion.Branches()[i] {
+			t.Fatalf("branch order: %v", b.Branch)
+		}
+		if b.Score != 0 || b.Evidence != 0 || b.Coverage != 0 {
+			t.Fatalf("fresh profile branch %v: %+v", b.Branch, b)
+		}
+	}
+	if m.TotalEIScore(p) != 0 {
+		t.Fatal("fresh total EI nonzero")
+	}
+}
+
+func TestBranchScoresGrowWithEvidence(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	now := t0
+	// Answer the whole bank positively.
+	for {
+		item, err := m.NextItem(p)
+		if err != nil {
+			break
+		}
+		now = now.Add(time.Hour)
+		if err := m.ApplyEITAnswer(p, emotion.Answer{ItemID: item.ID, Option: 0}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores := m.BranchScores(p)
+	for _, b := range scores {
+		if b.Score <= 0 || b.Score > 100 {
+			t.Fatalf("branch %v score %v", b.Branch, b.Score)
+		}
+		if b.Evidence == 0 {
+			t.Fatalf("branch %v no evidence after full bank", b.Branch)
+		}
+	}
+	total := m.TotalEIScore(p)
+	if total <= 0 || total > 100 {
+		t.Fatalf("total EI %v", total)
+	}
+}
+
+func TestBranchScoresLocalized(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	// Reward only a Managing-branch attribute (motivated).
+	for i := 0; i < 6; i++ {
+		m.Reward(p, []emotion.Attribute{emotion.Motivated}, t0.Add(time.Duration(i)*time.Hour))
+	}
+	scores := m.BranchScores(p)
+	if scores[emotion.BranchManaging].Score <= 0 {
+		t.Fatal("managing branch not scored")
+	}
+	if scores[emotion.BranchPerceiving].Score != 0 {
+		t.Fatalf("perceiving branch leaked: %v", scores[emotion.BranchPerceiving].Score)
+	}
+	if scores[emotion.BranchManaging].Coverage <= 0 || scores[emotion.BranchManaging].Coverage > 1 {
+		t.Fatalf("coverage %v", scores[emotion.BranchManaging].Coverage)
+	}
+}

@@ -1,0 +1,171 @@
+package sum
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/emotion"
+	"repro/internal/store"
+)
+
+// Binary profile codec for the embedded store. Format (little-endian):
+//
+//	[8]  magic "SPASUM01"
+//	[8]  user id
+//	[8]  updatedAt unix-nanos
+//	[4]  answered items
+//	per emotional attribute (NumAttributes):
+//	  [8] activation  [8] valence  [4] evidence
+//	[4]  len(objective)   then float64s
+//	[4]  len(subjective)  then float64s
+//
+// Versioned magic lets a future format change coexist with old data.
+
+const profileMagic = "SPASUM01"
+
+// ErrBadProfile is returned when decoding fails.
+var ErrBadProfile = errors.New("sum: malformed profile record")
+
+// Encode serializes the profile.
+func Encode(p *Profile) []byte {
+	size := 8 + 8 + 8 + 4 + emotion.NumAttributes*20 + 4 + len(p.Objective)*8 + 4 + len(p.Subjective)*8
+	buf := make([]byte, 0, size)
+	buf = append(buf, profileMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, p.UserID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.UpdatedAt.UnixNano()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.AnsweredItems))
+	for _, s := range p.Emotional {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Activation))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(s.Valence)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Evidence))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Objective)))
+	for _, v := range p.Objective {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Subjective)))
+	for _, v := range p.Subjective {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// Decode parses a profile record.
+func Decode(raw []byte) (*Profile, error) {
+	r := reader{buf: raw}
+	magic := r.bytes(8)
+	if magic == nil || string(magic) != profileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadProfile)
+	}
+	p := &Profile{}
+	p.UserID = r.u64()
+	p.UpdatedAt = time.Unix(0, int64(r.u64())).UTC()
+	p.AnsweredItems = int(r.u32())
+	for i := range p.Emotional {
+		p.Emotional[i].Attribute = emotion.Attribute(i)
+		p.Emotional[i].Activation = math.Float64frombits(r.u64())
+		p.Emotional[i].Valence = emotion.Valence(math.Float64frombits(r.u64()))
+		p.Emotional[i].Evidence = int(r.u32())
+	}
+	nObj := int(r.u32())
+	if r.failed || nObj < 0 || nObj > 1<<20 {
+		return nil, fmt.Errorf("%w: objective length", ErrBadProfile)
+	}
+	p.Objective = make([]float64, nObj)
+	for i := range p.Objective {
+		p.Objective[i] = math.Float64frombits(r.u64())
+	}
+	nSub := int(r.u32())
+	if r.failed || nSub < 0 || nSub > 1<<20 {
+		return nil, fmt.Errorf("%w: subjective length", ErrBadProfile)
+	}
+	p.Subjective = make([]float64, nSub)
+	for i := range p.Subjective {
+		p.Subjective[i] = math.Float64frombits(r.u64())
+	}
+	if r.failed {
+		return nil, fmt.Errorf("%w: truncated", ErrBadProfile)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	return p, nil
+}
+
+type reader struct {
+	buf    []byte
+	failed bool
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.failed || len(r.buf) < n {
+		r.failed = true
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Key returns the store key for a user's profile.
+func Key(userID uint64) []byte {
+	key := make([]byte, 0, 12)
+	key = append(key, "sum/"...)
+	key = binary.BigEndian.AppendUint64(key, userID) // big-endian: ordered scans by user id
+	return key
+}
+
+// Save persists the profile to the store.
+func Save(db *store.DB, p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return db.Put(Key(p.UserID), Encode(p))
+}
+
+// Load reads a profile from the store; store.ErrNotFound passes through.
+func Load(db *store.DB, userID uint64) (*Profile, error) {
+	raw, err := db.Get(Key(userID))
+	if err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}
+
+// ForEach scans all stored profiles in user-id order.
+func ForEach(db *store.DB, fn func(*Profile) bool) error {
+	prefix := []byte("sum/")
+	end := []byte("sum0") // '0' = '/'+1
+	var decodeErr error
+	err := db.Scan(prefix, end, func(_, v []byte) bool {
+		p, err := Decode(v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(p)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}

@@ -1,0 +1,351 @@
+// Package sum implements the Smart User Model (SUM) of González et al.: the
+// per-user model that acquires, maintains and updates objective, subjective
+// and emotional information "through an incremental learning process in
+// everyday life" (§2). The three-stage methodology of §3 maps directly onto
+// the API:
+//
+//   - Initialization stage → ApplyEITAnswer (Gradual EIT impacts),
+//   - Advice stage         → Advise (activation/inhibition of excitatory
+//     attributes for a domain),
+//   - Update stage         → Reward / Punish (reinforcement from recent
+//     interactions) plus Decay (forgetting).
+package sum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/attributes"
+	"repro/internal/emotion"
+)
+
+// Profile is one user's Smart User Model.
+type Profile struct {
+	UserID uint64
+
+	// Objective socio-demographic attributes, dense (registry order for
+	// attributes of kind Objective).
+	Objective []float64
+
+	// Subjective behavioural attributes (LifeLog feature digest).
+	Subjective []float64
+
+	// Emotional holds the activation state of the ten deployed emotional
+	// attributes, indexed by emotion.Attribute.
+	Emotional [emotion.NumAttributes]emotion.State
+
+	// AnsweredItems counts Gradual EIT answers, driving item scheduling.
+	AnsweredItems int
+
+	// UpdatedAt is the instant of the last state change, used for decay.
+	UpdatedAt time.Time
+}
+
+// NewProfile creates an empty SUM for a user. All emotional attributes start
+// dormant (activation 0) with their base valence — the prior before any EIT
+// evidence arrives.
+func NewProfile(userID uint64, now time.Time) *Profile {
+	p := &Profile{UserID: userID, UpdatedAt: now}
+	for i := range p.Emotional {
+		a := emotion.Attribute(i)
+		p.Emotional[i] = emotion.State{
+			Attribute: a,
+			Valence:   a.BaseValence(),
+		}
+	}
+	return p
+}
+
+// Params tune the SUM learning dynamics. Defaults follow the reproduction's
+// calibration (see DESIGN.md A3 for the ablation).
+type Params struct {
+	// EITAlpha is the learning rate applied to EIT answer impacts.
+	EITAlpha float64
+	// RewardAlpha is the learning rate of reward/punish reinforcement.
+	RewardAlpha float64
+	// ActivationStep is how much one observation raises activation.
+	ActivationStep float64
+	// HalfLifeDays is the activation decay half-life; emotional evidence
+	// goes stale when the user stops interacting.
+	HalfLifeDays float64
+	// SensibilityTemperature feeds attributes.AutoWeigh.
+	SensibilityTemperature float64
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		EITAlpha:               0.20,
+		RewardAlpha:            0.25,
+		ActivationStep:         0.30,
+		HalfLifeDays:           240,
+		SensibilityTemperature: 1.4,
+	}
+}
+
+func (p Params) validate() error {
+	if p.EITAlpha <= 0 || p.EITAlpha > 1 {
+		return fmt.Errorf("sum: EITAlpha %v out of (0,1]", p.EITAlpha)
+	}
+	if p.RewardAlpha <= 0 || p.RewardAlpha > 1 {
+		return fmt.Errorf("sum: RewardAlpha %v out of (0,1]", p.RewardAlpha)
+	}
+	if p.ActivationStep <= 0 || p.ActivationStep > 1 {
+		return fmt.Errorf("sum: ActivationStep %v out of (0,1]", p.ActivationStep)
+	}
+	if p.HalfLifeDays <= 0 {
+		return fmt.Errorf("sum: HalfLifeDays %v must be positive", p.HalfLifeDays)
+	}
+	return nil
+}
+
+// Model wraps learning parameters; it is stateless across profiles so one
+// Model serves millions of users.
+type Model struct {
+	params Params
+	bank   *emotion.Bank
+}
+
+// NewModel builds a Model with the given parameters and EIT bank (nil bank
+// selects the default).
+func NewModel(params Params, bank *emotion.Bank) (*Model, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if bank == nil {
+		bank = emotion.NewBank()
+	}
+	return &Model{params: params, bank: bank}, nil
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Bank exposes the EIT item bank (for campaign touch generation).
+func (m *Model) Bank() *emotion.Bank { return m.bank }
+
+// NextItem returns the next Gradual EIT item for the profile, or
+// emotion.ErrExhausted when the user has answered the whole bank.
+func (m *Model) NextItem(p *Profile) (emotion.Item, error) {
+	return m.bank.Next(p.AnsweredItems)
+}
+
+// ApplyEITAnswer runs the initialization-stage update. The answer carries
+// evidence about every attribute the item *offered*, not only the chosen
+// option's: choosing "eager to dive in" activates enthusiasm, while
+// declining it when offered is (weaker) evidence against. Activation is an
+// exponential moving average of the chosen-option impact magnitude, so it
+// converges to the user's choice rate for the attribute instead of
+// saturating with exposure count — exposure-count saturation was measured
+// to destroy most of the EIT's ranking signal (see EXPERIMENTS.md).
+func (m *Model) ApplyEITAnswer(p *Profile, ans emotion.Answer, now time.Time) error {
+	impacts, err := m.bank.Score(ans)
+	if err != nil {
+		return err
+	}
+	item, err := m.bank.Item(ans.ItemID)
+	if err != nil {
+		return err
+	}
+	m.decay(p, now)
+	// Attributes offered anywhere in this item.
+	offered := make(map[emotion.Attribute]bool)
+	for oi := range item.Options {
+		opt, err := m.bank.Score(emotion.Answer{ItemID: ans.ItemID, Option: oi})
+		if err != nil {
+			return err
+		}
+		for attr := range opt {
+			offered[attr] = true
+		}
+	}
+	alpha := m.params.EITAlpha
+	for attr := range offered {
+		s := &p.Emotional[attr]
+		if v, chosen := impacts[attr]; chosen {
+			s.Valence = s.Valence.Blend(v, alpha)
+			target := math.Abs(float64(v))
+			s.Activation = clamp01(s.Activation + alpha*(target-s.Activation))
+			s.Evidence++
+		} else {
+			// Offered but declined: soft inhibition toward zero.
+			s.Activation = clamp01(s.Activation * (1 - alpha/2))
+			s.Evidence++
+		}
+	}
+	p.AnsweredItems++
+	p.UpdatedAt = now
+	return nil
+}
+
+// Reward runs the update-stage positive reinforcement: the user acted on a
+// recommendation associated with the given attributes, so their activations
+// and valences strengthen.
+func (m *Model) Reward(p *Profile, attrs []emotion.Attribute, now time.Time) {
+	m.decay(p, now)
+	for _, a := range attrs {
+		if int(a) < 0 || int(a) >= emotion.NumAttributes {
+			continue
+		}
+		s := &p.Emotional[a]
+		target := emotion.Valence(1)
+		if s.Valence < 0 {
+			// Aversion confirmed by action? No: acting on a recommendation
+			// is approach evidence; pull valence toward positive.
+			target = 0.5
+		}
+		s.Valence = s.Valence.Blend(target, m.params.RewardAlpha)
+		s.Activation = clamp01(s.Activation + m.params.ActivationStep)
+		s.Evidence++
+	}
+	p.UpdatedAt = now
+}
+
+// Punish runs the update-stage negative reinforcement: the user ignored or
+// rejected a recommendation built on the given attributes.
+func (m *Model) Punish(p *Profile, attrs []emotion.Attribute, now time.Time) {
+	m.decay(p, now)
+	for _, a := range attrs {
+		if int(a) < 0 || int(a) >= emotion.NumAttributes {
+			continue
+		}
+		s := &p.Emotional[a]
+		s.Valence = s.Valence.Blend(emotion.Valence(-0.3), m.params.RewardAlpha/2)
+		s.Activation = clamp01(s.Activation - m.params.ActivationStep/2)
+		s.Evidence++
+	}
+	p.UpdatedAt = now
+}
+
+// decay applies exponential forgetting to activations based on elapsed time.
+func (m *Model) decay(p *Profile, now time.Time) {
+	dt := now.Sub(p.UpdatedAt)
+	if dt <= 0 {
+		return
+	}
+	days := dt.Hours() / 24
+	factor := math.Exp2(-days / m.params.HalfLifeDays)
+	for i := range p.Emotional {
+		p.Emotional[i].Activation *= factor
+	}
+}
+
+// Decay exposes decay for callers advancing time without another update.
+func (m *Model) Decay(p *Profile, now time.Time) {
+	m.decay(p, now)
+	p.UpdatedAt = now
+}
+
+// Sensibilities computes the user's per-attribute sensibility weights in
+// [0,1]: activation magnitude tempered by evidence confidence and valence
+// strength. The scale is absolute — a user with no strong emotional
+// evidence has uniformly low weights and falls through to the standard
+// message — because the Messaging Agent's threshold (§5.3 step 3) is only
+// meaningful against an absolute scale. attributes.AutoWeigh provides the
+// complementary per-user relative view for reporting dominant attributes.
+func (m *Model) Sensibilities(p *Profile) []float64 {
+	raw := make([]float64, emotion.NumAttributes)
+	for i, s := range p.Emotional {
+		raw[i] = clamp01(s.Activation * s.Confidence() * math.Abs(float64(s.Valence)))
+	}
+	return raw
+}
+
+// RelativeSensibilities is the AutoWeigh-normalized (per-user relative)
+// view used when reporting a user's dominant attributes.
+func (m *Model) RelativeSensibilities(p *Profile) []float64 {
+	return attributes.AutoWeigh(m.Sensibilities(p), m.params.SensibilityTemperature)
+}
+
+// Advice is the advice-stage output for one domain: per-attribute excitation
+// in [-1, 1]. Positive values mean the recommender should *activate*
+// content/messaging resonating with the attribute; negative values mean
+// *inhibit* it (aversion).
+type Advice struct {
+	Domain     string
+	Excitation [emotion.NumAttributes]float64
+}
+
+// Advise produces the activation/inhibition vector of §3 stage 2: the signed
+// product of sensibility and valence polarity. Attributes with negative
+// valence and high sensibility yield strong inhibition.
+func (m *Model) Advise(p *Profile, domain string) Advice {
+	sens := m.Sensibilities(p)
+	var adv Advice
+	adv.Domain = domain
+	for i, s := range p.Emotional {
+		adv.Excitation[i] = sens[i] * float64(s.Valence.Polarity())
+	}
+	return adv
+}
+
+// EmotionalFeatures flattens the emotional state into the dense feature
+// block the learners consume: for each attribute, activation × valence
+// (signed sensibility) followed by confidence. Length 2×NumAttributes.
+func (p *Profile) EmotionalFeatures() []float64 {
+	out := make([]float64, 0, 2*emotion.NumAttributes)
+	for _, s := range p.Emotional {
+		out = append(out, s.Activation*float64(s.Valence))
+	}
+	for _, s := range p.Emotional {
+		out = append(out, s.Confidence())
+	}
+	return out
+}
+
+// EmotionalFeatureLen is the length of EmotionalFeatures' output.
+const EmotionalFeatureLen = 2 * emotion.NumAttributes
+
+// FeatureVector concatenates the requested blocks into one dense learner
+// input. Objective and subjective blocks are used as-is; the emotional
+// block comes from EmotionalFeatures.
+func (p *Profile) FeatureVector(includeObjective, includeSubjective, includeEmotional bool) []float64 {
+	var out []float64
+	if includeObjective {
+		out = append(out, p.Objective...)
+	}
+	if includeSubjective {
+		out = append(out, p.Subjective...)
+	}
+	if includeEmotional {
+		out = append(out, p.EmotionalFeatures()...)
+	}
+	return out
+}
+
+// Validate checks structural invariants after deserialization.
+func (p *Profile) Validate() error {
+	if p.UserID == 0 {
+		return errors.New("sum: zero user id")
+	}
+	for i, s := range p.Emotional {
+		if s.Attribute != emotion.Attribute(i) {
+			return fmt.Errorf("sum: emotional slot %d holds %v", i, s.Attribute)
+		}
+		if s.Activation < 0 || s.Activation > 1 {
+			return fmt.Errorf("sum: activation %v out of range", s.Activation)
+		}
+		if s.Valence < -1 || s.Valence > 1 {
+			return fmt.Errorf("sum: valence %v out of range", s.Valence)
+		}
+		if s.Evidence < 0 {
+			return fmt.Errorf("sum: negative evidence %d", s.Evidence)
+		}
+	}
+	if p.AnsweredItems < 0 {
+		return errors.New("sum: negative answered count")
+	}
+	return nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,480 @@
+package sum
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/emotion"
+	"repro/internal/store"
+)
+
+var t0 = time.Date(2006, 3, 14, 0, 0, 0, 0, time.UTC)
+
+func newTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewProfileDormant(t *testing.T) {
+	p := NewProfile(7, t0)
+	if p.UserID != 7 {
+		t.Fatalf("user id %d", p.UserID)
+	}
+	for i, s := range p.Emotional {
+		if s.Activation != 0 {
+			t.Fatalf("attribute %d starts active", i)
+		}
+		if s.Valence != emotion.Attribute(i).BaseValence() {
+			t.Fatalf("attribute %d valence %v", i, s.Valence)
+		}
+		if s.Evidence != 0 {
+			t.Fatalf("attribute %d has evidence", i)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{EITAlpha: 0, RewardAlpha: 0.1, ActivationStep: 0.1, HalfLifeDays: 1},
+		{EITAlpha: 0.1, RewardAlpha: 2, ActivationStep: 0.1, HalfLifeDays: 1},
+		{EITAlpha: 0.1, RewardAlpha: 0.1, ActivationStep: 0, HalfLifeDays: 1},
+		{EITAlpha: 0.1, RewardAlpha: 0.1, ActivationStep: 0.1, HalfLifeDays: 0},
+	}
+	for i, p := range bad {
+		if _, err := NewModel(p, nil); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+	if _, err := NewModel(DefaultParams(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradualEITActivation(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+
+	item, err := m.NextItem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.ID != 0 {
+		t.Fatalf("first item %d", item.ID)
+	}
+	// Answer positively (option 0 boosts an approach attribute).
+	if err := m.ApplyEITAnswer(p, emotion.Answer{ItemID: item.ID, Option: 0}, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if p.AnsweredItems != 1 {
+		t.Fatalf("answered %d", p.AnsweredItems)
+	}
+	activated := 0
+	for _, s := range p.Emotional {
+		if s.Activation > 0 {
+			activated++
+		}
+	}
+	if activated == 0 {
+		t.Fatal("answer activated nothing")
+	}
+	// Next item advances.
+	item2, _ := m.NextItem(p)
+	if item2.ID != 1 {
+		t.Fatalf("second item %d", item2.ID)
+	}
+}
+
+func TestEITAnswerGradualConvergence(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	now := t0
+	// Always choose the positive option through the whole bank.
+	for {
+		item, err := m.NextItem(p)
+		if errors.Is(err, emotion.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Hour)
+		if err := m.ApplyEITAnswer(p, emotion.Answer{ItemID: item.ID, Option: 0}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.AnsweredItems != m.Bank().Len() {
+		t.Fatalf("answered %d of %d", p.AnsweredItems, m.Bank().Len())
+	}
+	// Approach attributes probed by positive options should now be highly
+	// activated with positive valence.
+	s := p.Emotional[emotion.Enthusiastic]
+	if s.Activation < 0.5 {
+		t.Fatalf("enthusiastic activation %v after full positive bank", s.Activation)
+	}
+	if s.Valence <= 0 {
+		t.Fatalf("enthusiastic valence %v", s.Valence)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewardStrengthens(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	before := p.Emotional[emotion.Motivated]
+	m.Reward(p, []emotion.Attribute{emotion.Motivated}, t0.Add(time.Hour))
+	after := p.Emotional[emotion.Motivated]
+	if after.Activation <= before.Activation {
+		t.Fatal("reward did not raise activation")
+	}
+	if after.Valence < before.Valence {
+		t.Fatal("reward lowered valence")
+	}
+	if after.Evidence != before.Evidence+1 {
+		t.Fatal("reward did not add evidence")
+	}
+}
+
+func TestPunishWeakens(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	// Activate first so punish has something to reduce.
+	m.Reward(p, []emotion.Attribute{emotion.Motivated}, t0.Add(time.Hour))
+	before := p.Emotional[emotion.Motivated]
+	m.Punish(p, []emotion.Attribute{emotion.Motivated}, t0.Add(2*time.Hour))
+	after := p.Emotional[emotion.Motivated]
+	if after.Activation >= before.Activation {
+		t.Fatal("punish did not lower activation")
+	}
+	if after.Valence >= before.Valence {
+		t.Fatal("punish did not lower valence")
+	}
+}
+
+func TestRewardPunishIgnoreInvalidAttrs(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	m.Reward(p, []emotion.Attribute{emotion.Attribute(99)}, t0.Add(time.Hour))
+	m.Punish(p, []emotion.Attribute{emotion.Attribute(-1)}, t0.Add(2*time.Hour))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayHalvesActivation(t *testing.T) {
+	params := DefaultParams()
+	params.HalfLifeDays = 10
+	m, err := NewModel(params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile(1, t0)
+	for i := 0; i < 6; i++ {
+		m.Reward(p, []emotion.Attribute{emotion.Lively}, t0)
+	}
+	start := p.Emotional[emotion.Lively].Activation
+	m.Decay(p, t0.Add(10*24*time.Hour))
+	got := p.Emotional[emotion.Lively].Activation
+	if math.Abs(got-start/2) > 1e-9 {
+		t.Fatalf("after one half-life: %v, want %v", got, start/2)
+	}
+	// Decay is monotone and never negative.
+	m.Decay(p, t0.Add(1000*24*time.Hour))
+	if a := p.Emotional[emotion.Lively].Activation; a < 0 || a > got {
+		t.Fatalf("long decay produced %v", a)
+	}
+}
+
+func TestDecayNoTimeNoChange(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	m.Reward(p, []emotion.Attribute{emotion.Lively}, t0)
+	before := p.Emotional[emotion.Lively].Activation
+	m.Decay(p, t0) // zero elapsed
+	if p.Emotional[emotion.Lively].Activation != before {
+		t.Fatal("zero-elapsed decay changed state")
+	}
+}
+
+func TestSensibilitiesRange(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	now := t0
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Hour)
+		m.Reward(p, []emotion.Attribute{emotion.Enthusiastic, emotion.Hopeful}, now)
+	}
+	sens := m.Sensibilities(p)
+	if len(sens) != emotion.NumAttributes {
+		t.Fatalf("sensibilities len %d", len(sens))
+	}
+	for i, w := range sens {
+		if w < 0 || w > 1 {
+			t.Fatalf("sensibility %d = %v", i, w)
+		}
+	}
+	if sens[emotion.Enthusiastic] <= sens[emotion.Shy] {
+		t.Fatalf("rewarded attribute not dominant: %v vs %v", sens[emotion.Enthusiastic], sens[emotion.Shy])
+	}
+}
+
+func TestAdviseSignsFollowValence(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	now := t0
+	// Build approach evidence on Enthusiastic, aversion on Frightened via
+	// EIT answers that hit those attributes.
+	for i := 0; i < 20; i++ {
+		item, err := m.NextItem(p)
+		if err != nil {
+			break
+		}
+		now = now.Add(time.Hour)
+		opt := 0
+		// For items whose negative option touches Frightened, choose it.
+		if impacts, _ := m.Bank().Score(emotion.Answer{ItemID: item.ID, Option: 1}); impacts[emotion.Frightened] != 0 {
+			opt = 1
+		}
+		m.ApplyEITAnswer(p, emotion.Answer{ItemID: item.ID, Option: opt}, now)
+	}
+	adv := m.Advise(p, "training")
+	if adv.Domain != "training" {
+		t.Fatal("domain lost")
+	}
+	if adv.Excitation[emotion.Enthusiastic] <= 0 {
+		t.Fatalf("approach attribute excitation %v", adv.Excitation[emotion.Enthusiastic])
+	}
+	if adv.Excitation[emotion.Frightened] >= 0 {
+		t.Fatalf("aversion attribute excitation %v", adv.Excitation[emotion.Frightened])
+	}
+}
+
+func TestEmotionalFeaturesLayout(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(1, t0)
+	m.Reward(p, []emotion.Attribute{emotion.Motivated}, t0.Add(time.Hour))
+	f := p.EmotionalFeatures()
+	if len(f) != EmotionalFeatureLen {
+		t.Fatalf("feature len %d", len(f))
+	}
+	if f[int(emotion.Motivated)] <= 0 {
+		t.Fatalf("signed sensibility for rewarded attribute %v", f[emotion.Motivated])
+	}
+	if f[emotion.NumAttributes+int(emotion.Motivated)] <= 0 {
+		t.Fatal("confidence block zero for attribute with evidence")
+	}
+}
+
+func TestFeatureVectorBlocks(t *testing.T) {
+	p := NewProfile(1, t0)
+	p.Objective = []float64{1, 2}
+	p.Subjective = []float64{3}
+	all := p.FeatureVector(true, true, true)
+	if len(all) != 3+EmotionalFeatureLen {
+		t.Fatalf("full vector len %d", len(all))
+	}
+	if len(p.FeatureVector(true, false, false)) != 2 {
+		t.Fatal("objective-only length")
+	}
+	if len(p.FeatureVector(false, false, true)) != EmotionalFeatureLen {
+		t.Fatal("emotional-only length")
+	}
+	if len(p.FeatureVector(false, false, false)) != 0 {
+		t.Fatal("empty selection not empty")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := NewProfile(1, t0)
+	p.Emotional[2].Activation = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad activation validated")
+	}
+	p = NewProfile(1, t0)
+	p.Emotional[0].Valence = -2
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad valence validated")
+	}
+	p = NewProfile(0, t0)
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero user validated")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := newTestModel(t)
+	p := NewProfile(42, t0)
+	p.Objective = []float64{30, 1, 0.5}
+	p.Subjective = []float64{12, 0.25}
+	now := t0
+	for i := 0; i < 5; i++ {
+		item, _ := m.NextItem(p)
+		now = now.Add(time.Hour)
+		m.ApplyEITAnswer(p, emotion.Answer{ItemID: item.ID, Option: i % 3}, now)
+	}
+	m.Reward(p, []emotion.Attribute{emotion.Hopeful}, now.Add(time.Hour))
+
+	raw := Encode(p)
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UserID != p.UserID || got.AnsweredItems != p.AnsweredItems {
+		t.Fatalf("scalar fields: %+v", got)
+	}
+	if !got.UpdatedAt.Equal(p.UpdatedAt) {
+		t.Fatalf("updatedAt %v want %v", got.UpdatedAt, p.UpdatedAt)
+	}
+	for i := range p.Emotional {
+		if got.Emotional[i] != p.Emotional[i] {
+			t.Fatalf("emotional %d: %+v want %+v", i, got.Emotional[i], p.Emotional[i])
+		}
+	}
+	for i := range p.Objective {
+		if got.Objective[i] != p.Objective[i] {
+			t.Fatal("objective block")
+		}
+	}
+	for i := range p.Subjective {
+		if got.Subjective[i] != p.Subjective[i] {
+			t.Fatal("subjective block")
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXXXXXXrestofdatathatislongenoughtoparse0000000000000000"),
+	}
+	for i, raw := range cases {
+		if _, err := Decode(raw); err == nil {
+			t.Fatalf("garbage %d decoded", i)
+		}
+	}
+	// Truncated valid prefix.
+	p := NewProfile(1, t0)
+	raw := Encode(p)
+	if _, err := Decode(raw[:len(raw)-5]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64, nAnswers uint8) bool {
+		m, _ := NewModel(DefaultParams(), nil)
+		p := NewProfile(seed%1000+1, t0)
+		now := t0
+		for i := 0; i < int(nAnswers)%20; i++ {
+			item, err := m.NextItem(p)
+			if err != nil {
+				break
+			}
+			now = now.Add(time.Hour)
+			if m.ApplyEITAnswer(p, emotion.Answer{ItemID: item.ID, Option: int((seed + uint64(i)) % 3)}, now) != nil {
+				return false
+			}
+		}
+		got, err := Decode(Encode(p))
+		if err != nil {
+			return false
+		}
+		return got.UserID == p.UserID && got.AnsweredItems == p.AnsweredItems &&
+			got.Emotional == p.Emotional
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSaveLoadForEach(t *testing.T) {
+	dir := t.TempDir()
+	db, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for id := uint64(1); id <= 10; id++ {
+		p := NewProfile(id, t0)
+		p.Objective = []float64{float64(id)}
+		if err := Save(db, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Load(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UserID != 5 || p.Objective[0] != 5 {
+		t.Fatalf("loaded %+v", p)
+	}
+	if _, err := Load(db, 99); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("missing profile: %v", err)
+	}
+	var ids []uint64
+	if err := ForEach(db, func(p *Profile) bool {
+		ids = append(ids, p.UserID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("ForEach visited %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("ForEach not in user order")
+		}
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := store.Open(dir, store.Options{})
+	defer db.Close()
+	p := NewProfile(1, t0)
+	p.Emotional[0].Activation = 9
+	if err := Save(db, p); err == nil {
+		t.Fatal("invalid profile saved")
+	}
+}
+
+func BenchmarkApplyEITAnswer(b *testing.B) {
+	m, _ := NewModel(DefaultParams(), nil)
+	p := NewProfile(1, t0)
+	now := t0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AnsweredItems = i % m.Bank().Len()
+		now = now.Add(time.Minute)
+		if err := m.ApplyEITAnswer(p, emotion.Answer{ItemID: p.AnsweredItems, Option: i % 3}, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := NewProfile(1, t0)
+	p.Objective = make([]float64, 20)
+	p.Subjective = make([]float64, 35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := Encode(p)
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Cross-validation and train/calibrate plumbing.
+
+// Split partitions a dataset into two disjoint parts with the first taking
+// fraction frac of samples, shuffled by seed. Stratification keeps the
+// class balance of both parts close to the original — important because
+// campaign response rates are far from 50 %.
+func Split(d *Dataset, frac float64, seed uint64) (*Dataset, *Dataset, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("svm: split fraction %v out of (0,1)", frac)
+	}
+	r := rng.New(seed)
+	var posIdx, negIdx []int
+	for i, y := range d.Y {
+		if y == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	r.Shuffle(len(posIdx), func(i, j int) { posIdx[i], posIdx[j] = posIdx[j], posIdx[i] })
+	r.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	a, b := &Dataset{}, &Dataset{}
+	take := func(idx []int) {
+		cut := int(float64(len(idx)) * frac)
+		if cut == 0 {
+			cut = 1
+		}
+		if cut == len(idx) {
+			cut = len(idx) - 1
+		}
+		for _, i := range idx[:cut] {
+			a.X = append(a.X, d.X[i])
+			a.Y = append(a.Y, d.Y[i])
+		}
+		for _, i := range idx[cut:] {
+			b.X = append(b.X, d.X[i])
+			b.Y = append(b.Y, d.Y[i])
+		}
+	}
+	take(posIdx)
+	take(negIdx)
+	return a, b, nil
+}
+
+// Trainer abstracts over the two SVM trainers (and the baselines, which
+// implement the same contract in internal/baseline).
+type Trainer func(*Dataset) (*Model, error)
+
+// PegasosTrainer adapts TrainPegasos to the Trainer contract.
+func PegasosTrainer(p PegasosParams) Trainer {
+	return func(d *Dataset) (*Model, error) { return TrainPegasos(d, p) }
+}
+
+// DualCDTrainer adapts TrainDualCD to the Trainer contract.
+func DualCDTrainer(p DualCDParams) Trainer {
+	return func(d *Dataset) (*Model, error) { return TrainDualCD(d, p) }
+}
+
+// TrainCalibrated trains on 80 % of the data and Platt-calibrates on the
+// held-out 20 % — the standard recipe for propensity models.
+func TrainCalibrated(d *Dataset, train Trainer, seed uint64) (*Model, error) {
+	fit, hold, err := Split(d, 0.8, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := train(fit)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Calibrate(hold); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CVResult summarizes a k-fold run.
+type CVResult struct {
+	FoldAccuracy []float64
+	MeanAccuracy float64
+	StdAccuracy  float64
+}
+
+// CrossValidate runs stratified k-fold cross-validation with the given
+// trainer and returns per-fold and aggregate accuracy.
+func CrossValidate(d *Dataset, train Trainer, k int, seed uint64) (*CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, errors.New("svm: k must be >= 2")
+	}
+	if k > d.Len() {
+		return nil, errors.New("svm: k exceeds dataset size")
+	}
+	r := rng.New(seed)
+	// Stratified fold assignment.
+	fold := make([]int, d.Len())
+	var posIdx, negIdx []int
+	for i, y := range d.Y {
+		if y == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	assign := func(idx []int) {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for pos, i := range idx {
+			fold[i] = pos % k
+		}
+	}
+	assign(posIdx)
+	assign(negIdx)
+
+	res := &CVResult{}
+	for f := 0; f < k; f++ {
+		var trainSet, testSet Dataset
+		for i := range d.X {
+			if fold[i] == f {
+				testSet.X = append(testSet.X, d.X[i])
+				testSet.Y = append(testSet.Y, d.Y[i])
+			} else {
+				trainSet.X = append(trainSet.X, d.X[i])
+				trainSet.Y = append(trainSet.Y, d.Y[i])
+			}
+		}
+		if err := trainSet.Validate(); err != nil {
+			return nil, fmt.Errorf("svm: fold %d train set: %w", f, err)
+		}
+		m, err := train(&trainSet)
+		if err != nil {
+			return nil, err
+		}
+		if len(testSet.X) == 0 {
+			return nil, fmt.Errorf("svm: fold %d empty test set", f)
+		}
+		acc, err := m.Accuracy(&testSet)
+		if err != nil {
+			return nil, err
+		}
+		res.FoldAccuracy = append(res.FoldAccuracy, acc)
+	}
+	var sum float64
+	for _, a := range res.FoldAccuracy {
+		sum += a
+	}
+	res.MeanAccuracy = sum / float64(k)
+	var ss float64
+	for _, a := range res.FoldAccuracy {
+		dlt := a - res.MeanAccuracy
+		ss += dlt * dlt
+	}
+	res.StdAccuracy = sqrtSafe(ss / float64(k))
+	return res, nil
+}
+
+func sqrtSafe(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Dual coordinate descent for L2-regularized L1-loss SVM (Hsieh et al.,
+// ICML 2008; the algorithm behind LIBLINEAR). Solves
+//
+//	min_α  ½ αᵀQα − eᵀα   s.t. 0 ≤ αᵢ ≤ C,   Q_ij = y_i y_j x_iᵀx_j
+//
+// maintaining w = Σ αᵢ yᵢ xᵢ so each coordinate update is O(nnz(xᵢ)). It
+// reaches a much tighter optimum than Pegasos on the same budget and is the
+// offline trainer for nightly model rebuilds.
+
+// DualCDParams configure the trainer.
+type DualCDParams struct {
+	// C is the per-sample upper bound (soft-margin cost, > 0). Relates to
+	// Pegasos' lambda as C = 1/(λ·n).
+	C float64
+	// MaxEpochs bounds the outer loop.
+	MaxEpochs int
+	// Tol is the PG-violation stopping tolerance.
+	Tol float64
+	// Seed drives the coordinate permutation.
+	Seed uint64
+}
+
+// DefaultDualCD returns standard LIBLINEAR-like settings.
+func DefaultDualCD() DualCDParams {
+	return DualCDParams{C: 1, MaxEpochs: 200, Tol: 1e-4, Seed: 1}
+}
+
+// TrainDualCD fits a linear SVM with an augmented bias feature.
+func TrainDualCD(d *Dataset, p DualCDParams) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if p.C <= 0 {
+		return nil, errors.New("svm: C must be positive")
+	}
+	if p.MaxEpochs < 1 {
+		return nil, errors.New("svm: MaxEpochs must be >= 1")
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-4
+	}
+	n := d.Len()
+	dim := len(d.X[0])
+	w := make([]float64, dim+1)
+	alpha := make([]float64, n)
+	// Qii = ‖xᵢ‖² + 1 (augmented bias).
+	qii := make([]float64, n)
+	for i, x := range d.X {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		qii[i] = s + 1
+	}
+	r := rng.New(p.Seed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < p.MaxEpochs; epoch++ {
+		r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		maxViolation := 0.0
+		for _, i := range idx {
+			x := d.X[i]
+			y := float64(d.Y[i])
+			g := y*dotAug(w, x) - 1 // gradient of the dual coordinate
+			// Projected gradient.
+			pg := g
+			switch {
+			case alpha[i] == 0 && g > 0:
+				pg = 0
+			case alpha[i] == p.C && g < 0:
+				pg = 0
+			}
+			if v := math.Abs(pg); v > maxViolation {
+				maxViolation = v
+			}
+			if pg == 0 {
+				continue
+			}
+			old := alpha[i]
+			ai := old - g/qii[i]
+			if ai < 0 {
+				ai = 0
+			} else if ai > p.C {
+				ai = p.C
+			}
+			alpha[i] = ai
+			delta := (ai - old) * y
+			for j, v := range x {
+				w[j] += delta * v
+			}
+			w[dim] += delta
+		}
+		if maxViolation < p.Tol {
+			break
+		}
+	}
+	return &Model{Weights: w[:dim], Bias: w[dim]}, nil
+}

@@ -1,0 +1,162 @@
+package svm
+
+import (
+	"errors"
+	"math"
+)
+
+// Platt scaling (Platt 1999, with the Lin–Weng–Keerthi 2007 numerically
+// stable Newton fit): maps SVM margins f to calibrated probabilities
+// P(y=+1|f) = 1/(1+exp(A·f+B)). The paper's selection function ranks users
+// by "propensity to accept a recommended item"; calibrated probabilities
+// make those propensities comparable across campaigns.
+
+// PlattScaler holds the fitted sigmoid.
+type PlattScaler struct {
+	A, B float64
+}
+
+// Prob maps a margin to P(y=+1).
+func (p *PlattScaler) Prob(margin float64) float64 {
+	fApB := p.A*margin + p.B
+	// Numerically stable sigmoid.
+	if fApB >= 0 {
+		e := math.Exp(-fApB)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(fApB))
+}
+
+// FitPlatt fits the sigmoid on held-out margins and ±1 labels using the
+// regularized maximum-likelihood target of Lin et al. (Newton's method with
+// backtracking). margins and labels must be parallel and contain both
+// classes.
+func FitPlatt(margins []float64, labels []int) (*PlattScaler, error) {
+	if len(margins) != len(labels) {
+		return nil, errors.New("svm: platt input length mismatch")
+	}
+	if len(margins) == 0 {
+		return nil, errors.New("svm: platt empty input")
+	}
+	var nPos, nNeg float64
+	for _, y := range labels {
+		switch y {
+		case 1:
+			nPos++
+		case -1:
+			nNeg++
+		default:
+			return nil, errors.New("svm: platt labels must be ±1")
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, errors.New("svm: platt needs both classes")
+	}
+	// Regularized targets.
+	hiTarget := (nPos + 1) / (nPos + 2)
+	loTarget := 1 / (nNeg + 2)
+	n := len(margins)
+	t := make([]float64, n)
+	for i, y := range labels {
+		if y == 1 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+	a := 0.0
+	b := math.Log((nNeg + 1) / (nPos + 1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	fval := plattObjective(margins, t, a, b)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian.
+		var h11, h22, h21, g1, g2 float64
+		h11, h22 = sigma, sigma
+		for i, f := range margins {
+			fApB := a*f + b
+			var p, q float64
+			if fApB >= 0 {
+				e := math.Exp(-fApB)
+				p = e / (1 + e)
+				q = 1 / (1 + e)
+			} else {
+				e := math.Exp(fApB)
+				p = 1 / (1 + e)
+				q = e / (1 + e)
+			}
+			d2 := p * q
+			h11 += f * f * d2
+			h22 += d2
+			h21 += f * d2
+			d1 := t[i] - p
+			g1 += f * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		// Newton direction (2×2 solve).
+		det := h11*h22 - h21*h21
+		if det == 0 {
+			break
+		}
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		// Backtracking line search.
+		step := 1.0
+		for step >= minStep {
+			newA, newB := a+step*dA, b+step*dB
+			newF := plattObjective(margins, t, newA, newB)
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+func plattObjective(margins, t []float64, a, b float64) float64 {
+	var obj float64
+	for i, f := range margins {
+		fApB := a*f + b
+		if fApB >= 0 {
+			obj += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			obj += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	return obj
+}
+
+// Calibrate fits Platt scaling for the model on a held-out dataset and
+// attaches it.
+func (m *Model) Calibrate(holdout *Dataset) error {
+	if err := holdout.Validate(); err != nil {
+		return err
+	}
+	margins := make([]float64, holdout.Len())
+	for i := range holdout.X {
+		f, err := m.Margin(holdout.X[i])
+		if err != nil {
+			return err
+		}
+		margins[i] = f
+	}
+	ps, err := FitPlatt(margins, holdout.Y)
+	if err != nil {
+		return err
+	}
+	m.Platt = ps
+	return nil
+}

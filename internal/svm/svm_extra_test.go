@@ -1,0 +1,193 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestPlattSignConvention: for a model whose margins correlate positively
+// with the positive class, the fitted A must be negative (LIBSVM
+// convention: P = 1/(1+exp(A·f+B)) increasing in f when A < 0).
+func TestPlattSignConvention(t *testing.T) {
+	r := rng.New(5)
+	var margins []float64
+	var labels []int
+	for i := 0; i < 2000; i++ {
+		y := -1
+		mu := -1.0
+		if r.Bool(0.4) {
+			y = 1
+			mu = 1.0
+		}
+		margins = append(margins, mu+r.NormFloat64()*0.7)
+		labels = append(labels, y)
+	}
+	ps, err := FitPlatt(margins, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.A >= 0 {
+		t.Fatalf("A = %v, want negative for positively-correlated margins", ps.A)
+	}
+	if ps.Prob(2) <= ps.Prob(-2) {
+		t.Fatal("calibrated probability not increasing in margin")
+	}
+}
+
+// TestPlattBaseRateRecovery: with uninformative margins the calibrated
+// probability must collapse to roughly the base rate everywhere.
+func TestPlattBaseRateRecovery(t *testing.T) {
+	r := rng.New(7)
+	var margins []float64
+	var labels []int
+	base := 0.2
+	for i := 0; i < 5000; i++ {
+		y := -1
+		if r.Bool(base) {
+			y = 1
+		}
+		margins = append(margins, r.NormFloat64()) // no signal
+		labels = append(labels, y)
+	}
+	ps, err := FitPlatt(margins, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{-1, 0, 1} {
+		if p := ps.Prob(f); math.Abs(p-base) > 0.06 {
+			t.Fatalf("no-signal calibration at f=%v: %v, want ~%v", f, p, base)
+		}
+	}
+}
+
+// TestPegasosAveragingStability: two different sampling seeds must land on
+// nearby solutions (the suffix average removes last-iterate noise).
+func TestPegasosAveragingStability(t *testing.T) {
+	d := gaussianBlobs(3000, 10, 0.8, 3)
+	p1 := DefaultPegasos()
+	p2 := DefaultPegasos()
+	p2.Seed = 999
+	m1, err := TrainPegasos(d, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainPegasos(d, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cosine similarity of weight vectors must be high.
+	var dot, n1, n2 float64
+	for j := range m1.Weights {
+		dot += m1.Weights[j] * m2.Weights[j]
+		n1 += m1.Weights[j] * m1.Weights[j]
+		n2 += m2.Weights[j] * m2.Weights[j]
+	}
+	cos := dot / math.Sqrt(n1*n2)
+	if cos < 0.9 {
+		t.Fatalf("seed-to-seed weight cosine %v; averaging unstable", cos)
+	}
+}
+
+// TestExtremeFeatureValues: the scaler + trainers must not produce NaNs on
+// features spanning many orders of magnitude.
+func TestExtremeFeatureValues(t *testing.T) {
+	r := rng.New(11)
+	d := &Dataset{}
+	for i := 0; i < 400; i++ {
+		y := 1
+		mu := 1.0
+		if i%2 == 1 {
+			y = -1
+			mu = -1.0
+		}
+		d.X = append(d.X, []float64{
+			mu*1e6 + r.NormFloat64()*1e5, // huge scale
+			mu*1e-6 + r.NormFloat64()*1e-7,
+			mu + r.NormFloat64(),
+		})
+		d.Y = append(d.Y, y)
+	}
+	sc, err := FitScaler(d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.TransformAll(d.X); err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainPegasos(d, DefaultPegasos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range m.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("non-finite weight %v", w)
+		}
+	}
+	acc, _ := m.Accuracy(d)
+	if acc < 0.95 {
+		t.Fatalf("extreme-scale accuracy %v", acc)
+	}
+}
+
+// TestCrossValidateDualCD exercises CV with the second trainer.
+func TestCrossValidateDualCD(t *testing.T) {
+	d := gaussianBlobs(300, 3, 2, 13)
+	res, err := CrossValidate(d, DualCDTrainer(DualCDParams{C: 1, MaxEpochs: 50, Tol: 1e-3, Seed: 1}), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAccuracy < 0.95 {
+		t.Fatalf("dualcd cv accuracy %v", res.MeanAccuracy)
+	}
+}
+
+// TestDualCDRespectsBoxConstraint: with tiny C the solution must stay small
+// (heavily regularized) and with huge C it must fit the training data.
+func TestDualCDBoxConstraint(t *testing.T) {
+	d := gaussianBlobs(300, 4, 1.5, 17)
+	small, err := TrainDualCD(d, DualCDParams{C: 1e-6, MaxEpochs: 100, Tol: 1e-5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TrainDualCD(d, DualCDParams{C: 100, MaxEpochs: 300, Tol: 1e-5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normOf := func(m *Model) float64 {
+		var n float64
+		for _, w := range m.Weights {
+			n += w * w
+		}
+		return math.Sqrt(n)
+	}
+	if normOf(small) >= normOf(big) {
+		t.Fatalf("C ordering violated: |w|(C=1e-6)=%v vs |w|(C=100)=%v", normOf(small), normOf(big))
+	}
+	accBig, _ := big.Accuracy(d)
+	if accBig < 0.98 {
+		t.Fatalf("large-C training accuracy %v", accBig)
+	}
+}
+
+// TestTrainCalibratedRejectsDegenerate ensures the pipeline surfaces errors
+// from pathological inputs rather than mis-training.
+func TestTrainCalibratedRejectsDegenerate(t *testing.T) {
+	// Single-class data must be rejected at validation.
+	d := &Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []int{1, 1, 1}}
+	if _, err := TrainCalibrated(d, PegasosTrainer(DefaultPegasos()), 1); err == nil {
+		t.Fatal("single-class dataset trained")
+	}
+}
+
+// TestAccuracyEmptyDataset covers the error path.
+func TestAccuracyEmptyDataset(t *testing.T) {
+	m := &Model{Weights: []float64{1}}
+	if _, err := m.Accuracy(&Dataset{}); err == nil {
+		t.Fatal("empty accuracy computed")
+	}
+	if _, err := m.HingeLoss(&Dataset{}, 0.1); err == nil {
+		t.Fatal("empty hinge computed")
+	}
+}

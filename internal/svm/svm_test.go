@@ -1,0 +1,444 @@
+package svm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// gaussianBlobs builds a two-class dataset with means ±mu and unit noise.
+func gaussianBlobs(n, dim int, mu float64, seed uint64) *Dataset {
+	r := rng.New(seed)
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		y := 1
+		m := mu
+		if i%2 == 1 {
+			y = -1
+			m = -mu
+		}
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = m + r.NormFloat64()
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	good := gaussianBlobs(10, 2, 1, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Dataset{
+		{},
+		{X: [][]float64{{1}}, Y: []int{1, -1}},
+		{X: [][]float64{{1}, {2}}, Y: []int{1, 0}},
+		{X: [][]float64{{1}, {2, 3}}, Y: []int{1, -1}},
+		{X: [][]float64{{1}, {2}}, Y: []int{1, 1}},
+		{X: [][]float64{{}, {}}, Y: []int{1, -1}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("bad dataset %d validated", i)
+		}
+	}
+}
+
+func TestPegasosSeparable(t *testing.T) {
+	d := gaussianBlobs(2000, 5, 2.5, 42)
+	m, err := TrainPegasos(d, DefaultPegasos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Fatalf("pegasos accuracy %v on well-separated blobs", acc)
+	}
+}
+
+func TestDualCDSeparable(t *testing.T) {
+	d := gaussianBlobs(1000, 5, 2.5, 43)
+	m, err := TrainDualCD(d, DefaultDualCD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.Accuracy(d)
+	if acc < 0.98 {
+		t.Fatalf("dualcd accuracy %v", acc)
+	}
+}
+
+func TestDualCDBeatsOrMatchesPegasosObjective(t *testing.T) {
+	d := gaussianBlobs(600, 8, 1.0, 7)
+	lambda := 1e-3
+	peg, err := TrainPegasos(d, PegasosParams{Lambda: lambda, Epochs: 5, Seed: 1, Project: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := TrainDualCD(d, DualCDParams{C: 1 / (lambda * float64(d.Len())), MaxEpochs: 300, Tol: 1e-5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, _ := peg.HingeLoss(d, lambda)
+	lc, _ := cd.HingeLoss(d, lambda)
+	if lc > lp*1.05 {
+		t.Fatalf("dual CD objective %v much worse than pegasos %v", lc, lp)
+	}
+}
+
+func TestTrainersDeterministic(t *testing.T) {
+	d := gaussianBlobs(300, 4, 1.5, 9)
+	m1, _ := TrainPegasos(d, DefaultPegasos())
+	m2, _ := TrainPegasos(d, DefaultPegasos())
+	for j := range m1.Weights {
+		if m1.Weights[j] != m2.Weights[j] {
+			t.Fatal("pegasos nondeterministic under fixed seed")
+		}
+	}
+	c1, _ := TrainDualCD(d, DefaultDualCD())
+	c2, _ := TrainDualCD(d, DefaultDualCD())
+	for j := range c1.Weights {
+		if c1.Weights[j] != c2.Weights[j] {
+			t.Fatal("dualcd nondeterministic under fixed seed")
+		}
+	}
+}
+
+func TestTrainerParamValidation(t *testing.T) {
+	d := gaussianBlobs(10, 2, 1, 1)
+	if _, err := TrainPegasos(d, PegasosParams{Lambda: 0, Epochs: 1}); err == nil {
+		t.Fatal("lambda 0 accepted")
+	}
+	if _, err := TrainPegasos(d, PegasosParams{Lambda: 1, Epochs: 0}); err == nil {
+		t.Fatal("epochs 0 accepted")
+	}
+	if _, err := TrainDualCD(d, DualCDParams{C: 0, MaxEpochs: 1}); err == nil {
+		t.Fatal("C 0 accepted")
+	}
+	if _, err := TrainDualCD(d, DualCDParams{C: 1, MaxEpochs: 0}); err == nil {
+		t.Fatal("maxEpochs 0 accepted")
+	}
+}
+
+func TestMarginDimensionCheck(t *testing.T) {
+	m := &Model{Weights: []float64{1, 2}}
+	if _, err := m.Margin([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := m.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("predict dimension mismatch accepted")
+	}
+}
+
+func TestPredictSign(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Bias: 0}
+	p, _ := m.Predict([]float64{3})
+	if p != 1 {
+		t.Fatal("positive side")
+	}
+	p, _ = m.Predict([]float64{-3})
+	if p != -1 {
+		t.Fatal("negative side")
+	}
+}
+
+func TestPlattCalibration(t *testing.T) {
+	d := gaussianBlobs(3000, 3, 1.2, 11)
+	train, hold, err := Split(d, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainPegasos(train, DefaultPegasos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(hold); err != nil {
+		t.Fatal(err)
+	}
+	if m.Platt == nil {
+		t.Fatal("calibration did not attach")
+	}
+	// Calibrated probabilities must be monotone in the margin and in [0,1].
+	prev := -1.0
+	for _, f := range []float64{-3, -1, 0, 1, 3} {
+		p := m.Platt.Prob(f)
+		if p < 0 || p > 1 {
+			t.Fatalf("prob %v out of range", p)
+		}
+		if p < prev {
+			t.Fatalf("calibrated probability not monotone at margin %v", f)
+		}
+		prev = p
+	}
+	// Mean predicted propensity should approximate the base rate (~0.5).
+	var sum float64
+	for i := range d.X {
+		p, err := m.Propensity(d.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	mean := sum / float64(d.Len())
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean calibrated propensity %v, want ~0.5", mean)
+	}
+}
+
+func TestPlattRejectsDegenerate(t *testing.T) {
+	if _, err := FitPlatt([]float64{1, 2}, []int{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1, 0}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestPropensityFallbackWithoutPlatt(t *testing.T) {
+	m := &Model{Weights: []float64{1}}
+	p, err := m.Propensity([]float64{0})
+	if err != nil || p != 0.5 {
+		t.Fatalf("fallback propensity %v %v", p, err)
+	}
+}
+
+func TestImbalancedPropensityRanking(t *testing.T) {
+	// 10% positive rate, like campaign response data. The calibrated model
+	// must rank true positives above negatives on average.
+	r := rng.New(21)
+	d := &Dataset{}
+	for i := 0; i < 4000; i++ {
+		y := -1
+		mu := -0.8
+		if r.Bool(0.1) {
+			y = 1
+			mu = 0.8
+		}
+		x := []float64{mu + r.NormFloat64(), mu + r.NormFloat64()}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	m, err := TrainCalibrated(d, PegasosTrainer(DefaultPegasos()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posSum, negSum float64
+	var nPos, nNeg int
+	for i := range d.X {
+		p, _ := m.Propensity(d.X[i])
+		if d.Y[i] == 1 {
+			posSum += p
+			nPos++
+		} else {
+			negSum += p
+			nNeg++
+		}
+	}
+	if posSum/float64(nPos) <= negSum/float64(nNeg) {
+		t.Fatal("propensity does not separate classes")
+	}
+	// Calibration sanity: mean propensity ≈ base rate.
+	mean := (posSum + negSum) / float64(d.Len())
+	base := float64(nPos) / float64(d.Len())
+	if math.Abs(mean-base) > 0.05 {
+		t.Fatalf("mean propensity %v vs base rate %v", mean, base)
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	d := gaussianBlobs(1000, 2, 1, 13)
+	a, b, err := Split(d, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len()+b.Len() != d.Len() {
+		t.Fatal("split lost samples")
+	}
+	frac := func(ds *Dataset) float64 {
+		pos := 0
+		for _, y := range ds.Y {
+			if y == 1 {
+				pos++
+			}
+		}
+		return float64(pos) / float64(ds.Len())
+	}
+	if math.Abs(frac(a)-0.5) > 0.02 || math.Abs(frac(b)-0.5) > 0.02 {
+		t.Fatalf("stratification broken: %v / %v", frac(a), frac(b))
+	}
+}
+
+func TestSplitBadFraction(t *testing.T) {
+	d := gaussianBlobs(10, 2, 1, 1)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := Split(d, f, 1); err == nil {
+			t.Fatalf("fraction %v accepted", f)
+		}
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := gaussianBlobs(500, 3, 2, 17)
+	res, err := CrossValidate(d, PegasosTrainer(PegasosParams{Lambda: 1e-3, Epochs: 5, Seed: 1}), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 5 {
+		t.Fatalf("%d folds", len(res.FoldAccuracy))
+	}
+	if res.MeanAccuracy < 0.95 {
+		t.Fatalf("cv mean accuracy %v", res.MeanAccuracy)
+	}
+	if res.StdAccuracy < 0 || res.StdAccuracy > 0.1 {
+		t.Fatalf("cv std %v", res.StdAccuracy)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := gaussianBlobs(20, 2, 1, 1)
+	if _, err := CrossValidate(d, PegasosTrainer(DefaultPegasos()), 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := CrossValidate(d, PegasosTrainer(DefaultPegasos()), 21, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TransformAll(X); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		var mean, ss float64
+		for i := range X {
+			mean += X[i][j]
+		}
+		mean /= 3
+		for i := range X {
+			d := X[i][j] - mean
+			ss += d * d
+		}
+		if math.Abs(mean) > 1e-12 || math.Abs(ss/3-1) > 1e-12 {
+			t.Fatalf("column %d not standardized: mean %v var %v", j, mean, ss/3)
+		}
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	X := [][]float64{{5}, {5}, {5}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std[0] != 1 {
+		t.Fatalf("constant column std %v", s.Std[0])
+	}
+	out, _ := s.Transform([]float64{5})
+	if out[0] != 0 {
+		t.Fatalf("constant column transforms to %v", out[0])
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	if _, err := FitScaler(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := FitScaler([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	s, _ := FitScaler([][]float64{{1}, {2}})
+	if _, err := s.Transform([]float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// Property: hinge loss is non-negative and zero only when all margins meet
+// the functional margin of 1.
+func TestHingeLossProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := gaussianBlobs(50, 3, 1.0, seed)
+		m, err := TrainDualCD(d, DefaultDualCD())
+		if err != nil {
+			return false
+		}
+		l, err := m.HingeLoss(d, 1e-4)
+		return err == nil && l >= 0 && !math.IsNaN(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Platt Prob is always a valid probability and monotone.
+func TestPlattProbProperty(t *testing.T) {
+	f := func(a, b, f1, f2 float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		ps := &PlattScaler{A: a, B: b}
+		p1 := ps.Prob(f1)
+		p2 := ps.Prob(f2)
+		if math.IsNaN(p1) || p1 < 0 || p1 > 1 || math.IsNaN(p2) || p2 < 0 || p2 > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrainPegasos(b *testing.B) {
+	d := gaussianBlobs(5000, 30, 1.0, 1)
+	p := PegasosParams{Lambda: 1e-4, Epochs: 3, Seed: 1, Project: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainPegasos(d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainDualCD(b *testing.B) {
+	d := gaussianBlobs(2000, 30, 1.0, 1)
+	p := DualCDParams{C: 1, MaxEpochs: 20, Tol: 1e-3, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainDualCD(d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropensity(b *testing.B) {
+	d := gaussianBlobs(1000, 55, 1.0, 1)
+	m, err := TrainCalibrated(d, PegasosTrainer(DefaultPegasos()), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Propensity(d.X[i%d.Len()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package synth generates the synthetic stand-in for the paper's
+// proprietary emagister.com data: a seeded population whose members carry
+// latent emotional sensibilities, socio-demographics, browsing behaviour
+// over the 984-action universe, and a ground-truth response model in which
+// emotional-attribute match genuinely drives campaign response.
+//
+// The substitution logic (DESIGN.md §2): the paper's evaluation only needs a
+// population whose response behaviour *correlates with emotional
+// attributes*. The generator plants that correlation as ground truth — the
+// latent sensibility vector is never exposed to the learners, only observed
+// noisily through Gradual EIT answers and interactions — so the
+// SPA-vs-baseline delta measured downstream is a property of the method,
+// not of leaked labels.
+//
+// Calibration targets (§5.4 of the paper, see EXPERIMENTS.md):
+//   - base redemption of an untargeted campaign ≈ 11 % (the rate implied by
+//     "improved the redemption ... in a 90 %" against the 21 % achieved),
+//   - enough learnable signal that a calibrated ranker captures ≥ 76 % of
+//     responders at 40 % contact depth.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/rng"
+)
+
+// NumObjective is the number of objective socio-demographic features.
+const NumObjective = 8
+
+// ObjectiveNames labels the objective feature block.
+func ObjectiveNames() []string {
+	return []string{
+		"obj_age", "obj_gender", "obj_education", "obj_employment",
+		"obj_income_band", "obj_city_size", "obj_prior_courses", "obj_tenure_months",
+	}
+}
+
+// User is one synthetic member of the population. Latent* fields are ground
+// truth hidden from the learners.
+type User struct {
+	ID        uint64
+	Objective []float64
+
+	// LatentSens is the true emotional sensibility per attribute, in [0,1].
+	LatentSens [emotion.NumAttributes]float64
+	// LatentVal is the true valence sign the user attaches to each
+	// attribute (approach attributes are positive for most users, but a
+	// minority inverts — e.g. "impatient" users who *like* urgency).
+	LatentVal [emotion.NumAttributes]float64
+	// Activity scales browsing volume (events per simulated week).
+	Activity float64
+	// BaseDrive is the user's idiosyncratic response offset.
+	BaseDrive float64
+	// InterestBuckets is the user's affinity over coarse action buckets.
+	InterestBuckets []float64
+	// AnswerRate is the probability the user answers an EIT question.
+	AnswerRate float64
+}
+
+// Config tunes the generator.
+type Config struct {
+	NumUsers int
+	Seed     uint64
+	// TargetBaseRate is the untargeted response rate to calibrate to.
+	TargetBaseRate float64
+	// ObjectiveWeight scales how much socio-demographics drive response.
+	ObjectiveWeight float64
+	// EmotionalWeight scales how much emotional match drives response.
+	EmotionalWeight float64
+	// NoiseStd is the per-touch idiosyncratic noise.
+	NoiseStd float64
+}
+
+// DefaultConfig returns the calibrated defaults (see EXPERIMENTS.md for the
+// resulting Fig. 6 shape).
+func DefaultConfig(numUsers int, seed uint64) Config {
+	return Config{
+		NumUsers:        numUsers,
+		Seed:            seed,
+		TargetBaseRate:  0.056,
+		ObjectiveWeight: 0.85,
+		EmotionalWeight: 5.2,
+		NoiseStd:        0.9,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NumUsers < 10 {
+		return errors.New("synth: need at least 10 users")
+	}
+	if c.TargetBaseRate <= 0 || c.TargetBaseRate >= 1 {
+		return fmt.Errorf("synth: base rate %v out of (0,1)", c.TargetBaseRate)
+	}
+	if c.NoiseStd < 0 || c.ObjectiveWeight < 0 || c.EmotionalWeight < 0 {
+		return errors.New("synth: negative weights")
+	}
+	return nil
+}
+
+// Population is the generated universe plus the calibrated response model.
+type Population struct {
+	Users []User
+	cfg   Config
+	// alpha is the calibrated intercept of the response model.
+	alpha float64
+	rng   *rng.RNG
+}
+
+// Generate builds a deterministic population from the config.
+func Generate(cfg Config) (*Population, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	p := &Population{cfg: cfg, rng: r.Split()}
+	p.Users = make([]User, cfg.NumUsers)
+	interestAlpha := make([]float64, lifelog.NumActionBuckets)
+	for i := range interestAlpha {
+		interestAlpha[i] = 0.35
+	}
+	for i := range p.Users {
+		u := &p.Users[i]
+		u.ID = uint64(i + 1)
+		u.Objective = []float64{
+			clampF(r.Gaussian(34, 11), 16, 75), // age
+			float64(r.Intn(2)),                 // gender (binary proxy)
+			float64(1 + r.Intn(5)),             // education level 1..5
+			float64(r.Intn(4)),                 // employment status
+			clampF(r.Gaussian(2.5, 1.2), 0, 6), // income band
+			float64(r.Intn(5)),                 // city size class
+			math.Floor(r.Exp(0.7)),             // prior courses taken
+			clampF(r.Gaussian(18, 12), 0, 120), // months since registration
+		}
+		// Latent sensibilities: sparse-ish Beta draws — most users have one
+		// or two dominant attributes, mirroring "dominant attributes" in §4.
+		for a := 0; a < emotion.NumAttributes; a++ {
+			if r.Bool(0.10) {
+				u.LatentSens[a] = r.Beta(5, 2) // a dominant attribute
+			} else {
+				u.LatentSens[a] = r.Beta(1, 8)
+			}
+			base := emotion.Attribute(a).BaseValence()
+			sign := 1.0
+			if r.Bool(0.10) {
+				sign = -1 // minority inverts the population polarity
+			}
+			u.LatentVal[a] = sign * float64(base.Polarity())
+		}
+		u.Activity = clampF(r.Exp(1.0/6.0), 0.5, 60) // mean ~6 events/week
+		u.BaseDrive = r.NormFloat64() * 0.25
+		u.InterestBuckets = r.Dirichlet(interestAlpha)
+		u.AnswerRate = clampF(r.Beta(5, 3), 0.05, 0.98) // mean ~0.63
+	}
+	p.calibrate()
+	return p, nil
+}
+
+// Len returns the population size.
+func (p *Population) Len() int { return len(p.Users) }
+
+// User returns the user with the given ID.
+func (p *Population) User(id uint64) (*User, error) {
+	if id == 0 || int(id) > len(p.Users) {
+		return nil, fmt.Errorf("synth: no user %d", id)
+	}
+	return &p.Users[id-1], nil
+}
+
+// Alpha exposes the calibrated intercept (reporting only).
+func (p *Population) Alpha() float64 { return p.alpha }
+
+// Config returns the generator configuration.
+func (p *Population) Config() Config { return p.cfg }
+
+// objSignal is the standardized socio-demographic drive: younger, more
+// educated, more-experienced users respond more — the structure a
+// 2006-style objective-only scorer can learn.
+func objSignal(u *User) float64 {
+	age := (u.Objective[0] - 34) / 11
+	edu := (u.Objective[2] - 3) / 1.4
+	prior := math.Min(u.Objective[6], 5) / 2.5
+	tenure := (u.Objective[7] - 18) / 12
+	return -0.45*age + 0.5*edu + 0.6*prior - 0.25*tenure
+}
+
+// EmoMatch is the ground-truth emotional resonance of messaging a user on
+// the given attribute: sensibility × valence, in [-1, 1]. A standard
+// (non-emotional) message has match 0.
+func (u *User) EmoMatch(attr emotion.Attribute, standard bool) float64 {
+	if standard || int(attr) < 0 || int(attr) >= emotion.NumAttributes {
+		return 0
+	}
+	return u.LatentSens[attr] * u.LatentVal[attr]
+}
+
+// RespondProbability is the ground-truth probability that the user executes
+// a transaction after a campaign touch carrying the given message
+// attribute. Deterministic per (user, attr) up to the campaign driver's
+// noise draw, which the caller supplies via its own RNG (keeping the
+// population immutable and shareable).
+func (p *Population) RespondProbability(u *User, attr emotion.Attribute, standard bool) float64 {
+	// Behavioural term: heavier browsers convert more — the signal the
+	// LifeLog subjective features expose to the learners.
+	activity := 0.7 * (math.Log1p(u.Activity) - 1.9)
+	z := p.alpha +
+		p.cfg.ObjectiveWeight*objSignal(u) +
+		p.cfg.EmotionalWeight*u.EmoMatch(attr, standard) +
+		activity +
+		u.BaseDrive
+	return sigmoid(z)
+}
+
+// calibrate bisects the intercept so that the mean response probability to
+// a *standard* (emotionally neutral) touch equals TargetBaseRate.
+func (p *Population) calibrate() {
+	lo, hi := -12.0, 6.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		p.alpha = mid
+		var sum float64
+		for i := range p.Users {
+			sum += p.RespondProbability(&p.Users[i], 0, true)
+		}
+		if sum/float64(len(p.Users)) > p.cfg.TargetBaseRate {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	p.alpha = (lo + hi) / 2
+}
+
+// AnswerEIT simulates the user answering a Gradual EIT item: the user picks
+// the option whose attribute impacts best align with their latent state,
+// softmax-tempered so answers are informative but noisy. Returns the chosen
+// option index, or -1 when the user ignores the question.
+func (p *Population) AnswerEIT(u *User, item emotion.Item, bank *emotion.Bank, r *rng.RNG) (int, error) {
+	if r == nil {
+		return -1, errors.New("synth: nil rng")
+	}
+	if !r.Bool(u.AnswerRate) {
+		return -1, nil // no answer — the paper's relevance-feedback sparsity
+	}
+	weights := make([]float64, len(item.Options))
+	for oi := range item.Options {
+		impacts, err := bank.Score(emotion.Answer{ItemID: item.ID, Option: oi})
+		if err != nil {
+			return -1, err
+		}
+		var affinity float64
+		for attr, v := range impacts {
+			// Alignment between the option's implied valence and the user's
+			// latent (sensibility-weighted) valence.
+			affinity += u.LatentSens[attr] * u.LatentVal[attr] * float64(v)
+		}
+		weights[oi] = math.Exp(8.0 * affinity)
+	}
+	return r.Categorical(weights), nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

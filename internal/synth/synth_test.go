@@ -1,0 +1,322 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/rng"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(500, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(500, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Users {
+		if a.Users[i].LatentSens != b.Users[i].LatentSens {
+			t.Fatalf("user %d latents diverge across same-seed runs", i)
+		}
+		if a.Users[i].Objective[0] != b.Users[i].Objective[0] {
+			t.Fatalf("user %d objectives diverge", i)
+		}
+	}
+	if a.Alpha() != b.Alpha() {
+		t.Fatal("calibration diverges")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(DefaultConfig(100, 1))
+	b, _ := Generate(DefaultConfig(100, 2))
+	same := 0
+	for i := range a.Users {
+		if a.Users[i].LatentSens == b.Users[i].LatentSens {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical users across seeds", same)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumUsers: 5, TargetBaseRate: 0.1},
+		{NumUsers: 100, TargetBaseRate: 0},
+		{NumUsers: 100, TargetBaseRate: 1},
+		{NumUsers: 100, TargetBaseRate: 0.1, NoiseStd: -1},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestUserFieldsInRange(t *testing.T) {
+	p, _ := Generate(DefaultConfig(2000, 7))
+	for i := range p.Users {
+		u := &p.Users[i]
+		if u.ID != uint64(i+1) {
+			t.Fatalf("user %d id %d", i, u.ID)
+		}
+		if len(u.Objective) != NumObjective {
+			t.Fatalf("objective len %d", len(u.Objective))
+		}
+		if u.Objective[0] < 16 || u.Objective[0] > 75 {
+			t.Fatalf("age %v", u.Objective[0])
+		}
+		for a, s := range u.LatentSens {
+			if s < 0 || s > 1 {
+				t.Fatalf("sens[%d]=%v", a, s)
+			}
+		}
+		for a, v := range u.LatentVal {
+			if v < -1 || v > 1 {
+				t.Fatalf("val[%d]=%v", a, v)
+			}
+		}
+		if u.Activity <= 0 || u.AnswerRate <= 0 || u.AnswerRate > 1 {
+			t.Fatalf("activity %v answer %v", u.Activity, u.AnswerRate)
+		}
+		var sum float64
+		for _, w := range u.InterestBuckets {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("interests sum %v", sum)
+		}
+	}
+}
+
+func TestUserLookup(t *testing.T) {
+	p, _ := Generate(DefaultConfig(50, 1))
+	u, err := p.User(10)
+	if err != nil || u.ID != 10 {
+		t.Fatalf("lookup: %v %v", u, err)
+	}
+	if _, err := p.User(0); err == nil {
+		t.Fatal("user 0 resolved")
+	}
+	if _, err := p.User(51); err == nil {
+		t.Fatal("user 51 resolved")
+	}
+}
+
+func TestCalibrationHitsBaseRate(t *testing.T) {
+	cfg := DefaultConfig(20000, 3)
+	p, _ := Generate(cfg)
+	var sum float64
+	for i := range p.Users {
+		sum += p.RespondProbability(&p.Users[i], 0, true)
+	}
+	got := sum / float64(p.Len())
+	if math.Abs(got-cfg.TargetBaseRate) > 0.005 {
+		t.Fatalf("calibrated base rate %v, want %v", got, cfg.TargetBaseRate)
+	}
+}
+
+func TestEmotionalMatchMovesProbability(t *testing.T) {
+	p, _ := Generate(DefaultConfig(5000, 5))
+	// For users with a strongly positive latent attribute, messaging on it
+	// must raise response probability vs the standard message.
+	raised, total := 0, 0
+	for i := range p.Users {
+		u := &p.Users[i]
+		for a := 0; a < emotion.NumAttributes; a++ {
+			if u.LatentSens[a] > 0.7 && u.LatentVal[a] > 0 {
+				std := p.RespondProbability(u, 0, true)
+				emo := p.RespondProbability(u, emotion.Attribute(a), false)
+				total++
+				if emo > std {
+					raised++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no strongly-sensitive users generated")
+	}
+	if raised != total {
+		t.Fatalf("emotional match raised probability for %d/%d", raised, total)
+	}
+}
+
+func TestAversionLowersProbability(t *testing.T) {
+	p, _ := Generate(DefaultConfig(5000, 9))
+	checked := 0
+	for i := range p.Users {
+		u := &p.Users[i]
+		for a := 0; a < emotion.NumAttributes; a++ {
+			if u.LatentSens[a] > 0.7 && u.LatentVal[a] < 0 {
+				std := p.RespondProbability(u, 0, true)
+				emo := p.RespondProbability(u, emotion.Attribute(a), false)
+				checked++
+				if emo >= std {
+					t.Fatalf("aversion messaging raised probability: %v >= %v", emo, std)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no aversive users found")
+	}
+}
+
+func TestAnswerEITInformative(t *testing.T) {
+	p, _ := Generate(DefaultConfig(300, 11))
+	bank := emotion.NewBank()
+	r := rng.New(99)
+	// Accumulate implied valence per user per attribute from answers and
+	// compare against latents: correlation must be clearly positive.
+	var agree, disagree int
+	for i := range p.Users {
+		u := &p.Users[i]
+		u.AnswerRate = 1 // force answers for the statistical check
+		implied := make([]float64, emotion.NumAttributes)
+		for itemID := 0; itemID < bank.Len(); itemID++ {
+			item, _ := bank.Item(itemID)
+			opt, err := p.AnswerEIT(u, item, bank, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt < 0 {
+				continue
+			}
+			impacts, _ := bank.Score(emotion.Answer{ItemID: itemID, Option: opt})
+			for attr, v := range impacts {
+				implied[attr] += float64(v)
+			}
+		}
+		for a := 0; a < emotion.NumAttributes; a++ {
+			if u.LatentSens[a] < 0.5 || implied[a] == 0 {
+				continue
+			}
+			latentSign := u.LatentVal[a] > 0
+			impliedSign := implied[a] > 0
+			if latentSign == impliedSign {
+				agree++
+			} else {
+				disagree++
+			}
+		}
+	}
+	if agree+disagree == 0 {
+		t.Fatal("no informative answers collected")
+	}
+	rate := float64(agree) / float64(agree+disagree)
+	if rate < 0.75 {
+		t.Fatalf("EIT answers agree with latents only %.2f of the time", rate)
+	}
+}
+
+func TestAnswerEITRespectsAnswerRate(t *testing.T) {
+	p, _ := Generate(DefaultConfig(100, 13))
+	bank := emotion.NewBank()
+	item, _ := bank.Item(0)
+	r := rng.New(1)
+	u := &p.Users[0]
+	u.AnswerRate = 0.0001
+	skipped := 0
+	for i := 0; i < 200; i++ {
+		opt, err := p.AnswerEIT(u, item, bank, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt == -1 {
+			skipped++
+		}
+	}
+	if skipped < 195 {
+		t.Fatalf("low-answer-rate user answered too often: %d/200 skipped", skipped)
+	}
+	if _, err := p.AnswerEIT(u, item, bank, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestGenerateWebLogs(t *testing.T) {
+	p, _ := Generate(DefaultConfig(200, 17))
+	var events []lifelog.Event
+	cfg := WebLogConfig{Weeks: 4, Seed: 1, TransactionBias: 0.3}
+	if err := p.GenerateWebLogs(cfg, func(e lifelog.Event) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 200 {
+		t.Fatalf("only %d events over 4 weeks for 200 users", len(events))
+	}
+	users := map[uint64]bool{}
+	types := map[lifelog.EventType]int{}
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid event: %v", err)
+		}
+		users[e.UserID] = true
+		types[e.Type]++
+	}
+	if len(users) < 100 {
+		t.Fatalf("only %d users active", len(users))
+	}
+	if types[lifelog.EventClick] == 0 || types[lifelog.EventPageView] == 0 {
+		t.Fatalf("event mix %v", types)
+	}
+}
+
+func TestGenerateWebLogsValidation(t *testing.T) {
+	p, _ := Generate(DefaultConfig(50, 1))
+	if err := p.GenerateWebLogs(WebLogConfig{Weeks: 1}, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+	if err := p.GenerateWebLogs(WebLogConfig{Weeks: 0}, func(lifelog.Event) error { return nil }); err == nil {
+		t.Fatal("zero weeks accepted")
+	}
+}
+
+func TestWebLogsIntoLifelogWriter(t *testing.T) {
+	p, _ := Generate(DefaultConfig(100, 19))
+	dir := t.TempDir()
+	w, err := lifelog.NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GenerateWebLogs(WebLogConfig{Weeks: 2, Seed: 2, Start: time.Date(2006, 1, 2, 0, 0, 0, 0, time.UTC)}, w.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lifelog.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got)) != w.Count() {
+		t.Fatalf("round trip %d events, wrote %d", len(got), w.Count())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(DefaultConfig(10000, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRespondProbability(b *testing.B) {
+	p, _ := Generate(DefaultConfig(1000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := &p.Users[i%p.Len()]
+		p.RespondProbability(u, emotion.Attribute(i%emotion.NumAttributes), false)
+	}
+}

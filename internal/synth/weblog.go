@@ -1,0 +1,124 @@
+package synth
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/rng"
+)
+
+// WebLog generation: the organic browsing stream that feeds the LifeLogs
+// Pre-processor. Volumes follow each user's Activity level; action choice
+// follows the user's interest distribution over coarse buckets combined
+// with a global Zipf popularity law inside the bucket (real click-streams
+// are popularity-skewed and interest-clustered at once).
+
+// WebLogConfig controls stream generation.
+type WebLogConfig struct {
+	Start time.Time
+	Weeks int
+	Seed  uint64
+	// TransactionBias scales how strongly high-drive users transact
+	// organically (gives the subjective features real signal).
+	TransactionBias float64
+}
+
+// GenerateWebLogs streams events for the whole population into sink in
+// timestamp order per user (global order is by week then user). The sink is
+// typically a lifelog.Writer; any error aborts generation.
+func (p *Population) GenerateWebLogs(cfg WebLogConfig, sink func(lifelog.Event) error) error {
+	if sink == nil {
+		return errors.New("synth: nil sink")
+	}
+	if cfg.Weeks < 1 {
+		return errors.New("synth: need at least one week")
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2006, time.January, 2, 0, 0, 0, 0, time.UTC)
+	}
+	r := rng.New(cfg.Seed ^ 0xabcdef)
+	zipf := rng.NewZipf(lifelog.ActionUniverse/lifelog.NumActionBuckets+1, 1.05)
+	// Per-user monotone cursor: the sessionizer downstream requires
+	// non-decreasing per-user timestamps.
+	cursor := make([]time.Time, len(p.Users))
+	for week := 0; week < cfg.Weeks; week++ {
+		weekStart := cfg.Start.Add(time.Duration(week) * 7 * 24 * time.Hour)
+		for i := range p.Users {
+			u := &p.Users[i]
+			// Poisson-ish event count via exponential thinning.
+			n := 0
+			expected := u.Activity
+			for expected > 0 {
+				if expected >= 1 {
+					n++
+					expected--
+					continue
+				}
+				if r.Bool(expected) {
+					n++
+				}
+				break
+			}
+			if n == 0 {
+				continue
+			}
+			// Events cluster into 1-3 sessions at random offsets.
+			sessions := 1 + r.Intn(3)
+			perSess := (n + sessions - 1) / sessions
+			ev := 0
+			for s := 0; s < sessions && ev < n; s++ {
+				sessStart := weekStart.Add(time.Duration(r.Intn(7*24*60)) * time.Minute)
+				if !cursor[i].IsZero() && sessStart.Before(cursor[i]) {
+					sessStart = cursor[i].Add(time.Duration(35+r.Intn(90)) * time.Minute)
+				}
+				at := sessStart
+				for k := 0; k < perSess && ev < n; k++ {
+					bucket := r.Categorical(u.InterestBuckets)
+					within := zipf.Draw(r)
+					action := uint32(bucket*lifelog.ActionUniverse/lifelog.NumActionBuckets + within)
+					if action >= lifelog.ActionUniverse {
+						action = lifelog.ActionUniverse - 1
+					}
+					typ := lifelog.EventClick
+					val := float32(0)
+					switch {
+					case r.Bool(0.25):
+						typ = lifelog.EventPageView
+						val = float32(10 + r.Intn(300)) // dwell seconds
+					case r.Bool(0.08):
+						typ = lifelog.EventSearch
+					case r.Bool(cfg.TransactionBias * sigmoid(u.BaseDrive+objSignal(u)*0.5)):
+						typ = lifelog.EventInfoRequest
+					}
+					if err := sink(lifelog.Event{
+						UserID: u.ID,
+						Time:   at,
+						Type:   typ,
+						Action: action,
+						Value:  val,
+					}); err != nil {
+						return err
+					}
+					cursor[i] = at
+					at = at.Add(time.Duration(20+r.Intn(400)) * time.Second)
+					ev++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EnrollmentGroundTruth marks which users would organically enroll in the
+// period — used by tests to check that subjective features carry signal.
+func (p *Population) EnrollmentGroundTruth(seed uint64) []bool {
+	r := rng.New(seed)
+	out := make([]bool, len(p.Users))
+	for i := range p.Users {
+		u := &p.Users[i]
+		out[i] = r.Bool(p.RespondProbability(u, emotion.Attribute(0), true))
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package values implements the fifth SPA component of the paper's Fig. 3 —
+// the Intelligent User Interface managing "an individualized and
+// personalized Human Values Scale of each user in his/her life cycles"
+// (§4 component 5, after Guzmán et al. 2005, the paper's [6]). The paper
+// excludes it from the deployment description, so this package is the
+// reproduction's optional extension; it provides the two capabilities the
+// paper names:
+//
+//	(a) "the analysis of diverse values from the individualized scale of
+//	     each user in real time", and
+//	(b) "the definition of the coherence function between a user's actions
+//	     and his/her implicit and explicit preferences".
+//
+// The scale follows Schwartz's ten basic human values, the instrument the
+// Human Values Scale literature builds on.
+package values
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Value is one of Schwartz's ten basic human values.
+type Value int
+
+const (
+	Power Value = iota
+	Achievement
+	Hedonism
+	Stimulation
+	SelfDirection
+	Universalism
+	Benevolence
+	Tradition
+	Conformity
+	Security
+
+	// NumValues is the size of the Schwartz scale.
+	NumValues = 10
+)
+
+var valueNames = [NumValues]string{
+	"power", "achievement", "hedonism", "stimulation", "self-direction",
+	"universalism", "benevolence", "tradition", "conformity", "security",
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v < 0 || int(v) >= NumValues {
+		return fmt.Sprintf("Value(%d)", int(v))
+	}
+	return valueNames[v]
+}
+
+// AllValues returns the ten values in Schwartz order.
+func AllValues() []Value {
+	out := make([]Value, NumValues)
+	for i := range out {
+		out[i] = Value(i)
+	}
+	return out
+}
+
+// Scale is a normalized weight vector over the ten values (sums to 1).
+type Scale [NumValues]float64
+
+// Normalize rescales non-negative weights to sum 1; an all-zero scale
+// becomes uniform.
+func (s Scale) Normalize() Scale {
+	var sum float64
+	for i, w := range s {
+		if w < 0 {
+			s[i] = 0
+		} else {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		for i := range s {
+			s[i] = 1.0 / NumValues
+		}
+		return s
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+	return s
+}
+
+// Top returns the k strongest values, descending; ties break by Schwartz
+// order.
+func (s Scale) Top(k int) []Value {
+	idx := AllValues()
+	// Insertion sort over ten elements.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if s[b] > s[a] || (s[b] == s[a] && b < a) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Coherence is the paper's coherence function between two scales: cosine
+// similarity in [0, 1] (both scales are non-negative). 1 means the user's
+// actions perfectly express their stated preferences.
+func Coherence(implicit, explicit Scale) float64 {
+	var dot, na, nb float64
+	for i := range implicit {
+		dot += implicit[i] * explicit[i]
+		na += implicit[i] * implicit[i]
+		nb += explicit[i] * explicit[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Signature maps an observed action category to the values it expresses.
+// Categories are free-form strings owned by the application ("enroll",
+// "browse_fast_paced", "donate", ...).
+type Signature map[string]Scale
+
+// DefaultSignature covers the training-domain action categories of the
+// business case.
+func DefaultSignature() Signature {
+	sig := Signature{}
+	set := func(cat string, pairs map[Value]float64) {
+		var s Scale
+		for v, w := range pairs {
+			s[v] = w
+		}
+		sig[cat] = s.Normalize()
+	}
+	set("enroll_career_course", map[Value]float64{Achievement: 0.5, Power: 0.2, SelfDirection: 0.3})
+	set("enroll_hobby_course", map[Value]float64{Hedonism: 0.4, Stimulation: 0.4, SelfDirection: 0.2})
+	set("enroll_language_course", map[Value]float64{SelfDirection: 0.4, Stimulation: 0.3, Universalism: 0.3})
+	set("browse_new_topics", map[Value]float64{Stimulation: 0.6, SelfDirection: 0.4})
+	set("request_certification_info", map[Value]float64{Achievement: 0.5, Security: 0.3, Conformity: 0.2})
+	set("help_forum_answer", map[Value]float64{Benevolence: 0.7, Universalism: 0.3})
+	set("repeat_known_provider", map[Value]float64{Security: 0.5, Tradition: 0.3, Conformity: 0.2})
+	return sig
+}
+
+// Tracker maintains one user's individualized scale across their life
+// cycle: an implicit scale accumulated from actions (exponentially decayed),
+// an explicit scale from questionnaires, and scale snapshots for drift
+// analysis.
+type Tracker struct {
+	implicitRaw Scale
+	explicit    Scale
+	hasExplicit bool
+	sig         Signature
+	// HalfLife controls forgetting of old action evidence.
+	HalfLife  time.Duration
+	updatedAt time.Time
+	snapshots []Snapshot
+}
+
+// Snapshot is a dated copy of the implicit scale.
+type Snapshot struct {
+	Time  time.Time
+	Scale Scale
+}
+
+// NewTracker creates a tracker with the given action-value signature (nil
+// selects DefaultSignature) and evidence half-life (zero selects 180 days).
+func NewTracker(sig Signature, halfLife time.Duration, now time.Time) *Tracker {
+	if sig == nil {
+		sig = DefaultSignature()
+	}
+	if halfLife <= 0 {
+		halfLife = 180 * 24 * time.Hour
+	}
+	return &Tracker{sig: sig, HalfLife: halfLife, updatedAt: now}
+}
+
+// ErrUnknownCategory is returned for actions without a signature.
+var ErrUnknownCategory = errors.New("values: unknown action category")
+
+// Observe folds one action into the implicit scale with weight (evidence
+// strength, > 0).
+func (t *Tracker) Observe(category string, weight float64, now time.Time) error {
+	if weight <= 0 {
+		return errors.New("values: non-positive weight")
+	}
+	s, ok := t.sig[category]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCategory, category)
+	}
+	t.decay(now)
+	for i := range t.implicitRaw {
+		t.implicitRaw[i] += weight * s[i]
+	}
+	t.updatedAt = now
+	return nil
+}
+
+func (t *Tracker) decay(now time.Time) {
+	dt := now.Sub(t.updatedAt)
+	if dt <= 0 {
+		return
+	}
+	factor := math.Exp2(-dt.Hours() / t.HalfLife.Hours())
+	for i := range t.implicitRaw {
+		t.implicitRaw[i] *= factor
+	}
+}
+
+// SetExplicit records the user's stated value preferences (questionnaire).
+func (t *Tracker) SetExplicit(s Scale) {
+	t.explicit = s.Normalize()
+	t.hasExplicit = true
+}
+
+// Implicit returns the normalized action-derived scale.
+func (t *Tracker) Implicit() Scale { return t.implicitRaw.Normalize() }
+
+// Explicit returns the stated scale and whether one was recorded.
+func (t *Tracker) Explicit() (Scale, bool) { return t.explicit, t.hasExplicit }
+
+// Coherence evaluates the paper's coherence function for this user; an
+// error is returned when no explicit scale exists to compare against.
+func (t *Tracker) Coherence() (float64, error) {
+	if !t.hasExplicit {
+		return 0, errors.New("values: no explicit scale recorded")
+	}
+	return Coherence(t.Implicit(), t.explicit), nil
+}
+
+// TakeSnapshot stores a dated copy of the implicit scale for life-cycle
+// analysis.
+func (t *Tracker) TakeSnapshot(now time.Time) {
+	t.decay(now)
+	t.updatedAt = now
+	t.snapshots = append(t.snapshots, Snapshot{Time: now, Scale: t.Implicit()})
+}
+
+// Snapshots returns the stored snapshots in order.
+func (t *Tracker) Snapshots() []Snapshot {
+	return append([]Snapshot(nil), t.snapshots...)
+}
+
+// Drift measures life-cycle change: 1 − coherence between the first and
+// last snapshots. Zero means a stable value scale; requires two snapshots.
+func (t *Tracker) Drift() (float64, error) {
+	if len(t.snapshots) < 2 {
+		return 0, errors.New("values: need at least two snapshots")
+	}
+	first := t.snapshots[0].Scale
+	last := t.snapshots[len(t.snapshots)-1].Scale
+	return 1 - Coherence(first, last), nil
+}

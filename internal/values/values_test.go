@@ -1,0 +1,248 @@
+package values
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2006, 3, 14, 0, 0, 0, 0, time.UTC)
+
+func TestValueStrings(t *testing.T) {
+	if len(AllValues()) != NumValues {
+		t.Fatal("value count")
+	}
+	seen := map[string]bool{}
+	for _, v := range AllValues() {
+		n := v.String()
+		if n == "" || seen[n] {
+			t.Fatalf("bad name %q", n)
+		}
+		seen[n] = true
+	}
+	if Value(99).String() == "power" {
+		t.Fatal("invalid value has real name")
+	}
+}
+
+func TestScaleNormalize(t *testing.T) {
+	s := Scale{2, 0, 0, 0, 0, 0, 0, 0, 0, 2}
+	n := s.Normalize()
+	if n[Power] != 0.5 || n[Security] != 0.5 {
+		t.Fatalf("normalized %v", n)
+	}
+	var sum float64
+	for _, w := range n {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum %v", sum)
+	}
+}
+
+func TestScaleNormalizeDegenerate(t *testing.T) {
+	var zero Scale
+	n := zero.Normalize()
+	for _, w := range n {
+		if math.Abs(w-0.1) > 1e-12 {
+			t.Fatalf("all-zero normalize %v", n)
+		}
+	}
+	// Negative weights are clipped.
+	s := Scale{-5, 1}
+	n = s.Normalize()
+	if n[0] != 0 || n[1] != 1 {
+		t.Fatalf("negatives not clipped: %v", n)
+	}
+}
+
+func TestScaleTop(t *testing.T) {
+	s := Scale{}
+	s[Benevolence] = 0.5
+	s[Achievement] = 0.3
+	s[Security] = 0.2
+	top := s.Top(2)
+	if top[0] != Benevolence || top[1] != Achievement {
+		t.Fatalf("top %v", top)
+	}
+	if len(s.Top(99)) != NumValues {
+		t.Fatal("top clamp")
+	}
+}
+
+func TestCoherenceBounds(t *testing.T) {
+	a := Scale{1}.Normalize()
+	if c := Coherence(a, a); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("self coherence %v", c)
+	}
+	var b Scale
+	b[Security] = 1
+	if c := Coherence(a, b); c != 0 {
+		t.Fatalf("orthogonal coherence %v", c)
+	}
+	var zero Scale
+	if Coherence(zero, a) != 0 {
+		t.Fatal("zero scale coherence")
+	}
+}
+
+func TestCoherenceSymmetryProperty(t *testing.T) {
+	f := func(raw [NumValues]uint8, raw2 [NumValues]uint8) bool {
+		var a, b Scale
+		for i := range raw {
+			a[i] = float64(raw[i])
+			b[i] = float64(raw2[i])
+		}
+		a = a.Normalize()
+		b = b.Normalize()
+		c1 := Coherence(a, b)
+		c2 := Coherence(b, a)
+		return math.Abs(c1-c2) < 1e-12 && c1 >= 0 && c1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultSignatureNormalized(t *testing.T) {
+	sig := DefaultSignature()
+	if len(sig) < 5 {
+		t.Fatalf("only %d categories", len(sig))
+	}
+	for cat, s := range sig {
+		var sum float64
+		for _, w := range s {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("category %q not normalized: %v", cat, sum)
+		}
+	}
+}
+
+func TestTrackerObserve(t *testing.T) {
+	tr := NewTracker(nil, 0, t0)
+	if err := tr.Observe("help_forum_answer", 1, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Implicit()
+	if imp[Benevolence] < imp[Power] {
+		t.Fatalf("benevolent action did not move scale: %v", imp)
+	}
+	if err := tr.Observe("unknown", 1, t0); !errors.Is(err, ErrUnknownCategory) {
+		t.Fatalf("unknown category: %v", err)
+	}
+	if err := tr.Observe("help_forum_answer", 0, t0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestTrackerCoherence(t *testing.T) {
+	tr := NewTracker(nil, 0, t0)
+	if _, err := tr.Coherence(); err == nil {
+		t.Fatal("coherence without explicit scale")
+	}
+	// User claims to be an achiever...
+	var stated Scale
+	stated[Achievement] = 0.7
+	stated[Power] = 0.3
+	tr.SetExplicit(stated)
+	// ...and acts like one.
+	now := t0
+	for i := 0; i < 10; i++ {
+		now = now.Add(24 * time.Hour)
+		tr.Observe("enroll_career_course", 1, now)
+		tr.Observe("request_certification_info", 1, now)
+	}
+	cHigh, err := tr.Coherence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hedonist acting the same way would be incoherent.
+	tr2 := NewTracker(nil, 0, t0)
+	var hedonist Scale
+	hedonist[Hedonism] = 1
+	tr2.SetExplicit(hedonist)
+	now = t0
+	for i := 0; i < 10; i++ {
+		now = now.Add(24 * time.Hour)
+		tr2.Observe("enroll_career_course", 1, now)
+	}
+	cLow, _ := tr2.Coherence()
+	if cHigh <= cLow {
+		t.Fatalf("coherence does not discriminate: %v vs %v", cHigh, cLow)
+	}
+	if cHigh < 0.5 {
+		t.Fatalf("aligned user coherence %v", cHigh)
+	}
+}
+
+func TestTrackerDecay(t *testing.T) {
+	tr := NewTracker(nil, 30*24*time.Hour, t0)
+	tr.Observe("browse_new_topics", 10, t0)
+	// Much later, one opposite action should dominate the decayed history.
+	later := t0.Add(300 * 24 * time.Hour)
+	tr.Observe("repeat_known_provider", 1, later)
+	imp := tr.Implicit()
+	if imp[Security] < imp[Stimulation] {
+		t.Fatalf("old evidence did not decay: %v", imp)
+	}
+}
+
+func TestTrackerSnapshotsAndDrift(t *testing.T) {
+	tr := NewTracker(nil, 30*24*time.Hour, t0)
+	if _, err := tr.Drift(); err == nil {
+		t.Fatal("drift with no snapshots")
+	}
+	now := t0
+	for i := 0; i < 5; i++ {
+		now = now.Add(24 * time.Hour)
+		tr.Observe("browse_new_topics", 1, now)
+	}
+	tr.TakeSnapshot(now)
+	// Life change: the user turns conservative.
+	for i := 0; i < 60; i++ {
+		now = now.Add(5 * 24 * time.Hour)
+		tr.Observe("repeat_known_provider", 1, now)
+	}
+	tr.TakeSnapshot(now)
+	drift, err := tr.Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift < 0.2 {
+		t.Fatalf("life-cycle change produced drift %v", drift)
+	}
+	if len(tr.Snapshots()) != 2 {
+		t.Fatalf("%d snapshots", len(tr.Snapshots()))
+	}
+
+	// A stable user drifts little.
+	tr2 := NewTracker(nil, 30*24*time.Hour, t0)
+	now = t0
+	tr2.Observe("help_forum_answer", 1, now)
+	tr2.TakeSnapshot(now)
+	for i := 0; i < 20; i++ {
+		now = now.Add(24 * time.Hour)
+		tr2.Observe("help_forum_answer", 1, now)
+	}
+	tr2.TakeSnapshot(now)
+	stable, _ := tr2.Drift()
+	if stable > 0.05 {
+		t.Fatalf("stable user drift %v", stable)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tr := NewTracker(nil, 0, t0)
+	now := t0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Minute)
+		if err := tr.Observe("browse_new_topics", 1, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
