@@ -14,12 +14,17 @@ package repro
 //	BenchmarkAblationRewardPunish  — A3
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/emotion"
 	"repro/internal/messaging"
 	"repro/internal/ranking"
+	"repro/internal/scalebench"
+	"repro/internal/store"
 )
 
 // benchUsers keeps the full-pipeline benches laptop-fast; cmd/spabench runs
@@ -154,6 +159,114 @@ func BenchmarkAblationRewardPunish(b *testing.B) {
 			fig := runFig6(b, cfg)
 			b.ReportMetric(fig.CapturedAt40*100, "captured@40%")
 			b.ReportMetric(fig.AvgPredictiveScore*100, "avgScore%")
+		})
+	}
+}
+
+// BenchmarkShardedIngest measures the tentpole end to end: eight
+// goroutines pushing 64-user event bursts through a durable, fsync-on SPA
+// core (the workload lives in internal/scalebench, shared with spabench's
+// [S1] table).
+//
+//   - single-mutex/unbatched is the seed architecture: one shard (the old
+//     global RWMutex) and one synchronous store write — hence one fsync —
+//     per updated profile.
+//   - sharded/batched is this PR: 16 hash partitions processed
+//     concurrently, each persisting its group of profiles as one
+//     WriteBatch (group commit: one WAL record, one fsync per group).
+//
+// The batched path must sustain ≥ 2x the unbatched throughput from fsync
+// amortization alone (64 fsyncs vs ≤ 16 per burst); on multi-core hardware
+// the shard parallelism adds its own factor on top.
+func BenchmarkShardedIngest(b *testing.B) {
+	bursts := scalebench.MakeBursts()
+	cases := []struct {
+		name      string
+		shards    int
+		unbatched bool
+	}{
+		{"single-mutex-unbatched", 1, true},
+		{"sharded-batched", 16, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			spa, err := core.New(core.Options{
+				DataDir:         b.TempDir(),
+				Store:           store.Options{SyncWrites: true},
+				Shards:          c.shards,
+				UnbatchedWrites: c.unbatched,
+				Clock:           clock.NewSimulated(clock.Epoch),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer spa.Close()
+			for u := 0; u < scalebench.Users; u++ {
+				if err := spa.Register(uint64(u+1), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			err = scalebench.RunWorkers(int64(b.N), func(i int64) error {
+				_, _, err := spa.IngestEvents(bursts[i%int64(len(bursts))])
+				return err
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(scalebench.EventsPerBurst), "events/op")
+		})
+	}
+}
+
+// BenchmarkStoreBatchPut measures the persistence half in isolation: 128
+// profile-sized records per op, written as individual Puts (128 WAL
+// records) versus one WriteBatch (one WAL record). The sync variants show
+// the group-commit effect — 128 fsyncs vs 1 — which is where batching pays
+// for its extra copy; async shows the raw framing cost.
+func BenchmarkStoreBatchPut(b *testing.B) {
+	const recs = 128
+	value := make([]byte, 256)
+	key := func(i int64) []byte { return []byte(fmt.Sprintf("sum/%016x", i)) }
+
+	for _, sync := range []bool{false, true} {
+		mode := "async"
+		if sync {
+			mode = "fsync"
+		}
+		b.Run(mode+"/single-puts", func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{SyncWrites: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := int64(0); j < recs; j++ {
+					if err := db.Put(key(int64(i)*recs+j), value); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(mode+"/write-batch", func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{SyncWrites: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			var batch store.WriteBatch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Reset()
+				for j := int64(0); j < recs; j++ {
+					batch.Put(key(int64(i)*recs+j), value)
+				}
+				if err := db.Apply(&batch); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,11 +1,11 @@
 // Command spabench regenerates every evaluation artifact of the paper and
-// prints a paper-vs-measured table — the source of record for
-// EXPERIMENTS.md. Absolute numbers are not expected to match (the substrate
+// prints a paper-vs-measured table — the reproduction's experiment record.
+// Absolute numbers are not expected to match (the substrate
 // is a synthetic simulator, not emagister.com's production traffic); the
 // shape — who wins, by roughly what factor, where the operating point falls
 // — is the reproduction target.
 //
-// Usage: spabench [-users N] [-seed S] [-skip-ablations]
+// Usage: spabench [-users N] [-seed S] [-skip-ablations] [-skip-scale]
 package main
 
 import (
@@ -15,23 +15,28 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/emotion"
 	"repro/internal/messaging"
+	"repro/internal/scalebench"
+	"repro/internal/store"
 )
 
 func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1 throughput comparison")
 	flag.Parse()
 
-	if err := run(*users, *seed, !*skipAblations); err != nil {
+	if err := run(*users, *seed, !*skipAblations, !*skipScale); err != nil {
 		fmt.Fprintf(os.Stderr, "spabench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(users int, seed uint64, ablations bool) error {
+func run(users int, seed uint64, ablations, scale bool) error {
 	start := time.Now()
 	fmt.Printf("SPA reproduction harness — %d users, seed %d\n", users, seed)
 	fmt.Println("====================================================================")
@@ -133,7 +138,68 @@ func run(users int, seed uint64, ablations bool) error {
 			return err
 		}
 	}
+	if scale {
+		if err := runScale(); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runScale is the systems-side comparison: the seed architecture (one
+// global mutex, one synchronous store write per profile) against the
+// sharded core with per-shard group commit, both durable with fsync on.
+// The workload is internal/scalebench, shared with BenchmarkShardedIngest.
+func runScale() error {
+	const bursts = 48
+	fmt.Printf("\n[S1] Sharded core + batched write-through (%d ingest workers, fsync on)\n",
+		scalebench.Workers)
+
+	burstEvents := scalebench.MakeBursts()
+	measure := func(shards int, unbatched bool) (float64, error) {
+		dir, err := os.MkdirTemp("", "spabench-scale-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		spa, err := core.New(core.Options{
+			DataDir:         dir,
+			Store:           store.Options{SyncWrites: true},
+			Shards:          shards,
+			UnbatchedWrites: unbatched,
+			Clock:           clock.NewSimulated(clock.Epoch),
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer spa.Close()
+		for u := 0; u < scalebench.Users; u++ {
+			if err := spa.Register(uint64(u+1), nil); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		if err := scalebench.RunWorkers(bursts, func(i int64) error {
+			_, _, err := spa.IngestEvents(burstEvents[i%int64(len(burstEvents))])
+			return err
+		}); err != nil {
+			return 0, err
+		}
+		return float64(bursts*scalebench.EventsPerBurst) / time.Since(start).Seconds(), nil
+	}
+
+	seedRate, err := measure(1, true)
+	if err != nil {
+		return err
+	}
+	newRate, err := measure(16, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  single mutex + per-profile writes : %8.0f events/s\n", seedRate)
+	fmt.Printf("  16 shards + group commit          : %8.0f events/s   (%.1fx)   %s\n",
+		newRate, newRate/seedRate, okIf(newRate >= 2*seedRate))
 	return nil
 }
 

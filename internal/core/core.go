@@ -2,8 +2,8 @@
 // API a downstream application uses. It wires the four deployed components
 // of the paper's Fig. 3 around a persistent profile store:
 //
-//  1. LifeLogs Pre-processor Agent — IngestEvents runs raw events through an
-//     elastic agent pool into session/feature extraction,
+//  1. LifeLogs Pre-processor Agent — IngestEvents/BatchIngest run raw events
+//     through an elastic agent pool into session/feature extraction,
 //  2. Smart Component — TrainPropensity / Propensity wrap the calibrated
 //     linear SVM,
 //  3. Attributes Manager Agent — Sensibilities / DominantAttributes expose
@@ -14,8 +14,11 @@
 // The fifth component (Intelligent User Interface / Human Values Scale) is
 // out of scope, exactly as in the paper's deployment (§4).
 //
-// Profiles are write-through: every mutation is persisted to the embedded
-// store so a restarted process resumes with the same Smart User Models.
+// Profiles live in hash-partitioned shards, each guarded by its own
+// read-write mutex, so mutations of different users proceed in parallel
+// (see shard.go and DESIGN.md). Profiles are write-through: every mutation
+// is persisted to the embedded store — batched per shard on the ingest path
+// — so a restarted process resumes with the same Smart User Models.
 package core
 
 import (
@@ -23,7 +26,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/attributes"
 	"repro/internal/baseline"
@@ -35,7 +37,6 @@ import (
 	"repro/internal/store"
 	"repro/internal/sum"
 	"repro/internal/svm"
-	"repro/internal/values"
 )
 
 // Options configure a SPA instance.
@@ -43,6 +44,21 @@ type Options struct {
 	// DataDir is the storage directory for profiles. Empty selects an
 	// in-memory-only instance (no durability).
 	DataDir string
+	// Store tunes the embedded store when DataDir is set; the zero value
+	// selects store defaults (background compaction on).
+	Store store.Options
+	// Shards is the number of profile partitions; concurrent calls touching
+	// users in different shards never contend. Zero selects 16; values
+	// round up to the next power of two. One shard reproduces the old
+	// single-mutex behavior exactly.
+	Shards int
+	// UnbatchedWrites restores the pre-sharding persistence behavior on
+	// the ingest path: one store write per updated profile instead of one
+	// WriteBatch per shard group. With store.Options.SyncWrites that means
+	// one fsync per profile versus one per group. It exists so spabench
+	// and BenchmarkShardedIngest can quantify the group-commit win against
+	// the old architecture; production should leave it off.
+	UnbatchedWrites bool
 	// Params tune the SUM learning dynamics; zero value selects defaults.
 	Params sum.Params
 	// Clock is the time source; nil selects the wall clock.
@@ -57,7 +73,6 @@ type Options struct {
 // SPA is the Smart Prediction Assistant. All methods are safe for
 // concurrent use.
 type SPA struct {
-	mu        sync.RWMutex
 	db        *store.DB // nil when non-durable
 	model     *sum.Model
 	msgdb     *messaging.DB
@@ -65,18 +80,20 @@ type SPA struct {
 	clk       clock.Clock
 	threshold float64
 	policy    messaging.Policy
+	unbatched bool
 
-	profiles map[uint64]*sum.Profile
-	scorer   baseline.Scorer
-	scaler   *svm.Scaler
+	shards []*shard
+	mask   uint64
+
+	// Propensity-model state, replaced wholesale by TrainPropensity.
+	modelMu sync.RWMutex
+	scorer  baseline.Scorer
+	scaler  *svm.Scaler
 
 	// Recommendation-function state (see recommend.go).
-	pendingInteractions map[uint64]map[uint32]float64
-	knn                 *cf.KNN
-	tagger              ActionTagger
-
-	// Human Values Scale trackers (see values.go).
-	valueTrackers map[uint64]*values.Tracker
+	recMu  sync.Mutex
+	knn    *cf.KNN
+	tagger ActionTagger
 }
 
 // ErrNoProfile is returned for operations on unregistered users.
@@ -110,16 +127,23 @@ func New(opts Options) (*SPA, error) {
 		clk:       clk,
 		threshold: threshold,
 		policy:    opts.Policy,
-		profiles:  make(map[uint64]*sum.Profile),
+		unbatched: opts.UnbatchedWrites,
+	}
+	n := shardCount(opts.Shards)
+	s.mask = uint64(n - 1)
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = newShard()
 	}
 	if opts.DataDir != "" {
-		db, err := store.Open(opts.DataDir, store.Options{})
+		db, err := store.Open(opts.DataDir, opts.Store)
 		if err != nil {
 			return nil, err
 		}
 		s.db = db
 		if err := sum.ForEach(db, func(p *sum.Profile) bool {
-			s.profiles[p.UserID] = p
+			sh := s.shardFor(p.UserID)
+			sh.profiles[p.UserID] = p
 			return true
 		}); err != nil {
 			db.Close()
@@ -152,14 +176,11 @@ func defaultRegistry() *attributes.Registry {
 // Registry exposes the attribute vocabulary.
 func (s *SPA) Registry() *attributes.Registry { return s.registry }
 
-// Close flushes and releases the store.
+// Close flushes and releases the store. Close is idempotent; mutations
+// after Close fail with the store's ErrClosed.
 func (s *SPA) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.db != nil {
-		err := s.db.Close()
-		s.db = nil
-		return err
+		return s.db.Close()
 	}
 	return nil
 }
@@ -170,19 +191,22 @@ func (s *SPA) Register(userID uint64, objective []float64) error {
 	if userID == 0 {
 		return errors.New("core: zero user id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.profiles[userID]; dup {
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.profiles[userID]; dup {
 		return fmt.Errorf("core: user %d already registered", userID)
 	}
 	p := sum.NewProfile(userID, s.clk.Now())
 	p.Objective = append([]float64(nil), objective...)
 	p.Subjective = make([]float64, lifelog.DenseLen)
-	s.profiles[userID] = p
-	return s.persistLocked(p)
+	sh.profiles[userID] = p
+	return s.persist(p)
 }
 
-func (s *SPA) persistLocked(p *sum.Profile) error {
+// persist write-throughs one profile; the caller holds the owning shard's
+// write lock, which orders store writes for that user.
+func (s *SPA) persist(p *sum.Profile) error {
 	if s.db == nil {
 		return nil
 	}
@@ -191,17 +215,22 @@ func (s *SPA) persistLocked(p *sum.Profile) error {
 
 // Users returns the number of registered profiles.
 func (s *SPA) Users() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.profiles)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.profiles)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Profile returns a copy of the user's SUM (callers cannot mutate internal
 // state).
 func (s *SPA) Profile(userID uint64) (sum.Profile, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return sum.Profile{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -215,48 +244,19 @@ func (s *SPA) Profile(userID uint64) (sum.Profile, error) {
 // (sessionization + feature extraction) and folds the digests into the
 // profiles' subjective blocks. Events of unregistered users are counted and
 // skipped, mirroring the deployment's handling of anonymous traffic.
+// IngestEvents is BatchIngest: work is partitioned by shard and processed
+// in parallel.
 func (s *SPA) IngestEvents(events []lifelog.Event) (processed, skippedUnknown int, err error) {
-	if len(events) == 0 {
-		return 0, 0, nil
-	}
-	x := lifelog.NewExtractor(30*time.Minute, s.clk.Now())
-	s.mu.RLock()
-	for _, e := range events {
-		if _, ok := s.profiles[e.UserID]; !ok {
-			skippedUnknown++
-			continue
-		}
-		if ferr := x.Feed(e); ferr != nil {
-			s.mu.RUnlock()
-			return processed, skippedUnknown, ferr
-		}
-		processed++
-	}
-	s.mu.RUnlock()
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range events {
-		if _, ok := s.profiles[e.UserID]; ok {
-			s.noteInteraction(e)
-		}
-	}
-	for id, fv := range x.Finish() {
-		p := s.profiles[id]
-		p.Subjective = fv.Dense()
-		if err := s.persistLocked(p); err != nil {
-			return processed, skippedUnknown, err
-		}
-	}
-	return processed, skippedUnknown, nil
+	return s.BatchIngest(events)
 }
 
 // NextQuestion returns the user's next Gradual EIT item (cycling the bank
 // when exhausted, as the deployment keeps asking indefinitely).
 func (s *SPA) NextQuestion(userID uint64) (emotion.Item, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return emotion.Item{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -269,49 +269,53 @@ func (s *SPA) NextQuestion(userID uint64) (emotion.Item, error) {
 
 // SubmitAnswer applies a Gradual EIT answer to the user's SUM.
 func (s *SPA) SubmitAnswer(userID uint64, ans emotion.Answer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
 	if err := s.model.ApplyEITAnswer(p, ans, s.clk.Now()); err != nil {
 		return err
 	}
-	return s.persistLocked(p)
+	return s.persist(p)
 }
 
 // Reward applies positive reinforcement for the given attributes (the user
 // acted on a recommendation built on them).
 func (s *SPA) Reward(userID uint64, attrs []emotion.Attribute) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
 	s.model.Reward(p, attrs, s.clk.Now())
-	return s.persistLocked(p)
+	return s.persist(p)
 }
 
 // Punish applies negative reinforcement (recommendation ignored/rejected).
 func (s *SPA) Punish(userID uint64, attrs []emotion.Attribute) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
 	s.model.Punish(p, attrs, s.clk.Now())
-	return s.persistLocked(p)
+	return s.persist(p)
 }
 
 // Sensibilities returns the user's absolute sensibility weights, indexed by
 // emotion.Attribute.
 func (s *SPA) Sensibilities(userID uint64) ([]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -321,9 +325,10 @@ func (s *SPA) Sensibilities(userID uint64) ([]float64, error) {
 // DominantAttributes reports the user's dominant emotional attributes
 // (relative weights above the threshold), strongest first.
 func (s *SPA) DominantAttributes(userID uint64) ([]attributes.Sensibility, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -333,9 +338,10 @@ func (s *SPA) DominantAttributes(userID uint64) ([]attributes.Sensibility, error
 // Advise returns the SUM advice-stage excitation/inhibition vector for a
 // domain.
 func (s *SPA) Advise(userID uint64, domain string) (sum.Advice, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return sum.Advice{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -344,9 +350,10 @@ func (s *SPA) Advise(userID uint64, domain string) (sum.Advice, error) {
 
 // AssignMessage runs the Messaging Agent for a product (§5.3).
 func (s *SPA) AssignMessage(userID uint64, product messaging.Product) (messaging.Assignment, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return messaging.Assignment{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -359,9 +366,10 @@ func (s *SPA) MessageDB() *messaging.DB { return s.msgdb }
 // FeatureVector materializes a user's full learner input (objective +
 // subjective + emotional blocks).
 func (s *SPA) FeatureVector(userID uint64) ([]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID]
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.profiles[userID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
@@ -370,7 +378,9 @@ func (s *SPA) FeatureVector(userID uint64) ([]float64, error) {
 
 // TrainPropensity fits the Smart Component's propensity model from labelled
 // examples: user feature vectors (as returned by FeatureVector) and
-// responded flags.
+// responded flags. Training runs without touching the profile shards, so
+// ingest traffic continues in parallel; the fitted model is installed
+// atomically at the end.
 func (s *SPA) TrainPropensity(features [][]float64, responded []bool) error {
 	if len(features) != len(responded) {
 		return errors.New("core: label count mismatch")
@@ -395,27 +405,35 @@ func (s *SPA) TrainPropensity(features [][]float64, responded []bool) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
+	s.modelMu.Lock()
 	s.scaler = scaler
 	s.scorer = &baseline.SVMScorer{Model: m}
-	s.mu.Unlock()
+	s.modelMu.Unlock()
 	return nil
 }
 
 // Propensity returns the calibrated probability that the user responds to a
 // touch — the selection function's ranking key.
 func (s *SPA) Propensity(userID uint64) (float64, error) {
-	s.mu.RLock()
+	s.modelMu.RLock()
 	scorer, scaler := s.scorer, s.scaler
-	p, ok := s.profiles[userID]
-	s.mu.RUnlock()
+	s.modelMu.RUnlock()
 	if scorer == nil {
 		return 0, ErrNoModel
 	}
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	p, ok := sh.profiles[userID]
+	var x []float64
+	if ok {
+		// Materialize under the shard lock: a concurrent ingest may be
+		// rewriting the profile's slices.
+		x = p.FeatureVector(true, true, true)
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
-	x := p.FeatureVector(true, true, true)
 	if _, err := scaler.Transform(x); err != nil {
 		return 0, err
 	}
@@ -428,12 +446,14 @@ func (s *SPA) SelectTop(k int) ([]uint64, error) {
 	if k < 1 {
 		return nil, errors.New("core: k must be >= 1")
 	}
-	s.mu.RLock()
-	ids := make([]uint64, 0, len(s.profiles))
-	for id := range s.profiles {
-		ids = append(ids, id)
+	var ids []uint64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.profiles {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	type scored struct {
 		id    uint64
 		score float64

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cf"
 	"repro/internal/emotion"
 	"repro/internal/lifelog"
+	"repro/internal/sum"
 )
 
 // The recommendation function (§5.4 #1): "to send in an individualized
@@ -17,6 +18,10 @@ import (
 // emotional tags resonate with (or repel) the user — the paper's
 // "activation or inhibition of excitatory attributes from each domain"
 // applied to the action catalogue.
+//
+// Interaction counts accumulate per shard (under the shard's lock, on the
+// ingest path); the frozen kNN model is global, guarded by recMu, and is
+// invalidated whenever any shard notes a new interaction.
 
 // ActionTagger maps an action ordinal to the emotional attributes its
 // content exercises (e.g. a fast-paced bootcamp page → stimulated,
@@ -25,9 +30,17 @@ type ActionTagger func(action uint32) []emotion.Attribute
 
 // SetActionTagger installs the tagger used by RecommendActions.
 func (s *SPA) SetActionTagger(t ActionTagger) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	s.tagger = t
+}
+
+// invalidateRecommender drops the frozen kNN model; the next
+// RecommendActions call rebuilds it from the shards' interaction counts.
+func (s *SPA) invalidateRecommender() {
+	s.recMu.Lock()
+	s.knn = nil
+	s.recMu.Unlock()
 }
 
 // interactionWeight grades event types for the CF matrix: transactions are
@@ -47,45 +60,50 @@ func interactionWeight(t lifelog.EventType) float64 {
 	}
 }
 
-// noteInteraction accumulates a raw event into the pending interaction
-// counts (called from IngestEvents with the write lock held).
-func (s *SPA) noteInteraction(e lifelog.Event) {
+// noteInteraction accumulates a raw event into the shard's pending
+// interaction counts (called with the shard's write lock held). It reports
+// whether it recorded anything, so the caller can invalidate the frozen
+// model once per batch instead of once per event.
+func (sh *shard) noteInteraction(e lifelog.Event) bool {
 	w := interactionWeight(e.Type)
 	if w == 0 || int(e.Action) >= lifelog.ActionUniverse {
-		return
+		return false
 	}
-	if s.pendingInteractions == nil {
-		s.pendingInteractions = make(map[uint64]map[uint32]float64)
+	if sh.pending == nil {
+		sh.pending = make(map[uint64]map[uint32]float64)
 	}
-	row := s.pendingInteractions[e.UserID]
+	row := sh.pending[e.UserID]
 	if row == nil {
 		row = make(map[uint32]float64)
-		s.pendingInteractions[e.UserID] = row
+		sh.pending[e.UserID] = row
 	}
 	row[e.Action] += w
-	s.knn = nil // invalidate the frozen model
+	return true
 }
 
-// buildKNNLocked freezes the accumulated interactions into a kNN model.
-func (s *SPA) buildKNNLocked() error {
-	if len(s.pendingInteractions) == 0 {
-		return errors.New("core: no interactions ingested yet")
-	}
+// buildKNN freezes the accumulated interactions of every shard into a kNN
+// model. Called with recMu held; takes each shard's read lock in turn.
+func (s *SPA) buildKNN() (*cf.KNN, error) {
 	m := cf.NewInteractions(lifelog.ActionUniverse)
-	for user, row := range s.pendingInteractions {
-		for action, w := range row {
-			if err := m.Add(user, action, w); err != nil {
-				return err
+	rows := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for user, row := range sh.pending {
+			rows++
+			for action, w := range row {
+				if err := m.Add(user, action, w); err != nil {
+					sh.mu.RUnlock()
+					return nil, err
+				}
 			}
 		}
+		sh.mu.RUnlock()
+	}
+	if rows == 0 {
+		return nil, errors.New("core: no interactions ingested yet")
 	}
 	m.Freeze()
-	knn, err := cf.NewKNN(m, 25)
-	if err != nil {
-		return err
-	}
-	s.knn = knn
-	return nil
+	return cf.NewKNN(m, 25)
 }
 
 // RecommendActions returns the top-n actions for the user: the CF ranking
@@ -96,22 +114,30 @@ func (s *SPA) RecommendActions(userID uint64, n int) ([]cf.Recommendation, error
 	if n < 1 {
 		return nil, errors.New("core: n must be >= 1")
 	}
-	s.mu.Lock()
+	s.recMu.Lock()
 	if s.knn == nil {
-		if err := s.buildKNNLocked(); err != nil {
-			s.mu.Unlock()
+		knn, err := s.buildKNN()
+		if err != nil {
+			s.recMu.Unlock()
 			return nil, err
 		}
+		s.knn = knn
 	}
 	knn := s.knn
-	p, ok := s.profiles[userID]
+	tagger := s.tagger
+	s.recMu.Unlock()
+
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	p, ok := sh.profiles[userID]
+	var adv sum.Advice
+	if ok {
+		adv = s.model.Advise(p, "training")
+	}
+	sh.mu.RUnlock()
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
-	adv := s.model.Advise(p, "training")
-	tagger := s.tagger
-	s.mu.Unlock()
 
 	// Over-fetch so emotional re-ranking has candidates to promote.
 	fetch := n * 3

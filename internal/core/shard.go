@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/lifelog"
+	"repro/internal/store"
+	"repro/internal/sum"
+	"repro/internal/values"
+)
+
+// shard is one hash partition of the user population. Everything keyed by
+// user id lives here, under one read-write mutex per partition: profile
+// mutations for users in different shards never contend, which is what
+// lets BatchIngest (and independent API calls) run truly in parallel.
+//
+// The partition function is a fixed bit-mixer over the user id, so a
+// profile's shard is stable across restarts and independent of shard count
+// only in the trivial sense — reopening a store with a different Shards
+// value is fine, because shards are a memory layout, not a storage layout.
+type shard struct {
+	mu       sync.RWMutex
+	profiles map[uint64]*sum.Profile
+	trackers map[uint64]*values.Tracker // Human Values Scale, session-scoped
+	pending  map[uint64]map[uint32]float64
+}
+
+func newShard() *shard {
+	return &shard{profiles: make(map[uint64]*sum.Profile)}
+}
+
+// shardCount normalizes the option: 0 → 16, otherwise the next power of
+// two, capped at 1024.
+func shardCount(n int) int {
+	if n <= 0 {
+		n = 16
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardFor mixes the user id (splitmix64 finalizer) before masking, so
+// sequential ids — the common registration pattern — spread evenly.
+func (s *SPA) shardFor(userID uint64) *shard {
+	h := userID
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return s.shards[h&s.mask]
+}
+
+// BatchIngest is the high-throughput ingest facade: events are grouped by
+// owning shard (preserving per-user order, which sessionization requires)
+// and the groups run concurrently, each under its own shard lock with its
+// own extractor. Durable profile updates of one shard group commit as a
+// single store WriteBatch — one WAL record instead of one per profile.
+//
+// Semantics match a sequential IngestEvents call: per-user results depend
+// only on that user's events, so the fan-out is invisible in the profiles
+// (see TestShardedMatchesSingleShard). On error the failing shard group is
+// not applied; groups of other shards may be, exactly as two separate
+// IngestEvents calls could interleave. Events of unregistered users are
+// counted and skipped.
+func (s *SPA) BatchIngest(events []lifelog.Event) (processed, skippedUnknown int, err error) {
+	if len(events) == 0 {
+		return 0, 0, nil
+	}
+	now := s.clk.Now()
+	groups := make(map[*shard][]lifelog.Event, len(s.shards))
+	for _, e := range events {
+		sh := s.shardFor(e.UserID)
+		groups[sh] = append(groups[sh], e)
+	}
+	results := make([]ingestResult, 0, len(groups))
+	if len(groups) == 1 {
+		// Single-shard batches (including every call on a 1-shard core)
+		// skip the fan-out machinery entirely.
+		for sh, evs := range groups {
+			results = append(results, s.ingestShard(sh, evs, now))
+		}
+	} else {
+		var wg sync.WaitGroup
+		resCh := make(chan ingestResult, len(groups))
+		for sh, evs := range groups {
+			wg.Add(1)
+			go func(sh *shard, evs []lifelog.Event) {
+				defer wg.Done()
+				resCh <- s.ingestShard(sh, evs, now)
+			}(sh, evs)
+		}
+		wg.Wait()
+		close(resCh)
+		for r := range resCh {
+			results = append(results, r)
+		}
+	}
+	staleKNN := false
+	for _, r := range results {
+		staleKNN = staleKNN || r.interactions
+	}
+	if staleKNN {
+		s.invalidateRecommender()
+	}
+	for _, r := range results {
+		processed += r.processed
+		skippedUnknown += r.skipped
+		if err == nil && r.err != nil {
+			err = r.err
+		}
+	}
+	return processed, skippedUnknown, err
+}
+
+type ingestResult struct {
+	processed    int
+	skipped      int
+	interactions bool
+	err          error
+}
+
+// ingestShard applies one shard's slice of the event stream. The feed pass
+// runs before any mutation, so a malformed stream (out-of-order events)
+// fails without touching profiles; the apply pass then updates subjective
+// blocks and CF interaction counts and persists the shard's profiles as
+// one WriteBatch.
+func (s *SPA) ingestShard(sh *shard, events []lifelog.Event, now time.Time) ingestResult {
+	var res ingestResult
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	x := lifelog.NewExtractor(30*time.Minute, now)
+	for _, e := range events {
+		if _, ok := sh.profiles[e.UserID]; !ok {
+			res.skipped++
+			continue
+		}
+		if err := x.Feed(e); err != nil {
+			res.err = err
+			return res
+		}
+		res.processed++
+	}
+	for _, e := range events {
+		if _, ok := sh.profiles[e.UserID]; ok {
+			if sh.noteInteraction(e) {
+				res.interactions = true
+			}
+		}
+	}
+	var batch store.WriteBatch
+	for id, fv := range x.Finish() {
+		p := sh.profiles[id]
+		p.Subjective = fv.Dense()
+		if s.db == nil {
+			continue
+		}
+		if s.unbatched {
+			// Compatibility/measurement mode: the seed's one-write-per-
+			// profile persistence (see Options.UnbatchedWrites).
+			if err := sum.Save(s.db, p); err != nil {
+				res.err = err
+				return res
+			}
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			res.err = err
+			return res
+		}
+		batch.Put(sum.Key(id), sum.Encode(p))
+	}
+	if s.db != nil && batch.Len() > 0 {
+		if err := s.db.Apply(&batch); err != nil {
+			res.err = err
+		}
+	}
+	return res
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/messaging"
+	"repro/internal/sum"
+)
+
+func TestShardCountNormalization(t *testing.T) {
+	cases := map[int]int{0: 16, -3: 16, 1: 1, 2: 2, 3: 4, 16: 16, 17: 32, 5000: 1024}
+	for in, want := range cases {
+		if got := shardCount(in); got != want {
+			t.Errorf("shardCount(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestShardForIsStableAndInRange(t *testing.T) {
+	s, err := New(Options{Shards: 8, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	seen := make(map[*shard]int)
+	for id := uint64(1); id <= 4096; id++ {
+		sh := s.shardFor(id)
+		if sh != s.shardFor(id) {
+			t.Fatalf("shardFor(%d) unstable", id)
+		}
+		seen[sh]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("sequential ids hit %d of 8 shards", len(seen))
+	}
+	for sh, n := range seen {
+		// 4096 ids over 8 shards averages 512; a pathological mixer would
+		// concentrate traffic and defeat the sharding entirely.
+		if n < 256 || n > 768 {
+			t.Fatalf("shard %p got %d of 4096 ids — bad spread", sh, n)
+		}
+	}
+}
+
+// workload is a deterministic mixed script: per-user event streams, EIT
+// answers, rewards and punishes, interleaved across users the same way
+// regardless of shard count.
+type workload struct {
+	users   []uint64
+	events  []lifelog.Event
+	answers map[uint64][]emotion.Answer
+	rewards map[uint64][]emotion.Attribute
+}
+
+func makeWorkload(nUsers, eventsPerUser int, seed int64) workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := workload{
+		answers: make(map[uint64][]emotion.Answer),
+		rewards: make(map[uint64][]emotion.Attribute),
+	}
+	for u := 0; u < nUsers; u++ {
+		id := uint64(1000 + u*7) // spread over id space
+		w.users = append(w.users, id)
+	}
+	types := []lifelog.EventType{
+		lifelog.EventClick, lifelog.EventPageView, lifelog.EventEnroll,
+		lifelog.EventInfoRequest,
+	}
+	for i := 0; i < nUsers*eventsPerUser; i++ {
+		id := w.users[rng.Intn(len(w.users))]
+		// Per-user timestamps must be non-decreasing; a global ascending
+		// clock satisfies that for every user.
+		at := t0.Add(-24*time.Hour + time.Duration(i)*time.Second)
+		w.events = append(w.events, lifelog.Event{
+			UserID: id,
+			Time:   at,
+			Type:   types[rng.Intn(len(types))],
+			Action: uint32(rng.Intn(lifelog.ActionUniverse)),
+		})
+	}
+	for _, id := range w.users {
+		for q := 0; q < rng.Intn(4); q++ {
+			w.answers[id] = append(w.answers[id], emotion.Answer{ItemID: q, Option: rng.Intn(2)})
+		}
+		for r := 0; r < rng.Intn(3); r++ {
+			w.rewards[id] = append(w.rewards[id], emotion.AllAttributes()[rng.Intn(emotion.NumAttributes)])
+		}
+	}
+	return w
+}
+
+func applyWorkload(t *testing.T, s *SPA, w workload) {
+	t.Helper()
+	for _, id := range w.users {
+		if err := s.Register(id, []float64{float64(id % 50), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.BatchIngest(w.events); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range w.users {
+		for _, ans := range w.answers[id] {
+			if err := s.SubmitAnswer(id, ans); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, attr := range w.rewards[id] {
+			if err := s.Reward(id, []emotion.Attribute{attr}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSingleShard is the equivalence property: the same
+// workload pushed through a 1-shard core (the old single-mutex layout) and
+// a 16-shard core must produce byte-identical serialized profiles for
+// every user — sharding is a concurrency layout, never a semantic change.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	w := makeWorkload(60, 25, 7)
+
+	run := func(shards int) *SPA {
+		s, err := New(Options{Shards: shards, Clock: clock.NewSimulated(t0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		applyWorkload(t, s, w)
+		return s
+	}
+	single := run(1)
+	sharded := run(16)
+
+	for _, id := range w.users {
+		p1, err := single.Profile(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pN, err := sharded.Profile(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, bN := sum.Encode(&p1), sum.Encode(&pN)
+		if !bytes.Equal(b1, bN) {
+			t.Fatalf("user %d: profiles diverge between 1 and 16 shards\n1:  %v\n16: %v", id, p1, pN)
+		}
+	}
+}
+
+// TestShardedMatchesSingleShardDurable repeats the property through the
+// write-through path: both cores persist, reopen, and must agree.
+func TestShardedMatchesSingleShardDurable(t *testing.T) {
+	w := makeWorkload(30, 15, 11)
+
+	runAndReopen := func(shards int) *SPA {
+		dir := t.TempDir()
+		s, err := New(Options{DataDir: dir, Shards: shards, Clock: clock.NewSimulated(t0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyWorkload(t, s, w)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen with a different shard count: shards are a memory layout,
+		// not a storage layout.
+		s2, err := New(Options{DataDir: dir, Shards: shards * 4, Clock: clock.NewSimulated(t0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s2.Close() })
+		return s2
+	}
+	single := runAndReopen(1)
+	sharded := runAndReopen(8)
+
+	if single.Users() != len(w.users) || sharded.Users() != len(w.users) {
+		t.Fatalf("user counts after reopen: %d / %d, want %d", single.Users(), sharded.Users(), len(w.users))
+	}
+	for _, id := range w.users {
+		p1, err := single.Profile(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pN, err := sharded.Profile(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sum.Encode(&p1), sum.Encode(&pN)) {
+			t.Fatalf("user %d: durable profiles diverge", id)
+		}
+	}
+}
+
+func TestBatchIngestCounts(t *testing.T) {
+	s, err := New(Options{Shards: 4, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Register(1, nil)
+	s.Register(2, nil)
+	events := []lifelog.Event{
+		{UserID: 1, Time: t0.Add(-2 * time.Hour), Type: lifelog.EventClick, Action: 5},
+		{UserID: 2, Time: t0.Add(-2 * time.Hour), Type: lifelog.EventClick, Action: 6},
+		{UserID: 99, Time: t0.Add(-1 * time.Hour), Type: lifelog.EventClick, Action: 7},
+		{UserID: 1, Time: t0.Add(-1 * time.Hour), Type: lifelog.EventEnroll, Action: 8},
+	}
+	processed, skipped, err := s.BatchIngest(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if processed != 3 || skipped != 1 {
+		t.Fatalf("processed %d skipped %d", processed, skipped)
+	}
+	if _, _, err := s.BatchIngest(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchIngestOutOfOrderFails(t *testing.T) {
+	s, err := New(Options{Shards: 1, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Register(1, nil)
+	events := []lifelog.Event{
+		{UserID: 1, Time: t0.Add(-1 * time.Hour), Type: lifelog.EventClick, Action: 5},
+		{UserID: 1, Time: t0.Add(-2 * time.Hour), Type: lifelog.EventClick, Action: 6},
+	}
+	if _, _, err := s.BatchIngest(events); err == nil {
+		t.Fatal("out-of-order stream accepted")
+	}
+	// The failing shard must not have mutated the profile.
+	p, _ := s.Profile(1)
+	for i, v := range p.Subjective {
+		if v != 0 {
+			t.Fatalf("subjective[%d] = %v after failed ingest", i, v)
+		}
+	}
+}
+
+// TestShardedCoreStress is the -race suite's center of gravity: many
+// goroutines hammer mixed reads and writes on overlapping users across all
+// shards of a durable core, while the store's background compactor runs.
+func TestShardedCoreStress(t *testing.T) {
+	const (
+		users      = 64
+		workers    = 8
+		opsPerGor  = 300
+		eventSpanS = 60
+	)
+	clk := clock.NewSimulated(t0)
+	s, err := New(Options{
+		DataDir: t.TempDir(),
+		Shards:  8,
+		Clock:   clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for u := 1; u <= users; u++ {
+		if err := s.Register(uint64(u), []float64{float64(u)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	product := messaging.Product{
+		Name:            "Course in Digital Marketing",
+		SalesAttributes: []emotion.Attribute{emotion.Motivated, emotion.Hopeful},
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for op := 0; op < opsPerGor; op++ {
+				id := uint64(1 + rng.Intn(users))
+				switch op % 6 {
+				case 0: // ingest a small per-user event burst
+					base := t0.Add(-time.Duration(1+op) * time.Hour)
+					var events []lifelog.Event
+					for i := 0; i < 4; i++ {
+						events = append(events, lifelog.Event{
+							UserID: id,
+							Time:   base.Add(time.Duration(i*eventSpanS) * time.Second),
+							Type:   lifelog.EventClick,
+							Action: uint32(rng.Intn(lifelog.ActionUniverse)),
+						})
+					}
+					if _, _, err := s.BatchIngest(events); err != nil {
+						t.Errorf("ingest: %v", err)
+						return
+					}
+				case 1:
+					if _, err := s.AssignMessage(id, product); err != nil {
+						t.Errorf("assign: %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.Sensibilities(id); err != nil {
+						t.Errorf("sensibilities: %v", err)
+						return
+					}
+				case 3:
+					if err := s.Reward(id, []emotion.Attribute{emotion.Motivated}); err != nil {
+						t.Errorf("reward: %v", err)
+						return
+					}
+				case 4:
+					if _, err := s.Profile(id); err != nil {
+						t.Errorf("profile: %v", err)
+						return
+					}
+				case 5:
+					if err := s.SubmitAnswer(id, emotion.Answer{ItemID: op % 5, Option: 0}); err != nil {
+						t.Errorf("answer: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every profile must still be readable and persisted.
+	if s.Users() != users {
+		t.Fatalf("users %d", s.Users())
+	}
+	for u := 1; u <= users; u++ {
+		if _, err := s.Profile(uint64(u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentRegistrations registers disjoint user ranges from many
+// goroutines; the count must come out exact (no lost updates).
+func TestConcurrentRegistrations(t *testing.T) {
+	s, err := New(Options{Shards: 16, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const perG, workers = 200, 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := uint64(1 + g*perG + i)
+				if err := s.Register(id, nil); err != nil {
+					t.Errorf("register %d: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Users(); got != perG*workers {
+		t.Fatalf("registered %d, want %d", got, perG*workers)
+	}
+}
+
+// TestBatchIngestAfterCloseFails: the write-through contract surfaces
+// store shutdown instead of silently dropping durability.
+func TestBatchIngestAfterCloseFails(t *testing.T) {
+	s, err := New(Options{DataDir: t.TempDir(), Shards: 4, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Register(1, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := []lifelog.Event{
+		{UserID: 1, Time: t0.Add(-time.Hour), Type: lifelog.EventClick, Action: 5},
+	}
+	if _, _, err := s.BatchIngest(events); err == nil {
+		t.Fatal("ingest after Close succeeded")
+	}
+}
+
+func BenchmarkShardHashing(b *testing.B) {
+	s, err := New(Options{Shards: 16, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var sink *shard
+	for i := 0; i < b.N; i++ {
+		sink = s.shardFor(uint64(i))
+	}
+	_ = sink
+}

@@ -10,21 +10,24 @@ import (
 // internal/values). Trackers are in-memory: the paper's deployment
 // explicitly excluded this component, so the reproduction exposes it as a
 // session-scoped extension rather than part of the durable profile.
+// Trackers live in the user's shard, under the shard lock.
 
-func (s *SPA) tracker(userID uint64, create bool) (*values.Tracker, error) {
-	if _, ok := s.profiles[userID]; !ok {
+// tracker returns the user's values tracker; the caller holds the shard's
+// write lock.
+func (s *SPA) tracker(sh *shard, userID uint64, create bool) (*values.Tracker, error) {
+	if _, ok := sh.profiles[userID]; !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
-	tr, ok := s.valueTrackers[userID]
+	tr, ok := sh.trackers[userID]
 	if !ok {
 		if !create {
 			return nil, fmt.Errorf("core: no value observations for user %d", userID)
 		}
-		if s.valueTrackers == nil {
-			s.valueTrackers = make(map[uint64]*values.Tracker)
+		if sh.trackers == nil {
+			sh.trackers = make(map[uint64]*values.Tracker)
 		}
 		tr = values.NewTracker(nil, 0, s.clk.Now())
-		s.valueTrackers[userID] = tr
+		sh.trackers[userID] = tr
 	}
 	return tr, nil
 }
@@ -32,9 +35,10 @@ func (s *SPA) tracker(userID uint64, create bool) (*values.Tracker, error) {
 // ObserveValueAction folds a categorized action into the user's implicit
 // Human Values Scale.
 func (s *SPA) ObserveValueAction(userID uint64, category string, weight float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tr, err := s.tracker(userID, true)
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tr, err := s.tracker(sh, userID, true)
 	if err != nil {
 		return err
 	}
@@ -43,9 +47,10 @@ func (s *SPA) ObserveValueAction(userID uint64, category string, weight float64)
 
 // SetExplicitValues records the user's stated value preferences.
 func (s *SPA) SetExplicitValues(userID uint64, scale values.Scale) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tr, err := s.tracker(userID, true)
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tr, err := s.tracker(sh, userID, true)
 	if err != nil {
 		return err
 	}
@@ -55,9 +60,10 @@ func (s *SPA) SetExplicitValues(userID uint64, scale values.Scale) error {
 
 // ValuesScale returns the user's current implicit Human Values Scale.
 func (s *SPA) ValuesScale(userID uint64) (values.Scale, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tr, err := s.tracker(userID, false)
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tr, err := s.tracker(sh, userID, false)
 	if err != nil {
 		return values.Scale{}, err
 	}
@@ -67,9 +73,10 @@ func (s *SPA) ValuesScale(userID uint64) (values.Scale, error) {
 // ValuesCoherence evaluates the coherence function between the user's
 // actions and stated preferences (§4 component 5b).
 func (s *SPA) ValuesCoherence(userID uint64) (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tr, err := s.tracker(userID, false)
+	sh := s.shardFor(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tr, err := s.tracker(sh, userID, false)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,87 @@
+// Package scalebench is the shared workload harness behind
+// BenchmarkShardedIngest and spabench's [S1] section, so both measure the
+// exact same ingest shape: fixed-size multi-user event bursts pushed by a
+// small pool of workers. Keeping it in one place means a change to the
+// workload (burst sizing, event mix) cannot silently diverge between the
+// benchmark and the CLI table.
+package scalebench
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/lifelog"
+)
+
+// Workload shape shared by the benchmark and spabench. 8 workers ingesting
+// 64-user bursts of 4 events each over a 512-user population.
+const (
+	Workers   = 8
+	Users     = 512
+	BurstSize = 64 // users per ingest call
+	PerUser   = 4  // events per user per burst
+)
+
+// EventsPerBurst is the number of events one ingest call carries.
+const EventsPerBurst = BurstSize * PerUser
+
+// MakeBursts builds the canonical burst set: Users/BurstSize bursts, each
+// covering a disjoint user range with per-user ascending timestamps.
+func MakeBursts() [][]lifelog.Event {
+	base := clock.Epoch.Add(-24 * time.Hour)
+	bursts := make([][]lifelog.Event, Users/BurstSize)
+	for g := range bursts {
+		for u := 0; u < BurstSize; u++ {
+			id := uint64(g*BurstSize + u + 1)
+			for i := 0; i < PerUser; i++ {
+				bursts[g] = append(bursts[g], lifelog.Event{
+					UserID: id,
+					Time:   base.Add(time.Duration(i) * time.Second),
+					Type:   lifelog.EventClick,
+					Action: uint32((int(id)*PerUser + i) % lifelog.ActionUniverse),
+				})
+			}
+		}
+	}
+	return bursts
+}
+
+// RunWorkers drives n ops through the worker pool: op i is fn(i), ops are
+// handed out via a shared counter. The first error stops nothing but is
+// returned once every worker has drained.
+func RunWorkers(n int64, fn func(i int64) error) error {
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}

@@ -1,0 +1,79 @@
+package store
+
+import "errors"
+
+// WriteBatch accumulates puts and deletes that commit atomically: Apply
+// appends them to the WAL as a single CRC-framed record and installs them
+// in the memtable under one lock acquisition. A crash mid-append discards
+// the whole batch on replay — readers never observe a partially applied
+// batch, before or after recovery.
+//
+// A WriteBatch is not safe for concurrent use; build it on one goroutine
+// and hand it to Apply. It may be reused after Reset.
+type WriteBatch struct {
+	entries []walEntry
+	size    int
+}
+
+// Put queues a key/value pair. Both slices are copied immediately.
+func (b *WriteBatch) Put(key, value []byte) {
+	b.entries = append(b.entries, walEntry{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+}
+
+// Delete queues a tombstone for key. The slice is copied immediately.
+func (b *WriteBatch) Delete(key []byte) {
+	b.entries = append(b.entries, walEntry{
+		key:       append([]byte(nil), key...),
+		tombstone: true,
+	})
+	b.size += len(key)
+}
+
+// Len returns the number of queued operations.
+func (b *WriteBatch) Len() int { return len(b.entries) }
+
+// Size returns the queued payload bytes (keys + values), a cheap proxy for
+// how much WAL and memtable space Apply will consume.
+func (b *WriteBatch) Size() int { return b.size }
+
+// Reset clears the batch for reuse, keeping allocated capacity.
+func (b *WriteBatch) Reset() {
+	b.entries = b.entries[:0]
+	b.size = 0
+}
+
+// Apply commits the batch. Either every operation becomes durable and
+// visible, or (on error or crash) none do. An empty batch is a no-op.
+func (db *DB) Apply(b *WriteBatch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	for _, e := range b.entries {
+		if len(e.key) == 0 {
+			return errors.New("store: empty key in batch")
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.wal.appendBatch(b.entries); err != nil {
+		return err
+	}
+	for _, e := range b.entries {
+		if e.tombstone {
+			db.mem.delete(e.key)
+		} else {
+			db.mem.put(e.key, e.value)
+		}
+	}
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// bloomFilter is a classic split-hash Bloom filter over segment keys. A
+// point Get consults the filter before touching the segment's sparse index;
+// a negative answer proves the key is absent, so cold segments are skipped
+// without any comparisons. False positives only cost the ordinary lookup.
+//
+// Hashing uses 64-bit FNV-1a split into two 32-bit halves combined by
+// double hashing (h1 + i*h2), the standard trick that makes k probes cost
+// one hash pass over the key.
+type bloomFilter struct {
+	bits []byte
+	k    uint32
+}
+
+// bloomBitsPerKey sizes filters at build time: 10 bits/key ≈ 1 % false
+// positive rate at the optimal k.
+const bloomBitsPerKey = 10
+
+// newBloomFilter sizes a filter for n keys. n == 0 yields a filter that
+// answers "absent" for everything.
+func newBloomFilter(n int, bitsPerKey int) *bloomFilter {
+	if bitsPerKey <= 0 {
+		bitsPerKey = bloomBitsPerKey
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := uint32(math.Round(float64(bitsPerKey) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: k}
+}
+
+// fnv64a is inlined (rather than hash/fnv) to avoid an allocation per probe.
+func fnv64a(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+func (f *bloomFilter) add(key []byte) {
+	h := fnv64a(key)
+	h1, h2 := uint32(h), uint32(h>>32)|1 // odd h2 cycles all positions
+	nbits := uint32(len(f.bits)) * 8
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % nbits
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// mayContain reports whether key could be in the set. False negatives are
+// impossible; false positives happen at roughly the configured rate.
+func (f *bloomFilter) mayContain(key []byte) bool {
+	if f == nil || len(f.bits) == 0 {
+		return false
+	}
+	h := fnv64a(key)
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	nbits := uint32(len(f.bits)) * 8
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % nbits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal encodes the filter as [4] k, [4] bit-array byte length, bytes.
+func (f *bloomFilter) marshal() []byte {
+	out := make([]byte, 0, 8+len(f.bits))
+	out = binary.LittleEndian.AppendUint32(out, f.k)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.bits)))
+	return append(out, f.bits...)
+}
+
+func unmarshalBloom(raw []byte) (*bloomFilter, error) {
+	if len(raw) < 8 {
+		return nil, errors.New("store: bloom block truncated")
+	}
+	k := binary.LittleEndian.Uint32(raw[0:4])
+	blen := binary.LittleEndian.Uint32(raw[4:8])
+	if k == 0 || k > 16 || uint32(len(raw)-8) < blen || blen == 0 {
+		return nil, errors.New("store: bloom block malformed")
+	}
+	bits := make([]byte, blen)
+	copy(bits, raw[8:8+blen])
+	return &bloomFilter{bits: bits, k: k}, nil
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives is the filter's hard contract: every added key
+// answers positive, across a randomized keyspace and filter sizes.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rnd := uint64(0x9d2c5680deadbeef)
+	next := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	for _, n := range []int{0, 1, 7, 100, 5000} {
+		f := newBloomFilter(n, bloomBitsPerKey)
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = binary.BigEndian.AppendUint64(nil, next())
+			f.add(keys[i])
+		}
+		for i, k := range keys {
+			if !f.mayContain(k) {
+				t.Fatalf("n=%d: false negative on key %d", n, i)
+			}
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	f := newBloomFilter(n, bloomBitsPerKey)
+	for i := 0; i < n; i++ {
+		f.add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.mayContain([]byte(fmt.Sprintf("outsider-%d", i))) {
+			fp++
+		}
+	}
+	// 10 bits/key targets ~1 %; allow generous slack against hash quirks.
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	f := newBloomFilter(50, bloomBitsPerKey)
+	for i := 0; i < 50; i++ {
+		f.add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	g, err := unmarshalBloom(f.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.k != f.k || len(g.bits) != len(f.bits) {
+		t.Fatalf("shape changed: k %d->%d bits %d->%d", f.k, g.k, len(f.bits), len(g.bits))
+	}
+	for i := 0; i < 50; i++ {
+		if !g.mayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("false negative after round trip: k%d", i)
+		}
+	}
+	if _, err := unmarshalBloom([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated bloom accepted")
+	}
+}
+
+func TestBloomEmptyFilterRejectsAll(t *testing.T) {
+	f := newBloomFilter(0, bloomBitsPerKey)
+	if f.mayContain([]byte("anything")) {
+		t.Fatal("empty filter claimed membership")
+	}
+	var nilFilter *bloomFilter
+	if nilFilter.mayContain([]byte("anything")) {
+		t.Fatal("nil filter claimed membership")
+	}
+}

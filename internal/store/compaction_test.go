@@ -1,0 +1,385 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// aggressive compaction options for tests: tiny memtable, instant polling.
+func compactingOpts() Options {
+	return Options{
+		MemtableBytes:   2 << 10,
+		CompactMinRun:   2,
+		CompactInterval: 2 * time.Millisecond,
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestBackgroundCompactionMergesSegments floods the store with flushes and
+// waits for the compactor to fold them into a bounded set.
+func TestBackgroundCompactionMergesSegments(t *testing.T) {
+	db, _ := openTemp(t, compactingOpts())
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), bytes.Repeat([]byte("v"), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "segments to merge", func() bool { return db.SegmentCount() <= 4 })
+	if err := db.CompactionError(); err != nil {
+		t.Fatalf("background compaction failed: %v", err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+			t.Fatalf("k%05d lost after compaction: %v", i, err)
+		}
+	}
+}
+
+// TestCompactionConcurrentWithTraffic runs background compaction under a
+// randomized put/delete/read workload over a bounded keyspace, then checks
+// the three invariants the compactor must preserve: Scan yields strictly
+// ascending keys matching a reference model, deleted keys are gone
+// (tombstone elimination at the read surface), and every live key is
+// Get-able (bloom filters never produce false negatives).
+func TestCompactionConcurrentWithTraffic(t *testing.T) {
+	db, _ := openTemp(t, compactingOpts())
+
+	const keyspace = 400
+	rng := rand.New(rand.NewSource(42))
+	model := make(map[string]string) // reference: single writer, no lock needed
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("key-%06d", rng.Intn(keyspace)))
+				if _, err := db.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				prev := []byte(nil)
+				db.Scan(nil, nil, func(k, _ []byte) bool {
+					if prev != nil && bytes.Compare(prev, k) >= 0 {
+						t.Errorf("scan order violated: %q then %q", prev, k)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					return true
+				})
+			}
+		}(r)
+	}
+
+	for i := 0; i < 6000; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(keyspace))
+		if rng.Intn(4) == 0 {
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		} else {
+			v := fmt.Sprintf("val-%d", i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := db.CompactionError(); err != nil {
+		t.Fatalf("background compaction failed: %v", err)
+	}
+	verifyAgainstModel(t, db, model)
+
+	// Force the full merge on top of whatever the background compactor did,
+	// then verify again: same contents, one segment, zero tombstones.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.SegmentCount() != 1 {
+		t.Fatalf("after forced compact: %d segments", db.SegmentCount())
+	}
+	verifyAgainstModel(t, db, model)
+	assertNoTombstones(t, db)
+
+	// And across a reopen.
+	dir := db.dir
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	verifyAgainstModel(t, db2, model)
+}
+
+func verifyAgainstModel(t *testing.T, db *DB, model map[string]string) {
+	t.Helper()
+	got := make(map[string]string)
+	prev := []byte(nil)
+	err := db.Scan(nil, nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan order violated: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		got[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("scan saw %d keys, model has %d", len(got), len(model))
+	}
+	for k, want := range model {
+		if got[k] != want {
+			t.Fatalf("key %s: scan %q, model %q", k, got[k], want)
+		}
+		// Point lookups exercise the bloom path: a false negative would
+		// surface as ErrNotFound here.
+		v, err := db.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("key %s: get %q %v, model %q", k, v, err, want)
+		}
+	}
+}
+
+// assertNoTombstones walks the raw records of every segment and fails on
+// any tombstone — physical elimination, not just read-side filtering.
+func assertNoTombstones(t *testing.T, db *DB) {
+	t.Helper()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, s := range db.segments {
+		for pos := int64(0); pos < int64(len(s.data)); {
+			e, next, err := decodeRecordAt(s.data, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.tombstone {
+				t.Fatalf("tombstone for %q survived full compaction", e.key)
+			}
+			pos = next
+		}
+	}
+}
+
+// TestBackgroundCompactionPreservesMidListTombstones forces a mid-list
+// merge (run not covering the oldest segment) and checks the tombstone
+// still shadows the older put.
+func TestBackgroundCompactionPreservesMidListTombstones(t *testing.T) {
+	db, _ := openTemp(t, Options{DisableAutoCompaction: true})
+	// Oldest segment: a put that must stay shadowed.
+	if err := db.Put([]byte("victim"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Pad the oldest segment so it is too big to join the run.
+	if err := db.Put([]byte("pad"), bytes.Repeat([]byte("p"), 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Two small newer segments, one carrying the tombstone.
+	if err := db.Delete([]byte("victim")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("other"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SegmentCount(); got != 3 {
+		t.Fatalf("setup made %d segments", got)
+	}
+
+	// Run one compaction cycle by hand: the 8 KiB oldest segment is far
+	// beyond ratio×(two tiny segments), so the run is the two newest ones.
+	db.opts.CompactMinRun = 2
+	db.opts.CompactRatio = 2.0
+	if !db.compactOnce() {
+		t.Fatal("compactOnce found nothing to merge")
+	}
+	if got := db.SegmentCount(); got != 2 {
+		t.Fatalf("after mid-list merge: %d segments", got)
+	}
+	if _, err := db.Get([]byte("victim")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tombstone dropped in mid-list merge: %v", err)
+	}
+
+	// After a reopen the tombstone must still shadow the old put.
+	dir := db.dir
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{DisableAutoCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Get([]byte("victim")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tombstone lost across reopen: %v", err)
+	}
+}
+
+// TestCloseStopsCompactor closes the store while the compactor has pending
+// work; Close must not race, deadlock, or resurrect segment files.
+func TestCloseStopsCompactor(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		db, err := Open(dir, compactingOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("v"), 32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := db2.Len()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 500 {
+			t.Fatalf("round %d: %d keys after close/reopen", round, n)
+		}
+		db2.Close()
+	}
+}
+
+// TestForcedCompactDuringBackgroundMerge interleaves manual Compact calls
+// with a background compactor under write load — the splice-abort path.
+func TestForcedCompactDuringBackgroundMerge(t *testing.T) {
+	db, _ := openTemp(t, compactingOpts())
+	for i := 0; i < 3000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i%700)), bytes.Repeat([]byte("v"), 24)); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 499 {
+			if err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 700 {
+		t.Fatalf("lost keys: %d of 700", n)
+	}
+}
+
+func TestPickCompactRun(t *testing.T) {
+	seg := func(size int64) *segment { return &segment{size: size} }
+	cases := []struct {
+		name  string
+		sizes []int64
+		min   int
+		ratio float64
+		want  int
+	}{
+		{"too few", []int64{10, 10}, 4, 2, -1},
+		{"equal sizes merge all", []int64{10, 10, 10, 10}, 4, 2, 0},
+		{"big head excluded", []int64{1000, 10, 10, 10, 10}, 4, 2, 1},
+		{"big head joins once tail is comparable", []int64{50, 20, 20, 20, 20}, 4, 2, 0},
+		{"run shorter than min", []int64{1000, 1000, 10, 10}, 3, 2, -1},
+		{"empty", nil, 4, 2, -1},
+	}
+	for _, c := range cases {
+		segs := make([]*segment, len(c.sizes))
+		for i, s := range c.sizes {
+			segs[i] = seg(s)
+		}
+		if got := pickCompactRun(segs, c.min, c.ratio); got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSegmentV1Compat writes a version-1 segment by hand (no bloom footer)
+// and checks openSegment reads it and rebuilds a working filter.
+func TestSegmentV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	path := segmentPath(dir, 1)
+	entries := []entry{
+		{key: []byte("alpha"), value: []byte("1")},
+		{key: []byte("beta"), tombstone: true},
+		{key: []byte("gamma"), value: []byte("3")},
+	}
+	writeSegmentV1(t, path, entries)
+
+	s, err := openSegment(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.filter == nil {
+		t.Fatal("no filter rebuilt for v1 segment")
+	}
+	for _, e := range entries {
+		v, tomb, ok, err := s.get(e.key)
+		if err != nil || !ok {
+			t.Fatalf("%s: ok=%v err=%v (bloom false negative?)", e.key, ok, err)
+		}
+		if tomb != e.tombstone || (!tomb && !bytes.Equal(v, e.value)) {
+			t.Fatalf("%s: got %q tomb=%v", e.key, v, tomb)
+		}
+	}
+
+	// A whole store directory of v1 segments opens and serves reads.
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	v, err := db.Get([]byte("alpha"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("alpha via DB: %q %v", v, err)
+	}
+	if _, err := db.Get([]byte("beta")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("beta tombstone ignored: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// fileOps abstracts the handful of filesystem operations segment flushing
+// and compaction perform. Production uses the os package directly; tests
+// substitute a fake that fails specific operations (a create, the Nth
+// write, the sync, the rename) to exercise every flush error path without
+// touching a real failing disk.
+type fileOps interface {
+	Create(name string) (segFile, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// segFile is the slice of *os.File that segment writing needs.
+type segFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFileOps is the production implementation.
+type osFileOps struct{}
+
+func (osFileOps) Create(name string) (segFile, error) { return os.Create(name) }
+func (osFileOps) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+func (osFileOps) Remove(name string) error { return os.Remove(name) }

@@ -12,21 +12,28 @@ import (
 	"sort"
 )
 
-// Segment file format (all integers little-endian):
+// Segment file format, version 2 (all integers little-endian):
 //
-//	[8]  magic "SPASEG01"
+//	[8]  magic "SPASEG02"
 //	records, each:
 //	  [1] op (0 = put, 1 = tombstone)
 //	  [uvarint] key length, key bytes
 //	  [uvarint] value length, value bytes (puts only)
 //	footer:
 //	  sparse index: [4] count, then count × { [uvarint] keyLen, key, [8] offset }
-//	  [8] index offset  [4] record count  [4] crc32 of the whole file up to here
+//	  bloom block: [4] hash count k, [4] bit-array byte length, bytes
+//	  [8] index offset  [8] bloom offset  [4] record count
+//	  [4] crc32 of the whole file up to here
 //
 // Records are sorted by key. The sparse index holds every indexStride-th
-// key so point lookups seek near the target and scan at most a stride.
+// key so point lookups seek near the target and scan at most a stride; the
+// bloom filter lets point lookups skip segments that cannot hold the key
+// at all. Version-1 files (no bloom block, 12-byte tail) are still read —
+// their filter is rebuilt from the record block on open.
 const (
-	segMagic    = "SPASEG01"
+	segMagic   = "SPASEG02"
+	segMagicV1 = "SPASEG01"
+
 	indexStride = 16
 )
 
@@ -34,11 +41,13 @@ const (
 // in-memory copy of the record block — profile values are small and campaign
 // scans touch everything anyway, so mmap-style paging buys nothing here.
 type segment struct {
-	path  string
-	id    uint64
-	data  []byte // record block (after magic)
-	index []indexEntry
-	count int
+	path   string
+	id     uint64
+	data   []byte // record block (after magic)
+	index  []indexEntry
+	filter *bloomFilter
+	count  int
+	size   int64 // on-disk size, drives tiered compaction
 }
 
 type indexEntry struct {
@@ -46,16 +55,16 @@ type indexEntry struct {
 	offset int64 // into data
 }
 
-// writeSegment writes sorted entries to a new file at path. The caller
-// guarantees key order; writeSegment verifies it and fails otherwise, since
-// an unsorted segment would corrupt every future merge.
-func writeSegment(path string, entries []entry) error {
+// writeSegment writes sorted entries to a new file at path via fops. The
+// caller guarantees key order; writeSegment verifies it and fails otherwise,
+// since an unsorted segment would corrupt every future merge.
+func writeSegment(fops fileOps, path string, entries []entry) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fops.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: creating segment: %w", err)
 	}
-	defer os.Remove(tmp)
+	defer fops.Remove(tmp)
 
 	h := crc32.New(castagnoli)
 	w := bufio.NewWriterSize(io.MultiWriter(f, h), 256<<10)
@@ -68,12 +77,14 @@ func writeSegment(path string, entries []entry) error {
 		index   []indexEntry
 		prevKey []byte
 	)
+	filter := newBloomFilter(len(entries), bloomBitsPerKey)
 	for i, e := range entries {
 		if prevKey != nil && bytes.Compare(prevKey, e.key) >= 0 {
 			f.Close()
 			return fmt.Errorf("store: entries not strictly sorted at %d", i)
 		}
 		prevKey = e.key
+		filter.add(e.key)
 		if i%indexStride == 0 {
 			index = append(index, indexEntry{key: append([]byte(nil), e.key...), offset: offset})
 		}
@@ -96,9 +107,15 @@ func writeSegment(path string, entries []entry) error {
 		f.Close()
 		return err
 	}
-	var tail [12]byte
+	bloomOffset := indexOffset + int64(len(ibuf))
+	if _, err := w.Write(filter.marshal()); err != nil {
+		f.Close()
+		return err
+	}
+	var tail [20]byte
 	binary.LittleEndian.PutUint64(tail[0:8], uint64(indexOffset))
-	binary.LittleEndian.PutUint32(tail[8:12], uint32(len(entries)))
+	binary.LittleEndian.PutUint64(tail[8:16], uint64(bloomOffset))
+	binary.LittleEndian.PutUint32(tail[16:20], uint32(len(entries)))
 	if _, err := w.Write(tail[:]); err != nil {
 		f.Close()
 		return err
@@ -120,7 +137,7 @@ func writeSegment(path string, entries []entry) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fops.Rename(tmp, path)
 }
 
 func encodeRecord(e entry) []byte {
@@ -147,7 +164,12 @@ func openSegment(path string, id uint64) (*segment, error) {
 	if len(raw) < len(segMagic)+16 {
 		return nil, fmt.Errorf("store: segment %s too short", path)
 	}
-	if string(raw[:len(segMagic)]) != segMagic {
+	var v1 bool
+	switch string(raw[:len(segMagic)]) {
+	case segMagic:
+	case segMagicV1:
+		v1 = true
+	default:
 		return nil, fmt.Errorf("store: segment %s has bad magic", path)
 	}
 	body := raw[:len(raw)-4]
@@ -155,15 +177,35 @@ func openSegment(path string, id uint64) (*segment, error) {
 	if crc32.Checksum(body, castagnoli) != wantCRC {
 		return nil, fmt.Errorf("store: segment %s failed checksum", path)
 	}
-	tail := body[len(body)-12:]
+	tailLen := 20
+	if v1 {
+		tailLen = 12
+	}
+	if len(body) < len(segMagic)+tailLen {
+		return nil, fmt.Errorf("store: segment %s too short", path)
+	}
+	tail := body[len(body)-tailLen:]
 	indexOffset := int64(binary.LittleEndian.Uint64(tail[0:8]))
-	count := int(binary.LittleEndian.Uint32(tail[8:12]))
-	data := body[len(segMagic) : len(body)-12]
+	var bloomOffset int64
+	var count int
+	if v1 {
+		count = int(binary.LittleEndian.Uint32(tail[8:12]))
+	} else {
+		bloomOffset = int64(binary.LittleEndian.Uint64(tail[8:16]))
+		count = int(binary.LittleEndian.Uint32(tail[16:20]))
+	}
+	data := body[len(segMagic) : len(body)-tailLen]
 	if indexOffset < 0 || indexOffset > int64(len(data)) {
 		return nil, fmt.Errorf("store: segment %s has bad index offset", path)
 	}
 	iraw := data[indexOffset:]
 	records := data[:indexOffset]
+	if !v1 {
+		if bloomOffset < indexOffset || bloomOffset > int64(len(data)) {
+			return nil, fmt.Errorf("store: segment %s has bad bloom offset", path)
+		}
+		iraw = data[indexOffset:bloomOffset]
+	}
 	if len(iraw) < 4 {
 		return nil, fmt.Errorf("store: segment %s index truncated", path)
 	}
@@ -182,14 +224,52 @@ func openSegment(path string, id uint64) (*segment, error) {
 		iraw = iraw[8:]
 		index = append(index, indexEntry{key: key, offset: off})
 	}
-	return &segment{path: path, id: id, data: records, index: index, count: count}, nil
+	s := &segment{
+		path:  path,
+		id:    id,
+		data:  records,
+		index: index,
+		count: count,
+		size:  int64(len(raw)),
+	}
+	if v1 {
+		if err := s.rebuildFilter(); err != nil {
+			return nil, fmt.Errorf("store: segment %s: %w", path, err)
+		}
+	} else {
+		f, err := unmarshalBloom(data[bloomOffset:])
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %s: %w", path, err)
+		}
+		s.filter = f
+	}
+	return s, nil
+}
+
+// rebuildFilter scans the record block and constructs the bloom filter a
+// version-1 segment never persisted.
+func (s *segment) rebuildFilter() error {
+	s.filter = newBloomFilter(s.count, bloomBitsPerKey)
+	for pos := int64(0); pos < int64(len(s.data)); {
+		e, next, err := decodeRecordAt(s.data, pos)
+		if err != nil {
+			return err
+		}
+		s.filter.add(e.key)
+		pos = next
+	}
+	return nil
 }
 
 func (s *segment) close() {}
 
-// get performs a point lookup via the sparse index.
+// get performs a point lookup: the bloom filter first (a negative proves
+// absence, skipping the segment entirely), then the sparse index.
 func (s *segment) get(key []byte) (value []byte, tombstone, ok bool, err error) {
 	if len(s.index) == 0 {
+		return nil, false, false, nil
+	}
+	if !s.filter.mayContain(key) {
 		return nil, false, false, nil
 	}
 	// Find the last index entry with key <= target.
@@ -303,9 +383,11 @@ func (it *segIter) next() (entry, bool) {
 	return e, true
 }
 
-// mergeSegments produces the compacted, sorted, live+tombstone-free entry
-// list across segments (newest wins).
-func mergeSegments(segs []*segment) ([]entry, error) {
+// mergeSegments produces the compacted, sorted entry list across segments
+// (newest wins). Tombstones are dropped only when dropTombstones is set —
+// legal solely when segs includes the oldest segment of the store, since a
+// dropped tombstone can no longer shadow anything beneath the merged run.
+func mergeSegments(segs []*segment, dropTombstones bool) ([]entry, error) {
 	sources := make([]iterator, 0, len(segs))
 	for i := len(segs) - 1; i >= 0; i-- { // newest first
 		it, err := segs[i].iter(nil, nil)
@@ -321,12 +403,13 @@ func mergeSegments(segs []*segment) ([]entry, error) {
 		if !ok {
 			return out, nil
 		}
-		if e.tombstone {
-			continue // compaction drops tombstones: no older segments remain
+		if e.tombstone && dropTombstones {
+			continue
 		}
 		out = append(out, entry{
-			key:   append([]byte(nil), e.key...),
-			value: append([]byte(nil), e.value...),
+			key:       append([]byte(nil), e.key...),
+			value:     append([]byte(nil), e.value...),
+			tombstone: e.tombstone,
 		})
 	}
 }

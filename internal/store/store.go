@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ErrNotFound is returned by Get when the key does not exist (or was
@@ -41,11 +42,34 @@ type Options struct {
 	// SyncWrites fsyncs the WAL after every mutation. Durable but slow;
 	// experiments leave it off and rely on explicit Sync at checkpoints.
 	SyncWrites bool
+
+	// DisableAutoCompaction turns the background compactor off; segments
+	// then only merge through explicit Compact calls.
+	DisableAutoCompaction bool
+	// CompactMinRun is how many similar-sized trailing segments trigger a
+	// background merge. Default 4.
+	CompactMinRun int
+	// CompactRatio bounds the size skew inside one tier: an older segment
+	// joins the candidate run while its size is at most CompactRatio times
+	// the bytes of the newer run members combined. Default 2.0.
+	CompactRatio float64
+	// CompactInterval is the idle poll period of the background compactor
+	// (flushes also wake it immediately). Default 500 ms.
+	CompactInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
 	if o.MemtableBytes <= 0 {
 		o.MemtableBytes = 4 << 20
+	}
+	if o.CompactMinRun <= 1 {
+		o.CompactMinRun = 4
+	}
+	if o.CompactRatio <= 0 {
+		o.CompactRatio = 2.0
+	}
+	if o.CompactInterval <= 0 {
+		o.CompactInterval = 500 * time.Millisecond
 	}
 	return o
 }
@@ -55,6 +79,7 @@ func (o Options) withDefaults() Options {
 type DB struct {
 	dir  string
 	opts Options
+	fops fileOps
 
 	mu       sync.RWMutex
 	mem      *memtable
@@ -62,6 +87,14 @@ type DB struct {
 	segments []*segment // ordered oldest → newest
 	nextSeg  uint64
 	closed   bool
+
+	// Background compactor lifecycle. compactKick wakes the compactor after
+	// a flush; closeCh + wg give Close a race-free shutdown.
+	compactKick chan struct{}
+	closeCh     chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+	compactErr  error // last background compaction failure, under mu
 }
 
 // Open opens (or creates) a database in dir, replaying any WAL left by a
@@ -71,7 +104,14 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating dir: %w", err)
 	}
-	db := &DB{dir: dir, opts: opts, mem: newMemtable()}
+	db := &DB{
+		dir:         dir,
+		opts:        opts,
+		fops:        osFileOps{},
+		mem:         newMemtable(),
+		compactKick: make(chan struct{}, 1),
+		closeCh:     make(chan struct{}),
+	}
 
 	segs, maxID, err := loadSegments(dir)
 	if err != nil {
@@ -91,6 +131,10 @@ func Open(dir string, opts Options) (*DB, error) {
 		} else {
 			db.mem.put(e.key, e.value)
 		}
+	}
+	if !opts.DisableAutoCompaction {
+		db.wg.Add(1)
+		go db.compactLoop()
 	}
 	return db, nil
 }
@@ -193,7 +237,7 @@ func (db *DB) flushLocked() error {
 	}
 	id := db.nextSeg
 	path := segmentPath(db.dir, id)
-	if err := writeSegment(path, db.mem.sortedEntries()); err != nil {
+	if err := writeSegment(db.fops, path, db.mem.sortedEntries()); err != nil {
 		return err
 	}
 	seg, err := openSegment(path, id)
@@ -203,7 +247,20 @@ func (db *DB) flushLocked() error {
 	db.segments = append(db.segments, seg)
 	db.nextSeg++
 	db.mem = newMemtable()
-	return db.wal.reset()
+	if err := db.wal.reset(); err != nil {
+		return err
+	}
+	db.kickCompactor()
+	return nil
+}
+
+// kickCompactor nudges the background compactor without blocking; a full
+// channel means a wake-up is already pending.
+func (db *DB) kickCompactor() {
+	select {
+	case db.compactKick <- struct{}{}:
+	default:
+	}
 }
 
 // Sync flushes the WAL to stable storage without flushing the memtable.
@@ -216,8 +273,11 @@ func (db *DB) Sync() error {
 	return db.wal.sync()
 }
 
-// Compact merges every segment into one, dropping tombstones and shadowed
-// versions. The memtable is flushed first so the result is a full snapshot.
+// Compact is the forced stop-the-world full merge: every segment collapses
+// into one, dropping tombstones and shadowed versions. The memtable is
+// flushed first so the result is a full snapshot. Routine merging happens
+// continuously in the background (see compaction.go); Compact remains for
+// checkpoints and tests that want a single-segment store now.
 func (db *DB) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -230,13 +290,13 @@ func (db *DB) Compact() error {
 	if len(db.segments) <= 1 {
 		return nil
 	}
-	merged, err := mergeSegments(db.segments)
+	merged, err := mergeSegments(db.segments, true)
 	if err != nil {
 		return err
 	}
 	id := db.nextSeg
 	path := segmentPath(db.dir, id)
-	if err := writeSegment(path, merged); err != nil {
+	if err := writeSegment(db.fops, path, merged); err != nil {
 		return err
 	}
 	seg, err := openSegment(path, id)
@@ -246,13 +306,25 @@ func (db *DB) Compact() error {
 	old := db.segments
 	db.segments = []*segment{seg}
 	db.nextSeg++
+	// Remove oldest-first: at any crash point the surviving files still
+	// shadow each other correctly when reloaded in id order.
 	for _, s := range old {
 		s.close()
-		if err := os.Remove(s.path); err != nil {
+		if err := db.fops.Remove(s.path); err != nil {
 			return fmt.Errorf("store: removing old segment: %w", err)
 		}
 	}
 	return nil
+}
+
+// CompactionError returns the most recent background compaction failure, if
+// any. Background failures never corrupt the store — a failed merge leaves
+// the original segments in place — but they do mean read amplification
+// stops improving, so health checks should surface this.
+func (db *DB) CompactionError() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.compactErr
 }
 
 // Len returns the number of live keys. It is O(total entries) and intended
@@ -317,7 +389,11 @@ func (db *DB) SegmentCount() int {
 }
 
 // Close flushes and releases all resources. The DB is unusable afterwards.
+// The background compactor is stopped and drained first, so no goroutine
+// outlives a returned Close.
 func (db *DB) Close() error {
+	db.closeOnce.Do(func() { close(db.closeCh) })
+	db.wg.Wait()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

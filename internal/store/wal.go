@@ -37,9 +37,16 @@ type walEntry struct {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// maxWALRecord bounds a single framed record (and therefore a WriteBatch):
+// replay treats larger lengths as a corrupt tail, so writes refuse them.
+const maxWALRecord = 64 << 20
+
 const (
 	opPut    = 0
 	opDelete = 1
+	// opBatch frames several puts/deletes in one CRC-checked record, so a
+	// whole WriteBatch commits or is discarded atomically on replay.
+	opBatch = 2
 )
 
 // openWAL opens the log at path, replaying existing entries. A truncated or
@@ -83,7 +90,7 @@ func replayWAL(f *os.File) ([]walEntry, int64, error) {
 		}
 		wantCRC := binary.LittleEndian.Uint32(header[0:4])
 		plen := binary.LittleEndian.Uint32(header[4:8])
-		if plen == 0 || plen > 64<<20 {
+		if plen == 0 || plen > maxWALRecord {
 			return entries, offset, nil // implausible length: corrupt tail
 		}
 		payload := make([]byte, plen)
@@ -96,58 +103,120 @@ func replayWAL(f *os.File) ([]walEntry, int64, error) {
 		if crc32.Checksum(payload, castagnoli) != wantCRC {
 			return entries, offset, nil // corrupt record: stop replay here
 		}
-		e, err := decodeWALPayload(payload)
+		es, err := decodeWALPayload(payload)
 		if err != nil {
 			return entries, offset, nil
 		}
-		entries = append(entries, e)
+		entries = append(entries, es...)
 		offset += int64(8 + plen)
 	}
 }
 
-func decodeWALPayload(p []byte) (walEntry, error) {
+// decodeWALPayload decodes one framed record into the entries it carries:
+// a single entry for put/delete records, every sub-entry for batch records.
+func decodeWALPayload(p []byte) ([]walEntry, error) {
 	if len(p) < 1 {
-		return walEntry{}, errors.New("store: short wal payload")
+		return nil, errors.New("store: short wal payload")
+	}
+	if p[0] == opBatch {
+		rest := p[1:]
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count == 0 || count > uint64(len(rest)) {
+			return nil, errors.New("store: bad wal batch count")
+		}
+		rest = rest[n:]
+		entries := make([]walEntry, 0, count)
+		for i := uint64(0); i < count; i++ {
+			e, next, err := decodeWALSubEntry(rest)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+			rest = next
+		}
+		if len(rest) != 0 {
+			return nil, errors.New("store: trailing bytes in wal batch")
+		}
+		return entries, nil
+	}
+	e, rest, err := decodeWALSubEntry(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("store: trailing bytes in wal record")
+	}
+	return []walEntry{e}, nil
+}
+
+// decodeWALSubEntry decodes one op+key[+value] unit and returns the
+// remaining bytes.
+func decodeWALSubEntry(p []byte) (walEntry, []byte, error) {
+	if len(p) < 1 {
+		return walEntry{}, nil, errors.New("store: short wal entry")
 	}
 	op := p[0]
 	rest := p[1:]
 	klen, n := binary.Uvarint(rest)
 	if n <= 0 || uint64(len(rest)-n) < klen {
-		return walEntry{}, errors.New("store: bad wal key length")
+		return walEntry{}, nil, errors.New("store: bad wal key length")
 	}
 	rest = rest[n:]
 	key := append([]byte(nil), rest[:klen]...)
 	rest = rest[klen:]
 	switch op {
 	case opDelete:
-		return walEntry{key: key, tombstone: true}, nil
+		return walEntry{key: key, tombstone: true}, rest, nil
 	case opPut:
 		vlen, n := binary.Uvarint(rest)
 		if n <= 0 || uint64(len(rest)-n) < vlen {
-			return walEntry{}, errors.New("store: bad wal value length")
+			return walEntry{}, nil, errors.New("store: bad wal value length")
 		}
 		rest = rest[n:]
 		value := append([]byte(nil), rest[:vlen]...)
-		return walEntry{key: key, value: value}, nil
+		return walEntry{key: key, value: value}, rest[vlen:], nil
 	default:
-		return walEntry{}, fmt.Errorf("store: unknown wal op %d", op)
+		return walEntry{}, nil, fmt.Errorf("store: unknown wal op %d", op)
 	}
 }
 
-func (w *wal) append(e walEntry) error {
-	var buf []byte
+func appendWALSubEntry(buf []byte, e walEntry) []byte {
 	if e.tombstone {
-		buf = make([]byte, 0, 1+binary.MaxVarintLen64+len(e.key))
 		buf = append(buf, opDelete)
 		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
-		buf = append(buf, e.key...)
-	} else {
-		buf = make([]byte, 0, 1+2*binary.MaxVarintLen64+len(e.key)+len(e.value))
-		buf = append(buf, opPut)
-		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
-		buf = append(buf, e.key...)
-		buf = binary.AppendUvarint(buf, uint64(len(e.value)))
-		buf = append(buf, e.value...)
+		return append(buf, e.key...)
+	}
+	buf = append(buf, opPut)
+	buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+	buf = append(buf, e.key...)
+	buf = binary.AppendUvarint(buf, uint64(len(e.value)))
+	return append(buf, e.value...)
+}
+
+func (w *wal) append(e walEntry) error {
+	buf := appendWALSubEntry(make([]byte, 0, 1+2*binary.MaxVarintLen64+len(e.key)+len(e.value)), e)
+	return w.writeRecord(buf)
+}
+
+// appendBatch writes all entries as one opBatch record: one checksum frame,
+// so replay applies the whole batch or none of it.
+func (w *wal) appendBatch(entries []walEntry) error {
+	size := 1 + binary.MaxVarintLen64
+	for _, e := range entries {
+		size += 1 + 2*binary.MaxVarintLen64 + len(e.key) + len(e.value)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, opBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = appendWALSubEntry(buf, e)
+	}
+	return w.writeRecord(buf)
+}
+
+func (w *wal) writeRecord(buf []byte) error {
+	if len(buf) > maxWALRecord {
+		return fmt.Errorf("store: wal record %d bytes exceeds %d-byte cap", len(buf), maxWALRecord)
 	}
 	var header [8]byte
 	binary.LittleEndian.PutUint32(header[0:4], crc32.Checksum(buf, castagnoli))

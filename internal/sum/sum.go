@@ -139,7 +139,7 @@ func (m *Model) NextItem(p *Profile) (emotion.Item, error) {
 // exponential moving average of the chosen-option impact magnitude, so it
 // converges to the user's choice rate for the attribute instead of
 // saturating with exposure count — exposure-count saturation was measured
-// to destroy most of the EIT's ranking signal (see EXPERIMENTS.md).
+// to destroy most of the EIT's ranking signal (see the A3 ablation in cmd/spabench).
 func (m *Model) ApplyEITAnswer(p *Profile, ans emotion.Answer, now time.Time) error {
 	impacts, err := m.bank.Score(ans)
 	if err != nil {

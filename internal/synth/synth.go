@@ -12,7 +12,7 @@
 // SPA-vs-baseline delta measured downstream is a property of the method,
 // not of leaked labels.
 //
-// Calibration targets (§5.4 of the paper, see EXPERIMENTS.md):
+// Calibration targets (§5.4 of the paper, measured by cmd/spabench):
 //   - base redemption of an untargeted campaign ≈ 11 % (the rate implied by
 //     "improved the redemption ... in a 90 %" against the 21 % achieved),
 //   - enough learnable signal that a calibrated ranker captures ≥ 76 % of
@@ -76,7 +76,7 @@ type Config struct {
 	NoiseStd float64
 }
 
-// DefaultConfig returns the calibrated defaults (see EXPERIMENTS.md for the
+// DefaultConfig returns the calibrated defaults (see cmd/spabench output for the
 // resulting Fig. 6 shape).
 func DefaultConfig(numUsers int, seed uint64) Config {
 	return Config{
