@@ -55,7 +55,12 @@ commands:
   fig6      run the ten-campaign evaluation (paper Figure 6a + 6b)
   gen       generate a synthetic WebLog directory
   ablate    run the A1-A3 ablations (features / learners / reward-punish)
-  inventory print the attribute inventory with measured density (paper §5.1)`)
+  inventory print the attribute inventory with measured density (paper §5.1)
+
+related binaries:
+  spad      the SPA serving daemon (HTTP/JSON wire API; see cmd/spad);
+            talk to it with the internal/spaclient package
+  spabench  the evaluation harness; -loadgen URL drives a running spad`)
 }
 
 func experimentFlags(fs *flag.FlagSet) (users *int, seed *uint64, depth *float64) {

@@ -6,11 +6,26 @@
 // — is the reproduction target.
 //
 // Usage: spabench [-users N] [-seed S] [-skip-ablations] [-skip-scale]
+//
+//	[-json] [-clients K] [-requests N] [-loadgen URL]
+//
+// -json switches the output to machine-readable results: one JSON object
+// per section on stdout (the human table is suppressed), so a bench
+// trajectory can be captured as BENCH_*.json instead of scraping text.
+//
+// -loadgen URL skips the paper sections entirely and drives an already
+// running spad (cmd/spad) over its wire API with -clients concurrent
+// clients, reporting throughput and latency percentiles — the same
+// measurement the self-hosted [S2] section makes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -20,6 +35,7 @@ import (
 	"repro/internal/emotion"
 	"repro/internal/messaging"
 	"repro/internal/scalebench"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -27,19 +43,54 @@ func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
-	skipScale := flag.Bool("skip-scale", false, "skip the S1 throughput comparison")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1/S2 scale sections")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per section instead of the table")
+	clients := flag.Int("clients", scalebench.Workers, "concurrent clients for S2/loadgen")
+	requests := flag.Int("requests", 2048, "total ingest requests for S2/loadgen")
+	loadgen := flag.String("loadgen", "", "drive a running spad at this base URL and exit (e.g. http://127.0.0.1:8372)")
 	flag.Parse()
 
-	if err := run(*users, *seed, !*skipAblations, !*skipScale); err != nil {
+	em := &emitter{w: os.Stdout}
+	if *jsonOut {
+		em.w = io.Discard
+		em.enc = json.NewEncoder(os.Stdout)
+	}
+
+	var err error
+	if *loadgen != "" {
+		err = runLoadgen(em, *loadgen, *clients, *requests)
+	} else {
+		err = run(em, *users, *seed, !*skipAblations, !*skipScale, *clients, *requests)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "spabench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(users int, seed uint64, ablations, scale bool) error {
+// emitter fans each section to the human table and/or the JSON stream.
+type emitter struct {
+	w   io.Writer     // human output; io.Discard in -json mode
+	enc *json.Encoder // non-nil in -json mode
+}
+
+func (e *emitter) printf(format string, args ...any) {
+	fmt.Fprintf(e.w, format, args...)
+}
+
+// emit writes one machine-readable section record.
+func (e *emitter) emit(section string, v map[string]any) {
+	if e.enc == nil {
+		return
+	}
+	v["section"] = section
+	e.enc.Encode(v)
+}
+
+func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, requests int) error {
 	start := time.Now()
-	fmt.Printf("SPA reproduction harness — %d users, seed %d\n", users, seed)
-	fmt.Println("====================================================================")
+	em.printf("SPA reproduction harness — %d users, seed %d\n", users, seed)
+	em.printf("====================================================================\n")
 
 	// ---- T1: Table 1 ----
 	rows := emotion.Table1()
@@ -47,10 +98,14 @@ func run(users int, seed uint64, ablations, scale bool) error {
 	for _, r := range rows {
 		attrs += len(r.Attributes)
 	}
-	fmt.Println("\n[T1] Four-Branch Model of Emotional Intelligence")
-	fmt.Printf("  paper   : 4 branches (MSCEIT V2.0), 10 deployed emotional attributes\n")
-	fmt.Printf("  measured: %d branches, %d attributes mapped    %s\n",
+	em.printf("\n[T1] Four-Branch Model of Emotional Intelligence\n")
+	em.printf("  paper   : 4 branches (MSCEIT V2.0), 10 deployed emotional attributes\n")
+	em.printf("  measured: %d branches, %d attributes mapped    %s\n",
 		len(rows), attrs, okIf(len(rows) == 4 && attrs == emotion.NumAttributes))
+	em.emit("T1", map[string]any{
+		"branches": len(rows), "attributes": attrs,
+		"ok": len(rows) == 4 && attrs == emotion.NumAttributes,
+	})
 
 	// ---- F5: Figure 5 ----
 	db := messaging.NewDB()
@@ -58,17 +113,21 @@ func run(users int, seed uint64, ablations, scale bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\n[F5] Individualized message assignment")
+	em.printf("\n[F5] Individualized message assignment\n")
 	wantCases := []messaging.Case{messaging.CaseSingle, messaging.CaseMultiPriority, messaging.CaseMultiSensibility}
 	allOK := len(samples) == 3
+	cases := make([]string, 0, len(samples))
 	for i, s := range samples {
 		ok := s.Case == wantCases[i]
 		allOK = allOK && ok
-		fmt.Printf("  %-44s case %-6s %s\n", s.Label, s.Case, okIf(ok))
+		cases = append(cases, s.Case.String())
+		em.printf("  %-44s case %-6s %s\n", s.Label, s.Case, okIf(ok))
 	}
-	fmt.Printf("  paper   : cases 3.b / 3.c.i (lively>stimulated>shy>frightened) / 3.c.ii (hopeful)\n")
-	fmt.Printf("  measured: %s\n", okIf(allOK &&
-		samples[1].Attributes[0] == emotion.Lively && samples[2].Attributes[0] == emotion.Hopeful))
+	f5OK := allOK &&
+		samples[1].Attributes[0] == emotion.Lively && samples[2].Attributes[0] == emotion.Hopeful
+	em.printf("  paper   : cases 3.b / 3.c.i (lively>stimulated>shy>frightened) / 3.c.ii (hopeful)\n")
+	em.printf("  measured: %s\n", okIf(f5OK))
+	em.emit("F5", map[string]any{"cases": cases, "ok": f5OK})
 
 	// ---- F6: Figure 6 ----
 	cfg := campaign.DefaultExperiment(users, seed)
@@ -76,29 +135,40 @@ func run(users int, seed uint64, ablations, scale bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\n[F6a] Cumulative redemption curve (pooled, ten campaigns)")
-	fmt.Printf("  paper   : 40%% of commercial action -> >76%% of useful impacts\n")
-	fmt.Printf("  measured: 40%% of commercial action -> %.1f%% of useful impacts   %s\n",
+	em.printf("\n[F6a] Cumulative redemption curve (pooled, ten campaigns)\n")
+	em.printf("  paper   : 40%% of commercial action -> >76%% of useful impacts\n")
+	em.printf("  measured: 40%% of commercial action -> %.1f%% of useful impacts   %s\n",
 		fig.CapturedAt40*100, okIf(fig.CapturedAt40 > 0.65))
-	fmt.Println("  curve   : contacted% -> captured%")
+	em.printf("  curve   : contacted%% -> captured%%\n")
 	for _, p := range fig.Gains {
 		if int(p.ContactedFrac*100+0.5)%10 == 0 {
-			fmt.Printf("            %3.0f%% -> %5.1f%%\n", p.ContactedFrac*100, p.CapturedFrac*100)
+			em.printf("            %3.0f%% -> %5.1f%%\n", p.ContactedFrac*100, p.CapturedFrac*100)
 		}
 	}
+	em.emit("F6a", map[string]any{
+		"captured_at_40": fig.CapturedAt40, "ok": fig.CapturedAt40 > 0.65,
+	})
 
-	fmt.Println("\n[F6b] Predictive scores of the ten campaigns")
-	fmt.Printf("  paper   : average performance 21%% (282,938 useful impacts of 1,340,432 targets); +90%% redemption\n")
-	fmt.Printf("  measured: average predictive score %.1f%%; %d useful impacts of %d contacted; %+.0f%% redemption   %s\n",
+	em.printf("\n[F6b] Predictive scores of the ten campaigns\n")
+	em.printf("  paper   : average performance 21%% (282,938 useful impacts of 1,340,432 targets); +90%% redemption\n")
+	em.printf("  measured: average predictive score %.1f%%; %d useful impacts of %d contacted; %+.0f%% redemption   %s\n",
 		fig.AvgPredictiveScore*100, fig.TotalUsefulImpacts, fig.TotalContacted,
 		fig.RedemptionImprovement*100,
 		okIf(fig.AvgPredictiveScore > 0.15 && fig.RedemptionImprovement > 0.5))
 	for _, r := range fig.PerCampaign {
-		fmt.Printf("    c%02d %-10s %5.1f%%  (%d impacts)\n",
+		em.printf("    c%02d %-10s %5.1f%%  (%d impacts)\n",
 			r.Campaign.ID, r.Campaign.Kind, r.PredictiveScore*100, r.UsefulImpacts)
 	}
-	fmt.Printf("  profiles: %d weblog events, %d EIT answers, %d training rows, pooled AUC %.3f\n",
+	em.printf("  profiles: %d weblog events, %d EIT answers, %d training rows, pooled AUC %.3f\n",
 		ex.WebLogEvents, ex.EITAnswers, ex.TrainSize, fig.AUC)
+	em.emit("F6b", map[string]any{
+		"avg_predictive_score":   fig.AvgPredictiveScore,
+		"useful_impacts":         fig.TotalUsefulImpacts,
+		"contacted":              fig.TotalContacted,
+		"redemption_improvement": fig.RedemptionImprovement,
+		"auc":                    fig.AUC,
+		"ok":                     fig.AvgPredictiveScore > 0.15 && fig.RedemptionImprovement > 0.5,
+	})
 
 	// §5.1 data description: the attribute inventory with measured sparsity.
 	inv, err := ex.Pipeline.AttributeInventory()
@@ -115,9 +185,14 @@ func run(users int, seed uint64, ablations, scale bool) error {
 			emoCols++
 		}
 	}
-	fmt.Println("\n[D1] Attribute inventory (paper §5.1: 75 objective, subjective and emotional attributes)")
-	fmt.Printf("  measured: %d attributes (%d objective, %d subjective, %d emotional); mean emotional coverage %.0f%% after warmup+campaigns\n",
+	em.printf("\n[D1] Attribute inventory (paper §5.1: 75 objective, subjective and emotional attributes)\n")
+	em.printf("  measured: %d attributes (%d objective, %d subjective, %d emotional); mean emotional coverage %.0f%% after warmup+campaigns\n",
 		len(inv), kinds["objective"], kinds["subjective"], kinds["emotional"], 100*emoDensity/float64(emoCols))
+	em.emit("D1", map[string]any{
+		"attributes": len(inv), "objective": kinds["objective"],
+		"subjective": kinds["subjective"], "emotional": kinds["emotional"],
+		"emotional_coverage": emoDensity / float64(emoCols),
+	})
 
 	// Baseline contrast (the "previous process").
 	cfgB := cfg
@@ -127,23 +202,31 @@ func run(users int, seed uint64, ablations, scale bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\n[F6-baseline] Objective-only logistic (pre-SPA process)")
-	fmt.Printf("  measured: capture@40 %.1f%% vs SPA %.1f%%; score %.1f%% vs SPA %.1f%%   %s\n",
+	em.printf("\n[F6-baseline] Objective-only logistic (pre-SPA process)\n")
+	em.printf("  measured: capture@40 %.1f%% vs SPA %.1f%%; score %.1f%% vs SPA %.1f%%   %s\n",
 		figB.CapturedAt40*100, fig.CapturedAt40*100,
 		figB.AvgPredictiveScore*100, fig.AvgPredictiveScore*100,
 		okIf(fig.CapturedAt40 > figB.CapturedAt40+0.1))
+	em.emit("F6-baseline", map[string]any{
+		"baseline_captured_at_40": figB.CapturedAt40,
+		"spa_captured_at_40":      fig.CapturedAt40,
+		"ok":                      fig.CapturedAt40 > figB.CapturedAt40+0.1,
+	})
 
 	if ablations {
-		if err := runAblations(cfg); err != nil {
+		if err := runAblations(em, cfg); err != nil {
 			return err
 		}
 	}
 	if scale {
-		if err := runScale(); err != nil {
+		if err := runScale(em); err != nil {
+			return err
+		}
+		if err := runScaleServe(em, clients, requests); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	em.printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -151,9 +234,9 @@ func run(users int, seed uint64, ablations, scale bool) error {
 // global mutex, one synchronous store write per profile) against the
 // sharded core with per-shard group commit, both durable with fsync on.
 // The workload is internal/scalebench, shared with BenchmarkShardedIngest.
-func runScale() error {
+func runScale(em *emitter) error {
 	const bursts = 48
-	fmt.Printf("\n[S1] Sharded core + batched write-through (%d ingest workers, fsync on)\n",
+	em.printf("\n[S1] Sharded core + batched write-through (%d ingest workers, fsync on)\n",
 		scalebench.Workers)
 
 	burstEvents := scalebench.MakeBursts()
@@ -197,14 +280,133 @@ func runScale() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  single mutex + per-profile writes : %8.0f events/s\n", seedRate)
-	fmt.Printf("  16 shards + group commit          : %8.0f events/s   (%.1fx)   %s\n",
+	em.printf("  single mutex + per-profile writes : %8.0f events/s\n", seedRate)
+	em.printf("  16 shards + group commit          : %8.0f events/s   (%.1fx)   %s\n",
 		newRate, newRate/seedRate, okIf(newRate >= 2*seedRate))
+	em.emit("S1", map[string]any{
+		"seed_events_per_sec":    seedRate,
+		"sharded_events_per_sec": newRate,
+		"speedup":                newRate / seedRate,
+		"ok":                     newRate >= 2*seedRate,
+	})
 	return nil
 }
 
-func runAblations(base campaign.ExperimentConfig) error {
-	fmt.Println("\n[A1] Feature-set ablation (svm-pegasos)")
+// runScaleServe is the serving-side comparison [S2]: a live spad stack on
+// loopback (HTTP server, coalescer, sharded durable core, fsync on) driven
+// by concurrent wire clients, with cross-request coalescing on versus off.
+// The coalesced run should batch many requests into each group commit and
+// win accordingly.
+func runScaleServe(em *emitter, clients, requests int) error {
+	em.printf("\n[S2] Serving layer: spad over loopback (%d clients, %d requests of %d events, fsync on)\n",
+		clients, requests, 32*scalebench.PerUser)
+
+	measure := func(coalesce bool) (scalebench.LoadgenResult, error) {
+		dir, err := os.MkdirTemp("", "spabench-serve-*")
+		if err != nil {
+			return scalebench.LoadgenResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		spa, err := core.New(core.Options{
+			DataDir: dir,
+			Store:   store.Options{SyncWrites: true},
+			// More shards than [S1]: a serving core is sized for many
+			// concurrent callers, and the uncoalesced baseline pays one
+			// group commit per shard a request touches either way.
+			Shards: 32,
+			Clock:  clock.NewSimulated(clock.Epoch),
+		})
+		if err != nil {
+			return scalebench.LoadgenResult{}, err
+		}
+		// A short linger lets the dispatcher gather the full client wave
+		// into each group commit; the off-mode server ignores it.
+		srv := server.New(spa, server.Options{DisableCoalescing: !coalesce, MaxDelay: 2 * time.Millisecond})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			spa.Close()
+			return scalebench.LoadgenResult{}, err
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(ln)
+		defer func() {
+			httpSrv.Close()
+			srv.Close()
+			spa.Close()
+		}()
+		return scalebench.RunLoadgen(scalebench.LoadgenConfig{
+			BaseURL:         "http://" + ln.Addr().String(),
+			Clients:         clients,
+			Requests:        requests,
+			Register:        true,
+			UsersPerRequest: 32,
+		})
+	}
+
+	// fsync latency on shared storage is noisy between runs; interleave the
+	// modes and keep each one's best of two windows so the comparison
+	// reflects the architecture, not which run drew the slow disk.
+	var off, on scalebench.LoadgenResult
+	for round := 0; round < 2; round++ {
+		o, err := measure(false)
+		if err != nil {
+			return err
+		}
+		if o.EventsPerSec > off.EventsPerSec {
+			off = o
+		}
+		c, err := measure(true)
+		if err != nil {
+			return err
+		}
+		if c.EventsPerSec > on.EventsPerSec {
+			on = c
+		}
+	}
+	speedup := 0.0
+	if off.EventsPerSec > 0 {
+		speedup = on.EventsPerSec / off.EventsPerSec
+	}
+	em.printf("  coalescing off : %8.0f events/s   p50 %6s  p99 %6s  (%d errors)\n",
+		off.EventsPerSec, off.P50.Round(time.Microsecond), off.P99.Round(time.Microsecond), off.Errors)
+	em.printf("  coalescing on  : %8.0f events/s   p50 %6s  p99 %6s  (%d errors, mean batch %.1f, max %d)\n",
+		on.EventsPerSec, on.P50.Round(time.Microsecond), on.P99.Round(time.Microsecond),
+		on.Errors, on.MeanCoalesced, on.MaxCoalesced)
+	em.printf("  speedup        : %.1fx   %s\n", speedup, okIf(speedup >= 2 && on.Errors == 0 && off.Errors == 0))
+	em.emit("S2", map[string]any{
+		"coalesce_off": off,
+		"coalesce_on":  on,
+		"speedup":      speedup,
+		"ok":           speedup >= 2 && on.Errors == 0 && off.Errors == 0,
+	})
+	return nil
+}
+
+// runLoadgen drives an external spad and reports one S2-style record.
+func runLoadgen(em *emitter, baseURL string, clients, requests int) error {
+	em.printf("[loadgen] %s — %d clients, %d requests\n", baseURL, clients, requests)
+	res, err := scalebench.RunLoadgen(scalebench.LoadgenConfig{
+		BaseURL:  baseURL,
+		Clients:  clients,
+		Requests: requests,
+		Register: true,
+	})
+	if err != nil {
+		return err
+	}
+	em.printf("  throughput : %8.0f events/s (%d events in %v)\n",
+		res.EventsPerSec, res.Events, res.Duration.Round(time.Millisecond))
+	em.printf("  latency    : p50 %s  p95 %s  p99 %s\n",
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	em.printf("  coalescing : mean batch %.1f, max %d\n", res.MeanCoalesced, res.MaxCoalesced)
+	em.printf("  errors     : %d of %d requests\n", res.Errors, res.Requests)
+	em.emit("loadgen", map[string]any{"result": res, "base_url": baseURL})
+	return nil
+}
+
+func runAblations(em *emitter, base campaign.ExperimentConfig) error {
+	em.printf("\n[A1] Feature-set ablation (svm-pegasos)\n")
+	a1 := []map[string]any{}
 	for _, fsel := range []campaign.FeatureSet{
 		campaign.ObjectiveOnly(),
 		{Objective: true, Subjective: true},
@@ -216,11 +418,17 @@ func runAblations(base campaign.ExperimentConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-4s capture@40 %5.1f%%  score %5.1f%%  AUC %.3f\n",
+		em.printf("  %-4s capture@40 %5.1f%%  score %5.1f%%  AUC %.3f\n",
 			fsel, fig.CapturedAt40*100, fig.AvgPredictiveScore*100, fig.AUC)
+		a1 = append(a1, map[string]any{
+			"features": fmt.Sprint(fsel), "captured_at_40": fig.CapturedAt40,
+			"score": fig.AvgPredictiveScore, "auc": fig.AUC,
+		})
 	}
+	em.emit("A1", map[string]any{"rows": a1})
 
-	fmt.Println("\n[A2] Learner ablation (features OSE)")
+	em.printf("\n[A2] Learner ablation (features OSE)\n")
+	a2 := []map[string]any{}
 	for _, l := range []campaign.Learner{
 		campaign.LearnerSVM, campaign.LearnerSVMDual, campaign.LearnerLogistic,
 		campaign.LearnerRandom, campaign.LearnerPopularity,
@@ -231,11 +439,17 @@ func runAblations(base campaign.ExperimentConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-12s capture@40 %5.1f%%  score %5.1f%%\n",
+		em.printf("  %-12s capture@40 %5.1f%%  score %5.1f%%\n",
 			l, fig.CapturedAt40*100, fig.AvgPredictiveScore*100)
+		a2 = append(a2, map[string]any{
+			"learner": fmt.Sprint(l), "captured_at_40": fig.CapturedAt40,
+			"score": fig.AvgPredictiveScore,
+		})
 	}
+	em.emit("A2", map[string]any{"rows": a2})
 
-	fmt.Println("\n[A3] Reward/punish loop ablation")
+	em.printf("\n[A3] Reward/punish loop ablation\n")
+	a3 := []map[string]any{}
 	for _, update := range []bool{true, false} {
 		cfg := base
 		cfg.UpdateSUM = update
@@ -243,9 +457,14 @@ func runAblations(base campaign.ExperimentConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  update=%-5v capture@40 %5.1f%%  score %5.1f%%  AUC %.3f\n",
+		em.printf("  update=%-5v capture@40 %5.1f%%  score %5.1f%%  AUC %.3f\n",
 			update, fig.CapturedAt40*100, fig.AvgPredictiveScore*100, fig.AUC)
+		a3 = append(a3, map[string]any{
+			"update": update, "captured_at_40": fig.CapturedAt40,
+			"score": fig.AvgPredictiveScore, "auc": fig.AUC,
+		})
 	}
+	em.emit("A3", map[string]any{"rows": a3})
 	return nil
 }
 

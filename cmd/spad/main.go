@@ -1,0 +1,104 @@
+// Command spad is the SPA daemon: it opens (or creates) a profile store,
+// wires the sharded core behind the HTTP/JSON wire API of internal/server,
+// and serves until SIGINT/SIGTERM, at which point it stops admission,
+// drains the ingest coalescer, and closes the store — no accepted request
+// and no acknowledged write is lost to a shutdown.
+//
+// Usage:
+//
+//	spad [-addr :8372] [-data DIR] [-shards 16] [-sync]
+//	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
+//
+// An empty -data serves an in-memory (non-durable) instance, useful for
+// load experiments; production points -data at a directory and usually
+// adds -sync so every group commit is fsynced before it is acknowledged.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	data := flag.String("data", "", "profile store directory (empty: in-memory, non-durable)")
+	shards := flag.Int("shards", 16, "profile shard count (rounded up to a power of two)")
+	sync := flag.Bool("sync", false, "fsync the WAL on every group commit")
+	queue := flag.Int("queue", 256, "pending ingest queue depth (full queue answers 503)")
+	maxBatch := flag.Int("max-batch", 64, "max requests merged into one group commit")
+	maxDelay := flag.Duration("max-delay", 0, "linger before committing a partial batch (0: commit whatever is pending)")
+	noCoalesce := flag.Bool("no-coalesce", false, "commit every ingest request on its own (measurement baseline)")
+	flag.Parse()
+
+	if err := run(*addr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce); err != nil {
+		fmt.Fprintf(os.Stderr, "spad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce bool) error {
+	spa, err := core.New(core.Options{
+		DataDir: data,
+		Store:   store.Options{SyncWrites: sync},
+		Shards:  shards,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(spa, server.Options{
+		DisableCoalescing: noCoalesce,
+		QueueDepth:        queue,
+		MaxBatch:          maxBatch,
+		MaxDelay:          maxDelay,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v, %d users loaded)",
+			addr, data, shards, sync, !noCoalesce, spa.Users())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("spad: %v — draining", sig)
+	case err := <-errCh:
+		spa.Close()
+		return err
+	}
+
+	// Shutdown order matters: stop accepting and finish in-flight handlers,
+	// then drain the coalescer (handlers already enqueued are waiting on
+	// it), then flush and close the store.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("spad: http shutdown: %v", err)
+	}
+	srv.Close()
+	if err := spa.Close(); err != nil {
+		return fmt.Errorf("closing store: %w", err)
+	}
+	log.Printf("spad: drained and closed")
+	return nil
+}

@@ -102,6 +102,9 @@ var ErrNoProfile = errors.New("core: no such user profile")
 // ErrNoModel is returned by Propensity before TrainPropensity has run.
 var ErrNoModel = errors.New("core: propensity model not trained")
 
+// ErrAlreadyRegistered is returned by Register for an existing user.
+var ErrAlreadyRegistered = errors.New("core: user already registered")
+
 // New creates (or reopens) a SPA instance.
 func New(opts Options) (*SPA, error) {
 	params := opts.Params
@@ -195,7 +198,7 @@ func (s *SPA) Register(userID uint64, objective []float64) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.profiles[userID]; dup {
-		return fmt.Errorf("core: user %d already registered", userID)
+		return fmt.Errorf("%w: %d", ErrAlreadyRegistered, userID)
 	}
 	p := sum.NewProfile(userID, s.clk.Now())
 	p.Objective = append([]float64(nil), objective...)
@@ -362,6 +365,15 @@ func (s *SPA) AssignMessage(userID uint64, product messaging.Product) (messaging
 
 // MessageDB exposes the message database (priority configuration etc.).
 func (s *SPA) MessageDB() *messaging.DB { return s.msgdb }
+
+// StoreStats snapshots the embedded store's internals for health/metrics
+// reporting; ok is false on an in-memory-only instance.
+func (s *SPA) StoreStats() (st store.Stats, ok bool) {
+	if s.db == nil {
+		return store.Stats{}, false
+	}
+	return s.db.Stats(), true
+}
 
 // FeatureVector materializes a user's full learner input (objective +
 // subjective + emotional blocks).

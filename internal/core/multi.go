@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/lifelog"
+	"repro/internal/store"
+	"repro/internal/sum"
+)
+
+// ErrBadStream tags ingest failures caused by the submitted events
+// themselves (out-of-order per-user timestamps, invalid events) as opposed
+// to store failures. The serving layer maps it to the submitter's own 400;
+// everything else on an IngestOutcome is the server's fault.
+var ErrBadStream = errors.New("core: malformed event stream")
+
+// MultiIngest is the group-commit ingest path: several independently
+// submitted event batches (typically concurrent network requests, merged by
+// the serving layer's coalescer) are applied as one fan-out over the shards,
+// so durable updates of a shard still commit as a single store WriteBatch no
+// matter how many submitters contributed events to it. Each input batch gets
+// its own IngestOutcome, as if the batches had been ingested separately:
+//
+//   - Counts are attributed per batch: an event is processed or
+//     skipped-as-unknown on behalf of the batch that carried it.
+//   - A batch whose events make the merged per-user stream malformed
+//     (out-of-order timestamps, invalid events) is excluded and charged the
+//     error; the surviving batches are re-validated and applied without it.
+//     The feed pass mutates nothing, so exclusion is a pure retry.
+//   - A store write failure is charged to every batch that contributed a
+//     profile update to the failing shard group, since none of their events
+//     in that shard were durably applied.
+//
+// As with BatchIngest, a batch that fails in one shard group may still have
+// been applied in others; Processed counts only what was applied.
+func (s *SPA) MultiIngest(batches [][]lifelog.Event) []IngestOutcome {
+	out := make([]IngestOutcome, len(batches))
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if total == 0 {
+		return out
+	}
+	now := s.clk.Now()
+	groups := make(map[*shard][]taggedEvent, len(s.shards))
+	for b, evs := range batches {
+		for _, e := range evs {
+			sh := s.shardFor(e.UserID)
+			groups[sh] = append(groups[sh], taggedEvent{Event: e, batch: b})
+		}
+	}
+	results := make([]multiResult, 0, len(groups))
+	if len(groups) == 1 {
+		// Single-shard merges (including every call on a 1-shard core) skip
+		// the fan-out machinery entirely.
+		for sh, evs := range groups {
+			results = append(results, s.ingestShardMulti(sh, evs, len(batches), now))
+		}
+	} else {
+		var wg sync.WaitGroup
+		resCh := make(chan multiResult, len(groups))
+		for sh, evs := range groups {
+			wg.Add(1)
+			go func(sh *shard, evs []taggedEvent) {
+				defer wg.Done()
+				resCh <- s.ingestShardMulti(sh, evs, len(batches), now)
+			}(sh, evs)
+		}
+		wg.Wait()
+		close(resCh)
+		for r := range resCh {
+			results = append(results, r)
+		}
+	}
+	staleKNN := false
+	for _, r := range results {
+		staleKNN = staleKNN || r.interactions
+	}
+	if staleKNN {
+		s.invalidateRecommender()
+	}
+	for _, r := range results {
+		for b := range out {
+			out[b].Processed += r.processed[b]
+			out[b].SkippedUnknown += r.skipped[b]
+			if out[b].Err == nil && r.errs[b] != nil {
+				out[b].Err = r.errs[b]
+			}
+		}
+	}
+	return out
+}
+
+// IngestOutcome is one batch's result from MultiIngest.
+type IngestOutcome struct {
+	// Processed counts the batch's events applied to registered profiles.
+	Processed int
+	// SkippedUnknown counts the batch's events of unregistered users.
+	SkippedUnknown int
+	// Err is the batch's failure, if any. A failed batch's events were not
+	// applied in the shard group that reported the error.
+	Err error
+}
+
+// taggedEvent carries an event's originating batch index through the shard
+// fan-out so counts and errors land on the right submitter.
+type taggedEvent struct {
+	lifelog.Event
+	batch int
+}
+
+// multiResult is one shard group's per-batch accounting.
+type multiResult struct {
+	processed    []int
+	skipped      []int
+	errs         []error
+	interactions bool
+}
+
+// ingestShardMulti applies one shard's slice of the merged event stream.
+// The feed pass validates before any mutation; when a batch's event breaks
+// the merged stream, that batch is excluded (keeping its error) and the pass
+// restarts over the survivors — dropping events can never introduce a new
+// per-user ordering violation between the remaining ones, so the loop only
+// ever shrinks and terminates after at most one retry per batch. The apply
+// pass then updates subjective blocks and CF interaction counts and persists
+// the shard's profiles as one WriteBatch.
+func (s *SPA) ingestShardMulti(sh *shard, events []taggedEvent, nbatches int, now time.Time) multiResult {
+	res := multiResult{
+		processed: make([]int, nbatches),
+		skipped:   make([]int, nbatches),
+		errs:      make([]error, nbatches),
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	excluded := make([]bool, nbatches)
+	var x *lifelog.Extractor
+	for {
+		x = lifelog.NewExtractor(30*time.Minute, now)
+		failed := -1
+		for _, te := range events {
+			if excluded[te.batch] {
+				continue
+			}
+			if _, ok := sh.profiles[te.UserID]; !ok {
+				res.skipped[te.batch]++
+				continue
+			}
+			if err := x.Feed(te.Event); err != nil {
+				failed = te.batch
+				res.errs[te.batch] = fmt.Errorf("%w: %w", ErrBadStream, err)
+				break
+			}
+			res.processed[te.batch]++
+		}
+		if failed < 0 {
+			break
+		}
+		excluded[failed] = true
+		for b := range nbatches {
+			if !excluded[b] {
+				res.processed[b], res.skipped[b] = 0, 0
+			}
+		}
+		res.processed[failed], res.skipped[failed] = 0, 0
+	}
+	for _, te := range events {
+		if excluded[te.batch] {
+			continue
+		}
+		if _, ok := sh.profiles[te.UserID]; ok {
+			if sh.noteInteraction(te.Event) {
+				res.interactions = true
+			}
+		}
+	}
+	var batch store.WriteBatch
+	for id, fv := range x.Finish() {
+		p := sh.profiles[id]
+		p.Subjective = fv.Dense()
+		if s.db == nil {
+			continue
+		}
+		if s.unbatched {
+			// Compatibility/measurement mode: the seed's one-write-per-
+			// profile persistence (see Options.UnbatchedWrites).
+			if err := sum.Save(s.db, p); err != nil {
+				res.failStore(excluded, err)
+				return res
+			}
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			res.failStore(excluded, err)
+			return res
+		}
+		batch.Put(sum.Key(id), sum.Encode(p))
+	}
+	if s.db != nil && batch.Len() > 0 {
+		if err := s.db.Apply(&batch); err != nil {
+			res.failStore(excluded, err)
+		}
+	}
+	return res
+}
+
+// failStore charges a persistence failure to every surviving batch that
+// contributed applied events to this shard group.
+func (r *multiResult) failStore(excluded []bool, err error) {
+	for b := range r.errs {
+		if !excluded[b] && r.processed[b] > 0 && r.errs[b] == nil {
+			r.errs[b] = err
+		}
+	}
+}

@@ -2,10 +2,8 @@ package core
 
 import (
 	"sync"
-	"time"
 
 	"repro/internal/lifelog"
-	"repro/internal/store"
 	"repro/internal/sum"
 	"repro/internal/values"
 )
@@ -70,117 +68,14 @@ func (s *SPA) shardFor(userID uint64) *shard {
 // not applied; groups of other shards may be, exactly as two separate
 // IngestEvents calls could interleave. Events of unregistered users are
 // counted and skipped.
+//
+// BatchIngest is the one-submitter case of MultiIngest (multi.go), which
+// additionally merges independently submitted batches — the serving layer's
+// coalesced network requests — into the same per-shard group commits.
 func (s *SPA) BatchIngest(events []lifelog.Event) (processed, skippedUnknown int, err error) {
 	if len(events) == 0 {
 		return 0, 0, nil
 	}
-	now := s.clk.Now()
-	groups := make(map[*shard][]lifelog.Event, len(s.shards))
-	for _, e := range events {
-		sh := s.shardFor(e.UserID)
-		groups[sh] = append(groups[sh], e)
-	}
-	results := make([]ingestResult, 0, len(groups))
-	if len(groups) == 1 {
-		// Single-shard batches (including every call on a 1-shard core)
-		// skip the fan-out machinery entirely.
-		for sh, evs := range groups {
-			results = append(results, s.ingestShard(sh, evs, now))
-		}
-	} else {
-		var wg sync.WaitGroup
-		resCh := make(chan ingestResult, len(groups))
-		for sh, evs := range groups {
-			wg.Add(1)
-			go func(sh *shard, evs []lifelog.Event) {
-				defer wg.Done()
-				resCh <- s.ingestShard(sh, evs, now)
-			}(sh, evs)
-		}
-		wg.Wait()
-		close(resCh)
-		for r := range resCh {
-			results = append(results, r)
-		}
-	}
-	staleKNN := false
-	for _, r := range results {
-		staleKNN = staleKNN || r.interactions
-	}
-	if staleKNN {
-		s.invalidateRecommender()
-	}
-	for _, r := range results {
-		processed += r.processed
-		skippedUnknown += r.skipped
-		if err == nil && r.err != nil {
-			err = r.err
-		}
-	}
-	return processed, skippedUnknown, err
-}
-
-type ingestResult struct {
-	processed    int
-	skipped      int
-	interactions bool
-	err          error
-}
-
-// ingestShard applies one shard's slice of the event stream. The feed pass
-// runs before any mutation, so a malformed stream (out-of-order events)
-// fails without touching profiles; the apply pass then updates subjective
-// blocks and CF interaction counts and persists the shard's profiles as
-// one WriteBatch.
-func (s *SPA) ingestShard(sh *shard, events []lifelog.Event, now time.Time) ingestResult {
-	var res ingestResult
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	x := lifelog.NewExtractor(30*time.Minute, now)
-	for _, e := range events {
-		if _, ok := sh.profiles[e.UserID]; !ok {
-			res.skipped++
-			continue
-		}
-		if err := x.Feed(e); err != nil {
-			res.err = err
-			return res
-		}
-		res.processed++
-	}
-	for _, e := range events {
-		if _, ok := sh.profiles[e.UserID]; ok {
-			if sh.noteInteraction(e) {
-				res.interactions = true
-			}
-		}
-	}
-	var batch store.WriteBatch
-	for id, fv := range x.Finish() {
-		p := sh.profiles[id]
-		p.Subjective = fv.Dense()
-		if s.db == nil {
-			continue
-		}
-		if s.unbatched {
-			// Compatibility/measurement mode: the seed's one-write-per-
-			// profile persistence (see Options.UnbatchedWrites).
-			if err := sum.Save(s.db, p); err != nil {
-				res.err = err
-				return res
-			}
-			continue
-		}
-		if err := p.Validate(); err != nil {
-			res.err = err
-			return res
-		}
-		batch.Put(sum.Key(id), sum.Encode(p))
-	}
-	if s.db != nil && batch.Len() > 0 {
-		if err := s.db.Apply(&batch); err != nil {
-			res.err = err
-		}
-	}
-	return res
+	out := s.MultiIngest([][]lifelog.Event{events})
+	return out[0].Processed, out[0].SkippedUnknown, out[0].Err
 }

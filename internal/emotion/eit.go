@@ -75,10 +75,15 @@ func NewBank() *Bank {
 // Len returns the number of items.
 func (b *Bank) Len() int { return len(b.items) }
 
+// ErrBadAnswer tags answer-validation failures — an unknown item id or an
+// option the item does not have. Callers (e.g. the serving layer) use it
+// to distinguish a malformed submission from an internal failure.
+var ErrBadAnswer = errors.New("emotion: bad answer")
+
 // Item returns the item with the given ID.
 func (b *Bank) Item(id int) (Item, error) {
 	if id < 0 || id >= len(b.items) {
-		return Item{}, fmt.Errorf("emotion: no item %d", id)
+		return Item{}, fmt.Errorf("%w: no item %d", ErrBadAnswer, id)
 	}
 	return b.items[id], nil
 }
@@ -102,7 +107,7 @@ func (b *Bank) Score(a Answer) (map[Attribute]Valence, error) {
 		return nil, err
 	}
 	if a.Option < 0 || a.Option >= len(item.Options) {
-		return nil, fmt.Errorf("emotion: item %d has no option %d", a.ItemID, a.Option)
+		return nil, fmt.Errorf("%w: item %d has no option %d", ErrBadAnswer, a.ItemID, a.Option)
 	}
 	impacts := item.Options[a.Option].Impacts
 	out := make(map[Attribute]Valence, len(impacts))

@@ -1,9 +1,12 @@
 // Package scalebench is the shared workload harness behind
-// BenchmarkShardedIngest and spabench's [S1] section, so both measure the
-// exact same ingest shape: fixed-size multi-user event bursts pushed by a
-// small pool of workers. Keeping it in one place means a change to the
-// workload (burst sizing, event mix) cannot silently diverge between the
-// benchmark and the CLI table.
+// BenchmarkShardedIngest and spabench's scale sections, so every consumer
+// measures the exact same ingest shape: fixed-size multi-user event bursts
+// over disjoint user ranges. [S1] pushes the bursts through the in-process
+// facade with a worker pool (RunWorkers); [S2] pushes them through a live
+// spad daemon over the wire with concurrent clients (RunLoadgen,
+// loadgen.go). Keeping the workload in one place means a change to it
+// (burst sizing, event mix) cannot silently diverge between the benchmark,
+// the CLI table, and the load generator.
 package scalebench
 
 import (
@@ -29,11 +32,31 @@ const EventsPerBurst = BurstSize * PerUser
 // MakeBursts builds the canonical burst set: Users/BurstSize bursts, each
 // covering a disjoint user range with per-user ascending timestamps.
 func MakeBursts() [][]lifelog.Event {
+	return MakeBurstsFor(0)
+}
+
+// MakeBurstsFor builds the canonical burst set over a shifted user range
+// [offset+1, offset+Users]. The S2 loadgen gives every concurrent client
+// its own offset, so clients never interleave events of a shared user and
+// per-user order is preserved no matter how their requests coalesce.
+func MakeBurstsFor(offset uint64) [][]lifelog.Event {
+	return MakeBurstsSized(offset, BurstSize)
+}
+
+// MakeBurstsSized is MakeBurstsFor with a custom burst width: Users is
+// split into Users/usersPerBurst bursts of usersPerBurst users × PerUser
+// events. The serving benchmark uses narrow bursts — a network request
+// carries one device's recent events, not a 64-user mega-batch; the wide
+// [S1] shape stays the in-process default.
+func MakeBurstsSized(offset uint64, usersPerBurst int) [][]lifelog.Event {
+	if usersPerBurst <= 0 || usersPerBurst > Users {
+		usersPerBurst = BurstSize
+	}
 	base := clock.Epoch.Add(-24 * time.Hour)
-	bursts := make([][]lifelog.Event, Users/BurstSize)
+	bursts := make([][]lifelog.Event, Users/usersPerBurst)
 	for g := range bursts {
-		for u := 0; u < BurstSize; u++ {
-			id := uint64(g*BurstSize + u + 1)
+		for u := 0; u < usersPerBurst; u++ {
+			id := offset + uint64(g*usersPerBurst+u+1)
 			for i := 0; i < PerUser; i++ {
 				bursts[g] = append(bursts[g], lifelog.Event{
 					UserID: id,

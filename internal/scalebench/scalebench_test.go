@@ -1,0 +1,132 @@
+package scalebench
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func TestMakeBurstsShape(t *testing.T) {
+	bursts := MakeBursts()
+	if len(bursts) != Users/BurstSize {
+		t.Fatalf("bursts %d, want %d", len(bursts), Users/BurstSize)
+	}
+	seen := map[uint64]bool{}
+	for _, b := range bursts {
+		if len(b) != EventsPerBurst {
+			t.Fatalf("burst has %d events, want %d", len(b), EventsPerBurst)
+		}
+		last := map[uint64]time.Time{}
+		for _, e := range b {
+			seen[e.UserID] = true
+			if prev, ok := last[e.UserID]; ok && e.Time.Before(prev) {
+				t.Fatalf("user %d out of order within burst", e.UserID)
+			}
+			last[e.UserID] = e.Time
+		}
+	}
+	if len(seen) != Users {
+		t.Fatalf("bursts cover %d users, want %d", len(seen), Users)
+	}
+	// Shifted sets must be disjoint per client.
+	shifted := MakeBurstsFor(Users)
+	for _, b := range shifted {
+		for _, e := range b {
+			if seen[e.UserID] {
+				t.Fatalf("user %d appears in two clients' ranges", e.UserID)
+			}
+		}
+	}
+}
+
+func TestRunWorkersDrainsAndReportsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var hits [64]bool
+	err := RunWorkers(64, func(i int64) error {
+		hits[i] = true
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := RunWorkers(16, func(int64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestS1Smoke runs a miniature of spabench's [S1] section: the shared burst
+// workload through a sharded in-memory core via the worker pool.
+func TestS1Smoke(t *testing.T) {
+	spa, err := core.New(core.Options{Shards: 8, Clock: clock.NewSimulated(clock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spa.Close()
+	for u := 1; u <= Users; u++ {
+		if err := spa.Register(uint64(u), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bursts := MakeBursts()
+	const n = 8
+	if err := RunWorkers(n, func(i int64) error {
+		processed, skipped, err := spa.IngestEvents(bursts[i%int64(len(bursts))])
+		if err == nil && (processed != EventsPerBurst || skipped != 0) {
+			return errors.New("burst not fully processed")
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestS2Smoke runs a miniature of spabench's [S2] section end-to-end: a
+// live serving stack on loopback, driven by concurrent wire clients.
+func TestS2Smoke(t *testing.T) {
+	spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(spa, server.Options{})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+		spa.Close()
+	}()
+
+	const usersPerRequest = 8
+	res, err := RunLoadgen(LoadgenConfig{
+		BaseURL:         ts.URL,
+		Clients:         2,
+		Requests:        8,
+		Register:        true,
+		UsersPerRequest: usersPerRequest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen errors: %+v", res)
+	}
+	if want := res.Requests * usersPerRequest * PerUser; res.Events != want {
+		t.Fatalf("events %d, want %d", res.Events, want)
+	}
+	if res.EventsPerSec <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("degenerate measurements: %+v", res)
+	}
+	if res.MeanCoalesced < 1 {
+		t.Fatalf("mean coalesced %f < 1", res.MeanCoalesced)
+	}
+	if spa.Users() != 2*Users {
+		t.Fatalf("registered %d users, want %d", spa.Users(), 2*Users)
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lifelog"
+)
+
+// The cross-request ingest coalescer: the server-side analogue of the
+// store's WAL group commit. Concurrently arriving ingest requests queue
+// here; a single dispatcher merges whatever is pending into one
+// core.MultiIngest call, so N requests pay one group commit per shard
+// instead of N. No artificial delay is needed — while one commit (and its
+// fsync) is in flight, the next wave of requests piles up behind it, which
+// is exactly the batch the dispatcher grabs next. MaxDelay adds an optional
+// linger for workloads that prefer bigger batches over latency.
+//
+// Correctness properties (see coalescer_test.go):
+//   - FIFO: requests enter the merged stream in queue order, so a client
+//     that waits for its response before sending the next request keeps its
+//     users' event streams ordered across commits.
+//   - No loss: every queued request is dispatched exactly once, including
+//     during shutdown drain.
+//   - Per-request status: MultiIngest attributes outcomes per batch, so one
+//     submitter's malformed stream fails only that submitter.
+
+// errQueueFull rejects a request when the pending queue is at capacity —
+// the admission-control signal that becomes 503 + Retry-After.
+var errQueueFull = errors.New("server: ingest queue full")
+
+// errDraining rejects new requests once shutdown has begun.
+var errDraining = errors.New("server: draining")
+
+// multiIngester is the coalescer's view of the core (seam for tests).
+type multiIngester interface {
+	MultiIngest(batches [][]lifelog.Event) []core.IngestOutcome
+}
+
+type ingestJob struct {
+	events []lifelog.Event
+	done   chan ingestDone
+}
+
+type ingestDone struct {
+	outcome core.IngestOutcome
+	merged  int // requests sharing the commit, >= 1
+}
+
+type coalescer struct {
+	backend  multiIngester
+	met      *metrics
+	queue    chan *ingestJob
+	maxBatch int
+	maxDelay time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	quit   chan struct{}
+	done   chan struct{}
+}
+
+func newCoalescer(backend multiIngester, met *metrics, queueDepth, maxBatch int, maxDelay time.Duration) *coalescer {
+	if queueDepth <= 0 {
+		queueDepth = 256
+	}
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	c := &coalescer{
+		backend:  backend,
+		met:      met,
+		queue:    make(chan *ingestJob, queueDepth),
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// submit enqueues one request's events and blocks until its group commit
+// completes, returning the request's own outcome and the commit's size.
+func (c *coalescer) submit(events []lifelog.Event) (core.IngestOutcome, int, error) {
+	job := &ingestJob{events: events, done: make(chan ingestDone, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return core.IngestOutcome{}, 0, errDraining
+	}
+	select {
+	case c.queue <- job:
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+		return core.IngestOutcome{}, 0, errQueueFull
+	}
+	d := <-job.done
+	return d.outcome, d.merged, nil
+}
+
+// close stops admission, waits for the dispatcher to drain every queued
+// request, and returns. Safe to call more than once.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.quit)
+	}
+	c.mu.Unlock()
+	<-c.done
+}
+
+// depth is the current pending-queue length (metrics gauge).
+func (c *coalescer) depth() int { return len(c.queue) }
+
+// capacity is the pending-queue bound.
+func (c *coalescer) capacity() int { return cap(c.queue) }
+
+func (c *coalescer) run() {
+	defer close(c.done)
+	for {
+		var first *ingestJob
+		select {
+		case first = <-c.queue:
+		case <-c.quit:
+			c.drain()
+			return
+		}
+		batch := c.gather(first)
+		c.dispatch(batch)
+	}
+}
+
+// gather merges the first job with whatever else is already pending, up to
+// maxBatch; with MaxDelay set it lingers that long for stragglers.
+func (c *coalescer) gather(first *ingestJob) []*ingestJob {
+	batch := []*ingestJob{first}
+	var timeout <-chan time.Time
+	if c.maxDelay > 0 {
+		t := time.NewTimer(c.maxDelay)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for len(batch) < c.maxBatch {
+		if timeout == nil {
+			select {
+			case j := <-c.queue:
+				batch = append(batch, j)
+			default:
+				return batch
+			}
+			continue
+		}
+		select {
+		case j := <-c.queue:
+			batch = append(batch, j)
+		case <-timeout:
+			timeout = nil
+		case <-c.quit:
+			// Shutdown cuts the linger short; the drain loop handles the
+			// rest of the queue.
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain commits everything still queued at shutdown — graceful drain means
+// accepted requests are never dropped.
+func (c *coalescer) drain() {
+	for {
+		select {
+		case j := <-c.queue:
+			c.dispatch(c.gather(j))
+		default:
+			return
+		}
+	}
+}
+
+func (c *coalescer) dispatch(jobs []*ingestJob) {
+	batches := make([][]lifelog.Event, len(jobs))
+	events := 0
+	for i, j := range jobs {
+		batches[i] = j.events
+		events += len(j.events)
+	}
+	outs := c.backend.MultiIngest(batches)
+	for i, j := range jobs {
+		j.done <- ingestDone{outcome: outs[i], merged: len(jobs)}
+	}
+	if c.met != nil {
+		c.met.noteCommit(len(jobs), events)
+	}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lifelog"
+)
+
+var t0 = clock.Epoch
+
+// recordingBackend is a multiIngester that journals every commit it
+// receives (batches in submission order) and can slow down or fail on
+// demand — the seam that lets the stress tests observe exactly what the
+// coalescer fed downstream.
+type recordingBackend struct {
+	delay   time.Duration
+	failOn  func(batch []lifelog.Event) error
+	mu      sync.Mutex
+	commits [][][]lifelog.Event
+}
+
+func (b *recordingBackend) MultiIngest(batches [][]lifelog.Event) []core.IngestOutcome {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	cp := make([][]lifelog.Event, len(batches))
+	outs := make([]core.IngestOutcome, len(batches))
+	for i, batch := range batches {
+		cp[i] = append([]lifelog.Event(nil), batch...)
+		if b.failOn != nil {
+			outs[i].Err = b.failOn(batch)
+		}
+		if outs[i].Err == nil {
+			outs[i].Processed = len(batch)
+		}
+	}
+	b.mu.Lock()
+	b.commits = append(b.commits, cp)
+	b.mu.Unlock()
+	return outs
+}
+
+func (b *recordingBackend) snapshot() [][][]lifelog.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([][][]lifelog.Event(nil), b.commits...)
+}
+
+func evAt(user uint64, seq int) lifelog.Event {
+	return lifelog.Event{
+		UserID: user,
+		Time:   t0.Add(time.Duration(seq) * time.Second),
+		Type:   lifelog.EventClick,
+		Action: uint32(seq % lifelog.ActionUniverse),
+	}
+}
+
+// TestCoalescerOrderAndCompleteness is the correctness core: many clients
+// submit sequential requests through one coalescer; afterwards the merged
+// stream the backend saw must contain every event exactly once, with every
+// user's timestamps strictly increasing across commit boundaries — and the
+// concurrency must actually have produced multi-request commits.
+func TestCoalescerOrderAndCompleteness(t *testing.T) {
+	const (
+		clients          = 8
+		requestsPer      = 40
+		eventsPerRequest = 5
+	)
+	// The delay stands in for a durable group commit (the fsync window):
+	// while one commit runs, the other clients' requests pile up.
+	backend := &recordingBackend{delay: 500 * time.Microsecond}
+	c := newCoalescer(backend, nil, 256, 64, 0)
+	defer c.close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			user := uint64(cl + 1)
+			seq := 0
+			for r := 0; r < requestsPer; r++ {
+				var events []lifelog.Event
+				for e := 0; e < eventsPerRequest; e++ {
+					seq++
+					events = append(events, evAt(user, seq))
+				}
+				out, merged, err := c.submit(events)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %v", cl, err)
+					return
+				}
+				if merged < 1 || out.Err != nil || out.Processed != eventsPerRequest {
+					errs <- fmt.Errorf("client %d: outcome %+v merged %d", cl, out, merged)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	commits := backend.snapshot()
+	lastSeen := map[uint64]time.Time{}
+	total := 0
+	maxMerged := 0
+	for _, commit := range commits {
+		if len(commit) > maxMerged {
+			maxMerged = len(commit)
+		}
+		for _, batch := range commit {
+			for _, e := range batch {
+				total++
+				if last, ok := lastSeen[e.UserID]; ok && !e.Time.After(last) {
+					t.Fatalf("user %d: event at %v not after %v — order broken across merged requests",
+						e.UserID, e.Time, last)
+				}
+				lastSeen[e.UserID] = e.Time
+			}
+		}
+	}
+	if want := clients * requestsPer * eventsPerRequest; total != want {
+		t.Fatalf("backend saw %d events, submitted %d — events lost or duplicated", total, want)
+	}
+	if maxMerged < 2 {
+		t.Fatalf("no commit merged more than one request — coalescing never engaged")
+	}
+}
+
+// TestCoalescerErrorFanback drives the coalescer against the real core: a
+// malformed request merged with healthy ones must fail alone, and the
+// healthy requests' events must all land in the profiles.
+func TestCoalescerErrorFanback(t *testing.T) {
+	const clients = 6
+	spa, err := core.New(core.Options{Shards: 1, Clock: clock.NewSimulated(t0.Add(time.Hour))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spa.Close()
+	for cl := 0; cl < clients; cl++ {
+		if err := spa.Register(uint64(cl+1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := newCoalescer(spa, nil, 256, 64, time.Millisecond)
+	defer c.close()
+
+	var wg sync.WaitGroup
+	type result struct {
+		bad bool
+		out core.IngestOutcome
+		err error
+	}
+	results := make(chan result, clients*20)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			user := uint64(cl + 1)
+			bad := cl == 0 // client 0 submits internally out-of-order streams
+			seq := 0
+			for r := 0; r < 20; r++ {
+				var events []lifelog.Event
+				for e := 0; e < 4; e++ {
+					seq++
+					events = append(events, evAt(user, seq))
+				}
+				if bad {
+					events[0], events[len(events)-1] = events[len(events)-1], events[0]
+				}
+				out, _, err := c.submit(events)
+				results <- result{bad: bad, out: out, err: err}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(results)
+	for res := range results {
+		if res.err != nil {
+			t.Fatalf("submit error: %v", res.err)
+		}
+		if res.bad && res.out.Err == nil {
+			t.Fatal("malformed request reported success")
+		}
+		if !res.bad && res.out.Err != nil {
+			t.Fatalf("healthy request failed: %v", res.out.Err)
+		}
+		if !res.bad && res.out.Processed != 4 {
+			t.Fatalf("healthy request processed %d of 4", res.out.Processed)
+		}
+	}
+}
+
+// TestCoalescerAdmissionControl: with a tiny queue and a slow backend, the
+// overflow must be rejected with errQueueFull — never blocked, never lost.
+func TestCoalescerAdmissionControl(t *testing.T) {
+	backend := &recordingBackend{delay: 20 * time.Millisecond}
+	c := newCoalescer(backend, nil, 2, 1, 0)
+	defer c.close()
+
+	const submitters = 16
+	var wg sync.WaitGroup
+	var accepted, rejected sync.Map
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := c.submit([]lifelog.Event{evAt(uint64(i+1), 1)})
+			if errors.Is(err, errQueueFull) {
+				rejected.Store(i, true)
+			} else if err == nil {
+				accepted.Store(i, true)
+			} else {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	nAccepted, nRejected := 0, 0
+	accepted.Range(func(_, _ any) bool { nAccepted++; return true })
+	rejected.Range(func(_, _ any) bool { nRejected++; return true })
+	if nAccepted+nRejected != submitters {
+		t.Fatalf("accounted %d of %d submitters", nAccepted+nRejected, submitters)
+	}
+	if nRejected == 0 {
+		t.Fatal("queue of depth 2 absorbed 16 concurrent submitters — admission control inert")
+	}
+	// Every accepted request must have reached the backend exactly once.
+	total := 0
+	for _, commit := range backend.snapshot() {
+		total += len(commit)
+	}
+	if total != nAccepted {
+		t.Fatalf("backend saw %d requests, accepted %d", total, nAccepted)
+	}
+}
+
+// TestCoalescerDrain: close() must commit everything already accepted and
+// reject everything after.
+func TestCoalescerDrain(t *testing.T) {
+	backend := &recordingBackend{delay: 5 * time.Millisecond}
+	c := newCoalescer(backend, nil, 64, 8, 0)
+
+	const pre = 12
+	var wg sync.WaitGroup
+	okCh := make(chan bool, pre)
+	for i := 0; i < pre; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := c.submit([]lifelog.Event{evAt(uint64(i+1), 1)})
+			okCh <- err == nil
+		}(i)
+	}
+	// Let the submitters enqueue, then shut down while commits are slow.
+	time.Sleep(2 * time.Millisecond)
+	c.close()
+	wg.Wait()
+	close(okCh)
+
+	completed := 0
+	for ok := range okCh {
+		if ok {
+			completed++
+		}
+	}
+	total := 0
+	for _, commit := range backend.snapshot() {
+		total += len(commit)
+	}
+	if total != completed {
+		t.Fatalf("backend committed %d requests, %d submitters saw success — drain dropped work", total, completed)
+	}
+	if _, _, err := c.submit([]lifelog.Event{evAt(1, 2)}); !errors.Is(err, errDraining) {
+		t.Fatalf("submit after close: %v, want errDraining", err)
+	}
+	if c.depth() != 0 {
+		t.Fatalf("queue depth %d after drain", c.depth())
+	}
+}

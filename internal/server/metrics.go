@@ -1,0 +1,33 @@
+package server
+
+import "sync/atomic"
+
+// metrics holds the serving-layer counters behind /metrics. Everything is
+// atomic: handlers and the coalescer dispatcher bump them concurrently.
+type metrics struct {
+	requests      atomic.Uint64
+	requestErrors atomic.Uint64
+
+	ingestRequests atomic.Uint64
+	ingestEvents   atomic.Uint64
+	ingestRejected atomic.Uint64
+
+	ingestCommits     atomic.Uint64
+	coalescedRequests atomic.Uint64
+	maxCoalesced      atomic.Int64
+}
+
+// noteCommit records one dispatched group commit of n requests. Events are
+// counted here — on the commit side of admission control — so rejected
+// requests never inflate IngestEvents.
+func (m *metrics) noteCommit(requests, events int) {
+	m.ingestCommits.Add(1)
+	m.ingestEvents.Add(uint64(events))
+	m.coalescedRequests.Add(uint64(requests))
+	for {
+		cur := m.maxCoalesced.Load()
+		if int64(requests) <= cur || m.maxCoalesced.CompareAndSwap(cur, int64(requests)) {
+			return
+		}
+	}
+}

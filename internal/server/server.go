@@ -1,0 +1,423 @@
+// Package server is the SPA serving layer: an HTTP/JSON daemon wrapping the
+// *core.SPA facade so the platform is reachable by a live user population
+// instead of only in-process callers — the paper's SPA as an online service.
+//
+// The API surface mirrors the facade: register, ingest, next-question /
+// submit-answer, reward / punish, propensity, select-top, advise, recommend,
+// plus /healthz and a /metrics snapshot. Ingest requests do not hit the core
+// directly: they pass through a cross-request coalescer (coalescer.go) that
+// merges concurrent arrivals into one group commit, with a bounded pending
+// queue as admission control — when it is full the server answers
+// 503 + Retry-After instead of queueing unboundedly. Close drains the
+// coalescer so accepted requests are never dropped by a shutdown.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Options tune the serving layer. The zero value is a sensible production
+// default: coalescing on, 256-deep pending queue, commits of up to 64
+// requests, no linger.
+type Options struct {
+	// DisableCoalescing commits every ingest request on its own — the
+	// measurement baseline for spabench's [S2] section; production leaves
+	// it off.
+	DisableCoalescing bool
+	// QueueDepth bounds the pending ingest queue (default 256). A full
+	// queue rejects with 503 + Retry-After.
+	QueueDepth int
+	// MaxBatch caps how many requests merge into one group commit
+	// (default 64).
+	MaxBatch int
+	// MaxDelay lets the dispatcher linger to gather a fuller batch. Zero
+	// commits whatever is already pending: with durable sync writes the
+	// in-flight commit itself is the natural batching window.
+	MaxDelay time.Duration
+	// MaxBodyBytes caps one request body (default 8 MiB); larger bodies
+	// answer 413 before any decoding buffers them.
+	MaxBodyBytes int64
+}
+
+// Server is the spad request handler. Create with New, serve with any
+// http.Server, and Close on the way out (after the http.Server has stopped
+// accepting) to drain the coalescer.
+type Server struct {
+	spa     *core.SPA
+	mux     *http.ServeMux
+	co      *coalescer // nil when coalescing is disabled
+	met     metrics
+	maxBody int64
+	start   time.Time
+}
+
+// New wires the handler around an opened SPA. The caller keeps ownership of
+// the SPA: Close drains the serving layer but does not close the core.
+func New(spa *core.SPA, opts Options) *Server {
+	s := &Server{spa: spa, mux: http.NewServeMux(), start: time.Now()}
+	s.maxBody = opts.MaxBodyBytes
+	if s.maxBody <= 0 {
+		s.maxBody = 8 << 20
+	}
+	if !opts.DisableCoalescing {
+		s.co = newCoalescer(spa, &s.met, opts.QueueDepth, opts.MaxBatch, opts.MaxDelay)
+	}
+	s.mux.HandleFunc("POST /v1/users", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/users/{id}/question", s.handleQuestion)
+	s.mux.HandleFunc("POST /v1/users/{id}/answer", s.handleAnswer)
+	s.mux.HandleFunc("POST /v1/users/{id}/reward", s.handleReinforce(true))
+	s.mux.HandleFunc("POST /v1/users/{id}/punish", s.handleReinforce(false))
+	s.mux.HandleFunc("GET /v1/users/{id}/propensity", s.handlePropensity)
+	s.mux.HandleFunc("GET /v1/users/{id}/sensibilities", s.handleSensibilities)
+	s.mux.HandleFunc("GET /v1/users/{id}/advice", s.handleAdvice)
+	s.mux.HandleFunc("GET /v1/users/{id}/recommendations", s.handleRecommend)
+	s.mux.HandleFunc("GET /v1/select-top", s.handleSelectTop)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops ingest admission and drains every request already queued in
+// the coalescer. Call after the http.Server has finished Shutdown, so no
+// handler is still about to enqueue.
+func (s *Server) Close() {
+	if s.co != nil {
+		s.co.close()
+	}
+}
+
+// ---- plumbing ----
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.met.requestErrors.Add(1)
+	s.writeJSON(w, status, wire.Error{Message: err.Error()})
+}
+
+// writeDomainError maps facade errors onto HTTP statuses.
+func (s *Server) writeDomainError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrNoProfile):
+		s.writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, core.ErrAlreadyRegistered):
+		s.writeError(w, http.StatusConflict, err)
+	case errors.Is(err, core.ErrNoModel):
+		s.writeError(w, http.StatusConflict, err)
+	case errors.Is(err, store.ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	// The coalescer's queue bounds request count; this bounds bytes, so a
+	// single oversized body cannot bypass admission control.
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) userID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad user id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+// ---- handlers ----
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.UserID == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("zero user id"))
+		return
+	}
+	if err := s.spa.Register(req.UserID, req.Objective); err != nil {
+		// Duplicate → 409; anything else (store write failure) is ours.
+		s.writeDomainError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, struct{}{})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req wire.IngestRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	events := wire.ToEvents(req.Events)
+	s.met.ingestRequests.Add(1)
+
+	var (
+		out    core.IngestOutcome
+		merged = 1
+	)
+	if s.co == nil {
+		out = s.spa.MultiIngest([][]lifelog.Event{events})[0]
+		s.met.noteCommit(1, len(events))
+	} else {
+		var err error
+		out, merged, err = s.co.submit(events)
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.met.ingestRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, errDraining):
+			w.Header().Set("Retry-After", "5")
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	if out.Err != nil {
+		// A malformed event stream is the submitter's fault (400); store
+		// failures are ours (503 when closing, 500 otherwise).
+		if errors.Is(out.Err, core.ErrBadStream) {
+			s.writeError(w, http.StatusBadRequest, out.Err)
+		} else {
+			s.writeDomainError(w, out.Err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.IngestResponse{
+		Processed:      out.Processed,
+		SkippedUnknown: out.SkippedUnknown,
+		CoalescedWith:  merged,
+	})
+}
+
+func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userID(w, r)
+	if !ok {
+		return
+	}
+	item, err := s.spa.NextQuestion(id)
+	if err != nil {
+		s.writeDomainError(w, err)
+		return
+	}
+	q := wire.Question{ID: item.ID, Branch: item.Branch.String(), Prompt: item.Prompt}
+	for _, o := range item.Options {
+		q.Options = append(q.Options, o.Text)
+	}
+	s.writeJSON(w, http.StatusOK, q)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userID(w, r)
+	if !ok {
+		return
+	}
+	var req wire.AnswerRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.spa.SubmitAnswer(id, emotion.Answer{ItemID: req.ItemID, Option: req.Option}); err != nil {
+		// A bad item/option is the submitter's fault; unknown users and
+		// store failures go through the domain mapping (404/503/500).
+		if errors.Is(err, emotion.ErrBadAnswer) {
+			s.writeError(w, http.StatusBadRequest, err)
+		} else {
+			s.writeDomainError(w, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleReinforce(reward bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, ok := s.userID(w, r)
+		if !ok {
+			return
+		}
+		var req wire.AttributesRequest
+		if !s.decode(w, r, &req) {
+			return
+		}
+		attrs, err := req.ToAttributes()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if reward {
+			err = s.spa.Reward(id, attrs)
+		} else {
+			err = s.spa.Punish(id, attrs)
+		}
+		if err != nil {
+			s.writeDomainError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, struct{}{})
+	}
+}
+
+func (s *Server) handlePropensity(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userID(w, r)
+	if !ok {
+		return
+	}
+	p, err := s.spa.Propensity(id)
+	if err != nil {
+		s.writeDomainError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.PropensityResponse{Propensity: p})
+}
+
+func (s *Server) handleSensibilities(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userID(w, r)
+	if !ok {
+		return
+	}
+	sens, err := s.spa.Sensibilities(id)
+	if err != nil {
+		s.writeDomainError(w, err)
+		return
+	}
+	resp := wire.SensibilitiesResponse{Sensibilities: make(map[string]float64, len(sens))}
+	for i, v := range sens {
+		resp.Sensibilities[emotion.Attribute(i).String()] = v
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userID(w, r)
+	if !ok {
+		return
+	}
+	domain := r.URL.Query().Get("domain")
+	if domain == "" {
+		domain = "training"
+	}
+	adv, err := s.spa.Advise(id, domain)
+	if err != nil {
+		s.writeDomainError(w, err)
+		return
+	}
+	resp := wire.AdviceResponse{Domain: adv.Domain, Excitation: make(map[string]float64, emotion.NumAttributes)}
+	for i, v := range adv.Excitation {
+		resp.Excitation[emotion.Attribute(i).String()] = v
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userID(w, r)
+	if !ok {
+		return
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	recs, err := s.spa.RecommendActions(id, n)
+	if err != nil {
+		if errors.Is(err, core.ErrNoProfile) {
+			s.writeDomainError(w, err)
+		} else {
+			// No interactions yet etc. — the caller can retry after ingest.
+			s.writeError(w, http.StatusConflict, err)
+		}
+		return
+	}
+	resp := wire.RecommendResponse{Recommendations: make([]wire.Recommendation, len(recs))}
+	for i, rec := range recs {
+		resp.Recommendations[i] = wire.Recommendation{Action: rec.Action, Score: rec.Score}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSelectTop(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", r.URL.Query().Get("k")))
+		return
+	}
+	ids, err := s.spa.SelectTop(k)
+	if err != nil {
+		s.writeDomainError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.SelectTopResponse{UserIDs: ids})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, wire.Health{Status: "ok", Users: s.spa.Users()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := wire.Metrics{
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Users:             s.spa.Users(),
+		Requests:          s.met.requests.Load(),
+		RequestErrors:     s.met.requestErrors.Load(),
+		IngestRequests:    s.met.ingestRequests.Load(),
+		IngestEvents:      s.met.ingestEvents.Load(),
+		IngestRejected:    s.met.ingestRejected.Load(),
+		IngestCommits:     s.met.ingestCommits.Load(),
+		CoalescedRequests: s.met.coalescedRequests.Load(),
+		MaxCoalesced:      int(s.met.maxCoalesced.Load()),
+	}
+	if s.co != nil {
+		m.QueueDepth = s.co.depth()
+		m.QueueCapacity = s.co.capacity()
+	}
+	if st, ok := s.spa.StoreStats(); ok {
+		m.Durable = true
+		m.StoreSegments = st.Segments
+		m.StoreSegmentBytes = st.SegmentBytes
+		m.StoreMemtableKeys = st.MemtableKeys
+		m.StoreCompactions = st.Compactions
+		m.StoreCompactError = st.CompactionErr
+	}
+	s.writeJSON(w, http.StatusOK, m)
+}

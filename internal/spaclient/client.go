@@ -1,0 +1,215 @@
+// Package spaclient is the Go client of the spad wire API
+// (internal/server): typed methods over the HTTP/JSON protocol defined in
+// internal/wire, with connection reuse, request timeouts, and a batching
+// Ingester helper (ingester.go) for high-volume event submission. Examples,
+// load generators and operational tooling all speak the real wire format
+// through this package instead of reimplementing it.
+package spaclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/lifelog"
+	"repro/internal/wire"
+)
+
+// Options tune the client. The zero value selects a 15 s request timeout
+// and a dedicated keep-alive transport.
+type Options struct {
+	// Timeout bounds one request round-trip (default 15 s).
+	Timeout time.Duration
+	// HTTPClient overrides the underlying client entirely (its own Timeout
+	// then wins); nil builds one with pooled keep-alive connections.
+	HTTPClient *http.Client
+}
+
+// Client talks to one spad instance. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8372").
+func New(baseURL string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		timeout := opts.Timeout
+		if timeout == 0 {
+			timeout = 15 * time.Second
+		}
+		hc = &http.Client{
+			Timeout: timeout,
+			// Connection reuse across many small JSON calls is the whole
+			// game for loopback throughput; raise the per-host idle pool
+			// above the default 2 so K concurrent clients in one process
+			// (the loadgen) don't thrash dials.
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// APIError is a non-2xx wire response. RetryAfter is the server's requested
+// backoff (zero when absent) — set on 503 admission-control rejections.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("spaclient: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// Temporary reports whether the request may succeed if retried (the
+// admission-control 503).
+func (e *APIError) Temporary() bool { return e.Status == http.StatusServiceUnavailable }
+
+// do runs one JSON round-trip; out may be nil.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("spaclient: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var e wire.Error
+		if json.Unmarshal(raw, &e) == nil && e.Message != "" {
+			apiErr.Message = e.Message
+		} else {
+			apiErr.Message = strings.TrimSpace(string(raw))
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func userPath(userID uint64, leaf string) string {
+	return fmt.Sprintf("/v1/users/%d/%s", userID, leaf)
+}
+
+// Register creates a Smart User Model.
+func (c *Client) Register(userID uint64, objective []float64) error {
+	return c.do("POST", "/v1/users", wire.RegisterRequest{UserID: userID, Objective: objective}, nil)
+}
+
+// Ingest submits one event batch and returns the server's outcome.
+func (c *Client) Ingest(events []lifelog.Event) (wire.IngestResponse, error) {
+	var resp wire.IngestResponse
+	err := c.do("POST", "/v1/ingest", wire.IngestRequest{Events: wire.FromEvents(events)}, &resp)
+	return resp, err
+}
+
+// NextQuestion fetches the user's next Gradual EIT item.
+func (c *Client) NextQuestion(userID uint64) (wire.Question, error) {
+	var q wire.Question
+	err := c.do("GET", userPath(userID, "question"), nil, &q)
+	return q, err
+}
+
+// SubmitAnswer applies a Gradual EIT answer.
+func (c *Client) SubmitAnswer(userID uint64, itemID, option int) error {
+	return c.do("POST", userPath(userID, "answer"), wire.AnswerRequest{ItemID: itemID, Option: option}, nil)
+}
+
+// Reward applies positive reinforcement for the named attributes.
+func (c *Client) Reward(userID uint64, attributes []string) error {
+	return c.do("POST", userPath(userID, "reward"), wire.AttributesRequest{Attributes: attributes}, nil)
+}
+
+// Punish applies negative reinforcement for the named attributes.
+func (c *Client) Punish(userID uint64, attributes []string) error {
+	return c.do("POST", userPath(userID, "punish"), wire.AttributesRequest{Attributes: attributes}, nil)
+}
+
+// Propensity returns the user's calibrated response probability.
+func (c *Client) Propensity(userID uint64) (float64, error) {
+	var resp wire.PropensityResponse
+	err := c.do("GET", userPath(userID, "propensity"), nil, &resp)
+	return resp.Propensity, err
+}
+
+// Sensibilities returns the user's absolute sensibility weights by
+// attribute name.
+func (c *Client) Sensibilities(userID uint64) (map[string]float64, error) {
+	var resp wire.SensibilitiesResponse
+	err := c.do("GET", userPath(userID, "sensibilities"), nil, &resp)
+	return resp.Sensibilities, err
+}
+
+// Advise returns the SUM advice-stage excitation vector for a domain.
+func (c *Client) Advise(userID uint64, domain string) (wire.AdviceResponse, error) {
+	var resp wire.AdviceResponse
+	err := c.do("GET", userPath(userID, "advice")+"?domain="+url.QueryEscape(domain), nil, &resp)
+	return resp, err
+}
+
+// Recommend returns the top-n individualized actions.
+func (c *Client) Recommend(userID uint64, n int) ([]wire.Recommendation, error) {
+	var resp wire.RecommendResponse
+	err := c.do("GET", fmt.Sprintf("%s?n=%d", userPath(userID, "recommendations"), n), nil, &resp)
+	return resp.Recommendations, err
+}
+
+// SelectTop returns the k users with the highest propensity.
+func (c *Client) SelectTop(k int) ([]uint64, error) {
+	var resp wire.SelectTopResponse
+	err := c.do("GET", "/v1/select-top?k="+strconv.Itoa(k), nil, &resp)
+	return resp.UserIDs, err
+}
+
+// Health probes liveness.
+func (c *Client) Health() (wire.Health, error) {
+	var h wire.Health
+	err := c.do("GET", "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics snapshots the daemon's counters.
+func (c *Client) Metrics() (wire.Metrics, error) {
+	var m wire.Metrics
+	err := c.do("GET", "/metrics", nil, &m)
+	return m, err
+}

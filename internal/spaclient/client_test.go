@@ -1,0 +1,211 @@
+package spaclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lifelog"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+var t0 = clock.Epoch
+
+func liveServer(t *testing.T) (*Client, *core.SPA) {
+	t.Helper()
+	spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(t0.Add(24 * time.Hour))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(spa, server.Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		spa.Close()
+	})
+	return New(ts.URL, Options{}), spa
+}
+
+func click(user uint64, seq int) lifelog.Event {
+	return lifelog.Event{
+		UserID: user,
+		Time:   t0.Add(time.Duration(seq) * time.Second),
+		Type:   lifelog.EventClick,
+		Action: uint32(seq % lifelog.ActionUniverse),
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, spa := liveServer(t)
+
+	if err := c.Register(1, []float64{25, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *APIError
+	if err := c.Register(1, nil); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if err := c.Register(2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Ingest([]lifelog.Event{click(1, 1), click(1, 2), click(99, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Processed != 2 || resp.SkippedUnknown != 1 {
+		t.Fatalf("ingest: %+v", resp)
+	}
+
+	q, err := c.NextQuestion(1)
+	if err != nil || q.Prompt == "" {
+		t.Fatalf("question: %+v %v", q, err)
+	}
+	if err := c.SubmitAnswer(1, q.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reward(1, []string{"lively", "hopeful"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Punish(1, []string{"frightened"}); err != nil {
+		t.Fatal(err)
+	}
+	sens, err := c.Sensibilities(1)
+	if err != nil || len(sens) != 10 {
+		t.Fatalf("sensibilities: %v %v", sens, err)
+	}
+	adv, err := c.Advise(1, "training")
+	if err != nil || len(adv.Excitation) != 10 {
+		t.Fatalf("advice: %+v %v", adv, err)
+	}
+	if _, err := c.NextQuestion(42); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown user: %v", err)
+	}
+	h, err := c.Health()
+	if err != nil || h.Users != 2 {
+		t.Fatalf("health: %+v %v", h, err)
+	}
+	m, err := c.Metrics()
+	if err != nil || m.IngestRequests != 1 || m.IngestEvents != 3 {
+		t.Fatalf("metrics: %+v %v", m, err)
+	}
+	if spa.Users() != 2 {
+		t.Fatalf("users: %d", spa.Users())
+	}
+}
+
+func TestIngesterBatches(t *testing.T) {
+	c, spa := liveServer(t)
+	for u := uint64(1); u <= 4; u++ {
+		if err := c.Register(u, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := NewIngester(c, func(in *Ingester) {
+		in.BatchSize = 10
+		in.Manual = true
+		in.OnError = func(_ []lifelog.Event, err error) { t.Errorf("ingester error: %v", err) }
+	})
+	// 25 events: two overflow flushes of 10, Close ships the tail of 5.
+	for seq := 1; seq <= 25; seq++ {
+		if err := in.Add(click(uint64(seq%4+1), seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Close()
+	st := in.Stats()
+	if st.Added != 25 || st.Flushes != 3 || st.Processed != 25 || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := in.Add(click(1, 99)); err == nil {
+		t.Fatal("Add accepted after Close")
+	}
+	_ = spa
+}
+
+func TestIngesterRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(wire.Error{Message: "ingest queue full"})
+			return
+		}
+		var req wire.IngestRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(wire.IngestResponse{Processed: len(req.Events), CoalescedWith: 1})
+	}))
+	defer ts.Close()
+
+	in := NewIngester(New(ts.URL, Options{}), func(in *Ingester) {
+		in.BatchSize = 2
+		in.Manual = true
+		in.OnError = func(_ []lifelog.Event, err error) { t.Errorf("gave up: %v", err) }
+	})
+	in.Add(click(1, 1))
+	in.Add(click(1, 2)) // overflow → ship → two 503s → success on third try
+	in.Close()
+	st := in.Stats()
+	if st.Retries != 2 || st.Processed != 2 || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestIngesterDropsOnHardError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(wire.Error{Message: "malformed stream"})
+	}))
+	defer ts.Close()
+
+	var dropped int
+	in := NewIngester(New(ts.URL, Options{}), func(in *Ingester) {
+		in.BatchSize = 4
+		in.Manual = true
+		in.OnError = func(events []lifelog.Event, err error) {
+			dropped += len(events)
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Temporary() {
+				t.Errorf("unexpected error shape: %v", err)
+			}
+		}
+	})
+	for seq := 1; seq <= 4; seq++ {
+		in.Add(click(1, seq))
+	}
+	in.Close()
+	st := in.Stats()
+	if dropped != 4 || st.Dropped != 4 || st.Retries != 0 {
+		t.Fatalf("dropped %d, stats %+v", dropped, st)
+	}
+}
+
+func TestIngesterBackgroundFlush(t *testing.T) {
+	c, _ := liveServer(t)
+	if err := c.Register(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	in := NewIngester(c, func(in *Ingester) {
+		in.BatchSize = 1000
+		in.FlushEvery = 5 * time.Millisecond
+	})
+	defer in.Close()
+	in.Add(click(1, 1))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if in.Stats().Processed == 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("background flusher never shipped: %+v", in.Stats())
+}

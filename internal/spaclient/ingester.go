@@ -1,0 +1,204 @@
+package spaclient
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/lifelog"
+	"repro/internal/wire"
+)
+
+// Ingester batches events client-side before they ever reach the wire: Add
+// buffers, and a full buffer (or the flush interval) ships one Ingest
+// request — so a chatty producer pays one HTTP round-trip per BatchSize
+// events, and the server's coalescer then merges those requests across
+// clients. 503 admission-control rejections are retried with the server's
+// Retry-After backoff; other errors are surfaced through OnError and the
+// batch is dropped (the wire reported it unusable, not busy).
+//
+// Add and Flush are safe for concurrent use, but per-user event order is
+// only preserved if each user's events come from one goroutine — the same
+// contract the LifeLog pipeline has everywhere.
+type Ingester struct {
+	// BatchSize triggers a flush when the buffer reaches it (default 256).
+	BatchSize int
+	// FlushEvery ships a partial buffer at this cadence (default 1 s,
+	// 0 keeps the default; set Manual to disable the background flusher).
+	FlushEvery time.Duration
+	// Manual disables the background flusher: only Add-overflow and
+	// explicit Flush/Close ship events.
+	Manual bool
+	// MaxRetries bounds 503 retries per batch (default 3).
+	MaxRetries int
+	// OnError observes batches the server refused (after retries) or
+	// failed; nil drops them silently. Called without internal locks held.
+	OnError func(events []lifelog.Event, err error)
+
+	c *Client
+
+	// sendMu serializes take-and-ship: an Add-overflow flush and a timer
+	// flush must not race each other onto the wire, or one user's batches
+	// could arrive reordered and poison the merged server-side stream.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	buf     []lifelog.Event
+	stats   IngesterStats
+	stopped bool
+	stopCh  chan struct{}
+	done    chan struct{}
+}
+
+// IngesterStats counts an Ingester's lifetime traffic.
+type IngesterStats struct {
+	Added     int // events accepted by Add
+	Flushes   int // Ingest requests shipped
+	Processed int // server-confirmed processed events
+	Skipped   int // server-reported unknown-user events
+	Retries   int // 503 retries
+	Dropped   int // events abandoned after errors
+}
+
+// NewIngester creates a batching ingester over an existing client. Close it
+// to flush the tail.
+func NewIngester(c *Client, configure ...func(*Ingester)) *Ingester {
+	in := &Ingester{
+		BatchSize:  256,
+		FlushEvery: time.Second,
+		MaxRetries: 3,
+		c:          c,
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, f := range configure {
+		f(in)
+	}
+	if in.BatchSize <= 0 {
+		in.BatchSize = 256
+	}
+	if in.FlushEvery <= 0 {
+		in.FlushEvery = time.Second
+	}
+	if !in.Manual {
+		go in.loop()
+	} else {
+		close(in.done)
+	}
+	return in
+}
+
+// Add buffers one event, flushing synchronously when the buffer fills.
+func (in *Ingester) Add(e lifelog.Event) error {
+	in.mu.Lock()
+	if in.stopped {
+		in.mu.Unlock()
+		return errors.New("spaclient: ingester closed")
+	}
+	in.buf = append(in.buf, e)
+	in.stats.Added++
+	full := len(in.buf) >= in.BatchSize
+	in.mu.Unlock()
+	if full {
+		in.Flush()
+	}
+	return nil
+}
+
+// Flush ships whatever is buffered now. Detaching the buffer and sending
+// it happen atomically under sendMu, so concurrent flushes (overflow vs
+// timer vs Close) ship batches in the order they were cut.
+func (in *Ingester) Flush() {
+	in.sendMu.Lock()
+	defer in.sendMu.Unlock()
+	in.mu.Lock()
+	batch := in.take()
+	in.mu.Unlock()
+	if batch != nil {
+		in.ship(batch)
+	}
+}
+
+// Close flushes the tail, stops the background flusher, and makes further
+// Adds fail. Safe to call twice.
+func (in *Ingester) Close() {
+	in.mu.Lock()
+	if in.stopped {
+		in.mu.Unlock()
+		<-in.done
+		return
+	}
+	in.stopped = true
+	close(in.stopCh)
+	in.mu.Unlock()
+	<-in.done
+	in.Flush()
+}
+
+// Stats snapshots the counters.
+func (in *Ingester) Stats() IngesterStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// take detaches the buffer; caller holds in.mu.
+func (in *Ingester) take() []lifelog.Event {
+	if len(in.buf) == 0 {
+		return nil
+	}
+	batch := in.buf
+	in.buf = nil
+	return batch
+}
+
+func (in *Ingester) loop() {
+	defer close(in.done)
+	ticker := time.NewTicker(in.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			in.Flush()
+		case <-in.stopCh:
+			return
+		}
+	}
+}
+
+// ship sends one batch, honouring 503 backoff.
+func (in *Ingester) ship(batch []lifelog.Event) {
+	var (
+		resp wire.IngestResponse
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, err = in.c.Ingest(batch)
+		var apiErr *APIError
+		if err != nil && errors.As(err, &apiErr) && apiErr.Temporary() && attempt < in.MaxRetries {
+			in.mu.Lock()
+			in.stats.Retries++
+			in.mu.Unlock()
+			backoff := apiErr.RetryAfter
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		break
+	}
+	in.mu.Lock()
+	if err == nil {
+		in.stats.Flushes++
+		in.stats.Processed += resp.Processed
+		in.stats.Skipped += resp.SkippedUnknown
+	} else {
+		in.stats.Dropped += len(batch)
+	}
+	onErr := in.OnError
+	in.mu.Unlock()
+	if err != nil && onErr != nil {
+		onErr(batch, err)
+	}
+}

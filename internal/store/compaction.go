@@ -127,6 +127,7 @@ func (db *DB) compactOnce() bool {
 	newSegs = append(newSegs, db.segments[idx+len(run):]...)
 	db.segments = newSegs
 	db.compactErr = nil
+	db.compactions++
 	db.mu.Unlock()
 
 	// Old files are unreachable for new readers; in-flight iterators hold

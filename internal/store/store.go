@@ -94,7 +94,8 @@ type DB struct {
 	closeCh     chan struct{}
 	closeOnce   sync.Once
 	wg          sync.WaitGroup
-	compactErr  error // last background compaction failure, under mu
+	compactErr  error  // last background compaction failure, under mu
+	compactions uint64 // merges completed (background + forced), under mu
 }
 
 // Open opens (or creates) a database in dir, replaying any WAL left by a
@@ -306,6 +307,7 @@ func (db *DB) Compact() error {
 	old := db.segments
 	db.segments = []*segment{seg}
 	db.nextSeg++
+	db.compactions++
 	// Remove oldest-first: at any crash point the surviving files still
 	// shadow each other correctly when reloaded in id order.
 	for _, s := range old {
@@ -386,6 +388,43 @@ func (db *DB) SegmentCount() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.segments)
+}
+
+// Stats is a point-in-time snapshot of engine internals, cheap enough for a
+// metrics endpoint to poll.
+type Stats struct {
+	// Segments is the immutable segment count; SegmentBytes their on-disk
+	// total.
+	Segments     int
+	SegmentBytes int64
+	// MemtableKeys / MemtableBytes describe the mutable tier.
+	MemtableKeys  int
+	MemtableBytes int
+	// Compactions counts merges completed since open (background tiers and
+	// forced Compact calls).
+	Compactions uint64
+	// CompactionErr is the most recent background compaction failure, empty
+	// when healthy.
+	CompactionErr string
+}
+
+// Stats snapshots the engine counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := Stats{
+		Segments:      len(db.segments),
+		MemtableKeys:  db.mem.len(),
+		MemtableBytes: db.mem.bytes,
+		Compactions:   db.compactions,
+	}
+	for _, s := range db.segments {
+		st.SegmentBytes += s.size
+	}
+	if db.compactErr != nil {
+		st.CompactionErr = db.compactErr.Error()
+	}
+	return st
 }
 
 // Close flushes and releases all resources. The DB is unusable afterwards.

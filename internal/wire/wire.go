@@ -1,0 +1,212 @@
+// Package wire defines the JSON types of the SPA serving API — the single
+// vocabulary shared by the spad daemon (internal/server) and the Go client
+// (internal/spaclient), so the two cannot drift apart. The protocol is
+// deliberately plain HTTP/JSON: every message is one object, timestamps
+// travel as Unix nanoseconds, and enumerations travel as the lowercase
+// names the paper uses (see ROADMAP open items for the planned binary
+// protocol).
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/emotion"
+	"repro/internal/lifelog"
+)
+
+// Event is the wire form of one LifeLog event.
+type Event struct {
+	UserID uint64 `json:"user_id"`
+	// TimeUnixNano is the event instant as Unix nanoseconds; per-user event
+	// streams must be non-decreasing, as everywhere in the LifeLog pipeline.
+	TimeUnixNano int64   `json:"time_unix_nano"`
+	Type         uint8   `json:"type"`
+	Action       uint32  `json:"action"`
+	Value        float32 `json:"value,omitempty"`
+	Campaign     uint32  `json:"campaign,omitempty"`
+}
+
+// FromEvent converts a LifeLog event to its wire form.
+func FromEvent(e lifelog.Event) Event {
+	return Event{
+		UserID:       e.UserID,
+		TimeUnixNano: e.Time.UnixNano(),
+		Type:         uint8(e.Type),
+		Action:       e.Action,
+		Value:        e.Value,
+		Campaign:     e.Campaign,
+	}
+}
+
+// Lifelog converts the wire event back to the domain type.
+func (e Event) Lifelog() lifelog.Event {
+	return lifelog.Event{
+		UserID:   e.UserID,
+		Time:     time.Unix(0, e.TimeUnixNano),
+		Type:     lifelog.EventType(e.Type),
+		Action:   e.Action,
+		Value:    e.Value,
+		Campaign: e.Campaign,
+	}
+}
+
+// ToEvents converts a wire batch to domain events.
+func ToEvents(in []Event) []lifelog.Event {
+	out := make([]lifelog.Event, len(in))
+	for i, e := range in {
+		out[i] = e.Lifelog()
+	}
+	return out
+}
+
+// FromEvents converts domain events to a wire batch.
+func FromEvents(in []lifelog.Event) []Event {
+	out := make([]Event, len(in))
+	for i, e := range in {
+		out[i] = FromEvent(e)
+	}
+	return out
+}
+
+// RegisterRequest creates a Smart User Model.
+type RegisterRequest struct {
+	UserID    uint64    `json:"user_id"`
+	Objective []float64 `json:"objective,omitempty"`
+}
+
+// IngestRequest carries one submitter's event batch.
+type IngestRequest struct {
+	Events []Event `json:"events"`
+}
+
+// IngestResponse reports the batch's outcome. CoalescedWith is the number
+// of requests (including this one) that shared the group commit — 1 when
+// the request committed alone.
+type IngestResponse struct {
+	Processed      int `json:"processed"`
+	SkippedUnknown int `json:"skipped_unknown"`
+	CoalescedWith  int `json:"coalesced_with"`
+}
+
+// Question is one Gradual EIT item.
+type Question struct {
+	ID      int      `json:"id"`
+	Branch  string   `json:"branch"`
+	Prompt  string   `json:"prompt"`
+	Options []string `json:"options"`
+}
+
+// AnswerRequest submits a Gradual EIT answer.
+type AnswerRequest struct {
+	ItemID int `json:"item_id"`
+	Option int `json:"option"`
+}
+
+// AttributesRequest names emotional attributes for reward/punish, by their
+// lowercase paper names ("lively", "frightened", ...).
+type AttributesRequest struct {
+	Attributes []string `json:"attributes"`
+}
+
+// ToAttributes resolves the names.
+func (r AttributesRequest) ToAttributes() ([]emotion.Attribute, error) {
+	if len(r.Attributes) == 0 {
+		return nil, fmt.Errorf("wire: no attributes named")
+	}
+	out := make([]emotion.Attribute, len(r.Attributes))
+	for i, n := range r.Attributes {
+		a, err := emotion.ParseAttribute(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// AttributeNames is the inverse of AttributesRequest.ToAttributes.
+func AttributeNames(attrs []emotion.Attribute) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// PropensityResponse is the calibrated response probability.
+type PropensityResponse struct {
+	Propensity float64 `json:"propensity"`
+}
+
+// SensibilitiesResponse maps attribute name → absolute sensibility weight.
+type SensibilitiesResponse struct {
+	Sensibilities map[string]float64 `json:"sensibilities"`
+}
+
+// SelectTopResponse ranks users by propensity, best first.
+type SelectTopResponse struct {
+	UserIDs []uint64 `json:"user_ids"`
+}
+
+// AdviceResponse is the SUM advice-stage excitation/inhibition vector,
+// keyed by attribute name.
+type AdviceResponse struct {
+	Domain     string             `json:"domain"`
+	Excitation map[string]float64 `json:"excitation"`
+}
+
+// Recommendation is one ranked action.
+type Recommendation struct {
+	Action uint32  `json:"action"`
+	Score  float64 `json:"score"`
+}
+
+// RecommendResponse is the individualized action ranking, best first.
+type RecommendResponse struct {
+	Recommendations []Recommendation `json:"recommendations"`
+}
+
+// Error is the uniform error body; Message is safe to show to operators.
+type Error struct {
+	Message string `json:"error"`
+}
+
+// Health is the liveness body.
+type Health struct {
+	Status string `json:"status"`
+	Users  int    `json:"users"`
+}
+
+// Metrics is the /metrics snapshot: serving-layer counters plus the
+// embedded store's internals.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Users         int     `json:"users"`
+
+	// Request counters.
+	Requests      uint64 `json:"requests"`
+	RequestErrors uint64 `json:"request_errors"`
+
+	// Ingest path: the coalescer's accounting. IngestRequests counts
+	// arrivals; IngestEvents counts events actually handed to the core in
+	// group commits (rejected requests are excluded).
+	IngestRequests uint64 `json:"ingest_requests"`
+	IngestEvents   uint64 `json:"ingest_events"`
+	IngestRejected uint64 `json:"ingest_rejected"` // 503: pending queue full
+	IngestCommits  uint64 `json:"ingest_commits"`  // group commits dispatched
+	// CoalescedRequests sums requests over commits; CoalescedRequests /
+	// IngestCommits is the mean group size, MaxCoalesced the largest.
+	CoalescedRequests uint64 `json:"coalesced_requests"`
+	MaxCoalesced      int    `json:"max_coalesced"`
+	QueueDepth        int    `json:"queue_depth"`
+	QueueCapacity     int    `json:"queue_capacity"`
+
+	// Store internals; zero-valued with Durable=false.
+	Durable           bool   `json:"durable"`
+	StoreSegments     int    `json:"store_segments"`
+	StoreSegmentBytes int64  `json:"store_segment_bytes"`
+	StoreMemtableKeys int    `json:"store_memtable_keys"`
+	StoreCompactions  uint64 `json:"store_compactions"`
+	StoreCompactError string `json:"store_compact_error,omitempty"`
+}
