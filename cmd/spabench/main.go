@@ -43,7 +43,7 @@ func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
-	skipScale := flag.Bool("skip-scale", false, "skip the S1/S2 scale sections")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1/S2/S3 scale sections")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per section instead of the table")
 	clients := flag.Int("clients", scalebench.Workers, "concurrent clients for S2/loadgen")
 	requests := flag.Int("requests", 2048, "total ingest requests for S2/loadgen")
@@ -225,6 +225,9 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 		if err := runScaleServe(em, clients, requests); err != nil {
 			return err
 		}
+		if err := runScaleServeWire(em, clients, requests); err != nil {
+			return err
+		}
 	}
 	em.printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -292,6 +295,43 @@ func runScale(em *emitter) error {
 	return nil
 }
 
+// serveStack boots one durable spad stack on loopback — HTTP server,
+// coalescer (optional), sharded core, fsync on — and hands the base URL to
+// fn, tearing everything down afterwards. Shared by [S2] and [S3] so both
+// measure the identical serving configuration.
+func serveStack(coalesce bool, shards int, fn func(baseURL string) error) error {
+	dir, err := os.MkdirTemp("", "spabench-serve-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	spa, err := core.New(core.Options{
+		DataDir: dir,
+		Store:   store.Options{SyncWrites: true},
+		Shards:  shards,
+		Clock:   clock.NewSimulated(clock.Epoch),
+	})
+	if err != nil {
+		return err
+	}
+	// A short linger lets the dispatcher gather the full client wave
+	// into each group commit; the off-mode server ignores it.
+	srv := server.New(spa, server.Options{DisableCoalescing: !coalesce, MaxDelay: 2 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		spa.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer func() {
+		httpSrv.Close()
+		srv.Close()
+		spa.Close()
+	}()
+	return fn("http://" + ln.Addr().String())
+}
+
 // runScaleServe is the serving-side comparison [S2]: a live spad stack on
 // loopback (HTTP server, coalescer, sharded durable core, fsync on) driven
 // by concurrent wire clients, with cross-request coalescing on versus off.
@@ -301,46 +341,21 @@ func runScaleServe(em *emitter, clients, requests int) error {
 	em.printf("\n[S2] Serving layer: spad over loopback (%d clients, %d requests of %d events, fsync on)\n",
 		clients, requests, 32*scalebench.PerUser)
 
-	measure := func(coalesce bool) (scalebench.LoadgenResult, error) {
-		dir, err := os.MkdirTemp("", "spabench-serve-*")
-		if err != nil {
-			return scalebench.LoadgenResult{}, err
-		}
-		defer os.RemoveAll(dir)
-		spa, err := core.New(core.Options{
-			DataDir: dir,
-			Store:   store.Options{SyncWrites: true},
-			// More shards than [S1]: a serving core is sized for many
-			// concurrent callers, and the uncoalesced baseline pays one
-			// group commit per shard a request touches either way.
-			Shards: 32,
-			Clock:  clock.NewSimulated(clock.Epoch),
+	measure := func(coalesce bool) (res scalebench.LoadgenResult, err error) {
+		// More shards than [S1]: a serving core is sized for many
+		// concurrent callers, and the uncoalesced baseline pays one
+		// group commit per shard a request touches either way.
+		err = serveStack(coalesce, 32, func(baseURL string) error {
+			res, err = scalebench.RunLoadgen(scalebench.LoadgenConfig{
+				BaseURL:         baseURL,
+				Clients:         clients,
+				Requests:        requests,
+				Register:        true,
+				UsersPerRequest: 32,
+			})
+			return err
 		})
-		if err != nil {
-			return scalebench.LoadgenResult{}, err
-		}
-		// A short linger lets the dispatcher gather the full client wave
-		// into each group commit; the off-mode server ignores it.
-		srv := server.New(spa, server.Options{DisableCoalescing: !coalesce, MaxDelay: 2 * time.Millisecond})
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			spa.Close()
-			return scalebench.LoadgenResult{}, err
-		}
-		httpSrv := &http.Server{Handler: srv}
-		go httpSrv.Serve(ln)
-		defer func() {
-			httpSrv.Close()
-			srv.Close()
-			spa.Close()
-		}()
-		return scalebench.RunLoadgen(scalebench.LoadgenConfig{
-			BaseURL:         "http://" + ln.Addr().String(),
-			Clients:         clients,
-			Requests:        requests,
-			Register:        true,
-			UsersPerRequest: 32,
-		})
+		return res, err
 	}
 
 	// fsync latency on shared storage is noisy between runs; interleave the
@@ -378,6 +393,75 @@ func runScaleServe(em *emitter, clients, requests int) error {
 		"coalesce_on":  on,
 		"speedup":      speedup,
 		"ok":           speedup >= 2 && on.Errors == 0 && off.Errors == 0,
+	})
+	return nil
+}
+
+// runScaleServeWire is the wire-format comparison [S3]: the same live
+// serving stack as the coalesced [S2] run (spad on loopback, coalescing
+// and fsync on), with the loadgen clients speaking JSON versus the
+// length-prefixed binary framing. The codec overhead is per event, so the
+// comparison uses bulk-upload-sized requests (128 users x PerUser events —
+// a device syncing a day's LifeLog, not a live trickle) and a stack whose
+// fsync floor (8 shards) does not drown the protocol cost under disk
+// waits: JSON encode/decode then caps throughput on CPU-bound hosts and
+// the binary framing pushes the bottleneck back to the store.
+func runScaleServeWire(em *emitter, clients, requests int) error {
+	const usersPerRequest = 128
+	em.printf("\n[S3] Wire framing: binary vs JSON ingest (%d clients, %d requests of %d events, fsync on)\n",
+		clients, requests, usersPerRequest*scalebench.PerUser)
+
+	measure := func(jsonOnly bool) (res scalebench.LoadgenResult, err error) {
+		err = serveStack(true, 8, func(baseURL string) error {
+			res, err = scalebench.RunLoadgen(scalebench.LoadgenConfig{
+				BaseURL:         baseURL,
+				Clients:         clients,
+				Requests:        requests,
+				Register:        true,
+				UsersPerRequest: usersPerRequest,
+				JSONOnly:        jsonOnly,
+			})
+			return err
+		})
+		return res, err
+	}
+
+	// Same discipline as [S2]: interleave the modes and keep each one's
+	// best of two windows, so shared-storage fsync noise cannot masquerade
+	// as a protocol difference.
+	var jsonRes, binRes scalebench.LoadgenResult
+	for round := 0; round < 2; round++ {
+		j, err := measure(true)
+		if err != nil {
+			return err
+		}
+		if j.EventsPerSec > jsonRes.EventsPerSec {
+			jsonRes = j
+		}
+		b, err := measure(false)
+		if err != nil {
+			return err
+		}
+		if b.EventsPerSec > binRes.EventsPerSec {
+			binRes = b
+		}
+	}
+	speedup := 0.0
+	if jsonRes.EventsPerSec > 0 {
+		speedup = binRes.EventsPerSec / jsonRes.EventsPerSec
+	}
+	ok := speedup > 1 && binRes.Errors == 0 && jsonRes.Errors == 0
+	em.printf("  json ingest    : %8.0f events/s   p50 %6s  p99 %6s  (%d errors)\n",
+		jsonRes.EventsPerSec, jsonRes.P50.Round(time.Microsecond), jsonRes.P99.Round(time.Microsecond), jsonRes.Errors)
+	em.printf("  binary ingest  : %8.0f events/s   p50 %6s  p99 %6s  (%d errors, mean batch %.1f)\n",
+		binRes.EventsPerSec, binRes.P50.Round(time.Microsecond), binRes.P99.Round(time.Microsecond),
+		binRes.Errors, binRes.MeanCoalesced)
+	em.printf("  speedup        : %.2fx   %s\n", speedup, okIf(ok))
+	em.emit("S3", map[string]any{
+		"json":    jsonRes,
+		"binary":  binRes,
+		"speedup": speedup,
+		"ok":      ok,
 	})
 	return nil
 }

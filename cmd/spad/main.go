@@ -8,6 +8,7 @@
 //
 //	spad [-addr :8372] [-data DIR] [-shards 16] [-sync]
 //	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
+//	     [-no-binary]
 //
 // An empty -data serves an in-memory (non-durable) instance, useful for
 // load experiments; production points -data at a directory and usually
@@ -40,15 +41,16 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max requests merged into one group commit")
 	maxDelay := flag.Duration("max-delay", 0, "linger before committing a partial batch (0: commit whatever is pending)")
 	noCoalesce := flag.Bool("no-coalesce", false, "commit every ingest request on its own (measurement baseline)")
+	noBinary := flag.Bool("no-binary", false, "refuse the binary ingest framing (clients fall back to JSON)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce); err != nil {
+	if err := run(*addr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce, *noBinary); err != nil {
 		fmt.Fprintf(os.Stderr, "spad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce bool) error {
+func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce, noBinary bool) error {
 	spa, err := core.New(core.Options{
 		DataDir: data,
 		Store:   store.Options{SyncWrites: sync},
@@ -63,6 +65,7 @@ func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay
 		QueueDepth:        queue,
 		MaxBatch:          maxBatch,
 		MaxDelay:          maxDelay,
+		DisableBinary:     noBinary,
 	})
 	httpSrv := &http.Server{
 		Addr:              addr,

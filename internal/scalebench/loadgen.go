@@ -39,6 +39,9 @@ type LoadgenConfig struct {
 	// Timeout bounds each request (default 30 s — a full queue with sync
 	// writes can make tail latencies grow well past interactive defaults).
 	Timeout time.Duration
+	// JSONOnly forces the clients onto the JSON ingest path instead of the
+	// binary framing — the [S3] measurement baseline.
+	JSONOnly bool
 }
 
 // LoadgenResult is one run's measurement.
@@ -83,7 +86,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 
 	clients := make([]*spaclient.Client, cfg.Clients)
 	for k := range clients {
-		clients[k] = spaclient.New(cfg.BaseURL, spaclient.Options{Timeout: cfg.Timeout})
+		clients[k] = spaclient.New(cfg.BaseURL, spaclient.Options{Timeout: cfg.Timeout, DisableBinary: cfg.JSONOnly})
 	}
 	if cfg.Register {
 		if err := registerRanges(clients); err != nil {

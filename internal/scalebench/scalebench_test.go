@@ -9,6 +9,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/spaclient"
 )
 
 func TestMakeBurstsShape(t *testing.T) {
@@ -128,5 +129,67 @@ func TestS2Smoke(t *testing.T) {
 	}
 	if spa.Users() != 2*Users {
 		t.Fatalf("registered %d users, want %d", spa.Users(), 2*Users)
+	}
+}
+
+// TestS3Smoke runs a miniature of spabench's [S3] section: the same stack
+// driven once with binary-framed clients and once JSON-only — both modes
+// must deliver every event, and the binary mode must actually have
+// negotiated the framing.
+func TestS3Smoke(t *testing.T) {
+	spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(spa, server.Options{})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+		spa.Close()
+	}()
+
+	const usersPerRequest = 8
+	var binaryRequests uint64
+	for _, jsonOnly := range []bool{false, true} {
+		res, err := RunLoadgen(LoadgenConfig{
+			BaseURL:         ts.URL,
+			Clients:         2,
+			Requests:        8,
+			Register:        true,
+			UsersPerRequest: usersPerRequest,
+			JSONOnly:        jsonOnly,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("jsonOnly=%v: loadgen errors: %+v", jsonOnly, res)
+		}
+		if want := res.Requests * usersPerRequest * PerUser; res.Events != want {
+			t.Fatalf("jsonOnly=%v: events %d, want %d", jsonOnly, res.Events, want)
+		}
+		if jsonOnly {
+			continue
+		}
+		// The binary pass must have spoken binary for every request.
+		c := spaclient.New(ts.URL, spaclient.Options{})
+		m, err := c.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binaryRequests = m.IngestBinary
+		if binaryRequests != uint64(res.Requests) {
+			t.Fatalf("binary pass negotiated %d of %d requests", binaryRequests, res.Requests)
+		}
+	}
+	// The JSON-only pass must not have added any binary requests.
+	c := spaclient.New(ts.URL, spaclient.Options{})
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IngestBinary != binaryRequests {
+		t.Fatalf("JSON-only pass spoke binary: %d -> %d", binaryRequests, m.IngestBinary)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -84,7 +85,12 @@ func newCoalescer(backend multiIngester, met *metrics, queueDepth, maxBatch int,
 
 // submit enqueues one request's events and blocks until its group commit
 // completes, returning the request's own outcome and the commit's size.
-func (c *coalescer) submit(events []lifelog.Event) (core.IngestOutcome, int, error) {
+// A context cancellation (the HTTP client hung up) releases the caller
+// immediately with ctx's error — but the job is already accepted, so the
+// dispatcher still commits it; the buffered done channel absorbs the
+// result nobody is waiting for. Without this a disconnected client would
+// pin its handler goroutine until the commit lands.
+func (c *coalescer) submit(ctx context.Context, events []lifelog.Event) (core.IngestOutcome, int, error) {
 	job := &ingestJob{events: events, done: make(chan ingestDone, 1)}
 	c.mu.Lock()
 	if c.closed {
@@ -98,8 +104,12 @@ func (c *coalescer) submit(events []lifelog.Event) (core.IngestOutcome, int, err
 		c.mu.Unlock()
 		return core.IngestOutcome{}, 0, errQueueFull
 	}
-	d := <-job.done
-	return d.outcome, d.merged, nil
+	select {
+	case d := <-job.done:
+		return d.outcome, d.merged, nil
+	case <-ctx.Done():
+		return core.IngestOutcome{}, 0, ctx.Err()
+	}
 }
 
 // close stops admission, waits for the dispatcher to drain every queued
@@ -147,13 +157,7 @@ func (c *coalescer) gather(first *ingestJob) []*ingestJob {
 	}
 	for len(batch) < c.maxBatch {
 		if timeout == nil {
-			select {
-			case j := <-c.queue:
-				batch = append(batch, j)
-			default:
-				return batch
-			}
-			continue
+			return c.gatherPending(batch)
 		}
 		select {
 		case j := <-c.queue:
@@ -161,8 +165,23 @@ func (c *coalescer) gather(first *ingestJob) []*ingestJob {
 		case <-timeout:
 			timeout = nil
 		case <-c.quit:
-			// Shutdown cuts the linger short; the drain loop handles the
-			// rest of the queue.
+			// Shutdown cuts the linger short, but still scoops whatever is
+			// already queued: with quit closed this select would otherwise
+			// be perpetually ready and fragment the drain into near-empty
+			// commits, de-coalescing exactly when the backlog is largest.
+			return c.gatherPending(batch)
+		}
+	}
+	return batch
+}
+
+// gatherPending tops batch up to maxBatch from the queue without blocking.
+func (c *coalescer) gatherPending(batch []*ingestJob) []*ingestJob {
+	for len(batch) < c.maxBatch {
+		select {
+		case j := <-c.queue:
+			batch = append(batch, j)
+		default:
 			return batch
 		}
 	}
@@ -170,12 +189,14 @@ func (c *coalescer) gather(first *ingestJob) []*ingestJob {
 }
 
 // drain commits everything still queued at shutdown — graceful drain means
-// accepted requests are never dropped.
+// accepted requests are never dropped, and they still leave in merged
+// waves: gatherPending batches nonblockingly (gather would consult the
+// already-closed quit channel and commit ~one request at a time).
 func (c *coalescer) drain() {
 	for {
 		select {
 		case j := <-c.queue:
-			c.dispatch(c.gather(j))
+			c.dispatch(c.gatherPending([]*ingestJob{j}))
 		default:
 			return
 		}

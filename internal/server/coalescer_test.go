@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -92,7 +93,7 @@ func TestCoalescerOrderAndCompleteness(t *testing.T) {
 					seq++
 					events = append(events, evAt(user, seq))
 				}
-				out, merged, err := c.submit(events)
+				out, merged, err := c.submit(context.Background(), events)
 				if err != nil {
 					errs <- fmt.Errorf("client %d: %v", cl, err)
 					return
@@ -178,7 +179,7 @@ func TestCoalescerErrorFanback(t *testing.T) {
 				if bad {
 					events[0], events[len(events)-1] = events[len(events)-1], events[0]
 				}
-				out, _, err := c.submit(events)
+				out, _, err := c.submit(context.Background(), events)
 				results <- result{bad: bad, out: out, err: err}
 			}
 		}(cl)
@@ -215,7 +216,7 @@ func TestCoalescerAdmissionControl(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := c.submit([]lifelog.Event{evAt(uint64(i+1), 1)})
+			_, _, err := c.submit(context.Background(), []lifelog.Event{evAt(uint64(i+1), 1)})
 			if errors.Is(err, errQueueFull) {
 				rejected.Store(i, true)
 			} else if err == nil {
@@ -245,6 +246,139 @@ func TestCoalescerAdmissionControl(t *testing.T) {
 	}
 }
 
+// gatedBackend blocks its first MultiIngest call until released — the seam
+// that lets a test pile up a backlog behind an in-flight commit and then
+// trigger shutdown at a known point.
+type gatedBackend struct {
+	recordingBackend
+	started chan struct{} // closed when the first commit begins
+	release chan struct{} // first commit waits for this
+	first   sync.Once
+}
+
+func (b *gatedBackend) MultiIngest(batches [][]lifelog.Event) []core.IngestOutcome {
+	b.first.Do(func() {
+		close(b.started)
+		<-b.release
+	})
+	return b.recordingBackend.MultiIngest(batches)
+}
+
+// TestCoalescerDrainMergesBacklog is the graceful-drain batching
+// regression: shutting down with a backlog behind a slow commit must still
+// drain in merged waves. The old drain re-used gather, whose select
+// consulted the already-closed quit channel — perpetually ready, so the
+// drain fragmented into ~single-request commits exactly when the backlog
+// was largest.
+func TestCoalescerDrainMergesBacklog(t *testing.T) {
+	const backlog = 32
+	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
+	// maxDelay > 0 is the trigger: it put the quit case into gather's
+	// select in the first place.
+	c := newCoalescer(backend, nil, 64, 64, time.Millisecond)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, backlog+1)
+	submit := func(user uint64) {
+		defer wg.Done()
+		if _, _, err := c.submit(context.Background(), []lifelog.Event{evAt(user, 1)}); err != nil {
+			errs <- err
+		}
+	}
+	// One request occupies the dispatcher (held inside MultiIngest by the
+	// gate)...
+	wg.Add(1)
+	go submit(1)
+	<-backend.started
+	// ...while a backlog accumulates in the queue.
+	for i := 0; i < backlog; i++ {
+		wg.Add(1)
+		go submit(uint64(i + 2))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.depth() < backlog && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if c.depth() < backlog {
+		t.Fatalf("backlog never queued: depth %d", c.depth())
+	}
+	// Begin shutdown, then let the stuck commit finish: the dispatcher
+	// drains the backlog with quit already closed.
+	go c.close()
+	time.Sleep(2 * time.Millisecond)
+	close(backend.release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	maxMerged := 0
+	total := 0
+	for _, commit := range backend.snapshot() {
+		if len(commit) > maxMerged {
+			maxMerged = len(commit)
+		}
+		total += len(commit)
+	}
+	if total != backlog+1 {
+		t.Fatalf("backend saw %d requests, want %d", total, backlog+1)
+	}
+	// The whole backlog is queued when the drain starts, so it must leave
+	// in a handful of large commits — not one-request dribbles.
+	if maxMerged < backlog/2 {
+		t.Fatalf("largest drain commit merged %d of %d backlogged requests — drain de-coalesced", maxMerged, backlog)
+	}
+}
+
+// TestCoalescerSubmitHonorsContext: a canceled context releases the
+// waiting submitter immediately, but the accepted job still commits — the
+// handler goroutine is freed without breaking the no-loss guarantee.
+func TestCoalescerSubmitHonorsContext(t *testing.T) {
+	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
+	c := newCoalescer(backend, nil, 64, 1, 0) // maxBatch 1: the canceled job commits alone
+	defer c.close()
+
+	// Occupy the dispatcher so the next submit stays queued.
+	go c.submit(context.Background(), []lifelog.Event{evAt(1, 1)})
+	<-backend.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.submit(ctx, []lifelog.Event{evAt(2, 1)})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.depth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit still blocked after cancel — disconnected client pins its handler")
+	}
+
+	// The abandoned job must still reach the backend exactly once.
+	close(backend.release)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, commit := range backend.snapshot() {
+			total += len(commit)
+		}
+		if total == 2 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("abandoned job never committed: %d commits", len(backend.snapshot()))
+}
+
 // TestCoalescerDrain: close() must commit everything already accepted and
 // reject everything after.
 func TestCoalescerDrain(t *testing.T) {
@@ -258,7 +392,7 @@ func TestCoalescerDrain(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := c.submit([]lifelog.Event{evAt(uint64(i+1), 1)})
+			_, _, err := c.submit(context.Background(), []lifelog.Event{evAt(uint64(i+1), 1)})
 			okCh <- err == nil
 		}(i)
 	}
@@ -281,7 +415,7 @@ func TestCoalescerDrain(t *testing.T) {
 	if total != completed {
 		t.Fatalf("backend committed %d requests, %d submitters saw success — drain dropped work", total, completed)
 	}
-	if _, _, err := c.submit([]lifelog.Event{evAt(1, 2)}); !errors.Is(err, errDraining) {
+	if _, _, err := c.submit(context.Background(), []lifelog.Event{evAt(1, 2)}); !errors.Is(err, errDraining) {
 		t.Fatalf("submit after close: %v, want errDraining", err)
 	}
 	if c.depth() != 0 {

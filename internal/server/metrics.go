@@ -9,6 +9,7 @@ type metrics struct {
 	requestErrors atomic.Uint64
 
 	ingestRequests atomic.Uint64
+	ingestBinary   atomic.Uint64
 	ingestEvents   atomic.Uint64
 	ingestRejected atomic.Uint64
 

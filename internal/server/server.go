@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -48,18 +49,23 @@ type Options struct {
 	// MaxBodyBytes caps one request body (default 8 MiB); larger bodies
 	// answer 413 before any decoding buffers them.
 	MaxBodyBytes int64
+	// DisableBinary refuses the binary ingest framing with 415, forcing
+	// every client back onto JSON — an escape hatch for debugging with
+	// curl/tcpdump-friendly traffic (spad -no-binary).
+	DisableBinary bool
 }
 
 // Server is the spad request handler. Create with New, serve with any
 // http.Server, and Close on the way out (after the http.Server has stopped
 // accepting) to drain the coalescer.
 type Server struct {
-	spa     *core.SPA
-	mux     *http.ServeMux
-	co      *coalescer // nil when coalescing is disabled
-	met     metrics
-	maxBody int64
-	start   time.Time
+	spa      *core.SPA
+	mux      *http.ServeMux
+	co       *coalescer // nil when coalescing is disabled
+	met      metrics
+	maxBody  int64
+	noBinary bool
+	start    time.Time
 }
 
 // New wires the handler around an opened SPA. The caller keeps ownership of
@@ -67,6 +73,7 @@ type Server struct {
 func New(spa *core.SPA, opts Options) *Server {
 	s := &Server{spa: spa, mux: http.NewServeMux(), start: time.Now()}
 	s.maxBody = opts.MaxBodyBytes
+	s.noBinary = opts.DisableBinary
 	if s.maxBody <= 0 {
 		s.maxBody = 8 << 20
 	}
@@ -152,6 +159,23 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// readBody slurps a capped raw body (the binary path's counterpart of
+// decode): same byte bound, same 413 mapping.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return nil, false
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return nil, false
+	}
+	return raw, true
+}
+
 func (s *Server) userID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil || id == 0 {
@@ -180,12 +204,38 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusCreated, struct{}{})
 }
 
+// handleIngest dispatches on Content-Type: application/x-spa-binary
+// selects the length-prefixed framing of internal/wire, anything else is
+// the JSON baseline. Both paths share the body cap, the coalescer, and the
+// error vocabulary (errors always answer as JSON, whatever the request
+// spoke — status handling stays one code path for every client).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req wire.IngestRequest
-	if !s.decode(w, r, &req) {
-		return
+	binaryReq := wire.IsBinaryContentType(r.Header.Get("Content-Type"))
+	var events []lifelog.Event
+	if binaryReq {
+		if s.noBinary {
+			s.writeError(w, http.StatusUnsupportedMediaType,
+				errors.New("binary ingest framing disabled; use application/json"))
+			return
+		}
+		raw, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		wevents, err := wire.DecodeIngestRequest(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		events = wire.ToEvents(wevents)
+		s.met.ingestBinary.Add(1)
+	} else {
+		var req wire.IngestRequest
+		if !s.decode(w, r, &req) {
+			return
+		}
+		events = wire.ToEvents(req.Events)
 	}
-	events := wire.ToEvents(req.Events)
 	s.met.ingestRequests.Add(1)
 
 	var (
@@ -197,7 +247,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.met.noteCommit(1, len(events))
 	} else {
 		var err error
-		out, merged, err = s.co.submit(events)
+		out, merged, err = s.co.submit(r.Context(), events)
 		switch {
 		case errors.Is(err, errQueueFull):
 			s.met.ingestRejected.Add(1)
@@ -207,6 +257,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, errDraining):
 			w.Header().Set("Retry-After", "5")
 			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			// The client hung up while its accepted job was waiting on the
+			// commit. The job still commits; nobody reads this answer.
+			s.writeError(w, http.StatusRequestTimeout, err)
 			return
 		}
 	}
@@ -220,11 +275,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.writeJSON(w, http.StatusOK, wire.IngestResponse{
+	resp := wire.IngestResponse{
 		Processed:      out.Processed,
 		SkippedUnknown: out.SkippedUnknown,
 		CoalescedWith:  merged,
-	})
+	}
+	if binaryReq {
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		w.Write(wire.EncodeIngestResponse(resp))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +463,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Requests:          s.met.requests.Load(),
 		RequestErrors:     s.met.requestErrors.Load(),
 		IngestRequests:    s.met.ingestRequests.Load(),
+		IngestBinary:      s.met.ingestBinary.Load(),
 		IngestEvents:      s.met.ingestEvents.Load(),
 		IngestRejected:    s.met.ingestRejected.Load(),
 		IngestCommits:     s.met.ingestCommits.Load(),

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -322,13 +323,13 @@ func TestServerDrainOnClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := New(spa, Options{})
-	out, merged, err := srv.co.submit([]lifelog.Event{evAt(1, 1)})
+	out, merged, err := srv.co.submit(context.Background(), []lifelog.Event{evAt(1, 1)})
 	if err != nil || out.Err != nil || merged != 1 {
 		t.Fatalf("pre-close submit: %+v %d %v", out, merged, err)
 	}
 	srv.Close()
 	srv.Close() // idempotent
-	if _, _, err := srv.co.submit([]lifelog.Event{evAt(1, 2)}); err == nil {
+	if _, _, err := srv.co.submit(context.Background(), []lifelog.Event{evAt(1, 2)}); err == nil {
 		t.Fatal("submit accepted after Close")
 	}
 }

@@ -9,32 +9,41 @@ package spaclient
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lifelog"
 	"repro/internal/wire"
 )
 
-// Options tune the client. The zero value selects a 15 s request timeout
-// and a dedicated keep-alive transport.
+// Options tune the client. The zero value selects a 15 s request timeout,
+// a dedicated keep-alive transport, and binary ingest framing with JSON
+// fallback.
 type Options struct {
 	// Timeout bounds one request round-trip (default 15 s).
 	Timeout time.Duration
 	// HTTPClient overrides the underlying client entirely (its own Timeout
 	// then wins); nil builds one with pooled keep-alive connections.
 	HTTPClient *http.Client
+	// DisableBinary forces JSON on the ingest path. The default prefers
+	// the binary framing and falls back permanently (per client) the first
+	// time the server answers 415 — so the same client works against a
+	// daemon running -no-binary or a pre-framing build.
+	DisableBinary bool
 }
 
 // Client talks to one spad instance. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base     string
+	hc       *http.Client
+	jsonOnly atomic.Bool // flipped on by Options.DisableBinary or a 415
 }
 
 // New creates a client for the daemon at baseURL (e.g.
@@ -59,7 +68,9 @@ func New(baseURL string, opts Options) *Client {
 			},
 		}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	c.jsonOnly.Store(opts.DisableBinary)
+	return c
 }
 
 // APIError is a non-2xx wire response. RetryAfter is the server's requested
@@ -78,6 +89,41 @@ func (e *APIError) Error() string {
 // Temporary reports whether the request may succeed if retried (the
 // admission-control 503).
 func (e *APIError) Temporary() bool { return e.Status == http.StatusServiceUnavailable }
+
+// maxRetryAfter caps the backoff a server can dictate: an operator typo or
+// a far-future HTTP-date must not park a client for hours.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay-seconds or an HTTP-date — and clamps the result to
+// [0, maxRetryAfter]. Unparseable values yield zero (caller picks its own
+// default backoff).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(h); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		d = time.Until(t)
+	}
+	return min(max(d, 0), maxRetryAfter)
+}
+
+// apiError builds the typed error for a non-2xx response. Error bodies are
+// always the JSON wire.Error, on the binary ingest path too.
+func apiError(resp *http.Response, raw []byte) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode}
+	var e wire.Error
+	if json.Unmarshal(raw, &e) == nil && e.Message != "" {
+		apiErr.Message = e.Message
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+	return apiErr
+}
 
 // do runs one JSON round-trip; out may be nil.
 func (c *Client) do(method, path string, in, out any) error {
@@ -106,19 +152,7 @@ func (c *Client) do(method, path string, in, out any) error {
 		return err
 	}
 	if resp.StatusCode >= 300 {
-		apiErr := &APIError{Status: resp.StatusCode}
-		var e wire.Error
-		if json.Unmarshal(raw, &e) == nil && e.Message != "" {
-			apiErr.Message = e.Message
-		} else {
-			apiErr.Message = strings.TrimSpace(string(raw))
-		}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		return apiErr
+		return apiError(resp, raw)
 	}
 	if out == nil {
 		return nil
@@ -135,11 +169,59 @@ func (c *Client) Register(userID uint64, objective []float64) error {
 	return c.do("POST", "/v1/users", wire.RegisterRequest{UserID: userID, Objective: objective}, nil)
 }
 
-// Ingest submits one event batch and returns the server's outcome.
+// Ingest submits one event batch and returns the server's outcome. It
+// prefers the binary framing (the hot path skips JSON encode/decode
+// entirely); a 415 flips this client to JSON permanently and the batch is
+// retried transparently, so callers never see the negotiation.
 func (c *Client) Ingest(events []lifelog.Event) (wire.IngestResponse, error) {
+	if !c.jsonOnly.Load() {
+		resp, err := c.ingestBinary(events)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnsupportedMediaType {
+			return resp, err
+		}
+		// The daemon refused the framing (-no-binary, or predates it and
+		// mapped the body to 415): speak JSON from here on.
+		c.jsonOnly.Store(true)
+	}
 	var resp wire.IngestResponse
 	err := c.do("POST", "/v1/ingest", wire.IngestRequest{Events: wire.FromEvents(events)}, &resp)
 	return resp, err
+}
+
+// ingestBinary runs one binary-framed ingest round-trip.
+func (c *Client) ingestBinary(events []lifelog.Event) (wire.IngestResponse, error) {
+	frame := wire.EncodeIngestRequest(wire.FromEvents(events))
+	req, err := http.NewRequest("POST", c.base+"/v1/ingest", bytes.NewReader(frame))
+	if err != nil {
+		return wire.IngestResponse{}, err
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return wire.IngestResponse{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return wire.IngestResponse{}, err
+	}
+	if resp.StatusCode >= 300 {
+		return wire.IngestResponse{}, apiError(resp, raw)
+	}
+	if wire.IsBinaryContentType(resp.Header.Get("Content-Type")) {
+		out, err := wire.DecodeIngestResponse(raw)
+		if err != nil {
+			return wire.IngestResponse{}, fmt.Errorf("spaclient: decoding response: %w", err)
+		}
+		return out, nil
+	}
+	// A proxy or an older daemon answered 2xx in JSON; accept it.
+	var out wire.IngestResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return wire.IngestResponse{}, fmt.Errorf("spaclient: decoding response: %w", err)
+	}
+	return out, nil
 }
 
 // NextQuestion fetches the user's next Gradual EIT item.

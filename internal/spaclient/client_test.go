@@ -3,8 +3,10 @@ package spaclient
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -32,6 +34,37 @@ func liveServer(t *testing.T) (*Client, *core.SPA) {
 		spa.Close()
 	})
 	return New(ts.URL, Options{}), spa
+}
+
+// countIngestEvents decodes an ingest request body in whichever framing
+// the client chose — mock servers in this file answer both.
+func countIngestEvents(r *http.Request) int {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return 0
+	}
+	if wire.IsBinaryContentType(r.Header.Get("Content-Type")) {
+		events, err := wire.DecodeIngestRequest(raw)
+		if err != nil {
+			return 0
+		}
+		return len(events)
+	}
+	var req wire.IngestRequest
+	if json.Unmarshal(raw, &req) != nil {
+		return 0
+	}
+	return len(req.Events)
+}
+
+// writeIngestResponse answers in the framing the request spoke.
+func writeIngestResponse(w http.ResponseWriter, r *http.Request, resp wire.IngestResponse) {
+	if wire.IsBinaryContentType(r.Header.Get("Content-Type")) {
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.Write(wire.EncodeIngestResponse(resp))
+		return
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 func click(user uint64, seq int) lifelog.Event {
@@ -131,6 +164,102 @@ func TestIngesterBatches(t *testing.T) {
 	_ = spa
 }
 
+// TestIngestBinaryNegotiation: against a live server the client speaks
+// binary (visible in /metrics); against one with the framing disabled it
+// falls back to JSON on the first 415 — once, transparently, per client.
+func TestIngestBinaryNegotiation(t *testing.T) {
+	c, _ := liveServer(t)
+	if err := c.Register(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Ingest([]lifelog.Event{click(1, 1), click(1, 2)})
+	if err != nil || resp.Processed != 2 {
+		t.Fatalf("ingest: %+v %v", resp, err)
+	}
+	m, err := c.Metrics()
+	if err != nil || m.IngestBinary != 1 || m.IngestRequests != 1 {
+		t.Fatalf("binary not negotiated: %+v %v", m, err)
+	}
+}
+
+func TestIngestFallsBackOn415(t *testing.T) {
+	var binaryAttempts, jsonRequests atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wire.IsBinaryContentType(r.Header.Get("Content-Type")) {
+			binaryAttempts.Add(1)
+			w.WriteHeader(http.StatusUnsupportedMediaType)
+			json.NewEncoder(w).Encode(wire.Error{Message: "binary disabled"})
+			return
+		}
+		jsonRequests.Add(1)
+		json.NewEncoder(w).Encode(wire.IngestResponse{Processed: countIngestEvents(r), CoalescedWith: 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	for i := 1; i <= 3; i++ {
+		resp, err := c.Ingest([]lifelog.Event{click(1, i)})
+		if err != nil || resp.Processed != 1 {
+			t.Fatalf("ingest %d: %+v %v", i, resp, err)
+		}
+	}
+	// One probing binary request, then JSON only — the batch that hit 415
+	// was retried as JSON, so all three landed.
+	if binaryAttempts.Load() != 1 || jsonRequests.Load() != 3 {
+		t.Fatalf("binary attempts %d (want 1), json requests %d (want 3)",
+			binaryAttempts.Load(), jsonRequests.Load())
+	}
+
+	// DisableBinary never probes at all.
+	binaryAttempts.Store(0)
+	jsonRequests.Store(0)
+	cj := New(ts.URL, Options{DisableBinary: true})
+	if _, err := cj.Ingest([]lifelog.Event{click(1, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	if binaryAttempts.Load() != 0 || jsonRequests.Load() != 1 {
+		t.Fatalf("DisableBinary still probed: binary %d json %d", binaryAttempts.Load(), jsonRequests.Load())
+	}
+}
+
+// TestRetryAfterForms: both RFC 9110 forms parse, nonsense yields zero,
+// and nothing can dictate a backoff beyond the clamp.
+func TestRetryAfterForms(t *testing.T) {
+	var header atomic.Value
+	header.Store("1")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := header.Load().(string); h != "" {
+			w.Header().Set("Retry-After", h)
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.Error{Message: "busy"})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+
+	check := func(h string, want func(time.Duration) bool, desc string) {
+		t.Helper()
+		header.Store(h)
+		_, err := c.Ingest([]lifelog.Event{click(1, 1)})
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("Retry-After %q: err %v", h, err)
+		}
+		if !want(apiErr.RetryAfter) {
+			t.Errorf("Retry-After %q: parsed %v, want %s", h, apiErr.RetryAfter, desc)
+		}
+	}
+	check("2", func(d time.Duration) bool { return d == 2*time.Second }, "2s")
+	check(time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat),
+		func(d time.Duration) bool { return d > time.Second && d <= 3*time.Second }, "(1s, 3s]")
+	// HTTP-date in the past: retry immediately, never negative.
+	check(time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat),
+		func(d time.Duration) bool { return d == 0 }, "0")
+	check("999999", func(d time.Duration) bool { return d == maxRetryAfter }, "the clamp")
+	check("-5", func(d time.Duration) bool { return d == 0 }, "0")
+	check("garbage", func(d time.Duration) bool { return d == 0 }, "0")
+}
+
 func TestIngesterRetriesBackpressure(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -140,9 +269,7 @@ func TestIngesterRetriesBackpressure(t *testing.T) {
 			json.NewEncoder(w).Encode(wire.Error{Message: "ingest queue full"})
 			return
 		}
-		var req wire.IngestRequest
-		json.NewDecoder(r.Body).Decode(&req)
-		json.NewEncoder(w).Encode(wire.IngestResponse{Processed: len(req.Events), CoalescedWith: 1})
+		writeIngestResponse(w, r, wire.IngestResponse{Processed: countIngestEvents(r), CoalescedWith: 1})
 	}))
 	defer ts.Close()
 
@@ -187,6 +314,43 @@ func TestIngesterDropsOnHardError(t *testing.T) {
 	if dropped != 4 || st.Dropped != 4 || st.Retries != 0 {
 		t.Fatalf("dropped %d, stats %+v", dropped, st)
 	}
+}
+
+// TestIngesterConcurrentClose is the double-close regression: every Close
+// that returns must imply the tail batch is on the wire. Previously a
+// second concurrent Close could return while the first was still shipping
+// the tail, so a caller that Closed-then-exited could lose it.
+func TestIngesterConcurrentClose(t *testing.T) {
+	const tail = 3
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A slow ship keeps the first Close inside its tail flush long
+		// enough for the second Close to race it.
+		time.Sleep(30 * time.Millisecond)
+		writeIngestResponse(w, r, wire.IngestResponse{Processed: countIngestEvents(r), CoalescedWith: 1})
+	}))
+	defer ts.Close()
+
+	in := NewIngester(New(ts.URL, Options{}), func(in *Ingester) {
+		in.Manual = true
+		in.OnError = func(_ []lifelog.Event, err error) { t.Errorf("ship failed: %v", err) }
+	})
+	for seq := 1; seq <= tail; seq++ {
+		if err := in.Add(click(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in.Close()
+			if st := in.Stats(); st.Processed != tail {
+				t.Errorf("Close returned with %d of %d tail events shipped: %+v", st.Processed, tail, st)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestIngesterBackgroundFlush(t *testing.T) {

@@ -48,6 +48,11 @@ type Ingester struct {
 	stopped bool
 	stopCh  chan struct{}
 	done    chan struct{}
+
+	// closeOnce runs the shutdown sequence (stop flusher, ship the tail)
+	// exactly once; concurrent Close calls park inside Do until it has
+	// finished, so *every* returned Close implies the tail is on the wire.
+	closeOnce sync.Once
 }
 
 // IngesterStats counts an Ingester's lifetime traffic.
@@ -119,20 +124,21 @@ func (in *Ingester) Flush() {
 	}
 }
 
-// Close flushes the tail, stops the background flusher, and makes further
-// Adds fail. Safe to call twice.
+// Close stops the background flusher, ships the tail, and makes further
+// Adds fail. Safe to call concurrently: whichever call arrives first runs
+// the shutdown, and the others block until the tail flush has completed —
+// a Close that has returned always means the tail was shipped (previously
+// a second concurrent Close could return while the first was still
+// flushing).
 func (in *Ingester) Close() {
 	in.mu.Lock()
-	if in.stopped {
-		in.mu.Unlock()
-		<-in.done
-		return
-	}
 	in.stopped = true
-	close(in.stopCh)
 	in.mu.Unlock()
-	<-in.done
-	in.Flush()
+	in.closeOnce.Do(func() {
+		close(in.stopCh)
+		<-in.done
+		in.Flush()
+	})
 }
 
 // Stats snapshots the counters.

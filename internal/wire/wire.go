@@ -1,10 +1,11 @@
-// Package wire defines the JSON types of the SPA serving API — the single
+// Package wire defines the types of the SPA serving API — the single
 // vocabulary shared by the spad daemon (internal/server) and the Go client
-// (internal/spaclient), so the two cannot drift apart. The protocol is
-// deliberately plain HTTP/JSON: every message is one object, timestamps
+// (internal/spaclient), so the two cannot drift apart. The baseline
+// protocol is plain HTTP/JSON: every message is one object, timestamps
 // travel as Unix nanoseconds, and enumerations travel as the lowercase
-// names the paper uses (see ROADMAP open items for the planned binary
-// protocol).
+// names the paper uses. The ingest hot path additionally negotiates a
+// length-prefixed binary framing of the same DTOs (binary.go) via
+// Content-Type, with JSON as the universal fallback.
 package wire
 
 import (
@@ -189,9 +190,11 @@ type Metrics struct {
 	RequestErrors uint64 `json:"request_errors"`
 
 	// Ingest path: the coalescer's accounting. IngestRequests counts
-	// arrivals; IngestEvents counts events actually handed to the core in
+	// arrivals; IngestBinary the subset that negotiated the binary
+	// framing; IngestEvents counts events actually handed to the core in
 	// group commits (rejected requests are excluded).
 	IngestRequests uint64 `json:"ingest_requests"`
+	IngestBinary   uint64 `json:"ingest_binary"`
 	IngestEvents   uint64 `json:"ingest_events"`
 	IngestRejected uint64 `json:"ingest_rejected"` // 503: pending queue full
 	IngestCommits  uint64 `json:"ingest_commits"`  // group commits dispatched
