@@ -43,7 +43,7 @@ func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
-	skipScale := flag.Bool("skip-scale", false, "skip the S1/S2/S3 scale sections")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1-S4 scale sections")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per section instead of the table")
 	clients := flag.Int("clients", scalebench.Workers, "concurrent clients for S2/loadgen")
 	requests := flag.Int("requests", 2048, "total ingest requests for S2/loadgen")
@@ -228,6 +228,9 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 		if err := runScaleServeWire(em, clients, requests); err != nil {
 			return err
 		}
+		if err := runScaleServePipeline(em, clients, requests); err != nil {
+			return err
+		}
 	}
 	em.printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -296,10 +299,10 @@ func runScale(em *emitter) error {
 }
 
 // serveStack boots one durable spad stack on loopback — HTTP server,
-// coalescer (optional), sharded core, fsync on — and hands the base URL to
-// fn, tearing everything down afterwards. Shared by [S2] and [S3] so both
-// measure the identical serving configuration.
-func serveStack(coalesce bool, shards int, fn func(baseURL string) error) error {
+// coalescer (optional, optionally pipelined), sharded core, fsync on — and
+// hands the base URL to fn, tearing everything down afterwards. Shared by
+// [S2], [S3] and [S4] so all measure the identical serving configuration.
+func serveStack(coalesce, pipeline bool, shards int, fn func(baseURL string) error) error {
 	dir, err := os.MkdirTemp("", "spabench-serve-*")
 	if err != nil {
 		return err
@@ -316,7 +319,11 @@ func serveStack(coalesce bool, shards int, fn func(baseURL string) error) error 
 	}
 	// A short linger lets the dispatcher gather the full client wave
 	// into each group commit; the off-mode server ignores it.
-	srv := server.New(spa, server.Options{DisableCoalescing: !coalesce, MaxDelay: 2 * time.Millisecond})
+	srv := server.New(spa, server.Options{
+		DisableCoalescing: !coalesce,
+		Pipeline:          pipeline,
+		MaxDelay:          2 * time.Millisecond,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		spa.Close()
@@ -345,7 +352,7 @@ func runScaleServe(em *emitter, clients, requests int) error {
 		// More shards than [S1]: a serving core is sized for many
 		// concurrent callers, and the uncoalesced baseline pays one
 		// group commit per shard a request touches either way.
-		err = serveStack(coalesce, 32, func(baseURL string) error {
+		err = serveStack(coalesce, false, 32, func(baseURL string) error {
 			res, err = scalebench.RunLoadgen(scalebench.LoadgenConfig{
 				BaseURL:         baseURL,
 				Clients:         clients,
@@ -412,7 +419,7 @@ func runScaleServeWire(em *emitter, clients, requests int) error {
 		clients, requests, usersPerRequest*scalebench.PerUser)
 
 	measure := func(jsonOnly bool) (res scalebench.LoadgenResult, err error) {
-		err = serveStack(true, 8, func(baseURL string) error {
+		err = serveStack(true, false, 8, func(baseURL string) error {
 			res, err = scalebench.RunLoadgen(scalebench.LoadgenConfig{
 				BaseURL:         baseURL,
 				Clients:         clients,
@@ -462,6 +469,71 @@ func runScaleServeWire(em *emitter, clients, requests int) error {
 		"binary":  binRes,
 		"speedup": speedup,
 		"ok":      ok,
+	})
+	return nil
+}
+
+// runScaleServePipeline is the dispatcher comparison [S4]: the same stack
+// as the coalesced [S2] run (spad on loopback, coalescing and fsync on, 32
+// shards), with the coalescer's serialized dispatcher versus the two-stage
+// pipeline. The pipeline wins on two counts: wave N+1's CPU-bound prepare
+// (validation + extraction) overlaps wave N's fsync, and each wave's shard
+// WriteBatches commit as one ordered store sequence paying a single WAL
+// sync where the serialized per-shard commits pay one per touched shard.
+func runScaleServePipeline(em *emitter, clients, requests int) error {
+	em.printf("\n[S4] Commit pipelining: pipelined vs serialized dispatcher (%d clients, %d requests of %d events, fsync on)\n",
+		clients, requests, 32*scalebench.PerUser)
+
+	measure := func(pipeline bool) (res scalebench.LoadgenResult, err error) {
+		err = serveStack(true, pipeline, 32, func(baseURL string) error {
+			res, err = scalebench.RunLoadgen(scalebench.LoadgenConfig{
+				BaseURL:         baseURL,
+				Clients:         clients,
+				Requests:        requests,
+				Register:        true,
+				UsersPerRequest: 32,
+			})
+			return err
+		})
+		return res, err
+	}
+
+	// Same discipline as [S2]/[S3]: interleave the modes and keep each
+	// one's best of two windows, so shared-storage fsync noise cannot
+	// masquerade as a dispatcher difference.
+	var serial, piped scalebench.LoadgenResult
+	for round := 0; round < 2; round++ {
+		s, err := measure(false)
+		if err != nil {
+			return err
+		}
+		if s.EventsPerSec > serial.EventsPerSec {
+			serial = s
+		}
+		p, err := measure(true)
+		if err != nil {
+			return err
+		}
+		if p.EventsPerSec > piped.EventsPerSec {
+			piped = p
+		}
+	}
+	speedup := 0.0
+	if serial.EventsPerSec > 0 {
+		speedup = piped.EventsPerSec / serial.EventsPerSec
+	}
+	ok := speedup >= 1.2 && piped.Errors == 0 && serial.Errors == 0
+	em.printf("  serialized     : %8.0f events/s   p50 %6s  p99 %6s  (%d errors)\n",
+		serial.EventsPerSec, serial.P50.Round(time.Microsecond), serial.P99.Round(time.Microsecond), serial.Errors)
+	em.printf("  pipelined      : %8.0f events/s   p50 %6s  p99 %6s  (%d errors, mean batch %.1f)\n",
+		piped.EventsPerSec, piped.P50.Round(time.Microsecond), piped.P99.Round(time.Microsecond),
+		piped.Errors, piped.MeanCoalesced)
+	em.printf("  speedup        : %.2fx   %s\n", speedup, okIf(ok))
+	em.emit("S4", map[string]any{
+		"serialized": serial,
+		"pipelined":  piped,
+		"speedup":    speedup,
+		"ok":         ok,
 	})
 	return nil
 }

@@ -8,7 +8,7 @@
 //
 //	spad [-addr :8372] [-data DIR] [-shards 16] [-sync]
 //	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
-//	     [-no-binary]
+//	     [-no-binary] [-pipeline]
 //
 // An empty -data serves an in-memory (non-durable) instance, useful for
 // load experiments; production points -data at a directory and usually
@@ -42,15 +42,16 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 0, "linger before committing a partial batch (0: commit whatever is pending)")
 	noCoalesce := flag.Bool("no-coalesce", false, "commit every ingest request on its own (measurement baseline)")
 	noBinary := flag.Bool("no-binary", false, "refuse the binary ingest framing (clients fall back to JSON)")
+	pipeline := flag.Bool("pipeline", false, "pipeline the coalescer: overlap a wave's CPU-bound prepare with the previous wave's store commit")
 	flag.Parse()
 
-	if err := run(*addr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce, *noBinary); err != nil {
+	if err := run(*addr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce, *noBinary, *pipeline); err != nil {
 		fmt.Fprintf(os.Stderr, "spad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce, noBinary bool) error {
+func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce, noBinary, pipeline bool) error {
 	spa, err := core.New(core.Options{
 		DataDir: data,
 		Store:   store.Options{SyncWrites: sync},
@@ -66,6 +67,7 @@ func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay
 		MaxBatch:          maxBatch,
 		MaxDelay:          maxDelay,
 		DisableBinary:     noBinary,
+		Pipeline:          pipeline,
 	})
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -75,8 +77,8 @@ func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v, %d users loaded)",
-			addr, data, shards, sync, !noCoalesce, spa.Users())
+		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v pipeline=%v, %d users loaded)",
+			addr, data, shards, sync, !noCoalesce, pipeline && !noCoalesce, spa.Users())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

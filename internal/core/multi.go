@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,82 +18,209 @@ import (
 // everything else on an IngestOutcome is the server's fault.
 var ErrBadStream = errors.New("core: malformed event stream")
 
-// MultiIngest is the group-commit ingest path: several independently
-// submitted event batches (typically concurrent network requests, merged by
-// the serving layer's coalescer) are applied as one fan-out over the shards,
-// so durable updates of a shard still commit as a single store WriteBatch no
-// matter how many submitters contributed events to it. Each input batch gets
-// its own IngestOutcome, as if the batches had been ingested separately:
+// The group-commit ingest path comes in two shapes built on the same
+// machinery:
+//
+//   - MultiIngest: prepare + commit in one call, each shard group committing
+//     independently (its own store WriteBatch, its own failure domain) —
+//     the serialized dispatcher's path, and what BatchIngest delegates to.
+//   - PrepareMulti / PreparedMulti.Commit: the same work split at the
+//     CPU/IO boundary, for the serving layer's pipelined dispatcher.
+//     Prepare runs the event validation, sessionization and feature
+//     extraction under shard READ locks, mutating nothing; Commit persists
+//     every shard's staged updates as one ordered store.ApplyAll sequence
+//     (one WAL sync for the whole wave, instead of one per touched shard)
+//     and only then installs the staged state in shard memory. The next
+//     wave's prepare can run while this wave's commit waits on the disk —
+//     fully so when the waves touch disjoint shards; a prepare needing a
+//     shard the commit holds write-locked waits at that shard's RLock.
+//
+// Both shapes stage updates and install them only after the store write
+// succeeds: a failed write leaves shard memory exactly as it was, so the
+// reported "not applied" outcome is true in memory as well as on disk.
+
+// MultiIngest applies several independently submitted event batches
+// (typically concurrent network requests, merged by the serving layer's
+// coalescer) as one fan-out over the shards, so durable updates of a shard
+// still commit as a single store WriteBatch no matter how many submitters
+// contributed events to it. Each input batch gets its own IngestOutcome,
+// as if the batches had been ingested separately:
 //
 //   - Counts are attributed per batch: an event is processed or
 //     skipped-as-unknown on behalf of the batch that carried it.
 //   - A batch whose events make the merged per-user stream malformed
 //     (out-of-order timestamps, invalid events) is excluded and charged the
 //     error; the surviving batches are re-validated and applied without it.
-//     The feed pass mutates nothing, so exclusion is a pure retry.
+//     The prepare pass mutates nothing, so exclusion is a pure retry.
 //   - A store write failure is charged to every batch that contributed a
 //     profile update to the failing shard group, since none of their events
-//     in that shard were durably applied.
+//     in that shard were durably applied — and, since updates are staged,
+//     none of them are visible in shard memory either.
 //
 // As with BatchIngest, a batch that fails in one shard group may still have
 // been applied in others; Processed counts only what was applied.
 func (s *SPA) MultiIngest(batches [][]lifelog.Event) []IngestOutcome {
 	out := make([]IngestOutcome, len(batches))
-	total := 0
-	for _, b := range batches {
-		total += len(b)
-	}
-	if total == 0 {
+	groups, now := s.groupByShard(batches)
+	if len(groups) == 0 {
 		return out
 	}
-	now := s.clk.Now()
-	groups := make(map[*shard][]taggedEvent, len(s.shards))
-	for b, evs := range batches {
-		for _, e := range evs {
-			sh := s.shardFor(e.UserID)
-			groups[sh] = append(groups[sh], taggedEvent{Event: e, batch: b})
-		}
-	}
-	results := make([]multiResult, 0, len(groups))
+	results := make([]*preparedGroup, 0, len(groups))
 	if len(groups) == 1 {
 		// Single-shard merges (including every call on a 1-shard core) skip
 		// the fan-out machinery entirely.
-		for sh, evs := range groups {
-			results = append(results, s.ingestShardMulti(sh, evs, len(batches), now))
+		for _, g := range groups {
+			sh := s.shards[g.shardIdx]
+			sh.mu.Lock()
+			s.prepareShardLocked(g, len(batches), now)
+			s.commitShardLocked(g)
+			sh.mu.Unlock()
+			results = append(results, g)
 		}
 	} else {
 		var wg sync.WaitGroup
-		resCh := make(chan multiResult, len(groups))
-		for sh, evs := range groups {
+		for _, g := range groups {
 			wg.Add(1)
-			go func(sh *shard, evs []taggedEvent) {
+			go func(g *preparedGroup) {
 				defer wg.Done()
-				resCh <- s.ingestShardMulti(sh, evs, len(batches), now)
-			}(sh, evs)
+				sh := s.shards[g.shardIdx]
+				sh.mu.Lock()
+				s.prepareShardLocked(g, len(batches), now)
+				s.commitShardLocked(g)
+				sh.mu.Unlock()
+			}(g)
+			results = append(results, g)
 		}
 		wg.Wait()
-		close(resCh)
-		for r := range resCh {
-			results = append(results, r)
-		}
 	}
-	staleKNN := false
-	for _, r := range results {
-		staleKNN = staleKNN || r.interactions
-	}
-	if staleKNN {
-		s.invalidateRecommender()
-	}
-	for _, r := range results {
-		for b := range out {
-			out[b].Processed += r.processed[b]
-			out[b].SkippedUnknown += r.skipped[b]
-			if out[b].Err == nil && r.errs[b] != nil {
-				out[b].Err = r.errs[b]
-			}
-		}
-	}
+	s.finishMulti(out, results)
 	return out
+}
+
+// PrepareMulti runs the CPU-bound half of MultiIngest — validation,
+// sessionization, feature extraction, per-batch attribution — without
+// mutating anything: shards are only read-locked and the store is not
+// touched. The staged result commits later via PreparedMulti.Commit.
+func (s *SPA) PrepareMulti(batches [][]lifelog.Event) *PreparedMulti {
+	pm := &PreparedMulti{s: s, out: make([]IngestOutcome, len(batches))}
+	groups, now := s.groupByShard(batches)
+	if len(groups) == 0 {
+		return pm
+	}
+	if len(groups) == 1 {
+		for _, g := range groups {
+			sh := s.shards[g.shardIdx]
+			sh.mu.RLock()
+			s.prepareShardLocked(g, len(batches), now)
+			sh.mu.RUnlock()
+			pm.groups = append(pm.groups, g)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g *preparedGroup) {
+				defer wg.Done()
+				sh := s.shards[g.shardIdx]
+				sh.mu.RLock()
+				s.prepareShardLocked(g, len(batches), now)
+				sh.mu.RUnlock()
+			}(g)
+			pm.groups = append(pm.groups, g)
+		}
+		wg.Wait()
+	}
+	// Deterministic shard order: Commit acquires the write locks in this
+	// order, so concurrent Commits can never deadlock against each other.
+	sort.Slice(pm.groups, func(i, j int) bool { return pm.groups[i].shardIdx < pm.groups[j].shardIdx })
+	return pm
+}
+
+// PreparedMulti is the staged, uncommitted result of PrepareMulti: per-batch
+// attribution plus every shard's pending profile updates. Nothing is
+// visible — in shard memory or in the store — until Commit.
+type PreparedMulti struct {
+	s         *SPA
+	out       []IngestOutcome
+	groups    []*preparedGroup // sorted by shard index
+	committed bool
+}
+
+// Commit persists and installs the staged wave, returning the per-batch
+// outcomes (same shape and, on success, byte-identical profile state to a
+// MultiIngest of the same batches).
+//
+// The durable path commits every shard's WriteBatch as one ordered
+// store.ApplyAll sequence: one WAL sync for the whole wave, with the
+// store guaranteeing the batches reach the log in shard order and that
+// crash replay recovers a prefix. All touched shards stay write-locked
+// across the sequence, so no other writer's store record can interleave
+// with the wave's and memory-vs-durable ordering per user is preserved.
+// Unlike MultiIngest's per-shard commits, a store failure here fails the
+// whole wave (every contributing batch is charged); staged state is then
+// discarded, leaving shard memory untouched.
+//
+// Callers that overlap several PreparedMulti instances must Commit them in
+// prepare order when their batches may share users — the coalescer's
+// pipelined dispatcher does (single committer, FIFO waves). Commit must be
+// called at most once.
+func (pm *PreparedMulti) Commit() []IngestOutcome {
+	if pm.committed {
+		panic("core: PreparedMulti committed twice")
+	}
+	pm.committed = true
+	s := pm.s
+	if len(pm.groups) == 0 {
+		return pm.out
+	}
+	if s.db == nil || s.unbatched {
+		// No cross-shard store sequence to order: commit shard by shard,
+		// exactly as MultiIngest does.
+		for _, g := range pm.groups {
+			sh := s.shards[g.shardIdx]
+			sh.mu.Lock()
+			s.commitShardLocked(g)
+			sh.mu.Unlock()
+		}
+		s.finishMulti(pm.out, pm.groups)
+		return pm.out
+	}
+	for _, g := range pm.groups {
+		s.shards[g.shardIdx].mu.Lock()
+	}
+	seq := make([]*store.WriteBatch, 0, len(pm.groups))
+	contributing := make([]*preparedGroup, 0, len(pm.groups))
+	for _, g := range pm.groups {
+		batch, err := s.buildShardBatchLocked(g)
+		if err != nil {
+			// A profile that fails validation charges its own shard group
+			// and drops it from the wave; the other shards still commit —
+			// identical to MultiIngest's handling.
+			g.res.failStore(g.excluded, err)
+			continue
+		}
+		if batch.Len() > 0 {
+			seq = append(seq, batch)
+			contributing = append(contributing, g)
+			continue
+		}
+		// Nothing to persist (all events skipped): install immediately.
+		s.installShardLocked(g)
+	}
+	if err := s.db.ApplyAll(seq); err != nil {
+		for _, g := range contributing {
+			g.res.failStore(g.excluded, err)
+		}
+	} else {
+		for _, g := range contributing {
+			s.installShardLocked(g)
+		}
+	}
+	for i := len(pm.groups) - 1; i >= 0; i-- {
+		s.shards[pm.groups[i].shardIdx].mu.Unlock()
+	}
+	s.finishMulti(pm.out, pm.groups)
+	return pm.out
 }
 
 // IngestOutcome is one batch's result from MultiIngest.
@@ -121,91 +249,220 @@ type multiResult struct {
 	interactions bool
 }
 
-// ingestShardMulti applies one shard's slice of the merged event stream.
-// The feed pass validates before any mutation; when a batch's event breaks
+// preparedGroup is one shard's slice of a merged wave: the events, and —
+// after prepareShardLocked — the staged updates and per-batch accounting.
+type preparedGroup struct {
+	shardIdx int
+	events   []taggedEvent
+
+	res      multiResult
+	excluded []bool
+	// vectors holds the staged subjective digests (user → dense vector);
+	// they replace the profiles' Subjective blocks only at install time.
+	vectors map[uint64][]float64
+	// interactions are the non-excluded known-user events to fold into the
+	// shard's CF counts at install time.
+	interactions []taggedEvent
+}
+
+// groupByShard tags every event with its batch index and partitions the
+// merged stream by owning shard, preserving order.
+func (s *SPA) groupByShard(batches [][]lifelog.Event) (map[int]*preparedGroup, time.Time) {
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if total == 0 {
+		return nil, time.Time{}
+	}
+	groups := make(map[int]*preparedGroup, len(s.shards))
+	for b, evs := range batches {
+		for _, e := range evs {
+			idx := s.shardIndexFor(e.UserID)
+			g := groups[idx]
+			if g == nil {
+				g = &preparedGroup{shardIdx: idx}
+				groups[idx] = g
+			}
+			g.events = append(g.events, taggedEvent{Event: e, batch: b})
+		}
+	}
+	return groups, s.clk.Now()
+}
+
+// prepareShardLocked runs the mutation-free half of one shard's ingest: the
+// feed pass validates before anything is staged; when a batch's event breaks
 // the merged stream, that batch is excluded (keeping its error) and the pass
 // restarts over the survivors — dropping events can never introduce a new
 // per-user ordering violation between the remaining ones, so the loop only
-// ever shrinks and terminates after at most one retry per batch. The apply
-// pass then updates subjective blocks and CF interaction counts and persists
-// the shard's profiles as one WriteBatch.
-func (s *SPA) ingestShardMulti(sh *shard, events []taggedEvent, nbatches int, now time.Time) multiResult {
-	res := multiResult{
+// ever shrinks and terminates after at most one retry per batch. The caller
+// holds the shard's lock (read suffices: only sh.profiles membership is
+// consulted).
+func (s *SPA) prepareShardLocked(g *preparedGroup, nbatches int, now time.Time) {
+	sh := s.shards[g.shardIdx]
+	g.res = multiResult{
 		processed: make([]int, nbatches),
 		skipped:   make([]int, nbatches),
 		errs:      make([]error, nbatches),
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	excluded := make([]bool, nbatches)
+	g.excluded = make([]bool, nbatches)
 	var x *lifelog.Extractor
 	for {
 		x = lifelog.NewExtractor(30*time.Minute, now)
 		failed := -1
-		for _, te := range events {
-			if excluded[te.batch] {
+		for _, te := range g.events {
+			if g.excluded[te.batch] {
 				continue
 			}
 			if _, ok := sh.profiles[te.UserID]; !ok {
-				res.skipped[te.batch]++
+				g.res.skipped[te.batch]++
 				continue
 			}
 			if err := x.Feed(te.Event); err != nil {
 				failed = te.batch
-				res.errs[te.batch] = fmt.Errorf("%w: %w", ErrBadStream, err)
+				g.res.errs[te.batch] = fmt.Errorf("%w: %w", ErrBadStream, err)
 				break
 			}
-			res.processed[te.batch]++
+			g.res.processed[te.batch]++
 		}
 		if failed < 0 {
 			break
 		}
-		excluded[failed] = true
+		g.excluded[failed] = true
 		for b := range nbatches {
-			if !excluded[b] {
-				res.processed[b], res.skipped[b] = 0, 0
+			if !g.excluded[b] {
+				g.res.processed[b], g.res.skipped[b] = 0, 0
 			}
 		}
-		res.processed[failed], res.skipped[failed] = 0, 0
+		g.res.processed[failed], g.res.skipped[failed] = 0, 0
 	}
-	for _, te := range events {
-		if excluded[te.batch] {
+	for _, te := range g.events {
+		if g.excluded[te.batch] {
 			continue
 		}
 		if _, ok := sh.profiles[te.UserID]; ok {
-			if sh.noteInteraction(te.Event) {
-				res.interactions = true
-			}
+			g.interactions = append(g.interactions, te)
 		}
 	}
+	fvs := x.Finish()
+	g.vectors = make(map[uint64][]float64, len(fvs))
+	for id, fv := range fvs {
+		g.vectors[id] = fv.Dense()
+	}
+}
+
+// commitShardLocked persists and installs one prepared shard group under
+// its own store commit (the MultiIngest / serialized-dispatcher path). The
+// caller holds the shard's write lock. Updates are staged first and only
+// installed once durable: a store failure leaves shard memory untouched, so
+// the "not applied" outcome is true everywhere.
+func (s *SPA) commitShardLocked(g *preparedGroup) {
+	sh := s.shards[g.shardIdx]
+	if s.db == nil {
+		s.installShardLocked(g)
+		return
+	}
+	if s.unbatched {
+		// Compatibility/measurement mode: the seed's one-write-per-profile
+		// persistence (see Options.UnbatchedWrites). Each profile installs
+		// right after its own save succeeds, so memory never diverges from
+		// durable state; on the first failure the rest of the group stays
+		// unapplied (and uninstalled).
+		for id, vec := range g.vectors {
+			p := sh.profiles[id]
+			if p == nil {
+				continue
+			}
+			cp := *p
+			cp.Subjective = vec
+			if err := sum.Save(s.db, &cp); err != nil {
+				g.res.failStore(g.excluded, err)
+				return
+			}
+			p.Subjective = vec
+		}
+		g.installInteractionsLocked(sh)
+		return
+	}
+	batch, err := s.buildShardBatchLocked(g)
+	if err != nil {
+		g.res.failStore(g.excluded, err)
+		return
+	}
+	if batch.Len() > 0 {
+		if err := s.db.Apply(batch); err != nil {
+			g.res.failStore(g.excluded, err)
+			return
+		}
+	}
+	s.installShardLocked(g)
+}
+
+// buildShardBatchLocked encodes the staged profile states into one store
+// WriteBatch without touching the live profiles: each record is the profile
+// as it will look after install. The caller holds the shard's write lock,
+// which it keeps until after the batch is applied — nothing can move under
+// the encoded bytes.
+func (s *SPA) buildShardBatchLocked(g *preparedGroup) (*store.WriteBatch, error) {
+	sh := s.shards[g.shardIdx]
 	var batch store.WriteBatch
-	for id, fv := range x.Finish() {
+	for id, vec := range g.vectors {
 		p := sh.profiles[id]
-		p.Subjective = fv.Dense()
-		if s.db == nil {
+		if p == nil {
 			continue
 		}
-		if s.unbatched {
-			// Compatibility/measurement mode: the seed's one-write-per-
-			// profile persistence (see Options.UnbatchedWrites).
-			if err := sum.Save(s.db, p); err != nil {
-				res.failStore(excluded, err)
-				return res
+		cp := *p
+		cp.Subjective = vec
+		if err := cp.Validate(); err != nil {
+			return nil, err
+		}
+		batch.Put(sum.Key(id), sum.Encode(&cp))
+	}
+	return &batch, nil
+}
+
+// installShardLocked makes the staged updates live in shard memory. The
+// caller holds the shard's write lock and has already made them durable (or
+// runs non-durably).
+func (s *SPA) installShardLocked(g *preparedGroup) {
+	sh := s.shards[g.shardIdx]
+	for id, vec := range g.vectors {
+		if p := sh.profiles[id]; p != nil {
+			p.Subjective = vec
+		}
+	}
+	g.installInteractionsLocked(sh)
+}
+
+func (g *preparedGroup) installInteractionsLocked(sh *shard) {
+	for _, te := range g.interactions {
+		if sh.noteInteraction(te.Event) {
+			g.res.interactions = true
+		}
+	}
+}
+
+// finishMulti folds the shard groups' accounting into the per-batch
+// outcomes and invalidates the frozen recommender if any group recorded
+// interactions. Called with no shard locks held (invalidateRecommender
+// takes recMu, which buildKNN holds while taking shard locks).
+func (s *SPA) finishMulti(out []IngestOutcome, groups []*preparedGroup) {
+	staleKNN := false
+	for _, g := range groups {
+		staleKNN = staleKNN || g.res.interactions
+	}
+	if staleKNN {
+		s.invalidateRecommender()
+	}
+	for _, g := range groups {
+		for b := range out {
+			out[b].Processed += g.res.processed[b]
+			out[b].SkippedUnknown += g.res.skipped[b]
+			if out[b].Err == nil && g.res.errs[b] != nil {
+				out[b].Err = g.res.errs[b]
 			}
-			continue
-		}
-		if err := p.Validate(); err != nil {
-			res.failStore(excluded, err)
-			return res
-		}
-		batch.Put(sum.Key(id), sum.Encode(p))
-	}
-	if s.db != nil && batch.Len() > 0 {
-		if err := s.db.Apply(&batch); err != nil {
-			res.failStore(excluded, err)
 		}
 	}
-	return res
 }
 
 // failStore charges a persistence failure to every surviving batch that

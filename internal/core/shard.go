@@ -47,13 +47,20 @@ func shardCount(n int) int {
 // shardFor mixes the user id (splitmix64 finalizer) before masking, so
 // sequential ids — the common registration pattern — spread evenly.
 func (s *SPA) shardFor(userID uint64) *shard {
+	return s.shards[s.shardIndexFor(userID)]
+}
+
+// shardIndexFor is shardFor by index — the multi-shard ingest paths key
+// their groups by index so lock acquisition can follow a deterministic
+// (index-ascending) order.
+func (s *SPA) shardIndexFor(userID uint64) int {
 	h := userID
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 33
-	return s.shards[h&s.mask]
+	return int(h & s.mask)
 }
 
 // BatchIngest is the high-throughput ingest facade: events are grouped by

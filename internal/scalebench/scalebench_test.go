@@ -193,3 +193,51 @@ func TestS3Smoke(t *testing.T) {
 		t.Fatalf("JSON-only pass spoke binary: %d -> %d", binaryRequests, m.IngestBinary)
 	}
 }
+
+// TestS4Smoke runs a miniature of spabench's [S4] section: the same live
+// stack driven once through the serialized dispatcher and once through the
+// pipelined one — both must deliver every event with identical wire
+// semantics, and the pipelined run must leave the pipeline quiesced.
+func TestS4Smoke(t *testing.T) {
+	const usersPerRequest = 8
+	for _, pipeline := range []bool{false, true} {
+		spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(spa, server.Options{Pipeline: pipeline})
+		ts := httptest.NewServer(srv)
+		res, err := RunLoadgen(LoadgenConfig{
+			BaseURL:         ts.URL,
+			Clients:         2,
+			Requests:        8,
+			Register:        true,
+			UsersPerRequest: usersPerRequest,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("pipeline=%v: loadgen errors: %+v", pipeline, res)
+		}
+		if want := res.Requests * usersPerRequest * PerUser; res.Events != want {
+			t.Fatalf("pipeline=%v: events %d, want %d", pipeline, res.Events, want)
+		}
+		if pipeline {
+			c := spaclient.New(ts.URL, spaclient.Options{})
+			m, err := c.Metrics()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.PipelineDepth != 0 {
+				t.Fatalf("pipeline depth %d after quiesce", m.PipelineDepth)
+			}
+			if m.IngestEvents != uint64(res.Events) {
+				t.Fatalf("pipelined stack accounted %d of %d events", m.IngestEvents, res.Events)
+			}
+		}
+		ts.Close()
+		srv.Close()
+		spa.Close()
+	}
+}

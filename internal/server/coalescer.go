@@ -12,21 +12,51 @@ import (
 
 // The cross-request ingest coalescer: the server-side analogue of the
 // store's WAL group commit. Concurrently arriving ingest requests queue
-// here; a single dispatcher merges whatever is pending into one
-// core.MultiIngest call, so N requests pay one group commit per shard
-// instead of N. No artificial delay is needed — while one commit (and its
-// fsync) is in flight, the next wave of requests piles up behind it, which
-// is exactly the batch the dispatcher grabs next. MaxDelay adds an optional
-// linger for workloads that prefer bigger batches over latency.
+// here; a single dispatcher merges whatever is pending into one group
+// commit, so N requests pay one commit per wave instead of N. No
+// artificial delay is needed — while one commit (and its fsync) is in
+// flight, the next wave of requests piles up behind it, which is exactly
+// the batch the dispatcher grabs next. MaxDelay adds an optional linger
+// for workloads that prefer bigger batches over latency.
 //
-// Correctness properties (see coalescer_test.go):
+// The dispatcher runs in one of two shapes:
+//
+//   - Serialized (default): one goroutine loops gather → MultiIngest →
+//     fan-back. Every fsync leaves the CPU idle and every extract pass
+//     leaves the disk idle.
+//   - Pipelined (Options.Pipeline): two stages. Stage 1 gathers a wave and
+//     runs the CPU-bound prepare (validation, sessionization, extraction,
+//     per-batch attribution) via core.PrepareMulti; stage 2 — a single
+//     committer goroutine — persists the prepared wave (one ordered
+//     store.ApplyAll, one WAL sync for the whole wave, which is the bulk
+//     of the measured win) and fans the outcomes back. Stage 1 of wave
+//     N+1 runs concurrently with stage 2 of wave N; genuine CPU/disk
+//     overlap materializes when the waves touch disjoint shards — a
+//     prepare that needs a shard the commit holds write-locked waits at
+//     that shard's RLock (the price of keeping encode+WAL-order atomic
+//     against other writers), which pipeline_overlap makes visible by
+//     counting only prepares that finished while a commit was in flight.
+//     The handoff channel is unbuffered, so at most one prepared wave
+//     waits while one commits (pipeline depth ≤ 2).
+//
+// Correctness properties (see coalescer_test.go; the suites run under both
+// dispatcher shapes):
 //   - FIFO: requests enter the merged stream in queue order, so a client
 //     that waits for its response before sending the next request keeps its
-//     users' event streams ordered across commits.
+//     users' event streams ordered across commits. Under pipelining the
+//     single gatherer fixes wave order and the single committer commits in
+//     that order, so the property carries over — and store.ApplyAll
+//     guarantees same-shard WriteBatches of successive waves reach the WAL
+//     in that order too (crash replay recovers a wave prefix).
 //   - No loss: every queued request is dispatched exactly once, including
 //     during shutdown drain.
-//   - Per-request status: MultiIngest attributes outcomes per batch, so one
-//     submitter's malformed stream fails only that submitter.
+//   - Per-request status: outcomes are attributed per batch, so one
+//     submitter's malformed stream fails only that submitter; on
+//     successful commits (and for malformed-stream charging) the two
+//     dispatchers produce byte-identical per-request outcomes. Store
+//     failures differ in blast radius only: the serialized path fails the
+//     batches touching the failing shard group, the pipelined wave-atomic
+//     commit fails the whole wave (see core.PreparedMulti.Commit).
 
 // errQueueFull rejects a request when the pending queue is at capacity —
 // the admission-control signal that becomes 503 + Retry-After.
@@ -38,6 +68,26 @@ var errDraining = errors.New("server: draining")
 // multiIngester is the coalescer's view of the core (seam for tests).
 type multiIngester interface {
 	MultiIngest(batches [][]lifelog.Event) []core.IngestOutcome
+}
+
+// waveCommit is a prepared wave awaiting its commit (stage 2's unit of
+// work). *core.PreparedMulti implements it.
+type waveCommit interface {
+	Commit() []core.IngestOutcome
+}
+
+// wavePreparer is the pipelined coalescer's view of the core: stage 1 calls
+// PrepareWave, stage 2 calls Commit on the result. Seam for tests; the real
+// backend is spaPreparer.
+type wavePreparer interface {
+	PrepareWave(batches [][]lifelog.Event) waveCommit
+}
+
+// spaPreparer adapts *core.SPA's PrepareMulti to the wavePreparer seam.
+type spaPreparer struct{ spa *core.SPA }
+
+func (p spaPreparer) PrepareWave(batches [][]lifelog.Event) waveCommit {
+	return p.spa.PrepareMulti(batches)
 }
 
 type ingestJob struct {
@@ -52,6 +102,7 @@ type ingestDone struct {
 
 type coalescer struct {
 	backend  multiIngester
+	pipe     wavePreparer // non-nil selects the two-stage pipelined dispatcher
 	met      *metrics
 	queue    chan *ingestJob
 	maxBatch int
@@ -63,7 +114,7 @@ type coalescer struct {
 	done   chan struct{}
 }
 
-func newCoalescer(backend multiIngester, met *metrics, queueDepth, maxBatch int, maxDelay time.Duration) *coalescer {
+func newCoalescer(backend multiIngester, pipe wavePreparer, met *metrics, queueDepth, maxBatch int, maxDelay time.Duration) *coalescer {
 	if queueDepth <= 0 {
 		queueDepth = 256
 	}
@@ -72,6 +123,7 @@ func newCoalescer(backend multiIngester, met *metrics, queueDepth, maxBatch int,
 	}
 	c := &coalescer{
 		backend:  backend,
+		pipe:     pipe,
 		met:      met,
 		queue:    make(chan *ingestJob, queueDepth),
 		maxBatch: maxBatch,
@@ -132,6 +184,10 @@ func (c *coalescer) capacity() int { return cap(c.queue) }
 
 func (c *coalescer) run() {
 	defer close(c.done)
+	if c.pipe != nil {
+		c.runPipelined()
+		return
+	}
 	for {
 		var first *ingestJob
 		select {
@@ -142,6 +198,95 @@ func (c *coalescer) run() {
 		}
 		batch := c.gather(first)
 		c.dispatch(batch)
+	}
+}
+
+// wave is one gathered-and-prepared group commit in flight between the
+// pipeline's stages.
+type wave struct {
+	jobs     []*ingestJob
+	events   int
+	prepared waveCommit
+}
+
+// runPipelined is the two-stage dispatcher: this goroutine is stage 1
+// (gather + prepare), the committer goroutine is stage 2 (commit +
+// fan-back). The unbuffered handoff bounds the pipeline at one wave
+// preparing/prepared plus one committing; FIFO order is preserved because
+// both stages are single goroutines connected by a channel.
+func (c *coalescer) runPipelined() {
+	commitq := make(chan *wave)
+	commitDone := make(chan struct{})
+	go func() {
+		defer close(commitDone)
+		for w := range commitq {
+			c.commitWave(w)
+		}
+	}()
+	defer func() {
+		close(commitq)
+		<-commitDone
+	}()
+	for {
+		var first *ingestJob
+		select {
+		case first = <-c.queue:
+		case <-c.quit:
+			// Drain: everything still queued leaves in merged, prepared
+			// waves through the same two stages — the committer finishes
+			// them before the deferred close returns.
+			for {
+				select {
+				case j := <-c.queue:
+					c.prepareAndSend(commitq, c.gatherPending([]*ingestJob{j}))
+				default:
+					return
+				}
+			}
+		}
+		c.prepareAndSend(commitq, c.gather(first))
+	}
+}
+
+// prepareAndSend runs stage 1 for one wave: CPU-bound prepare, then hand
+// the staged wave to the committer. The send blocks while a previous wave
+// is still committing.
+//
+// Overlap is measured, not assumed: a prepare whose shards are all held
+// write-locked by the in-flight commit spends its time blocked in RLock
+// rather than extracting, so the overlap counter samples the depth gauge
+// AFTER the prepare returns — it advances only when the prepare finished
+// while an earlier wave was still in flight, i.e. the two stages genuinely
+// ran concurrently (waves over disjoint shards).
+func (c *coalescer) prepareAndSend(commitq chan<- *wave, jobs []*ingestJob) {
+	batches := make([][]lifelog.Event, len(jobs))
+	events := 0
+	for i, j := range jobs {
+		batches[i] = j.events
+		events += len(j.events)
+	}
+	if c.met != nil {
+		c.met.pipelineDepth.Add(1)
+	}
+	prepared := c.pipe.PrepareWave(batches)
+	if c.met != nil && c.met.pipelineDepth.Load() > 1 {
+		c.met.pipelineOverlap.Add(1)
+	}
+	commitq <- &wave{jobs: jobs, events: events, prepared: prepared}
+}
+
+// commitWave is stage 2: persist the prepared wave and release its waiters.
+// The metrics settle BEFORE the fan-back: a submitter that reads /metrics
+// the instant its response arrives must see the wave accounted for and the
+// depth gauge back down.
+func (c *coalescer) commitWave(w *wave) {
+	outs := w.prepared.Commit()
+	if c.met != nil {
+		c.met.pipelineDepth.Add(-1)
+		c.met.noteCommit(len(w.jobs), w.events)
+	}
+	for i, j := range w.jobs {
+		j.done <- ingestDone{outcome: outs[i], merged: len(w.jobs)}
 	}
 }
 

@@ -53,6 +53,41 @@ func (b *recordingBackend) snapshot() [][][]lifelog.Event {
 	return append([][][]lifelog.Event(nil), b.commits...)
 }
 
+// commitFunc adapts a closure to the waveCommit seam.
+type commitFunc func() []core.IngestOutcome
+
+func (f commitFunc) Commit() []core.IngestOutcome { return f() }
+
+// pipeAdapter turns any multiIngester into a wavePreparer whose prepare is
+// free and whose commit is the MultiIngest call, so the recording and gated
+// fakes drive the pipelined dispatcher unchanged — every journaled
+// MultiIngest call is then a stage-2 commit.
+type pipeAdapter struct{ mi multiIngester }
+
+func (p pipeAdapter) PrepareWave(batches [][]lifelog.Event) waveCommit {
+	return commitFunc(func() []core.IngestOutcome { return p.mi.MultiIngest(batches) })
+}
+
+// dispatcherModes runs the suite body under both dispatcher shapes: the
+// serialized single-goroutine loop and the two-stage pipeline.
+func dispatcherModes(t *testing.T, body func(t *testing.T, pipelined bool)) {
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+	}{{"serialized", false}, {"pipelined", true}} {
+		t.Run(mode.name, func(t *testing.T) { body(t, mode.pipelined) })
+	}
+}
+
+// newTestCoalescer wires a coalescer over a fake backend in either shape.
+func newTestCoalescer(backend multiIngester, pipelined bool, met *metrics, queueDepth, maxBatch int, maxDelay time.Duration) *coalescer {
+	var pipe wavePreparer
+	if pipelined {
+		pipe = pipeAdapter{mi: backend}
+	}
+	return newCoalescer(backend, pipe, met, queueDepth, maxBatch, maxDelay)
+}
+
 func evAt(user uint64, seq int) lifelog.Event {
 	return lifelog.Event{
 		UserID: user,
@@ -66,189 +101,205 @@ func evAt(user uint64, seq int) lifelog.Event {
 // submit sequential requests through one coalescer; afterwards the merged
 // stream the backend saw must contain every event exactly once, with every
 // user's timestamps strictly increasing across commit boundaries — and the
-// concurrency must actually have produced multi-request commits.
+// concurrency must actually have produced multi-request commits. The FIFO
+// property must survive the pipelined dispatcher: its single gatherer fixes
+// wave order and its single committer commits in that order.
 func TestCoalescerOrderAndCompleteness(t *testing.T) {
-	const (
-		clients          = 8
-		requestsPer      = 40
-		eventsPerRequest = 5
-	)
-	// The delay stands in for a durable group commit (the fsync window):
-	// while one commit runs, the other clients' requests pile up.
-	backend := &recordingBackend{delay: 500 * time.Microsecond}
-	c := newCoalescer(backend, nil, 256, 64, 0)
-	defer c.close()
+	dispatcherModes(t, func(t *testing.T, pipelined bool) {
+		const (
+			clients          = 8
+			requestsPer      = 40
+			eventsPerRequest = 5
+		)
+		// The delay stands in for a durable group commit (the fsync window):
+		// while one commit runs, the other clients' requests pile up.
+		backend := &recordingBackend{delay: 500 * time.Microsecond}
+		c := newTestCoalescer(backend, pipelined, nil, 256, 64, 0)
+		defer c.close()
 
-	var wg sync.WaitGroup
-	errs := make(chan error, clients)
-	for cl := 0; cl < clients; cl++ {
-		wg.Add(1)
-		go func(cl int) {
-			defer wg.Done()
-			user := uint64(cl + 1)
-			seq := 0
-			for r := 0; r < requestsPer; r++ {
-				var events []lifelog.Event
-				for e := 0; e < eventsPerRequest; e++ {
-					seq++
-					events = append(events, evAt(user, seq))
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				user := uint64(cl + 1)
+				seq := 0
+				for r := 0; r < requestsPer; r++ {
+					var events []lifelog.Event
+					for e := 0; e < eventsPerRequest; e++ {
+						seq++
+						events = append(events, evAt(user, seq))
+					}
+					out, merged, err := c.submit(context.Background(), events)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: %v", cl, err)
+						return
+					}
+					if merged < 1 || out.Err != nil || out.Processed != eventsPerRequest {
+						errs <- fmt.Errorf("client %d: outcome %+v merged %d", cl, out, merged)
+						return
+					}
 				}
-				out, merged, err := c.submit(context.Background(), events)
-				if err != nil {
-					errs <- fmt.Errorf("client %d: %v", cl, err)
-					return
-				}
-				if merged < 1 || out.Err != nil || out.Processed != eventsPerRequest {
-					errs <- fmt.Errorf("client %d: outcome %+v merged %d", cl, out, merged)
-					return
+			}(cl)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		commits := backend.snapshot()
+		lastSeen := map[uint64]time.Time{}
+		total := 0
+		maxMerged := 0
+		for _, commit := range commits {
+			if len(commit) > maxMerged {
+				maxMerged = len(commit)
+			}
+			for _, batch := range commit {
+				for _, e := range batch {
+					total++
+					if last, ok := lastSeen[e.UserID]; ok && !e.Time.After(last) {
+						t.Fatalf("user %d: event at %v not after %v — order broken across merged requests",
+							e.UserID, e.Time, last)
+					}
+					lastSeen[e.UserID] = e.Time
 				}
 			}
-		}(cl)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
-	}
-
-	commits := backend.snapshot()
-	lastSeen := map[uint64]time.Time{}
-	total := 0
-	maxMerged := 0
-	for _, commit := range commits {
-		if len(commit) > maxMerged {
-			maxMerged = len(commit)
 		}
-		for _, batch := range commit {
-			for _, e := range batch {
-				total++
-				if last, ok := lastSeen[e.UserID]; ok && !e.Time.After(last) {
-					t.Fatalf("user %d: event at %v not after %v — order broken across merged requests",
-						e.UserID, e.Time, last)
-				}
-				lastSeen[e.UserID] = e.Time
-			}
+		if want := clients * requestsPer * eventsPerRequest; total != want {
+			t.Fatalf("backend saw %d events, submitted %d — events lost or duplicated", total, want)
 		}
-	}
-	if want := clients * requestsPer * eventsPerRequest; total != want {
-		t.Fatalf("backend saw %d events, submitted %d — events lost or duplicated", total, want)
-	}
-	if maxMerged < 2 {
-		t.Fatalf("no commit merged more than one request — coalescing never engaged")
-	}
+		if maxMerged < 2 {
+			t.Fatalf("no commit merged more than one request — coalescing never engaged")
+		}
+	})
 }
 
 // TestCoalescerErrorFanback drives the coalescer against the real core: a
 // malformed request merged with healthy ones must fail alone, and the
-// healthy requests' events must all land in the profiles.
+// healthy requests' events must all land in the profiles. The pipelined
+// mode runs the real PrepareMulti/Commit split.
 func TestCoalescerErrorFanback(t *testing.T) {
-	const clients = 6
-	spa, err := core.New(core.Options{Shards: 1, Clock: clock.NewSimulated(t0.Add(time.Hour))})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer spa.Close()
-	for cl := 0; cl < clients; cl++ {
-		if err := spa.Register(uint64(cl+1), nil); err != nil {
+	dispatcherModes(t, func(t *testing.T, pipelined bool) {
+		const clients = 6
+		spa, err := core.New(core.Options{Shards: 1, Clock: clock.NewSimulated(t0.Add(time.Hour))})
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	c := newCoalescer(spa, nil, 256, 64, time.Millisecond)
-	defer c.close()
-
-	var wg sync.WaitGroup
-	type result struct {
-		bad bool
-		out core.IngestOutcome
-		err error
-	}
-	results := make(chan result, clients*20)
-	for cl := 0; cl < clients; cl++ {
-		wg.Add(1)
-		go func(cl int) {
-			defer wg.Done()
-			user := uint64(cl + 1)
-			bad := cl == 0 // client 0 submits internally out-of-order streams
-			seq := 0
-			for r := 0; r < 20; r++ {
-				var events []lifelog.Event
-				for e := 0; e < 4; e++ {
-					seq++
-					events = append(events, evAt(user, seq))
-				}
-				if bad {
-					events[0], events[len(events)-1] = events[len(events)-1], events[0]
-				}
-				out, _, err := c.submit(context.Background(), events)
-				results <- result{bad: bad, out: out, err: err}
+		defer spa.Close()
+		for cl := 0; cl < clients; cl++ {
+			if err := spa.Register(uint64(cl+1), nil); err != nil {
+				t.Fatal(err)
 			}
-		}(cl)
-	}
-	wg.Wait()
-	close(results)
-	for res := range results {
-		if res.err != nil {
-			t.Fatalf("submit error: %v", res.err)
 		}
-		if res.bad && res.out.Err == nil {
-			t.Fatal("malformed request reported success")
+		var pipe wavePreparer
+		if pipelined {
+			pipe = spaPreparer{spa: spa}
 		}
-		if !res.bad && res.out.Err != nil {
-			t.Fatalf("healthy request failed: %v", res.out.Err)
+		c := newCoalescer(spa, pipe, nil, 256, 64, time.Millisecond)
+		defer c.close()
+
+		var wg sync.WaitGroup
+		type result struct {
+			bad bool
+			out core.IngestOutcome
+			err error
 		}
-		if !res.bad && res.out.Processed != 4 {
-			t.Fatalf("healthy request processed %d of 4", res.out.Processed)
+		results := make(chan result, clients*20)
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				user := uint64(cl + 1)
+				bad := cl == 0 // client 0 submits internally out-of-order streams
+				seq := 0
+				for r := 0; r < 20; r++ {
+					var events []lifelog.Event
+					for e := 0; e < 4; e++ {
+						seq++
+						events = append(events, evAt(user, seq))
+					}
+					if bad {
+						events[0], events[len(events)-1] = events[len(events)-1], events[0]
+					}
+					out, _, err := c.submit(context.Background(), events)
+					results <- result{bad: bad, out: out, err: err}
+				}
+			}(cl)
 		}
-	}
+		wg.Wait()
+		close(results)
+		for res := range results {
+			if res.err != nil {
+				t.Fatalf("submit error: %v", res.err)
+			}
+			if res.bad && res.out.Err == nil {
+				t.Fatal("malformed request reported success")
+			}
+			if !res.bad && res.out.Err != nil {
+				t.Fatalf("healthy request failed: %v", res.out.Err)
+			}
+			if !res.bad && res.out.Processed != 4 {
+				t.Fatalf("healthy request processed %d of 4", res.out.Processed)
+			}
+		}
+	})
 }
 
 // TestCoalescerAdmissionControl: with a tiny queue and a slow backend, the
 // overflow must be rejected with errQueueFull — never blocked, never lost.
+// The pipeline holds at most two extra requests in flight (one preparing,
+// one committing), so admission control stays effective there too.
 func TestCoalescerAdmissionControl(t *testing.T) {
-	backend := &recordingBackend{delay: 20 * time.Millisecond}
-	c := newCoalescer(backend, nil, 2, 1, 0)
-	defer c.close()
+	dispatcherModes(t, func(t *testing.T, pipelined bool) {
+		backend := &recordingBackend{delay: 20 * time.Millisecond}
+		c := newTestCoalescer(backend, pipelined, nil, 2, 1, 0)
+		defer c.close()
 
-	const submitters = 16
-	var wg sync.WaitGroup
-	var accepted, rejected sync.Map
-	for i := 0; i < submitters; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			_, _, err := c.submit(context.Background(), []lifelog.Event{evAt(uint64(i+1), 1)})
-			if errors.Is(err, errQueueFull) {
-				rejected.Store(i, true)
-			} else if err == nil {
-				accepted.Store(i, true)
-			} else {
-				t.Errorf("submit %d: %v", i, err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	nAccepted, nRejected := 0, 0
-	accepted.Range(func(_, _ any) bool { nAccepted++; return true })
-	rejected.Range(func(_, _ any) bool { nRejected++; return true })
-	if nAccepted+nRejected != submitters {
-		t.Fatalf("accounted %d of %d submitters", nAccepted+nRejected, submitters)
-	}
-	if nRejected == 0 {
-		t.Fatal("queue of depth 2 absorbed 16 concurrent submitters — admission control inert")
-	}
-	// Every accepted request must have reached the backend exactly once.
-	total := 0
-	for _, commit := range backend.snapshot() {
-		total += len(commit)
-	}
-	if total != nAccepted {
-		t.Fatalf("backend saw %d requests, accepted %d", total, nAccepted)
-	}
+		const submitters = 16
+		var wg sync.WaitGroup
+		var accepted, rejected sync.Map
+		for i := 0; i < submitters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, _, err := c.submit(context.Background(), []lifelog.Event{evAt(uint64(i+1), 1)})
+				if errors.Is(err, errQueueFull) {
+					rejected.Store(i, true)
+				} else if err == nil {
+					accepted.Store(i, true)
+				} else {
+					t.Errorf("submit %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		nAccepted, nRejected := 0, 0
+		accepted.Range(func(_, _ any) bool { nAccepted++; return true })
+		rejected.Range(func(_, _ any) bool { nRejected++; return true })
+		if nAccepted+nRejected != submitters {
+			t.Fatalf("accounted %d of %d submitters", nAccepted+nRejected, submitters)
+		}
+		if nRejected == 0 {
+			t.Fatal("queue of depth 2 absorbed 16 concurrent submitters — admission control inert")
+		}
+		// Every accepted request must have reached the backend exactly once.
+		total := 0
+		for _, commit := range backend.snapshot() {
+			total += len(commit)
+		}
+		if total != nAccepted {
+			t.Fatalf("backend saw %d requests, accepted %d", total, nAccepted)
+		}
+	})
 }
 
 // gatedBackend blocks its first MultiIngest call until released — the seam
 // that lets a test pile up a backlog behind an in-flight commit and then
-// trigger shutdown at a known point.
+// trigger shutdown at a known point. Under the pipeAdapter the gate blocks
+// the first stage-2 commit.
 type gatedBackend struct {
 	recordingBackend
 	started chan struct{} // closed when the first commit begins
@@ -275,7 +326,7 @@ func TestCoalescerDrainMergesBacklog(t *testing.T) {
 	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
 	// maxDelay > 0 is the trigger: it put the quit case into gather's
 	// select in the first place.
-	c := newCoalescer(backend, nil, 64, 64, time.Millisecond)
+	c := newCoalescer(backend, nil, nil, 64, 64, time.Millisecond)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, backlog+1)
@@ -331,12 +382,74 @@ func TestCoalescerDrainMergesBacklog(t *testing.T) {
 	}
 }
 
+// TestPipelinedDrainMergesBacklog: same scenario under the two-stage
+// dispatcher. Stage 1 keeps at most one prepared wave in flight, so part of
+// the backlog sits in the queue when shutdown begins; the drain must still
+// leave in merged waves, not one-request dribbles.
+func TestPipelinedDrainMergesBacklog(t *testing.T) {
+	const (
+		backlog  = 32
+		maxBatch = 8
+	)
+	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
+	c := newTestCoalescer(backend, true, nil, 64, maxBatch, time.Millisecond)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, backlog+1)
+	submit := func(user uint64) {
+		defer wg.Done()
+		if _, _, err := c.submit(context.Background(), []lifelog.Event{evAt(user, 1)}); err != nil {
+			errs <- err
+		}
+	}
+	wg.Add(1)
+	go submit(1)
+	<-backend.started
+	for i := 0; i < backlog; i++ {
+		wg.Add(1)
+		go submit(uint64(i + 2))
+	}
+	// Stage 1 can absorb one maxBatch-sized wave beyond the gated commit;
+	// the rest must be queued before shutdown begins.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.depth() < backlog-maxBatch && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if c.depth() < backlog-maxBatch {
+		t.Fatalf("backlog never queued: depth %d", c.depth())
+	}
+	go c.close()
+	time.Sleep(2 * time.Millisecond)
+	close(backend.release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	maxMerged := 0
+	total := 0
+	commits := backend.snapshot()
+	for _, commit := range commits {
+		if len(commit) > maxMerged {
+			maxMerged = len(commit)
+		}
+		total += len(commit)
+	}
+	if total != backlog+1 {
+		t.Fatalf("backend saw %d requests, want %d", total, backlog+1)
+	}
+	if maxMerged < maxBatch/2 {
+		t.Fatalf("largest drain commit merged %d requests (maxBatch %d) — pipelined drain de-coalesced", maxMerged, maxBatch)
+	}
+}
+
 // TestCoalescerSubmitHonorsContext: a canceled context releases the
 // waiting submitter immediately, but the accepted job still commits — the
 // handler goroutine is freed without breaking the no-loss guarantee.
 func TestCoalescerSubmitHonorsContext(t *testing.T) {
 	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
-	c := newCoalescer(backend, nil, 64, 1, 0) // maxBatch 1: the canceled job commits alone
+	c := newCoalescer(backend, nil, nil, 64, 1, 0) // maxBatch 1: the canceled job commits alone
 	defer c.close()
 
 	// Occupy the dispatcher so the next submit stays queued.
@@ -379,46 +492,191 @@ func TestCoalescerSubmitHonorsContext(t *testing.T) {
 	t.Fatalf("abandoned job never committed: %d commits", len(backend.snapshot()))
 }
 
+// TestPipelinedSubmitHonorsContext: the same guarantee under the pipeline.
+// Job 1 occupies the committer, job 2 sits prepared in stage 1's handoff,
+// job 3 stays queued; canceling job 2's context must release its submitter
+// while all three still commit.
+func TestPipelinedSubmitHonorsContext(t *testing.T) {
+	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
+	c := newTestCoalescer(backend, true, nil, 64, 1, 0)
+	defer c.close()
+
+	go c.submit(context.Background(), []lifelog.Event{evAt(1, 1)})
+	<-backend.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.submit(ctx, []lifelog.Event{evAt(2, 1)})
+		done <- err
+	}()
+	go c.submit(context.Background(), []lifelog.Event{evAt(3, 1)})
+	// Job 3 queues once stage 1 is blocked handing job 2's wave over.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.depth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit still blocked after cancel — disconnected client pins its handler")
+	}
+
+	close(backend.release)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, commit := range backend.snapshot() {
+			total += len(commit)
+		}
+		if total == 3 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("abandoned job never committed: %d commits", len(backend.snapshot()))
+}
+
 // TestCoalescerDrain: close() must commit everything already accepted and
 // reject everything after.
 func TestCoalescerDrain(t *testing.T) {
-	backend := &recordingBackend{delay: 5 * time.Millisecond}
-	c := newCoalescer(backend, nil, 64, 8, 0)
+	dispatcherModes(t, func(t *testing.T, pipelined bool) {
+		backend := &recordingBackend{delay: 5 * time.Millisecond}
+		c := newTestCoalescer(backend, pipelined, nil, 64, 8, 0)
 
-	const pre = 12
-	var wg sync.WaitGroup
-	okCh := make(chan bool, pre)
-	for i := 0; i < pre; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			_, _, err := c.submit(context.Background(), []lifelog.Event{evAt(uint64(i+1), 1)})
-			okCh <- err == nil
-		}(i)
+		const pre = 12
+		var wg sync.WaitGroup
+		okCh := make(chan bool, pre)
+		for i := 0; i < pre; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, _, err := c.submit(context.Background(), []lifelog.Event{evAt(uint64(i+1), 1)})
+				okCh <- err == nil
+			}(i)
+		}
+		// Let the submitters enqueue, then shut down while commits are slow.
+		time.Sleep(2 * time.Millisecond)
+		c.close()
+		wg.Wait()
+		close(okCh)
+
+		completed := 0
+		for ok := range okCh {
+			if ok {
+				completed++
+			}
+		}
+		total := 0
+		for _, commit := range backend.snapshot() {
+			total += len(commit)
+		}
+		if total != completed {
+			t.Fatalf("backend committed %d requests, %d submitters saw success — drain dropped work", total, completed)
+		}
+		if _, _, err := c.submit(context.Background(), []lifelog.Event{evAt(1, 2)}); !errors.Is(err, errDraining) {
+			t.Fatalf("submit after close: %v, want errDraining", err)
+		}
+		if c.depth() != 0 {
+			t.Fatalf("queue depth %d after drain", c.depth())
+		}
+	})
+}
+
+// journalPreparer journals prepare and commit order per wave and can gate
+// the first commit — the instrument that proves the pipeline actually
+// overlaps stage 1 of wave N+1 with stage 2 of wave N, and that commits
+// still run in wave order.
+type journalPreparer struct {
+	gate chan struct{} // commit of wave 0 blocks here
+
+	mu        sync.Mutex
+	nextWave  int
+	prepared  []int
+	committed []int
+}
+
+func (p *journalPreparer) PrepareWave(batches [][]lifelog.Event) waveCommit {
+	p.mu.Lock()
+	id := p.nextWave
+	p.nextWave++
+	p.prepared = append(p.prepared, id)
+	p.mu.Unlock()
+	return commitFunc(func() []core.IngestOutcome {
+		if id == 0 {
+			<-p.gate
+		}
+		p.mu.Lock()
+		p.committed = append(p.committed, id)
+		p.mu.Unlock()
+		outs := make([]core.IngestOutcome, len(batches))
+		for i := range outs {
+			outs[i].Processed = len(batches[i])
+		}
+		return outs
+	})
+}
+
+func (p *journalPreparer) preparedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.prepared)
+}
+
+// TestPipelinedOverlapAndCommitOrder: while wave 0's commit is held open,
+// wave 1 must still get prepared (the overlap), the depth gauge must show
+// two waves in flight, and after release the commits must land in wave
+// order with the overlap counter advanced.
+func TestPipelinedOverlapAndCommitOrder(t *testing.T) {
+	jp := &journalPreparer{gate: make(chan struct{})}
+	met := &metrics{}
+	c := newCoalescer(nil, jp, met, 64, 1, 0)
+	defer c.close()
+
+	results := make(chan error, 2)
+	submit := func(user uint64) {
+		out, _, err := c.submit(context.Background(), []lifelog.Event{evAt(user, 1)})
+		if err == nil && out.Processed != 1 {
+			err = fmt.Errorf("outcome %+v", out)
+		}
+		results <- err
 	}
-	// Let the submitters enqueue, then shut down while commits are slow.
-	time.Sleep(2 * time.Millisecond)
-	c.close()
-	wg.Wait()
-	close(okCh)
-
-	completed := 0
-	for ok := range okCh {
-		if ok {
-			completed++
+	go submit(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for jp.preparedCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	go submit(2)
+	// Wave 1's prepare must complete while wave 0 is still inside Commit.
+	for jp.preparedCount() < 2 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if jp.preparedCount() < 2 {
+		t.Fatal("wave 1 never prepared while wave 0's commit was in flight — no overlap")
+	}
+	if d := met.pipelineDepth.Load(); d != 2 {
+		t.Fatalf("pipeline depth %d with one committing and one prepared wave, want 2", d)
+	}
+	close(jp.gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
 		}
 	}
-	total := 0
-	for _, commit := range backend.snapshot() {
-		total += len(commit)
+	jp.mu.Lock()
+	committed := append([]int(nil), jp.committed...)
+	jp.mu.Unlock()
+	if len(committed) != 2 || committed[0] != 0 || committed[1] != 1 {
+		t.Fatalf("commit order %v, want [0 1]", committed)
 	}
-	if total != completed {
-		t.Fatalf("backend committed %d requests, %d submitters saw success — drain dropped work", total, completed)
+	if met.pipelineOverlap.Load() == 0 {
+		t.Fatal("overlap counter never advanced")
 	}
-	if _, _, err := c.submit(context.Background(), []lifelog.Event{evAt(1, 2)}); !errors.Is(err, errDraining) {
-		t.Fatalf("submit after close: %v, want errDraining", err)
-	}
-	if c.depth() != 0 {
-		t.Fatalf("queue depth %d after drain", c.depth())
+	if d := met.pipelineDepth.Load(); d != 0 {
+		t.Fatalf("pipeline depth %d after quiesce, want 0", d)
 	}
 }

@@ -46,6 +46,16 @@ type Options struct {
 	// commits whatever is already pending: with durable sync writes the
 	// in-flight commit itself is the natural batching window.
 	MaxDelay time.Duration
+	// Pipeline selects the coalescer's two-stage dispatcher: each wave's
+	// shard WriteBatches commit as one ordered store sequence with a
+	// single WAL sync (the main throughput win), and wave N+1's CPU-bound
+	// prepare runs concurrently with wave N's commit when the waves touch
+	// disjoint shards. On successful commits per-request outcomes are
+	// byte-identical to the serialized dispatcher; a store write failure
+	// fails the whole wave rather than only the failing shard group's
+	// batches (see core.PreparedMulti.Commit). Ignored with
+	// DisableCoalescing (spad -pipeline).
+	Pipeline bool
 	// MaxBodyBytes caps one request body (default 8 MiB); larger bodies
 	// answer 413 before any decoding buffers them.
 	MaxBodyBytes int64
@@ -78,7 +88,11 @@ func New(spa *core.SPA, opts Options) *Server {
 		s.maxBody = 8 << 20
 	}
 	if !opts.DisableCoalescing {
-		s.co = newCoalescer(spa, &s.met, opts.QueueDepth, opts.MaxBatch, opts.MaxDelay)
+		var pipe wavePreparer
+		if opts.Pipeline {
+			pipe = spaPreparer{spa: spa}
+		}
+		s.co = newCoalescer(spa, pipe, &s.met, opts.QueueDepth, opts.MaxBatch, opts.MaxDelay)
 	}
 	s.mux.HandleFunc("POST /v1/users", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
@@ -469,6 +483,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		IngestCommits:     s.met.ingestCommits.Load(),
 		CoalescedRequests: s.met.coalescedRequests.Load(),
 		MaxCoalesced:      int(s.met.maxCoalesced.Load()),
+		PipelineDepth:     int(s.met.pipelineDepth.Load()),
+		PipelineOverlap:   s.met.pipelineOverlap.Load(),
 	}
 	if s.co != nil {
 		m.QueueDepth = s.co.depth()

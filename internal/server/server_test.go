@@ -333,3 +333,60 @@ func TestServerDrainOnClose(t *testing.T) {
 		t.Fatal("submit accepted after Close")
 	}
 }
+
+// TestPipelinedServerEndToEnd: Options.Pipeline serves the same wire
+// contract over HTTP — concurrent durable ingests succeed, outcomes are
+// attributed, and /metrics exposes the pipeline gauges.
+func TestPipelinedServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ts, spa := testServer(t,
+		core.Options{DataDir: dir, Shards: 4, Store: store.Options{SyncWrites: true}},
+		Options{Pipeline: true, MaxDelay: time.Millisecond})
+	const users = 8
+	for u := uint64(1); u <= users; u++ {
+		if code, _ := doJSON(t, "POST", ts.URL+"/v1/users", wire.RegisterRequest{UserID: u}, nil); code != http.StatusCreated {
+			t.Fatalf("register %d: %d", u, code)
+		}
+	}
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	for u := uint64(1); u <= users; u++ {
+		wg.Add(1)
+		go func(u uint64) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var resp wire.IngestResponse
+				req := wire.IngestRequest{Events: []wire.Event{
+					{UserID: u, TimeUnixNano: t0.Add(time.Duration(r) * time.Minute).UnixNano(), Type: uint8(lifelog.EventClick), Action: 7},
+				}}
+				code, _ := doJSON(t, "POST", ts.URL+"/v1/ingest", req, &resp)
+				if code != http.StatusOK || resp.Processed != 1 {
+					errs <- fmt.Errorf("user %d round %d: code %d resp %+v", u, r, code, resp)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var m wire.Metrics
+	if code, _ := doJSON(t, "GET", ts.URL+"/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.IngestEvents != users*rounds || m.IngestCommits == 0 {
+		t.Fatalf("metrics accounting: %+v", m)
+	}
+	if m.PipelineDepth != 0 {
+		t.Fatalf("pipeline depth %d after quiesce", m.PipelineDepth)
+	}
+	// Every profile must be durable: reopen and compare.
+	for u := uint64(1); u <= users; u++ {
+		if _, err := spa.Profile(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -373,3 +373,51 @@ func TestIngesterBackgroundFlush(t *testing.T) {
 	}
 	t.Fatalf("background flusher never shipped: %+v", in.Stats())
 }
+
+// TestIngesterCloseCutsBackoffShort is the shutdown-stall regression: the
+// 503 backoff used to be an uninterruptible time.Sleep held under sendMu,
+// so Close (and every other flush) could wait up to MaxRetries × 30s
+// behind one throttled batch. Close must now cut the wait short while the
+// batch still gets a final attempt.
+func TestIngesterCloseCutsBackoffShort(t *testing.T) {
+	var calls atomic.Int32
+	firstSeen := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			close(firstSeen)
+		}
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.Error{Message: "busy"})
+	}))
+	defer ts.Close()
+
+	var dropped int
+	in := NewIngester(New(ts.URL, Options{}), func(in *Ingester) {
+		in.Manual = true
+		in.MaxRetries = 3
+		in.OnError = func(events []lifelog.Event, err error) { dropped += len(events) }
+	})
+	if err := in.Add(click(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	go in.Flush() // enters the 30s backoff after the first 503
+	select {
+	case <-firstSeen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush never reached the server")
+	}
+	start := time.Now()
+	in.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v — backoff not interrupted", elapsed)
+	}
+	// The throttled batch got its final attempt (≥ 2 server calls) and was
+	// then handed to OnError rather than silently lost.
+	if calls.Load() < 2 {
+		t.Fatalf("server saw %d calls, want the interrupted batch retried once more", calls.Load())
+	}
+	if st := in.Stats(); st.Dropped != 1 || dropped != 1 {
+		t.Fatalf("dropped %d / OnError %d, want 1/1: %+v", st.Dropped, dropped, st)
+	}
+}

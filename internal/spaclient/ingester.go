@@ -14,8 +14,10 @@ import (
 // request — so a chatty producer pays one HTTP round-trip per BatchSize
 // events, and the server's coalescer then merges those requests across
 // clients. 503 admission-control rejections are retried with the server's
-// Retry-After backoff; other errors are surfaced through OnError and the
-// batch is dropped (the wire reported it unusable, not busy).
+// Retry-After backoff (Close interrupts the wait: the throttled batch gets
+// one immediate final attempt instead of stalling shutdown); other errors
+// are surfaced through OnError and the batch is dropped (the wire reported
+// it unusable, not busy).
 //
 // Add and Flush are safe for concurrent use, but per-user event order is
 // only preserved if each user's events come from one goroutine — the same
@@ -172,27 +174,40 @@ func (in *Ingester) loop() {
 	}
 }
 
-// ship sends one batch, honouring 503 backoff.
+// ship sends one batch, honouring 503 backoff. The backoff wait is
+// interruptible: ship holds sendMu, so an uninterruptible sleep here would
+// stall Close (and every other flush) for up to MaxRetries × the clamped
+// Retry-After behind one throttled batch. When stopCh fires mid-backoff the
+// wait is cut short and the batch gets one immediate final attempt — the
+// tail still ships if the server has recovered, and shutdown never waits
+// out a 30-second backoff it no longer believes in.
 func (in *Ingester) ship(batch []lifelog.Event) {
 	var (
-		resp wire.IngestResponse
-		err  error
+		resp    wire.IngestResponse
+		err     error
+		closing bool
 	)
 	for attempt := 0; ; attempt++ {
 		resp, err = in.c.Ingest(batch)
 		var apiErr *APIError
-		if err != nil && errors.As(err, &apiErr) && apiErr.Temporary() && attempt < in.MaxRetries {
-			in.mu.Lock()
-			in.stats.Retries++
-			in.mu.Unlock()
-			backoff := apiErr.RetryAfter
-			if backoff <= 0 {
-				backoff = 50 * time.Millisecond
-			}
-			time.Sleep(backoff)
-			continue
+		if err == nil || !errors.As(err, &apiErr) || !apiErr.Temporary() ||
+			attempt >= in.MaxRetries || closing {
+			break
 		}
-		break
+		in.mu.Lock()
+		in.stats.Retries++
+		in.mu.Unlock()
+		backoff := apiErr.RetryAfter
+		if backoff <= 0 {
+			backoff = 50 * time.Millisecond
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-in.stopCh:
+			timer.Stop()
+			closing = true
+		}
 	}
 	in.mu.Lock()
 	if err == nil {

@@ -1,6 +1,9 @@
 package store
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // WriteBatch accumulates puts and deletes that commit atomically: Apply
 // appends them to the WAL as a single CRC-framed record and installs them
@@ -65,6 +68,87 @@ func (db *DB) Apply(b *WriteBatch) error {
 	if err := db.wal.appendBatch(b.entries); err != nil {
 		return err
 	}
+	db.installBatchLocked(b)
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// ApplyAll commits a sequence of batches as one ordered group. The
+// guarantees a pipelined caller builds on:
+//
+//   - Order: the batches reach the WAL in slice order, under one lock
+//     acquisition — no other writer's record interleaves, and two ApplyAll
+//     calls serialize wholesale. Crash replay therefore recovers a PREFIX
+//     of the sequence: batch i+1's effects are never durable without batch
+//     i's. This is the store-level ordering the coalescer's commit pipeline
+//     relies on for same-shard WriteBatches of successive waves.
+//   - Atomicity per batch: each batch is its own CRC-framed replay record,
+//     exactly as Apply writes it — a torn tail discards whole batches,
+//     never partial ones.
+//   - One sync: with SyncWrites the whole sequence is fsynced once, after
+//     the last append — the group-commit economics that let a wave of K
+//     shard batches pay one device flush instead of K.
+//   - All-or-nothing visibility: on any error nothing is installed in the
+//     memtable and the caller must treat every batch as not applied. (As
+//     with Apply, a sync failure cannot un-append: records already written
+//     may still surface after a crash-restart even though the call
+//     reported failure — the standard WAL caveat for unacknowledged
+//     writes.)
+//
+// Empty batches are skipped; an all-empty (or empty) sequence is a no-op.
+func (db *DB) ApplyAll(batches []*WriteBatch) error {
+	live := batches[:0:0]
+	for _, b := range batches {
+		if b.Len() == 0 {
+			continue
+		}
+		for _, e := range b.entries {
+			if len(e.key) == 0 {
+				return errors.New("store: empty key in batch")
+			}
+		}
+		// Reject an oversize batch up front, before ANY record of the
+		// sequence reaches the buffered writer: a mid-sequence cap error
+		// is not a sticky writer error, so earlier batches of the wave
+		// would otherwise sit valid in the buffer and become durable on
+		// the next flush — a wave the caller was told failed.
+		if bound := walBatchRecordBound(b.entries); bound > maxWALRecord {
+			return fmt.Errorf("store: batch record ~%d bytes exceeds %d-byte cap", bound, maxWALRecord)
+		}
+		live = append(live, b)
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for _, b := range live {
+		if err := db.wal.appendBatchNoSync(b.entries); err != nil {
+			return err
+		}
+	}
+	if db.opts.SyncWrites {
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+	}
+	for _, b := range live {
+		db.installBatchLocked(b)
+	}
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// installBatchLocked applies one batch's entries to the memtable; the
+// caller holds db.mu and has already made the batch durable.
+func (db *DB) installBatchLocked(b *WriteBatch) {
 	for _, e := range b.entries {
 		if e.tombstone {
 			db.mem.delete(e.key)
@@ -72,8 +156,4 @@ func (db *DB) Apply(b *WriteBatch) error {
 			db.mem.put(e.key, e.value)
 		}
 	}
-	if db.mem.bytes >= db.opts.MemtableBytes {
-		return db.flushLocked()
-	}
-	return nil
 }

@@ -14,21 +14,27 @@ import (
 
 // faultOps simulates filesystem failures on specific operations, in the
 // style of a DirectIO test fake: each knob fails the Nth matching call
-// (1-based) and passes the rest through to the real filesystem.
+// (1-based) and passes the rest through to the real filesystem. Segment
+// and WAL faults count separately, so a test can fail a WAL write without
+// having to predict how many segment writes preceded it.
 type faultOps struct {
 	real osFileOps
 
 	failCreateAt int // fail the Nth Create
-	failWriteAt  int // fail the Nth Write on created files
-	failSyncAt   int // fail the Nth Sync
+	failWriteAt  int // fail the Nth Write on created segment files
+	failSyncAt   int // fail the Nth Sync on created segment files
 	failRenameAt int // fail the Nth Rename
 
+	failWALWriteAt int // fail the Nth Write on the WAL
+	failWALSyncAt  int // fail the Nth Sync on the WAL
+
 	creates, writes, syncs, renames int
+	walWrites, walSyncs             int
 }
 
 var errInjected = errors.New("injected fault")
 
-func (f *faultOps) Create(name string) (segFile, error) {
+func (f *faultOps) Create(name string) (SegFile, error) {
 	f.creates++
 	if f.creates == f.failCreateAt {
 		return nil, fmt.Errorf("create %s: %w", name, errInjected)
@@ -50,9 +56,39 @@ func (f *faultOps) Rename(oldpath, newpath string) error {
 
 func (f *faultOps) Remove(name string) error { return f.real.Remove(name) }
 
+func (f *faultOps) OpenWAL(name string) (WALFile, error) {
+	file, err := f.real.OpenWAL(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWAL{f: f, WALFile: file}, nil
+}
+
+// faultWAL intercepts WAL writes and syncs; everything else passes through.
+type faultWAL struct {
+	f *faultOps
+	WALFile
+}
+
+func (fw *faultWAL) Write(p []byte) (int, error) {
+	fw.f.walWrites++
+	if fw.f.walWrites == fw.f.failWALWriteAt {
+		return 0, errInjected
+	}
+	return fw.WALFile.Write(p)
+}
+
+func (fw *faultWAL) Sync() error {
+	fw.f.walSyncs++
+	if fw.f.walSyncs == fw.f.failWALSyncAt {
+		return errInjected
+	}
+	return fw.WALFile.Sync()
+}
+
 type faultFile struct {
 	f    *faultOps
-	file segFile
+	file SegFile
 }
 
 func (ff *faultFile) Write(p []byte) (int, error) {

@@ -5,29 +5,50 @@ import (
 	"os"
 )
 
-// fileOps abstracts the handful of filesystem operations segment flushing
-// and compaction perform. Production uses the os package directly; tests
+// FileOps abstracts the filesystem operations the engine performs on its
+// own files: segment flushing/compaction (Create/Rename/Remove) and the
+// write-ahead log (OpenWAL). Production uses the os package directly; tests
 // substitute a fake that fails specific operations (a create, the Nth
-// write, the sync, the rename) to exercise every flush error path without
-// touching a real failing disk.
-type fileOps interface {
-	Create(name string) (segFile, error)
+// write, the sync, the rename) to exercise every flush and commit error
+// path without touching a real failing disk. The seam is injectable from
+// outside the package via Options.FileOps, so higher layers (core's ingest
+// path) can drive their own store-failure regression tests.
+type FileOps interface {
+	Create(name string) (SegFile, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
+	// OpenWAL opens (creating if absent) the write-ahead log for read,
+	// append and truncation.
+	OpenWAL(name string) (WALFile, error)
 }
 
-// segFile is the slice of *os.File that segment writing needs.
-type segFile interface {
+// SegFile is the slice of *os.File that segment writing needs.
+type SegFile interface {
 	io.Writer
 	Sync() error
+	Close() error
+}
+
+// WALFile is the slice of *os.File the write-ahead log needs: sequential
+// reads for replay, appends, explicit syncs, and truncation of a corrupt
+// tail (or the whole log after a memtable flush).
+type WALFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
 	Close() error
 }
 
 // osFileOps is the production implementation.
 type osFileOps struct{}
 
-func (osFileOps) Create(name string) (segFile, error) { return os.Create(name) }
+func (osFileOps) Create(name string) (SegFile, error) { return os.Create(name) }
 func (osFileOps) Rename(oldpath, newpath string) error {
 	return os.Rename(oldpath, newpath)
 }
 func (osFileOps) Remove(name string) error { return os.Remove(name) }
+func (osFileOps) OpenWAL(name string) (WALFile, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// KillableFileOps is a FileOps for fault-injection tests in higher layers
+// (wired in via Options.FileOps): it passes everything through to the real
+// filesystem until Kill is called; from then on WAL writes fail and bytes
+// never reach the log — the cleanest stand-in for a dying storage device.
+// The running process sees store errors on every commit, and a reopened
+// store sees exactly what was written before the kill. Revive restores the
+// passthrough (note the WAL's buffered writer keeps its sticky error until
+// the store is reopened, as with any write failure).
+type KillableFileOps struct {
+	killed atomic.Bool
+}
+
+// Kill makes every subsequent WAL write fail.
+func (f *KillableFileOps) Kill() { f.killed.Store(true) }
+
+// Revive lets WAL writes through again.
+func (f *KillableFileOps) Revive() { f.killed.Store(false) }
+
+func (f *KillableFileOps) Create(name string) (SegFile, error) { return os.Create(name) }
+func (f *KillableFileOps) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+func (f *KillableFileOps) Remove(name string) error { return os.Remove(name) }
+func (f *KillableFileOps) OpenWAL(name string) (WALFile, error) {
+	file, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &killableWAL{fs: f, File: file}, nil
+}
+
+type killableWAL struct {
+	fs *KillableFileOps
+	*os.File
+}
+
+func (w *killableWAL) Write(p []byte) (int, error) {
+	if w.fs.killed.Load() {
+		return 0, fmt.Errorf("store: wal write: device killed (injected)")
+	}
+	return w.File.Write(p)
+}

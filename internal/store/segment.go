@@ -58,7 +58,7 @@ type indexEntry struct {
 // writeSegment writes sorted entries to a new file at path via fops. The
 // caller guarantees key order; writeSegment verifies it and fails otherwise,
 // since an unsorted segment would corrupt every future merge.
-func writeSegment(fops fileOps, path string, entries []entry) error {
+func writeSegment(fops FileOps, path string, entries []entry) error {
 	tmp := path + ".tmp"
 	f, err := fops.Create(tmp)
 	if err != nil {

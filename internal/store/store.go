@@ -56,6 +56,12 @@ type Options struct {
 	// CompactInterval is the idle poll period of the background compactor
 	// (flushes also wake it immediately). Default 500 ms.
 	CompactInterval time.Duration
+
+	// FileOps substitutes the filesystem seam (segment files and WAL).
+	// Nil selects the os package. It exists for fault-injection tests —
+	// including callers outside this package exercising their own
+	// store-failure paths; production leaves it nil.
+	FileOps FileOps
 }
 
 func (o Options) withDefaults() Options {
@@ -79,7 +85,7 @@ func (o Options) withDefaults() Options {
 type DB struct {
 	dir  string
 	opts Options
-	fops fileOps
+	fops FileOps
 
 	mu       sync.RWMutex
 	mem      *memtable
@@ -105,10 +111,14 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating dir: %w", err)
 	}
+	fops := opts.FileOps
+	if fops == nil {
+		fops = osFileOps{}
+	}
 	db := &DB{
 		dir:         dir,
 		opts:        opts,
-		fops:        osFileOps{},
+		fops:        fops,
 		mem:         newMemtable(),
 		compactKick: make(chan struct{}, 1),
 		closeCh:     make(chan struct{}),
@@ -121,7 +131,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.segments = segs
 	db.nextSeg = maxID + 1
 
-	w, entries, err := openWAL(filepath.Join(dir, "wal.log"), opts.SyncWrites)
+	w, entries, err := openWAL(fops, filepath.Join(dir, "wal.log"), opts.SyncWrites)
 	if err != nil {
 		return nil, err
 	}

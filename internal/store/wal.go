@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 )
 
 // wal is the write-ahead log. Record framing:
@@ -23,7 +22,7 @@ import (
 // torn-write recovery contract: everything acknowledged before a crash is
 // intact, a partial trailing record is discarded.
 type wal struct {
-	f         *os.File
+	f         WALFile
 	w         *bufio.Writer
 	syncEvery bool
 	path      string
@@ -51,8 +50,8 @@ const (
 
 // openWAL opens the log at path, replaying existing entries. A truncated or
 // corrupt tail is tolerated (and discarded on the next reset).
-func openWAL(path string, syncWrites bool) (*wal, []walEntry, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openWAL(fops FileOps, path string, syncWrites bool) (*wal, []walEntry, error) {
+	f, err := fops.OpenWAL(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: opening wal: %w", err)
 	}
@@ -73,7 +72,7 @@ func openWAL(path string, syncWrites bool) (*wal, []walEntry, error) {
 	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), syncEvery: syncWrites, path: path}, entries, nil
 }
 
-func replayWAL(f *os.File) ([]walEntry, int64, error) {
+func replayWAL(f WALFile) ([]walEntry, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
@@ -201,20 +200,52 @@ func (w *wal) append(e walEntry) error {
 // appendBatch writes all entries as one opBatch record: one checksum frame,
 // so replay applies the whole batch or none of it.
 func (w *wal) appendBatch(entries []walEntry) error {
+	if err := w.appendBatchNoSync(entries); err != nil {
+		return err
+	}
+	if w.syncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// walBatchRecordBound is a conservative upper bound on the framed record
+// size appendBatchNoSync will produce for entries (uvarints never exceed
+// MaxVarintLen64). A batch whose bound fits under maxWALRecord can never
+// trip writeRecordNoSync's cap — which lets ApplyAll reject an oversize
+// batch BEFORE anything of the sequence reaches the buffered writer.
+func walBatchRecordBound(entries []walEntry) int {
 	size := 1 + binary.MaxVarintLen64
 	for _, e := range entries {
 		size += 1 + 2*binary.MaxVarintLen64 + len(e.key) + len(e.value)
 	}
-	buf := make([]byte, 0, size)
+	return size
+}
+
+// appendBatchNoSync frames the entries like appendBatch but never syncs,
+// whatever the syncEvery setting — the building block of ApplyAll, which
+// appends a whole sequence of batch records and pays one sync at the end.
+func (w *wal) appendBatchNoSync(entries []walEntry) error {
+	buf := make([]byte, 0, walBatchRecordBound(entries))
 	buf = append(buf, opBatch)
 	buf = binary.AppendUvarint(buf, uint64(len(entries)))
 	for _, e := range entries {
 		buf = appendWALSubEntry(buf, e)
 	}
-	return w.writeRecord(buf)
+	return w.writeRecordNoSync(buf)
 }
 
 func (w *wal) writeRecord(buf []byte) error {
+	if err := w.writeRecordNoSync(buf); err != nil {
+		return err
+	}
+	if w.syncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *wal) writeRecordNoSync(buf []byte) error {
 	if len(buf) > maxWALRecord {
 		return fmt.Errorf("store: wal record %d bytes exceeds %d-byte cap", len(buf), maxWALRecord)
 	}
@@ -226,9 +257,6 @@ func (w *wal) writeRecord(buf []byte) error {
 	}
 	if _, err := w.w.Write(buf); err != nil {
 		return err
-	}
-	if w.syncEvery {
-		return w.syncLocked()
 	}
 	return nil
 }
