@@ -7,7 +7,8 @@
 //
 // Usage: spabench [-users N] [-seed S] [-skip-ablations] [-skip-scale]
 //
-//	[-json] [-clients K] [-requests N] [-loadgen URL]
+//	[-json] [-clients K] [-requests N] [-loadgen URL] [-stream]
+//	[-stream-smoke URL]
 //
 // -json switches the output to machine-readable results: one JSON object
 // per section on stdout (the human table is suppressed), so a bench
@@ -16,11 +17,18 @@
 // -loadgen URL skips the paper sections entirely and drives an already
 // running spad (cmd/spad) over its wire API with -clients concurrent
 // clients, reporting throughput and latency percentiles — the same
-// measurement the self-hosted [S2] section makes.
+// measurement the self-hosted [S2] section makes. -stream switches the
+// loadgen onto the persistent binary stream transport ([S5]).
+//
+// -stream-smoke URL is the CI drain probe: it ships frames over one
+// stream until the daemon drains (SIGTERM), then reports how many were
+// acknowledged — every acknowledged frame was committed before its answer
+// was written.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,9 +41,11 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/emotion"
+	"repro/internal/lifelog"
 	"repro/internal/messaging"
 	"repro/internal/scalebench"
 	"repro/internal/server"
+	"repro/internal/spaclient"
 	"repro/internal/store"
 )
 
@@ -43,11 +53,14 @@ func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
-	skipScale := flag.Bool("skip-scale", false, "skip the S1-S4 scale sections")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1-S5 scale sections")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per section instead of the table")
 	clients := flag.Int("clients", scalebench.Workers, "concurrent clients for S2/loadgen")
 	requests := flag.Int("requests", 2048, "total ingest requests for S2/loadgen")
 	loadgen := flag.String("loadgen", "", "drive a running spad at this base URL and exit (e.g. http://127.0.0.1:8372)")
+	stream := flag.Bool("stream", false, "with -loadgen: speak the persistent binary stream instead of per-request HTTP")
+	noRegister := flag.Bool("no-register", false, "with -loadgen: skip user registration (reuse a previous run's population)")
+	streamSmoke := flag.String("stream-smoke", "", "streamed-ingest drain smoke against a running spad at this base URL: ship frames until the daemon drains, then report")
 	flag.Parse()
 
 	em := &emitter{w: os.Stdout}
@@ -57,8 +70,10 @@ func main() {
 	}
 
 	var err error
-	if *loadgen != "" {
-		err = runLoadgen(em, *loadgen, *clients, *requests)
+	if *streamSmoke != "" {
+		err = runStreamSmoke(*streamSmoke)
+	} else if *loadgen != "" {
+		err = runLoadgen(em, *loadgen, *clients, *requests, *stream, !*noRegister)
 	} else {
 		err = run(em, *users, *seed, !*skipAblations, !*skipScale, *clients, *requests)
 	}
@@ -229,6 +244,9 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 			return err
 		}
 		if err := runScaleServePipeline(em, clients, requests); err != nil {
+			return err
+		}
+		if err := runScaleServeStream(em, clients, requests); err != nil {
 			return err
 		}
 	}
@@ -538,14 +556,89 @@ func runScaleServePipeline(em *emitter, clients, requests int) error {
 	return nil
 }
 
+// runScaleServeStream is the transport comparison [S5]: the same stack as
+// the pipelined [S4] run (spad on loopback, coalescing, pipelining and
+// fsync on, 32 shards), with the clients speaking per-request binary HTTP
+// versus persistent binary streams. The stream removes the per-request
+// HTTP cycle AND pipelines: each of the K clients keeps a 4-frame credit
+// window in flight on its one connection, so the coalescer sees K×4
+// concurrent requests instead of K stop-and-wait ones — deeper waves,
+// fewer fsyncs per event. That pipelining is the capability under test:
+// HTTP/1.1 cannot do it on one connection.
+func runScaleServeStream(em *emitter, clients, requests int) error {
+	const streamWindow = 4
+	em.printf("\n[S5] Streamed ingest: persistent binary stream vs per-request binary HTTP (%d clients, %d requests of %d events, window %d, fsync on)\n",
+		clients, requests, 32*scalebench.PerUser, streamWindow)
+
+	measure := func(stream bool) (res scalebench.LoadgenResult, err error) {
+		err = serveStack(true, true, 32, func(baseURL string) error {
+			res, err = scalebench.RunLoadgen(scalebench.LoadgenConfig{
+				BaseURL:         baseURL,
+				Clients:         clients,
+				Requests:        requests,
+				Register:        true,
+				UsersPerRequest: 32,
+				Stream:          stream,
+				StreamWindow:    streamWindow,
+			})
+			return err
+		})
+		return res, err
+	}
+
+	// Same discipline as [S2]-[S4]: interleave the modes and keep each
+	// one's best of two windows, so shared-storage fsync noise cannot
+	// masquerade as a transport difference.
+	var perReq, streamed scalebench.LoadgenResult
+	for round := 0; round < 2; round++ {
+		p, err := measure(false)
+		if err != nil {
+			return err
+		}
+		if p.EventsPerSec > perReq.EventsPerSec {
+			perReq = p
+		}
+		s, err := measure(true)
+		if err != nil {
+			return err
+		}
+		if s.EventsPerSec > streamed.EventsPerSec {
+			streamed = s
+		}
+	}
+	speedup := 0.0
+	if perReq.EventsPerSec > 0 {
+		speedup = streamed.EventsPerSec / perReq.EventsPerSec
+	}
+	ok := speedup > 1 && streamed.Errors == 0 && perReq.Errors == 0
+	em.printf("  per-request    : %8.0f events/s   p50 %6s  p99 %6s  (%d errors)\n",
+		perReq.EventsPerSec, perReq.P50.Round(time.Microsecond), perReq.P99.Round(time.Microsecond), perReq.Errors)
+	em.printf("  streamed       : %8.0f events/s   p50 %6s  p99 %6s  (%d errors, mean batch %.1f)\n",
+		streamed.EventsPerSec, streamed.P50.Round(time.Microsecond), streamed.P99.Round(time.Microsecond),
+		streamed.Errors, streamed.MeanCoalesced)
+	em.printf("  speedup        : %.2fx   %s\n", speedup, okIf(ok))
+	em.emit("S5", map[string]any{
+		"per_request": perReq,
+		"streamed":    streamed,
+		"speedup":     speedup,
+		"ok":          ok,
+	})
+	return nil
+}
+
 // runLoadgen drives an external spad and reports one S2-style record.
-func runLoadgen(em *emitter, baseURL string, clients, requests int) error {
-	em.printf("[loadgen] %s — %d clients, %d requests\n", baseURL, clients, requests)
+func runLoadgen(em *emitter, baseURL string, clients, requests int, stream, register bool) error {
+	transport := "per-request"
+	if stream {
+		transport = "streamed"
+	}
+	em.printf("[loadgen] %s — %d clients, %d requests (%s)\n", baseURL, clients, requests, transport)
 	res, err := scalebench.RunLoadgen(scalebench.LoadgenConfig{
 		BaseURL:  baseURL,
 		Clients:  clients,
 		Requests: requests,
-		Register: true,
+		Register: register,
+		Stream:   stream,
 	})
 	if err != nil {
 		return err
@@ -557,6 +650,62 @@ func runLoadgen(em *emitter, baseURL string, clients, requests int) error {
 	em.printf("  coalescing : mean batch %.1f, max %d\n", res.MeanCoalesced, res.MaxCoalesced)
 	em.printf("  errors     : %d of %d requests\n", res.Errors, res.Requests)
 	em.emit("loadgen", map[string]any{"result": res, "base_url": baseURL})
+	return nil
+}
+
+// runStreamSmoke is the CI drain probe: open one persistent stream, keep
+// shipping frames until the daemon begins its shutdown drain (SIGTERM in
+// the CI job), and report how many frames were acknowledged. Every
+// acknowledged frame was committed before its answer was written, so
+// "acked >= 2 and the stream ended in a drain, not a hang" is exactly
+// "SIGTERM mid-stream commits the in-flight frames". Output is one JSON
+// object on stdout for the job to assert with jq.
+func runStreamSmoke(baseURL string) error {
+	c := spaclient.New(baseURL, spaclient.Options{Timeout: 10 * time.Second})
+	const user = 3_000_000
+	if err := c.Register(user, nil); err != nil {
+		var apiErr *spaclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+			return fmt.Errorf("register: %w", err)
+		}
+	}
+	si := c.Stream(spaclient.StreamOptions{})
+	defer si.Close()
+
+	acked := 0
+	stopErr := ""
+	base := time.Now()
+	deadline := base.Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ev := []lifelog.Event{{
+			UserID: user,
+			Time:   base.Add(time.Duration(acked) * time.Millisecond),
+			Type:   lifelog.EventClick,
+			Action: 7,
+		}}
+		resp, err := si.Ingest(ev)
+		if err != nil {
+			// Expected terminal condition: the daemon drained and closed
+			// (or refused the redial while draining).
+			stopErr = err.Error()
+			break
+		}
+		if resp.Processed != 1 {
+			return fmt.Errorf("frame %d: processed %d", acked, resp.Processed)
+		}
+		acked++
+		// A gentle pace keeps frames in flight across the SIGTERM without
+		// racing through the 30s budget.
+		time.Sleep(5 * time.Millisecond)
+	}
+	out := map[string]any{"acked": acked, "drained": stopErr != "", "stop_error": stopErr}
+	json.NewEncoder(os.Stdout).Encode(out)
+	if acked < 2 {
+		return fmt.Errorf("only %d frames acknowledged before drain", acked)
+	}
+	if stopErr == "" {
+		return errors.New("stream never observed the daemon drain")
+	}
 	return nil
 }
 

@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	spad [-addr :8372] [-data DIR] [-shards 16] [-sync]
+//	spad [-addr :8372] [-stream-addr ADDR] [-data DIR] [-shards 16] [-sync]
 //	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
 //	     [-no-binary] [-pipeline]
 //
 // An empty -data serves an in-memory (non-durable) instance, useful for
 // load experiments; production points -data at a directory and usually
 // adds -sync so every group commit is fsynced before it is acknowledged.
+//
+// Streamed binary ingest is always reachable as an HTTP upgrade on
+// /v1/ingest/stream (unless -no-binary); -stream-addr additionally opens a
+// raw TCP listener speaking the same framed protocol without the HTTP
+// handshake. SIGTERM drains streams too: live sessions get a drain frame,
+// their in-flight frames commit and are answered, then the coalescer and
+// store close.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +42,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8372", "listen address")
+	streamAddr := flag.String("stream-addr", "", "raw TCP streamed-ingest listener address (empty: stream via HTTP upgrade only)")
 	data := flag.String("data", "", "profile store directory (empty: in-memory, non-durable)")
 	shards := flag.Int("shards", 16, "profile shard count (rounded up to a power of two)")
 	sync := flag.Bool("sync", false, "fsync the WAL on every group commit")
@@ -45,13 +54,13 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "pipeline the coalescer: overlap a wave's CPU-bound prepare with the previous wave's store commit")
 	flag.Parse()
 
-	if err := run(*addr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce, *noBinary, *pipeline); err != nil {
+	if err := run(*addr, *streamAddr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce, *noBinary, *pipeline); err != nil {
 		fmt.Fprintf(os.Stderr, "spad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce, noBinary, pipeline bool) error {
+func run(addr, streamAddr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce, noBinary, pipeline bool) error {
 	spa, err := core.New(core.Options{
 		DataDir: data,
 		Store:   store.Options{SyncWrites: sync},
@@ -75,6 +84,22 @@ func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var streamLn net.Listener
+	if streamAddr != "" {
+		var err error
+		streamLn, err = net.Listen("tcp", streamAddr)
+		if err != nil {
+			spa.Close()
+			return fmt.Errorf("stream listener: %w", err)
+		}
+		go func() {
+			if err := srv.ServeStream(streamLn); err != nil {
+				log.Printf("spad: stream listener: %v", err)
+			}
+		}()
+		log.Printf("spad: streamed ingest on raw tcp %s", streamLn.Addr())
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v pipeline=%v, %d users loaded)",
@@ -88,17 +113,26 @@ func run(addr, data string, shards int, sync bool, queue, maxBatch int, maxDelay
 	case sig := <-sigCh:
 		log.Printf("spad: %v — draining", sig)
 	case err := <-errCh:
+		if streamLn != nil {
+			streamLn.Close()
+		}
+		srv.Close()
 		spa.Close()
 		return err
 	}
 
-	// Shutdown order matters: stop accepting and finish in-flight handlers,
-	// then drain the coalescer (handlers already enqueued are waiting on
-	// it), then flush and close the store.
+	// Shutdown order matters: stop accepting connections and finish
+	// in-flight handlers, stop accepting raw stream connections, then
+	// drain stream sessions and the coalescer (srv.Close — handlers and
+	// stream readers already enqueued are waiting on it), then flush and
+	// close the store.
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("spad: http shutdown: %v", err)
+	}
+	if streamLn != nil {
+		streamLn.Close()
 	}
 	srv.Close()
 	if err := spa.Close(); err != nil {

@@ -212,7 +212,7 @@ func TestMultiIngestDurable(t *testing.T) {
 	at := t0.Add(-time.Hour)
 	var batches [][]lifelog.Event
 	for u := uint64(1); u <= 8; u++ {
-		batches = append(batches, []lifelog.Event{clickAt(u, at, uint32(u)), clickAt(u, at.Add(time.Second), uint32(u + 1))})
+		batches = append(batches, []lifelog.Event{clickAt(u, at, uint32(u)), clickAt(u, at.Add(time.Second), uint32(u+1))})
 	}
 	for b, out := range s.MultiIngest(batches) {
 		if out.Err != nil || out.Processed != 2 {

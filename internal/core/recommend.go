@@ -23,6 +23,13 @@ import (
 // ingest path); the frozen kNN model is global, guarded by recMu, and is
 // invalidated whenever any shard notes a new interaction.
 
+// ErrNoInteractions is returned by RecommendActions before any interaction
+// has been ingested — there is nothing for collaborative filtering to rank
+// yet. Distinguishable from infrastructure failures so callers (the
+// serving layer maps it to 409) can tell "retry after ingest" from "the
+// server is broken".
+var ErrNoInteractions = errors.New("core: no interactions ingested yet")
+
 // ActionTagger maps an action ordinal to the emotional attributes its
 // content exercises (e.g. a fast-paced bootcamp page → stimulated,
 // impatient). A nil tagger disables emotional re-weighting.
@@ -100,7 +107,7 @@ func (s *SPA) buildKNN() (*cf.KNN, error) {
 		sh.mu.RUnlock()
 	}
 	if rows == 0 {
-		return nil, errors.New("core: no interactions ingested yet")
+		return nil, ErrNoInteractions
 	}
 	m.Freeze()
 	return cf.NewKNN(m, 25)
@@ -114,6 +121,24 @@ func (s *SPA) RecommendActions(userID uint64, n int) ([]cf.Recommendation, error
 	if n < 1 {
 		return nil, errors.New("core: n must be >= 1")
 	}
+	// Identity before model state: an unknown user is ErrNoProfile even on
+	// a cold system where the kNN build would fail with ErrNoInteractions —
+	// callers (and the serving layer's 404-vs-409 mapping) must not see a
+	// registration question answered with a model answer. The shard lock is
+	// released before recMu so the buildKNN lock order (recMu → shard
+	// RLocks) is never nested in reverse.
+	sh := s.shardFor(userID)
+	sh.mu.RLock()
+	p, ok := sh.profiles[userID]
+	var adv sum.Advice
+	if ok {
+		adv = s.model.Advise(p, "training")
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+
 	s.recMu.Lock()
 	if s.knn == nil {
 		knn, err := s.buildKNN()
@@ -126,18 +151,6 @@ func (s *SPA) RecommendActions(userID uint64, n int) ([]cf.Recommendation, error
 	knn := s.knn
 	tagger := s.tagger
 	s.recMu.Unlock()
-
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	p, ok := sh.profiles[userID]
-	var adv sum.Advice
-	if ok {
-		adv = s.model.Advise(p, "training")
-	}
-	sh.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
-	}
 
 	// Over-fetch so emotional re-ranking has candidates to promote.
 	fetch := n * 3

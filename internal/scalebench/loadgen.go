@@ -8,7 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/lifelog"
 	"repro/internal/spaclient"
+	"repro/internal/wire"
 )
 
 // The [S2] harness: drive a live spad over its real wire protocol with K
@@ -42,6 +44,15 @@ type LoadgenConfig struct {
 	// JSONOnly forces the clients onto the JSON ingest path instead of the
 	// binary framing — the [S3] measurement baseline.
 	JSONOnly bool
+	// Stream drives each client through one persistent binary stream
+	// (StreamIngester) instead of per-request HTTP: StreamWindow worker
+	// lanes share the client's connection, so up to StreamWindow frames
+	// pipeline in flight per stream — the capability per-request HTTP/1.1
+	// lacks, and what the [S5] section measures.
+	Stream bool
+	// StreamWindow is the in-flight frame depth per stream (default 4,
+	// bounded by the server's credit grant). Ignored without Stream.
+	StreamWindow int
 }
 
 // LoadgenResult is one run's measurement.
@@ -82,15 +93,52 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	if cfg.UsersPerRequest <= 0 {
 		cfg.UsersPerRequest = 8
 	}
-	perClient := (cfg.Requests + cfg.Clients - 1) / cfg.Clients
+	// A lane is one synchronous request loop over its own disjoint user
+	// range. Per-request mode runs one lane per client (stop-and-wait, the
+	// HTTP/1.1 reality); stream mode runs StreamWindow lanes per client,
+	// all multiplexed onto that client's one stream connection, so the
+	// stream carries up to StreamWindow frames in flight.
+	window := 1
+	if cfg.Stream {
+		window = cfg.StreamWindow
+		if window <= 0 {
+			window = 4
+		}
+	}
+	lanes := cfg.Clients * window
+	perLane := (cfg.Requests + lanes - 1) / lanes
+	// Each lane owns span users: a window of W lanes splits its client's
+	// Users-wide range W ways, so the total population (Clients × Users)
+	// is identical whichever transport runs — the comparison varies only
+	// the wire, never the data shape. The span must still fit a whole
+	// request's burst.
+	span := Users / window
+	if span < cfg.UsersPerRequest {
+		span = cfg.UsersPerRequest
+	}
 
-	clients := make([]*spaclient.Client, cfg.Clients)
+	clients := make([]*spaclient.Client, lanes)
 	for k := range clients {
 		clients[k] = spaclient.New(cfg.BaseURL, spaclient.Options{Timeout: cfg.Timeout, DisableBinary: cfg.JSONOnly})
 	}
 	if cfg.Register {
-		if err := registerRanges(clients); err != nil {
+		if err := registerRanges(clients, span); err != nil {
 			return LoadgenResult{}, err
+		}
+	}
+	ingest := make([]func([]lifelog.Event) (wire.IngestResponse, error), lanes)
+	if cfg.Stream {
+		streams := make([]*spaclient.StreamIngester, cfg.Clients)
+		for s := range streams {
+			streams[s] = clients[s*window].Stream(spaclient.StreamOptions{Timeout: cfg.Timeout})
+			defer streams[s].Close()
+		}
+		for k := range ingest {
+			ingest[k] = streams[k/window].Ingest
+		}
+	} else {
+		for k := range ingest {
+			ingest[k] = clients[k].Ingest
 		}
 	}
 
@@ -101,20 +149,19 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		coalesced int
 		maxCo     int
 	}
-	stats := make([]clientStats, cfg.Clients)
+	stats := make([]clientStats, lanes)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for k := 0; k < cfg.Clients; k++ {
+	for k := 0; k < lanes; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
 			st := &stats[k]
-			burstSet := MakeBurstsSized(uint64(k)*Users, cfg.UsersPerRequest)
-			c := clients[k]
-			for r := 0; r < perClient; r++ {
+			burstSet := MakeBurstsSpan(uint64(k)*uint64(span), span, cfg.UsersPerRequest)
+			for r := 0; r < perLane; r++ {
 				burst := burstSet[r%len(burstSet)]
 				t1 := time.Now()
-				resp, err := c.Ingest(burst)
+				resp, err := ingest[k](burst)
 				st.latencies = append(st.latencies, time.Since(t1))
 				if err != nil {
 					st.errors++
@@ -133,7 +180,7 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 
 	res := LoadgenResult{
 		Clients:  cfg.Clients,
-		Requests: perClient * cfg.Clients,
+		Requests: perLane * lanes,
 		Duration: elapsed,
 	}
 	var all []time.Duration
@@ -162,17 +209,17 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	return res, nil
 }
 
-// registerRanges creates every client's user range, in parallel per client;
-// "already registered" answers are expected on reruns.
-func registerRanges(clients []*spaclient.Client) error {
+// registerRanges creates every lane's span-wide user range, in parallel
+// per lane; "already registered" answers are expected on reruns.
+func registerRanges(clients []*spaclient.Client, span int) error {
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(clients))
 	for k, c := range clients {
 		wg.Add(1)
 		go func(k int, c *spaclient.Client) {
 			defer wg.Done()
-			offset := uint64(k) * Users
-			for u := 1; u <= Users; u++ {
+			offset := uint64(k) * uint64(span)
+			for u := 1; u <= span; u++ {
 				err := c.Register(offset+uint64(u), nil)
 				var apiErr *spaclient.APIError
 				if err != nil && !(errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict) {

@@ -49,11 +49,23 @@ func MakeBurstsFor(offset uint64) [][]lifelog.Event {
 // carries one device's recent events, not a 64-user mega-batch; the wide
 // [S1] shape stays the in-process default.
 func MakeBurstsSized(offset uint64, usersPerBurst int) [][]lifelog.Event {
-	if usersPerBurst <= 0 || usersPerBurst > Users {
-		usersPerBurst = BurstSize
+	return MakeBurstsSpan(offset, Users, usersPerBurst)
+}
+
+// MakeBurstsSpan is MakeBurstsSized over a custom population width: span
+// users from offset+1, split into span/usersPerBurst bursts. The streamed
+// loadgen splits one client's Users-wide range into per-lane sub-ranges,
+// so a transport comparison holds the total population fixed while the
+// lane count varies.
+func MakeBurstsSpan(offset uint64, span, usersPerBurst int) [][]lifelog.Event {
+	if span <= 0 || span > Users {
+		span = Users
+	}
+	if usersPerBurst <= 0 || usersPerBurst > span {
+		usersPerBurst = min(BurstSize, span)
 	}
 	base := clock.Epoch.Add(-24 * time.Hour)
-	bursts := make([][]lifelog.Event, Users/usersPerBurst)
+	bursts := make([][]lifelog.Event, span/usersPerBurst)
 	for g := range bursts {
 		for u := 0; u < usersPerBurst; u++ {
 			id := offset + uint64(g*usersPerBurst+u+1)

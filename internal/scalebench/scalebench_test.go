@@ -241,3 +241,58 @@ func TestS4Smoke(t *testing.T) {
 		spa.Close()
 	}
 }
+
+// TestS5Smoke runs a miniature of spabench's [S5] section: the same live
+// stack driven once over per-request binary HTTP and once over persistent
+// binary streams — both must deliver every event, the stream pass must
+// actually have streamed every frame, and the sessions must be gone once
+// the loadgen returns.
+func TestS5Smoke(t *testing.T) {
+	spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(spa, server.Options{})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+		spa.Close()
+	}()
+
+	const usersPerRequest = 8
+	for _, stream := range []bool{false, true} {
+		res, err := RunLoadgen(LoadgenConfig{
+			BaseURL:         ts.URL,
+			Clients:         2,
+			Requests:        8,
+			Register:        true,
+			UsersPerRequest: usersPerRequest,
+			Stream:          stream,
+			StreamWindow:    2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("stream=%v: loadgen errors: %+v", stream, res)
+		}
+		if want := res.Requests * usersPerRequest * PerUser; res.Events != want {
+			t.Fatalf("stream=%v: events %d, want %d", stream, res.Events, want)
+		}
+		if !stream {
+			continue
+		}
+		c := spaclient.New(ts.URL, spaclient.Options{})
+		m, err := c.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.StreamFrames != uint64(res.Requests) {
+			t.Fatalf("stream pass framed %d of %d requests", m.StreamFrames, res.Requests)
+		}
+		if m.StreamConns != 0 {
+			t.Fatalf("%d stream sessions survive the loadgen", m.StreamConns)
+		}
+	}
+}

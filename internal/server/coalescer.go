@@ -112,6 +112,12 @@ type coalescer struct {
 	closed bool
 	quit   chan struct{}
 	done   chan struct{}
+	// producers tracks blocking enqueueWait callers that have passed the
+	// closed check and may still be waiting for queue room. close waits for
+	// them before closing quit, so the dispatcher's final drain cannot race
+	// a late blocking send (the job would be queued with nobody left to
+	// commit it).
+	producers sync.WaitGroup
 }
 
 func newCoalescer(backend multiIngester, pipe wavePreparer, met *metrics, queueDepth, maxBatch int, maxDelay time.Duration) *coalescer {
@@ -144,17 +150,8 @@ func newCoalescer(backend multiIngester, pipe wavePreparer, met *metrics, queueD
 // pin its handler goroutine until the commit lands.
 func (c *coalescer) submit(ctx context.Context, events []lifelog.Event) (core.IngestOutcome, int, error) {
 	job := &ingestJob{events: events, done: make(chan ingestDone, 1)}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return core.IngestOutcome{}, 0, errDraining
-	}
-	select {
-	case c.queue <- job:
-		c.mu.Unlock()
-	default:
-		c.mu.Unlock()
-		return core.IngestOutcome{}, 0, errQueueFull
+	if err := c.enqueue(job); err != nil {
+		return core.IngestOutcome{}, 0, err
 	}
 	select {
 	case d := <-job.done:
@@ -164,15 +161,68 @@ func (c *coalescer) submit(ctx context.Context, events []lifelog.Event) (core.In
 	}
 }
 
+// enqueue admits one job without blocking — the HTTP path, where a full
+// queue must surface immediately as 503 + Retry-After.
+func (c *coalescer) enqueue(job *ingestJob) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errDraining
+	}
+	select {
+	case c.queue <- job:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// enqueueWait admits one job, blocking until the queue has room — the
+// stream path, where backpressure travels as withheld credit instead of a
+// 503: the stream reader parks here, stops writing responses (and thus
+// granting credit), and the client's send window closes by itself. The
+// park is always bounded: the dispatcher keeps consuming until quit
+// closes, and quit cannot close while a producer is registered — so the
+// queue drains and the send lands. ctx is an escape hatch for callers
+// that have one; the stream reader passes context.Background() and relies
+// on dispatcher progress (it cannot observe its connection dying while
+// parked here — a frame read off a now-dead conn still commits, its
+// answer written to nobody, same as the HTTP path's hung-up client). The
+// producers group keeps the blocking send safe against close: once past
+// the closed check the dispatcher is guaranteed to still be consuming
+// when the send lands.
+func (c *coalescer) enqueueWait(ctx context.Context, job *ingestJob) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errDraining
+	}
+	c.producers.Add(1)
+	c.mu.Unlock()
+	defer c.producers.Done()
+	select {
+	case c.queue <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // close stops admission, waits for the dispatcher to drain every queued
 // request, and returns. Safe to call more than once.
 func (c *coalescer) close() {
 	c.mu.Lock()
-	if !c.closed {
-		c.closed = true
+	closing := !c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if closing {
+		// No new producer can register (closed is set); wait out the ones
+		// already blocking so every accepted job is in the queue before the
+		// dispatcher begins its final drain. They cannot wait long: the
+		// dispatcher keeps consuming until quit closes.
+		c.producers.Wait()
 		close(c.quit)
 	}
-	c.mu.Unlock()
 	<-c.done
 }
 

@@ -28,6 +28,12 @@ type metrics struct {
 	// dispatcher.
 	pipelineDepth   atomic.Int64
 	pipelineOverlap atomic.Uint64
+
+	// Streamed ingest (stream.go). streamConns gauges live stream
+	// sessions; streamFrames counts ingest request frames received over
+	// streams (a subset of ingestRequests).
+	streamConns  atomic.Int64
+	streamFrames atomic.Uint64
 }
 
 // noteCommit records one dispatched group commit of n requests. Events are

@@ -8,8 +8,12 @@
 // directly: they pass through a cross-request coalescer (coalescer.go) that
 // merges concurrent arrivals into one group commit, with a bounded pending
 // queue as admission control — when it is full the server answers
-// 503 + Retry-After instead of queueing unboundedly. Close drains the
-// coalescer so accepted requests are never dropped by a shutdown.
+// 503 + Retry-After instead of queueing unboundedly. Ingest is also
+// reachable as a persistent binary stream (stream.go): an HTTP upgrade on
+// /v1/ingest/stream or a raw TCP listener (ServeStream), flow-controlled
+// by server-granted credit instead of 503s, feeding the same coalescer.
+// Close drains stream sessions and then the coalescer, so accepted
+// requests are never dropped by a shutdown.
 package server
 
 import (
@@ -19,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -61,8 +66,15 @@ type Options struct {
 	MaxBodyBytes int64
 	// DisableBinary refuses the binary ingest framing with 415, forcing
 	// every client back onto JSON — an escape hatch for debugging with
-	// curl/tcpdump-friendly traffic (spad -no-binary).
+	// curl/tcpdump-friendly traffic (spad -no-binary). It also disables
+	// the streamed ingest endpoint (streams are binary-only).
 	DisableBinary bool
+	// StreamWindow is the per-stream credit grant: ingest frames one
+	// stream client may have in flight (default 32).
+	StreamWindow int
+	// StreamDrainWait bounds how long Close waits for a stream client to
+	// acknowledge the drain frame (default 5s).
+	StreamDrainWait time.Duration
 }
 
 // Server is the spad request handler. Create with New, serve with any
@@ -76,6 +88,13 @@ type Server struct {
 	maxBody  int64
 	noBinary bool
 	start    time.Time
+
+	// Streamed-ingest session registry (stream.go).
+	streamWindow    int
+	streamDrainWait time.Duration
+	streamMu        sync.Mutex
+	streams         map[*streamSession]struct{}
+	streamsDraining bool
 }
 
 // New wires the handler around an opened SPA. The caller keeps ownership of
@@ -87,6 +106,14 @@ func New(spa *core.SPA, opts Options) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = 8 << 20
 	}
+	s.streamWindow = opts.StreamWindow
+	if s.streamWindow <= 0 {
+		s.streamWindow = defaultStreamWindow
+	}
+	s.streamDrainWait = opts.StreamDrainWait
+	if s.streamDrainWait <= 0 {
+		s.streamDrainWait = defaultStreamDrainWait
+	}
 	if !opts.DisableCoalescing {
 		var pipe wavePreparer
 		if opts.Pipeline {
@@ -96,6 +123,7 @@ func New(spa *core.SPA, opts Options) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/users", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET "+wire.StreamPath, s.handleIngestStream)
 	s.mux.HandleFunc("GET /v1/users/{id}/question", s.handleQuestion)
 	s.mux.HandleFunc("POST /v1/users/{id}/answer", s.handleAnswer)
 	s.mux.HandleFunc("POST /v1/users/{id}/reward", s.handleReinforce(true))
@@ -118,8 +146,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close stops ingest admission and drains every request already queued in
 // the coalescer. Call after the http.Server has finished Shutdown, so no
-// handler is still about to enqueue.
+// handler is still about to enqueue. Stream sessions drain first — their
+// readers are coalescer producers, so in-flight stream frames are accepted,
+// committed and answered before the coalescer's final sweep; then the
+// coalescer drains everything queued. Safe to call more than once.
 func (s *Server) Close() {
+	s.drainStreams()
 	if s.co != nil {
 		s.co.close()
 	}
@@ -138,20 +170,34 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, wire.Error{Message: err.Error()})
 }
 
+// domainStatus maps facade errors onto HTTP statuses — the single mapping
+// both transports use (writeDomainError for HTTP, the stream responder for
+// error frames), so a given failure answers with the same status whatever
+// the request spoke.
+func domainStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadStream):
+		// A malformed event stream is the submitter's fault.
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNoProfile):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrAlreadyRegistered):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrNoModel):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrNoInteractions):
+		// Nothing ingested yet — the caller can retry after ingest.
+		return http.StatusConflict
+	case errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // writeDomainError maps facade errors onto HTTP statuses.
 func (s *Server) writeDomainError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, core.ErrNoProfile):
-		s.writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, core.ErrAlreadyRegistered):
-		s.writeError(w, http.StatusConflict, err)
-	case errors.Is(err, core.ErrNoModel):
-		s.writeError(w, http.StatusConflict, err)
-	case errors.Is(err, store.ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, err)
-	default:
-		s.writeError(w, http.StatusInternalServerError, err)
-	}
+	s.writeError(w, domainStatus(err), err)
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -168,6 +214,13 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 			return false
 		}
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	// One value per body: a second JSON value after the first
+	// ({"user_id":1}{"user_id":2}) would be decoded-and-dropped silently,
+	// acknowledging data the server never looked at.
+	if _, err := dec.Token(); err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, errors.New("decoding request: trailing data after JSON value"))
 		return false
 	}
 	return true
@@ -280,13 +333,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if out.Err != nil {
-		// A malformed event stream is the submitter's fault (400); store
-		// failures are ours (503 when closing, 500 otherwise).
-		if errors.Is(out.Err, core.ErrBadStream) {
-			s.writeError(w, http.StatusBadRequest, out.Err)
-		} else {
-			s.writeDomainError(w, out.Err)
-		}
+		// Malformed event stream → the submitter's 400; store failures are
+		// ours (503 when closing, 500 otherwise). All via domainStatus.
+		s.writeDomainError(w, out.Err)
 		return
 	}
 	resp := wire.IngestResponse{
@@ -437,12 +486,11 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, err := s.spa.RecommendActions(id, n)
 	if err != nil {
-		if errors.Is(err, core.ErrNoProfile) {
-			s.writeDomainError(w, err)
-		} else {
-			// No interactions yet etc. — the caller can retry after ingest.
-			s.writeError(w, http.StatusConflict, err)
-		}
+		// Everything routes through the domain mapping: cold starts
+		// (ErrNoInteractions) answer 409, but a store failure must answer
+		// 503/500 here like on every other endpoint — the old blanket 409
+		// told clients "retry after ingest" about a server-side fault.
+		s.writeDomainError(w, err)
 		return
 	}
 	resp := wire.RecommendResponse{Recommendations: make([]wire.Recommendation, len(recs))}
@@ -485,6 +533,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MaxCoalesced:      int(s.met.maxCoalesced.Load()),
 		PipelineDepth:     int(s.met.pipelineDepth.Load()),
 		PipelineOverlap:   s.met.pipelineOverlap.Load(),
+		StreamConns:       int(s.met.streamConns.Load()),
+		StreamFrames:      s.met.streamFrames.Load(),
 	}
 	if s.co != nil {
 		m.QueueDepth = s.co.depth()

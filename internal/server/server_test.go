@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -387,6 +389,80 @@ func TestPipelinedServerEndToEnd(t *testing.T) {
 	for u := uint64(1); u <= users; u++ {
 		if _, err := spa.Profile(u); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeRejectsTrailingData: one JSON value per body. A second
+// concatenated value used to be silently dropped — the server acknowledged
+// a request it had only half-read. Regression across the three mutating
+// JSON endpoints.
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	ts, spa := testServer(t, core.Options{Shards: 2}, Options{})
+	if err := spa.Register(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct{ path, body string }{
+		{"/v1/users", `{"user_id":2}{"user_id":3}`},
+		{"/v1/ingest", `{"events":[{"user_id":1,"time_unix_nano":1,"type":1,"action":5}]}{"events":[]}`},
+		{"/v1/users/1/answer", `{"item_id":1,"option":0}["trailing"]`},
+		{"/v1/ingest", `{"events":[]}garbage`},
+	}
+	for _, c := range cases {
+		if code := post(c.path, c.body); code != http.StatusBadRequest {
+			t.Errorf("%s with trailing data: %d, want 400", c.path, code)
+		}
+	}
+	// Nothing from the trailing values may have been applied.
+	if got := spa.Users(); got != 1 {
+		t.Fatalf("trailing register applied: %d users", got)
+	}
+	// Trailing whitespace is not trailing data.
+	if code := post("/v1/users", `{"user_id":4}`+"\n\t "); code != http.StatusCreated {
+		t.Fatalf("trailing whitespace rejected: %d", code)
+	}
+}
+
+// TestRecommendErrorMapping: handleRecommend routes every failure through
+// the domain mapping. Cold starts stay 409, but infrastructure failures
+// must not masquerade as "retry after ingest" — store.ErrClosed is 503,
+// unknown internal errors 500 (previously both answered 409).
+func TestRecommendErrorMapping(t *testing.T) {
+	ts, spa := testServer(t, core.Options{Shards: 2}, Options{})
+	if err := spa.Register(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// No interactions ingested yet: a retryable client-side condition.
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/users/1/recommendations?n=3", nil, nil); code != http.StatusConflict {
+		t.Fatalf("no-interactions: %d, want 409", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/users/9/recommendations?n=3", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown user: %d, want 404", code)
+	}
+	// The mapping itself: the statuses every endpoint (now including
+	// recommend) answers for the facade's error vocabulary.
+	for _, c := range []struct {
+		err  error
+		want int
+	}{
+		{core.ErrNoInteractions, http.StatusConflict},
+		{store.ErrClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("wrapped: %w", store.ErrClosed), http.StatusServiceUnavailable},
+		{errors.New("disk exploded"), http.StatusInternalServerError},
+		{core.ErrNoProfile, http.StatusNotFound},
+		{core.ErrNoModel, http.StatusConflict},
+	} {
+		if got := domainStatus(c.err); got != c.want {
+			t.Errorf("domainStatus(%v) = %d, want %d", c.err, got, c.want)
 		}
 	}
 }

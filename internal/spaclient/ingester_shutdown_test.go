@@ -1,0 +1,147 @@
+package spaclient
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lifelog"
+	"repro/internal/wire"
+)
+
+// TestIngesterOverflowFlushUnderClosingServer: many producers drive
+// Add-overflow flushes while the server dies mid-run and the ingester is
+// closed concurrently. The accounting contract under that chaos:
+//
+//   - no event is double-shipped: the server sees each event at most once;
+//   - no event is silently lost: every Add'd event is either recorded by
+//     the server or handed to OnError (and those are what Dropped counts);
+//   - Added == Processed + Dropped once Close has returned (no skips here:
+//     every event names a registered user).
+//
+// A batch whose response was lost after the server processed it may appear
+// both server-side and in OnError — at-most-once delivery plus loss-free
+// accounting is the contract, not exactly-once.
+func TestIngesterOverflowFlushUnderClosingServer(t *testing.T) {
+	type recorder struct {
+		mu    sync.Mutex
+		seen  map[int64]int // event time → times received
+		total int
+	}
+	rec := &recorder{seen: map[int64]int{}}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req wire.IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec.mu.Lock()
+		for _, e := range req.Events {
+			rec.seen[e.TimeUnixNano]++
+			rec.total++
+		}
+		rec.mu.Unlock()
+		json.NewEncoder(w).Encode(wire.IngestResponse{Processed: len(req.Events), CoalescedWith: 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{Timeout: 2 * time.Second, DisableBinary: true})
+	var dropMu sync.Mutex
+	dropped := map[int64]int{}
+	in := NewIngester(c, func(in *Ingester) {
+		in.BatchSize = 8 // small: Adds overflow constantly
+		in.Manual = true // only overflow and Close flush — the path under test
+		in.MaxRetries = 1
+		in.OnError = func(events []lifelog.Event, err error) {
+			dropMu.Lock()
+			for _, e := range events {
+				dropped[e.Time.UnixNano()]++
+			}
+			dropMu.Unlock()
+		}
+	})
+
+	const (
+		producers = 8
+		perProd   = 200
+	)
+	var wg sync.WaitGroup
+	var added sync.Map // unique key per event
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				// Unique, collision-free key: per-producer nanosecond lane.
+				key := int64(p)*1_000_000 + int64(i) + 1
+				e := lifelog.Event{
+					UserID: uint64(p + 1),
+					Time:   time.Unix(0, key),
+					Type:   lifelog.EventClick,
+					Action: 1,
+				}
+				if err := in.Add(e); err != nil {
+					return // ingester closed under us: fine, event not Added
+				}
+				added.Store(key, true)
+			}
+		}(p)
+	}
+
+	// Kill the server mid-run: in-flight flushes fail, later ones get
+	// connection refused — the "concurrently closing server".
+	time.Sleep(20 * time.Millisecond)
+	ts.CloseClientConnections()
+	ts.Close()
+	wg.Wait()
+	in.Close()
+
+	st := in.Stats()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	dropMu.Lock()
+	defer dropMu.Unlock()
+
+	// At most once on the wire.
+	for key, n := range rec.seen {
+		if n > 1 {
+			t.Fatalf("event %d shipped %d times", key, n)
+		}
+	}
+	// Dropped is exactly the OnError volume.
+	droppedEvents := 0
+	for _, n := range dropped {
+		droppedEvents += n
+	}
+	if st.Dropped != droppedEvents {
+		t.Fatalf("Stats().Dropped = %d, OnError saw %d", st.Dropped, droppedEvents)
+	}
+	// Every Added event is accounted: recorded by the server or dropped.
+	addedCount := 0
+	added.Range(func(k, _ any) bool {
+		addedCount++
+		key := k.(int64)
+		if rec.seen[key] == 0 && dropped[key] == 0 {
+			t.Fatalf("event %d neither shipped nor dropped", key)
+		}
+		return true
+	})
+	if st.Added != addedCount {
+		t.Fatalf("Stats().Added = %d, test added %d", st.Added, addedCount)
+	}
+	if st.Skipped != 0 {
+		t.Fatalf("unexpected skips: %+v", st)
+	}
+	// Conservation: what the client counted processed plus what it dropped
+	// covers everything it accepted. (Processed can undercount rec.total
+	// only by batches whose response was lost — those are in Dropped.)
+	if st.Processed+st.Dropped != st.Added {
+		t.Fatalf("accounting leak: %+v", st)
+	}
+	if st.Processed > rec.total {
+		t.Fatalf("client claims %d processed, server recorded %d", st.Processed, rec.total)
+	}
+}

@@ -61,11 +61,20 @@ var ErrBadFrame = errors.New("wire: bad binary frame")
 
 var binaryMagic = [4]byte{'S', 'P', 'A', 'B'}
 
+// Frame kinds. 0x01/0x02 are the PR 3 per-request vocabulary; 0x03-0x06
+// are the stream-control records of stream.go, carved out of the room the
+// kind byte reserved.
+const (
+	KindIngestRequest  = 0x01
+	KindIngestResponse = 0x02
+	KindStreamHello    = 0x03
+	KindStreamCredit   = 0x04
+	KindStreamDrain    = 0x05
+	KindStreamError    = 0x06
+)
+
 const (
 	binaryVersion = 0x01
-
-	kindIngestRequest  = 0x01
-	kindIngestResponse = 0x02
 
 	binaryHeaderLen = 6
 
@@ -77,15 +86,21 @@ const (
 )
 
 // IsBinaryContentType reports whether a Content-Type header selects the
-// binary ingest framing, ignoring media-type parameters.
+// binary ingest framing, ignoring media-type parameters. The media type
+// must match exactly: when the parameter section is malformed
+// (mime.ParseMediaType errors), only the bare type before the first ';'
+// is compared — a prefix fallback would let a header like
+// "application/x-spa-binaryX;;" select the binary path and feed JSON-era
+// decoders frames they never negotiated.
 func IsBinaryContentType(ct string) bool {
 	if ct == "" {
 		return false
 	}
-	if mt, _, err := mime.ParseMediaType(ct); err == nil {
-		return mt == ContentTypeBinary
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		mt = strings.ToLower(strings.TrimSpace(strings.SplitN(ct, ";", 2)[0]))
 	}
-	return strings.HasPrefix(ct, ContentTypeBinary)
+	return mt == ContentTypeBinary
 }
 
 func appendBinaryHeader(buf []byte, kind byte) []byte {
@@ -156,7 +171,7 @@ func EncodeIngestRequest(events []Event) []byte {
 	// ~17 bytes/record for realistic ids and nano timestamps; one alloc
 	// for typical batches.
 	buf := make([]byte, 0, binaryHeaderLen+binary.MaxVarintLen64+len(events)*20)
-	buf = appendBinaryHeader(buf, kindIngestRequest)
+	buf = appendBinaryHeader(buf, KindIngestRequest)
 	buf = binary.AppendUvarint(buf, uint64(len(events)))
 	var rec [maxRecordLen]byte
 	for _, e := range events {
@@ -177,7 +192,7 @@ func EncodeIngestRequest(events []Event) []byte {
 // count is never trusted for allocation beyond what the remaining bytes
 // could actually hold.
 func DecodeIngestRequest(data []byte) ([]Event, error) {
-	payload, err := checkBinaryHeader(data, kindIngestRequest)
+	payload, err := checkBinaryHeader(data, KindIngestRequest)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +259,7 @@ func DecodeIngestRequest(data []byte) ([]Event, error) {
 // EncodeIngestResponse frames one ingest outcome.
 func EncodeIngestResponse(resp IngestResponse) []byte {
 	buf := make([]byte, 0, binaryHeaderLen+3*binary.MaxVarintLen64)
-	buf = appendBinaryHeader(buf, kindIngestResponse)
+	buf = appendBinaryHeader(buf, KindIngestResponse)
 	buf = binary.AppendVarint(buf, int64(resp.Processed))
 	buf = binary.AppendVarint(buf, int64(resp.SkippedUnknown))
 	return binary.AppendVarint(buf, int64(resp.CoalescedWith))
@@ -252,7 +267,7 @@ func EncodeIngestResponse(resp IngestResponse) []byte {
 
 // DecodeIngestResponse parses a framed ingest outcome.
 func DecodeIngestResponse(data []byte) (IngestResponse, error) {
-	payload, err := checkBinaryHeader(data, kindIngestResponse)
+	payload, err := checkBinaryHeader(data, KindIngestResponse)
 	if err != nil {
 		return IngestResponse{}, err
 	}

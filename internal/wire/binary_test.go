@@ -127,6 +127,14 @@ func TestIsBinaryContentType(t *testing.T) {
 		"":                                false,
 		"application/json; charset=utf-8": false,
 		"Application/X-SPA-Binary":        true, // media types are case-insensitive
+		// Malformed parameter sections must not widen the match to a
+		// prefix: the media type itself still has to be exact.
+		"application/x-spa-binaryX;;":          false,
+		"application/x-spa-binary-v2;;":        false,
+		"application/x-spa-binary;;":           true, // right type, junk params
+		"Application/X-SPA-Binary ;=":          true,
+		"application/x-spa-binary; version=":   true,
+		"application/x-spa-binaryextra; q=0.5": false,
 	} {
 		if got := IsBinaryContentType(ct); got != want {
 			t.Errorf("IsBinaryContentType(%q) = %v, want %v", ct, got, want)

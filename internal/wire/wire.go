@@ -211,6 +211,11 @@ type Metrics struct {
 	// serialized dispatcher.
 	PipelineDepth   int    `json:"pipeline_depth"`
 	PipelineOverlap uint64 `json:"pipeline_overlap"`
+	// Streamed ingest: StreamConns gauges live stream sessions,
+	// StreamFrames counts ingest request frames received over streams (a
+	// subset of IngestRequests).
+	StreamConns  int    `json:"stream_conns"`
+	StreamFrames uint64 `json:"stream_frames"`
 
 	// Store internals; zero-valued with Durable=false.
 	Durable           bool   `json:"durable"`
