@@ -7,8 +7,8 @@
 //
 // Usage: spabench [-users N] [-seed S] [-skip-ablations] [-skip-scale]
 //
-//	[-json] [-clients K] [-requests N] [-loadgen URL] [-stream]
-//	[-stream-smoke URL]
+//	[-json] [-clients K] [-requests N] [-loadgen URL] [-no-register]
+//	[-stream] [-stream-smoke URL]
 //
 // -json switches the output to machine-readable results: one JSON object
 // per section on stdout (the human table is suppressed), so a bench
@@ -17,8 +17,10 @@
 // -loadgen URL skips the paper sections entirely and drives an already
 // running spad (cmd/spad) over its wire API with -clients concurrent
 // clients, reporting throughput and latency percentiles — the same
-// measurement the self-hosted [S2] section makes. -stream switches the
-// loadgen onto the persistent binary stream transport ([S5]).
+// measurement the self-hosted [S2] section makes. -no-register reuses a
+// previous run's population instead of registering (a re-run against the
+// same data dir would otherwise count 409s as errors). -stream switches
+// the loadgen onto the persistent binary stream transport ([S5]).
 //
 // -stream-smoke URL is the CI drain probe: it ships frames over one
 // stream until the daemon drains (SIGTERM), then reports how many were

@@ -110,11 +110,19 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 	// Each lane owns span users: a window of W lanes splits its client's
 	// Users-wide range W ways, so the total population (Clients × Users)
 	// is identical whichever transport runs — the comparison varies only
-	// the wire, never the data shape. The span must still fit a whole
-	// request's burst.
+	// the wire, never the data shape. That invariant only holds when the
+	// window divides Users exactly and the span still fits a whole
+	// request's burst, so reject configs that would silently skew the
+	// population instead of patching the span.
 	span := Users / window
+	if span*window != Users {
+		return LoadgenResult{}, fmt.Errorf(
+			"scalebench: stream window %d must divide the %d-user client range", window, Users)
+	}
 	if span < cfg.UsersPerRequest {
-		span = cfg.UsersPerRequest
+		return LoadgenResult{}, fmt.Errorf(
+			"scalebench: window %d leaves %d users per lane, fewer than the %d each request needs",
+			window, span, cfg.UsersPerRequest)
 	}
 
 	clients := make([]*spaclient.Client, lanes)

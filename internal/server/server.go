@@ -110,6 +110,12 @@ func New(spa *core.SPA, opts Options) *Server {
 	if s.streamWindow <= 0 {
 		s.streamWindow = defaultStreamWindow
 	}
+	if s.streamWindow > wire.MaxStreamCredit {
+		// The hello cannot advertise more — clients reject larger grants
+		// at the handshake, which would kill every stream before its
+		// first frame.
+		s.streamWindow = wire.MaxStreamCredit
+	}
 	s.streamDrainWait = opts.StreamDrainWait
 	if s.streamDrainWait <= 0 {
 		s.streamDrainWait = defaultStreamDrainWait

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lifelog"
@@ -76,6 +77,19 @@ type streamSession struct {
 	pending chan streamPending
 	done    chan struct{} // closed when serve returns; Close waits on it
 
+	// outstanding counts request frames read but not yet answered. It
+	// enforces the advertised credit window: the reader increments per
+	// request frame, the responder decrements before writing the answer
+	// (and its piggybacked credit), so for any credit a compliant client
+	// holds the matching decrement has already happened — the count can
+	// exceed the window only when the client sends beyond its credit.
+	outstanding atomic.Int32
+
+	// drainDeadline (unix nanos, nonzero once initiateDrain ran) lets the
+	// farewell write cap itself at Close's drain deadline instead of
+	// re-arming a fresh one, keeping shutdown within one streamDrainWait.
+	drainDeadline atomic.Int64
+
 	drainOnce sync.Once
 }
 
@@ -95,25 +109,49 @@ func (sess *streamSession) writeFrames(frames ...[]byte) error {
 // session may take to wind down — reads (waiting for the drain ack) AND
 // writes (a client that stopped reading must not park the responder, and
 // through it Close, on a full TCP send buffer). Idempotent.
+//
+// The deadline is armed BEFORE the drain frame is written: writeFrames
+// takes wmu, and if the responder is already blocked in a write to a
+// client that stopped reading, it holds wmu and only an armed deadline
+// can interrupt it. Writing first would park this goroutine — and through
+// it drainStreams and Server.Close — behind that stalled write forever.
 func (sess *streamSession) initiateDrain(deadline time.Time) {
 	sess.drainOnce.Do(func() {
-		sess.writeFrames(wire.EncodeStreamDrain())
+		sess.drainDeadline.Store(deadline.UnixNano())
 		sess.conn.SetDeadline(deadline)
+		sess.writeFrames(wire.EncodeStreamDrain())
 	})
 }
 
 // ServeStream accepts raw-TCP streamed-ingest connections from ln until
 // the listener closes — the spad -stream-addr transport, the same protocol
-// the HTTP upgrade negotiates minus the handshake.
+// the HTTP upgrade negotiates minus the handshake. Transient accept
+// failures (fd exhaustion, a connection aborted before accept) are retried
+// with the same backoff net/http's Serve uses, so a brief resource spike
+// cannot permanently kill the endpoint while the daemon keeps running.
 func (s *Server) ServeStream(ln net.Listener) error {
+	var delay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+				}
+				if delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
 			return err
 		}
+		delay = 0
 		go s.serveStream(conn, bufio.NewReader(conn), bufio.NewWriter(conn))
 	}
 }
@@ -163,6 +201,7 @@ func (s *Server) serveStream(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) 
 		// Streams are binary-only, and DisableBinary promises JSON-only
 		// traffic; the raw TCP path must refuse like the upgrade path does
 		// (the HTTP handler 404s before ever reaching here).
+		s.met.requestErrors.Add(1)
 		wire.WriteStreamFrame(bw, wire.EncodeStreamError(http.StatusNotImplemented,
 			"streamed ingest disabled; use per-request /v1/ingest"))
 		bw.Flush()
@@ -178,6 +217,7 @@ func (s *Server) serveStream(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) 
 		done:    make(chan struct{}),
 	}
 	if !s.registerStream(sess) {
+		s.met.requestErrors.Add(1)
 		sess.writeFrames(wire.EncodeStreamError(http.StatusServiceUnavailable, "server draining"))
 		conn.Close()
 		return
@@ -224,6 +264,14 @@ loop:
 		}
 		switch kind {
 		case wire.KindIngestRequest:
+			if int(sess.outstanding.Add(1)) > s.streamWindow {
+				// The client sent past its credit: the window is a protocol
+				// promise, not advice, or one stream could monopolize the
+				// pending queue the window exists to share.
+				terminal = wire.EncodeStreamError(http.StatusBadRequest,
+					fmt.Sprintf("credit window exceeded: more than %d request frames outstanding", s.streamWindow))
+				break loop
+			}
 			s.met.requests.Add(1)
 			s.met.ingestRequests.Add(1)
 			s.met.streamFrames.Add(1)
@@ -258,7 +306,23 @@ loop:
 	}
 	close(sess.pending)
 	<-respDone
+	// The session is over; bound the farewell write. A peer that stopped
+	// reading — the credit violator the terminal frame answers, or a client
+	// that hung up mid-drain — must not pin this goroutine (and its
+	// s.streams entry) on a full send buffer until Server.Close. If Close
+	// already armed the drain deadline, keep the earlier of the two so
+	// shutdown never stretches past its documented bound.
+	farewell := time.Now().Add(sess.srv.streamDrainWait)
+	if dd := sess.drainDeadline.Load(); dd != 0 {
+		if d := time.Unix(0, dd); d.Before(farewell) {
+			farewell = d
+		}
+	}
+	sess.conn.SetDeadline(farewell)
 	if terminal != nil {
+		// Counted like every HTTP-path error: a terminated stream client
+		// must not be invisible to request_errors alerting.
+		s.met.requestErrors.Add(1)
 		sess.writeFrames(terminal)
 		return
 	}
@@ -287,9 +351,14 @@ func (sess *streamSession) respond(done chan struct{}) {
 				})
 			}
 		}
-		if frame[5] == wire.KindStreamError {
+		if kind, err := wire.FrameKind(frame); err == nil && kind == wire.KindStreamError {
 			sess.srv.met.requestErrors.Add(1)
 		}
+		// Decrement before the credit goes on the wire: a compliant client
+		// sends its next frame only after reading this credit, so the
+		// reader's window check can never trip on a frame this credit paid
+		// for.
+		sess.outstanding.Add(-1)
 		sess.writeFrames(frame, wire.EncodeStreamCredit(1))
 	}
 }
@@ -328,8 +397,14 @@ func (s *Server) drainStreams() {
 	}
 	s.streamMu.Unlock()
 	deadline := time.Now().Add(s.streamDrainWait)
+	// Arm every session concurrently: initiateDrain can block up to the
+	// whole drain window behind one responder parked mid-write (it shares
+	// that session's wmu), and arming sequentially would let one stalled
+	// session spend the shared deadline before healthy sessions even get
+	// theirs — failing their in-flight frames instantly instead of
+	// granting the documented drain grace.
 	for _, sess := range sessions {
-		sess.initiateDrain(deadline)
+		go sess.initiateDrain(deadline)
 	}
 	for _, sess := range sessions {
 		<-sess.done

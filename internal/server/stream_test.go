@@ -5,9 +5,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -502,6 +505,336 @@ func TestStreamDecodeErrorPerFrame(t *testing.T) {
 	want := []byte{wire.KindStreamError, wire.KindStreamCredit, wire.KindIngestResponse, wire.KindStreamCredit}
 	if !bytes.Equal(kinds, want) {
 		t.Fatalf("answer kinds %v, want %v", kinds, want)
+	}
+}
+
+// stuckConn is a net.Conn whose writes park forever — the shape of a peer
+// that stopped reading behind a full TCP send buffer — until a deadline is
+// armed, after which every parked and future write fails.
+type stuckConn struct {
+	inWrite chan struct{} // closed when the first write has parked
+	unblock chan struct{} // closed by SetDeadline; writes then fail
+	onceIn  sync.Once
+	onceOut sync.Once
+}
+
+func (c *stuckConn) Write(p []byte) (int, error) {
+	c.onceIn.Do(func() { close(c.inWrite) })
+	<-c.unblock
+	return 0, errors.New("injected write deadline")
+}
+func (c *stuckConn) Read(p []byte) (int, error) { <-c.unblock; return 0, io.EOF }
+func (c *stuckConn) Close() error               { return nil }
+func (c *stuckConn) LocalAddr() net.Addr        { return &net.TCPAddr{} }
+func (c *stuckConn) RemoteAddr() net.Addr       { return &net.TCPAddr{} }
+func (c *stuckConn) SetDeadline(t time.Time) error {
+	if !t.IsZero() {
+		c.onceOut.Do(func() { close(c.unblock) })
+	}
+	return nil
+}
+func (c *stuckConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *stuckConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestStreamDrainInterruptsStalledWrite: initiateDrain must arm the
+// session deadline BEFORE writing the drain frame. The drain write shares
+// wmu with the responder, so if the responder is already parked in a write
+// to a client that stopped reading, a write-first drain would block on wmu
+// with the deadline never set — and one stalled client would hang
+// drainStreams, Server.Close, and spad's SIGTERM path forever.
+func TestStreamDrainInterruptsStalledWrite(t *testing.T) {
+	fc := &stuckConn{inWrite: make(chan struct{}), unblock: make(chan struct{})}
+	sess := &streamSession{conn: fc, bw: bufio.NewWriter(fc)}
+	// The responder's stance: wmu held, parked in a write nobody drains.
+	go sess.writeFrames(wire.EncodeStreamCredit(1))
+	<-fc.inWrite
+	done := make(chan struct{})
+	go func() {
+		sess.initiateDrain(time.Now().Add(10 * time.Millisecond))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("initiateDrain parked behind a stalled responder write")
+	}
+}
+
+// stallingFileOps passes through to the real filesystem but, once armed,
+// parks every WAL write on a gate — commits hang instead of failing, which
+// pins coalescer jobs (and therefore the stream responder, and therefore
+// credit returns) for as long as a test needs.
+type stallingFileOps struct {
+	armed atomic.Bool
+	gate  chan struct{}
+}
+
+func (f *stallingFileOps) Create(name string) (store.SegFile, error) { return os.Create(name) }
+func (f *stallingFileOps) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+func (f *stallingFileOps) Remove(name string) error { return os.Remove(name) }
+func (f *stallingFileOps) OpenWAL(name string) (store.WALFile, error) {
+	file, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &stallingWAL{fs: f, File: file}, nil
+}
+
+type stallingWAL struct {
+	fs *stallingFileOps
+	*os.File
+}
+
+func (w *stallingWAL) Write(p []byte) (int, error) {
+	if w.fs.armed.Load() {
+		<-w.fs.gate
+	}
+	return w.File.Write(p)
+}
+
+// TestStreamCreditViolationTerminal: the credit window is a protocol
+// promise, not advice. A client that keeps sending with zero credit
+// outstanding gets a terminal 400 — after every frame it was entitled to
+// send is still answered in order.
+func TestStreamCreditViolationTerminal(t *testing.T) {
+	fops := &stallingFileOps{gate: make(chan struct{})}
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(fops.gate) }) }
+	defer release()
+
+	// SyncWrites matters: it forces each commit through the (stallable)
+	// WAL write instead of parking bytes in the WAL's bufio buffer.
+	ts, spa := testServer(t,
+		core.Options{DataDir: t.TempDir(), Shards: 2,
+			Store: store.Options{SyncWrites: true, FileOps: fops}},
+		Options{StreamWindow: 2})
+	if err := spa.Register(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := spaFromTS(t, ts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.ServeStream(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	hello, err := readHello(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.Credit != 2 {
+		t.Fatalf("hello credit %d, want 2", hello.Credit)
+	}
+	// Stall commits, then send window+1 frames without waiting for any
+	// credit back: the first two are within the grant, the third violates
+	// it — and with commits pinned, no credit can come back to excuse it.
+	fops.armed.Store(true)
+	for seq := 1; seq <= 3; seq++ {
+		frame := wire.EncodeIngestRequest(wire.FromEvents([]lifelog.Event{evAt(1, seq)}))
+		if err := wire.WriteStreamFrame(conn, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the reader has counted all three frames — with commits
+	// pinned no credit can come back, so outstanding reaches exactly 3 and
+	// stays there — then let the commits go so the responder can flush the
+	// in-window answers and the terminal error. Polling the counter (not
+	// sleeping) makes the violation deterministic: the gate only opens
+	// after the window check has already tripped.
+	var sess *streamSession
+	deadline := time.Now().Add(5 * time.Second)
+	for sess == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("stream session never registered")
+		}
+		srv.streamMu.Lock()
+		for s := range srv.streams {
+			sess = s
+		}
+		srv.streamMu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	for sess.outstanding.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("server reader never consumed the violating frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+
+	// A regression that stops tripping the window would leave the server
+	// waiting for more frames; bound the reads so that fails instead of
+	// hanging the package.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var responses int
+	var terminal *wire.StreamError
+	for {
+		frame, err := wire.ReadStreamFrame(br, 1<<20)
+		if err != nil {
+			break // server closed after the terminal error
+		}
+		switch kind, _ := wire.FrameKind(frame); kind {
+		case wire.KindIngestResponse:
+			responses++
+		case wire.KindStreamError:
+			se, err := wire.DecodeStreamError(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			terminal = &se
+		}
+	}
+	if responses != 2 {
+		t.Fatalf("answered %d in-window frames, want 2", responses)
+	}
+	if terminal == nil {
+		t.Fatal("no terminal error frame for the credit violation")
+	}
+	if terminal.Status != http.StatusBadRequest || !strings.Contains(terminal.Message, "credit window exceeded") {
+		t.Fatalf("terminal error %+v", terminal)
+	}
+	if got := srv.met.streamFrames.Load(); got != 2 {
+		t.Fatalf("stream frames %d, want 2 (violating frame must not count)", got)
+	}
+}
+
+// TestStreamClientWriteDeadline: StreamOptions.Timeout bounds an Ingest
+// call even when the server stops reading mid-write — the blocked write
+// must break the connection within the budget instead of parking every
+// concurrent caller (and Close) behind wmu forever.
+func TestStreamClientWriteDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetReadBuffer(4 << 10) // shrink the pipe the write must fill
+		}
+		// Grant credit, then never read another byte.
+		wire.WriteStreamFrame(conn, wire.EncodeStreamHello(wire.StreamHello{Credit: 4}))
+		accepted <- conn
+	}()
+
+	c := spaclient.New("http://stream.invalid", spaclient.Options{})
+	si := c.Stream(spaclient.StreamOptions{Addr: ln.Addr().String(), Timeout: 500 * time.Millisecond})
+	t.Cleanup(func() { si.Close() })
+
+	// A batch whose frame dwarfs any kernel socket buffering, so the write
+	// is guaranteed to block against a non-reading peer.
+	big := make([]lifelog.Event, 1<<20)
+	for i := range big {
+		big[i] = evAt(1, i+1)
+	}
+	start := time.Now()
+	_, err = si.Ingest(big)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ingest into a non-reading server succeeded")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("ingest returned after %v; write deadline did not fire", elapsed)
+	}
+	if conn := <-accepted; conn != nil {
+		conn.Close()
+	}
+}
+
+// TestStreamClosePromptDuringDial: a dial stuck against an endpoint that
+// accepts but never completes the handshake is bounded by DialTimeout —
+// and must not park Close for that long, since Close only needs the state
+// mutex, not the dial.
+func TestStreamClosePromptDuringDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var connMu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connMu.Lock()
+			conns = append(conns, conn) // hold open, never send the hello
+			connMu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		connMu.Lock()
+		defer connMu.Unlock()
+		for _, conn := range conns {
+			conn.Close()
+		}
+	})
+
+	c := spaclient.New("http://stream.invalid", spaclient.Options{})
+	si := c.Stream(spaclient.StreamOptions{Addr: ln.Addr().String(), DialTimeout: 10 * time.Second})
+	go si.Ingest([]lifelog.Event{evAt(1, 1)}) // parks in the hello read
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	si.Close()
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v behind an in-flight dial", d)
+	}
+}
+
+// TestStreamIngestCloseRace: Ingest calls racing Close resolve cleanly —
+// either a real answer (the frame beat the drain onto the wire) or
+// ErrIngesterClosed (it backed out bytes-unsent) — never a spurious
+// transport failure from a frame written behind the drain frame that the
+// server's reader, already gone, would never answer.
+func TestStreamIngestCloseRace(t *testing.T) {
+	const lanes = 8
+	ts, spa := testServer(t, core.Options{Shards: 4}, Options{})
+	for u := uint64(1); u <= lanes; u++ {
+		if err := spa.Register(u, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		si := streamClient(t, ts.URL, spaclient.StreamOptions{})
+		var wg sync.WaitGroup
+		errCh := make(chan error, lanes)
+		for u := uint64(1); u <= lanes; u++ {
+			wg.Add(1)
+			go func(u uint64) {
+				defer wg.Done()
+				for seq := 1; seq <= 64; seq++ {
+					if _, err := si.Ingest([]lifelog.Event{evAt(u, seq)}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(u)
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		si.Close()
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if !errors.Is(err, spaclient.ErrIngesterClosed) {
+				t.Fatalf("round %d: ingest racing close: %v", round, err)
+			}
+		}
 	}
 }
 

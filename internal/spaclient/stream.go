@@ -62,6 +62,11 @@ type StreamIngester struct {
 	c    *Client
 	opts StreamOptions
 
+	// dialMu serializes (re)dials and is held across the connect +
+	// handshake. It is separate from mu so a slow dial — bounded only by
+	// DialTimeout — never parks Close, which needs mu only briefly.
+	dialMu sync.Mutex
+
 	mu       sync.Mutex
 	st       *streamState // nil until the first Ingest dials
 	closed   bool
@@ -158,6 +163,18 @@ func (si *StreamIngester) Close() error {
 		return nil
 	}
 	st.wmu.Lock()
+	// Mark the state draining before the drain frame exists on the wire:
+	// an Ingest racing Close that takes wmu after us must not write its
+	// frame behind the drain — the server's reader exits on the drain and
+	// would never answer it, turning an orderly shutdown into a spurious
+	// "stream broken" failure. With the flag set, that call backs out
+	// bytes-unsent and resolves to ErrIngesterClosed on its retry.
+	st.mu.Lock()
+	st.draining = true
+	st.mu.Unlock()
+	// Bounded like every other write: drain is best-effort and must not
+	// park Close behind a peer that stopped reading.
+	st.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	if err := wire.WriteStreamFrame(st.bw, wire.EncodeStreamDrain()); err == nil {
 		st.bw.Flush()
 	}
@@ -173,29 +190,58 @@ func (si *StreamIngester) Close() error {
 }
 
 // state returns a live connection, dialing if needed, or reports that the
-// ingester should use per-request HTTP instead.
-func (si *StreamIngester) state() (st *streamState, fallback bool, err error) {
-	si.mu.Lock()
-	defer si.mu.Unlock()
-	if si.closed {
-		return nil, false, ErrIngesterClosed
+// ingester should use per-request HTTP instead. The dial itself runs under
+// dialMu with mu released, so Close (and the fast path of concurrent
+// Ingests once the connection exists) is never parked behind a connect.
+func (si *StreamIngester) state() (*streamState, bool, error) {
+	if st, fallback, err, ok := si.liveState(); ok {
+		return st, fallback, err
 	}
-	if si.fallback {
-		return nil, true, nil
+	si.dialMu.Lock()
+	defer si.dialMu.Unlock()
+	// Re-check: a concurrent caller may have dialed while we waited on
+	// dialMu, or Close may have run.
+	if st, fallback, err, ok := si.liveState(); ok {
+		return st, fallback, err
 	}
-	if si.st != nil && !si.st.isBroken() {
-		return si.st, false, nil
-	}
-	st, err = si.dial()
+	st, err := si.dial()
 	if err != nil {
 		if errors.Is(err, errStreamUnsupported) {
+			si.mu.Lock()
 			si.fallback = true
+			si.mu.Unlock()
 			return nil, true, nil
 		}
 		return nil, false, err
 	}
+	si.mu.Lock()
+	if si.closed {
+		si.mu.Unlock()
+		// Close won the race while we were dialing; the fresh connection
+		// is ours alone to clean up.
+		st.fail(ErrIngesterClosed)
+		return nil, false, ErrIngesterClosed
+	}
 	si.st = st
+	si.mu.Unlock()
 	return st, false, nil
+}
+
+// liveState resolves the cases that need no dial: closed, fallback, or a
+// healthy existing connection. ok=false means the caller should dial.
+func (si *StreamIngester) liveState() (st *streamState, fallback bool, err error, ok bool) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.closed {
+		return nil, false, ErrIngesterClosed, true
+	}
+	if si.fallback {
+		return nil, true, nil, true
+	}
+	if si.st != nil && !si.st.isBroken() {
+		return si.st, false, nil, true
+	}
+	return nil, false, nil, false
 }
 
 // dropState forgets a connection so the next Ingest redials. Only the
@@ -210,7 +256,8 @@ func (si *StreamIngester) dropState(st *streamState) {
 }
 
 // dial connects and completes the handshake: optional HTTP upgrade, then
-// the server's hello. Called with si.mu held, which serializes redials.
+// the server's hello. Called under dialMu (NOT si.mu), which serializes
+// redials without blocking Close.
 func (si *StreamIngester) dial() (*streamState, error) {
 	addr := si.opts.Addr
 	host := addr
@@ -293,11 +340,13 @@ func (si *StreamIngester) dial() (*streamState, error) {
 		br:         br,
 		bw:         bufio.NewWriter(conn),
 		maxFrame:   hello.MaxFrameBytes,
-		credit:     make(chan struct{}, 4096),
+		// Sized to the server's grant (DecodeStreamHello bounds it at
+		// wire.MaxStreamCredit) so no granted credit is ever dropped.
+		credit:     make(chan struct{}, hello.Credit),
 		brokenCh:   make(chan struct{}),
 		readerDone: make(chan struct{}),
 	}
-	for i := 0; i < hello.Credit && i < cap(st.credit); i++ {
+	for i := 0; i < hello.Credit; i++ {
 		st.credit <- struct{}{}
 	}
 	go st.readLoop()
@@ -350,6 +399,7 @@ func (st *streamState) roundTrip(events []lifelog.Event, timeout time.Duration) 
 	if st.maxFrame > 0 && int64(len(frame)) > st.maxFrame {
 		return resp, fmt.Errorf("spaclient: %d-byte frame exceeds server limit %d", len(frame), st.maxFrame), false
 	}
+	deadline := time.Now().Add(timeout)
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
@@ -357,6 +407,21 @@ func (st *streamState) roundTrip(events []lifelog.Event, timeout time.Duration) 
 	case <-st.brokenCh:
 		return resp, st.brokenErr, true
 	case <-t.C:
+		return resp, errors.New("spaclient: timed out waiting for stream credit"), false
+	}
+	if time.Until(deadline) <= 0 {
+		// The credit race can be won with the budget already spent (select
+		// picks randomly when both cases are ready). Nothing has been sent,
+		// so time out this call alone — arming an expired write deadline
+		// would fail the write without a syscall and needlessly tear down
+		// the shared connection under every other in-flight call. The
+		// token goes back in the bank: no frame means the server will
+		// never re-issue it, and leaking it would shrink the window for
+		// the life of the connection.
+		select {
+		case st.credit <- struct{}{}:
+		default:
+		}
 		return resp, errors.New("spaclient: timed out waiting for stream credit"), false
 	}
 	call := &streamCall{done: make(chan streamReply, 1)}
@@ -375,9 +440,19 @@ func (st *streamState) roundTrip(events []lifelog.Event, timeout time.Duration) 
 	}
 	st.calls = append(st.calls, call)
 	st.mu.Unlock()
-	werr := wire.WriteStreamFrame(st.bw, frame)
+	// The write gets the call's remaining budget as a deadline: Timeout
+	// bounds the Ingest end to end, and a server that stopped reading must
+	// break this connection rather than park every writer — concurrent
+	// Ingest calls and Close all serialize behind wmu — indefinitely.
+	werr := st.conn.SetWriteDeadline(deadline)
+	if werr == nil {
+		werr = wire.WriteStreamFrame(st.bw, frame)
+	}
 	if werr == nil {
 		werr = st.bw.Flush()
+	}
+	if werr == nil {
+		st.conn.SetWriteDeadline(time.Time{})
 	}
 	st.wmu.Unlock()
 	if werr != nil {

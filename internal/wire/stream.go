@@ -138,6 +138,11 @@ func ReadStreamFrame(br *bufio.Reader, maxLen int64) ([]byte, error) {
 	return frame, nil
 }
 
+// MaxStreamCredit bounds a hello's credit grant — and therefore any
+// server's stream window: DecodeStreamHello rejects grants outside
+// (0, MaxStreamCredit], so a server must never advertise more.
+const MaxStreamCredit = 1 << 20
+
 // EncodeStreamHello frames the server's opening handshake.
 func EncodeStreamHello(h StreamHello) []byte {
 	buf := make([]byte, 0, binaryHeaderLen+2*binary.MaxVarintLen64)
@@ -161,7 +166,7 @@ func DecodeStreamHello(frame []byte) (StreamHello, error) {
 	if err != nil {
 		return StreamHello{}, err
 	}
-	if credit == 0 || credit > 1<<20 {
+	if credit == 0 || credit > MaxStreamCredit {
 		return StreamHello{}, fmt.Errorf("%w: hello credit %d outside (0, 2^20]", ErrBadFrame, credit)
 	}
 	if maxFrame > 1<<40 {
@@ -191,7 +196,7 @@ func DecodeStreamCredit(frame []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if n == 0 || n > 1<<20 {
+	if n == 0 || n > MaxStreamCredit {
 		return 0, fmt.Errorf("%w: credit grant %d outside (0, 2^20]", ErrBadFrame, n)
 	}
 	if len(r.p) != 0 {
