@@ -26,6 +26,11 @@
 // stream until the daemon drains (SIGTERM), then reports how many were
 // acknowledged — every acknowledged frame was committed before its answer
 // was written.
+//
+// -torture runs the storage torture sweep (internal/torture): randomized
+// fault schedules against the durable stack under -torture-budget. A
+// failure prints the schedule seed; `spabench -torture -seed N` replays
+// that one schedule deterministically.
 package main
 
 import (
@@ -49,6 +54,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/spaclient"
 	"repro/internal/store"
+	"repro/internal/torture"
 )
 
 func main() {
@@ -63,6 +69,9 @@ func main() {
 	stream := flag.Bool("stream", false, "with -loadgen: speak the persistent binary stream instead of per-request HTTP")
 	noRegister := flag.Bool("no-register", false, "with -loadgen: skip user registration (reuse a previous run's population)")
 	streamSmoke := flag.String("stream-smoke", "", "streamed-ingest drain smoke against a running spad at this base URL: ship frames until the daemon drains, then report")
+	tortureMode := flag.Bool("torture", false, "run the storage torture sweep and exit; with an explicit -seed N, replay that one fault schedule")
+	tortureBudget := flag.Duration("torture-budget", 30*time.Second, "with -torture: wall-clock budget for the sweep")
+	tortureSchedules := flag.Int("torture-schedules", 0, "with -torture: max fault schedules (0 = budget-bound)")
 	flag.Parse()
 
 	em := &emitter{w: os.Stdout}
@@ -72,7 +81,15 @@ func main() {
 	}
 
 	var err error
-	if *streamSmoke != "" {
+	if *tortureMode {
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		err = runTorture(*seed, seedSet, *tortureBudget, *tortureSchedules)
+	} else if *streamSmoke != "" {
 		err = runStreamSmoke(*streamSmoke)
 	} else if *loadgen != "" {
 		err = runLoadgen(em, *loadgen, *clients, *requests, *stream, !*noRegister)
@@ -249,6 +266,9 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 			return err
 		}
 		if err := runScaleServeStream(em, clients, requests); err != nil {
+			return err
+		}
+		if err := runScaleServeScenario(em, seed, clients); err != nil {
 			return err
 		}
 	}
@@ -625,6 +645,92 @@ func runScaleServeStream(em *emitter, clients, requests int) error {
 		"speedup":     speedup,
 		"ok":          ok,
 	})
+	return nil
+}
+
+// runScaleServeScenario is the workload-realism section [S6]: instead of
+// the uniform ingest bursts of [S2]-[S5], it replays a seed-derived
+// scenario — zipf-skewed users, diurnal session sizing, mixed-endpoint
+// sessions (ingest, recommendation pulls, Gradual EIT question/answer,
+// campaign reward) — against the full pipelined stack, so the read path
+// and the write path contend for the same shards and both report
+// throughput and tail latency.
+func runScaleServeScenario(em *emitter, seed uint64, clients int) error {
+	const sessions = 256
+	em.printf("\n[S6] Scenario replay: zipf + diurnal mixed-endpoint sessions (%d sessions, %d clients, fsync on, seed %d)\n",
+		sessions, clients, seed)
+
+	var res scalebench.ScenarioResult
+	err := serveStack(true, true, 32, func(baseURL string) error {
+		var err error
+		res, err = scalebench.RunScenario(scalebench.ScenarioConfig{
+			BaseURL:  baseURL,
+			Seed:     seed,
+			Clients:  clients,
+			Sessions: sessions,
+			Register: true,
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	// The section passes when both serving paths delivered without errors
+	// and the replay was visibly skewed (the hottest 1% of users must own
+	// several times their uniform session share).
+	top := scalebench.Users / 100
+	if top < 1 {
+		top = 1
+	}
+	uniform := float64(top) / float64(scalebench.Users)
+	ok := res.Errors == 0 && res.ReadOps > 0 && res.Top1PctShare > 2*uniform
+	em.printf("  write side     : %8.0f events/s   p50 %6s  p99 %6s  (%d ops)\n",
+		res.WriteEventsPerSec, res.WriteP50.Round(time.Microsecond), res.WriteP99.Round(time.Microsecond), res.WriteOps)
+	em.printf("  read side      : %8.0f ops/s      p50 %6s  p99 %6s  (%d ops, %d cold)\n",
+		res.ReadOpsPerSec, res.ReadP50.Round(time.Microsecond), res.ReadP99.Round(time.Microsecond), res.ReadOps, res.ColdReads)
+	em.printf("  skew           : top-1%% of users own %.1f%% of sessions   (%d errors)   %s\n",
+		100*res.Top1PctShare, res.Errors, okIf(ok))
+	em.emit("S6", map[string]any{
+		"result": res,
+		"ok":     ok,
+	})
+	return nil
+}
+
+// runTorture is the CLI half of the torture repro contract: a failing
+// sweep (here or in CI) prints a schedule seed, and
+// `spabench -torture -seed N` replays exactly that schedule. Without an
+// explicit -seed it sweeps fresh schedules under -torture-budget.
+func runTorture(seed uint64, replayOne bool, budget time.Duration, schedules int) error {
+	if replayOne {
+		dir, err := os.MkdirTemp("", "spabench-torture-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fmt.Printf("[torture] replaying schedule seed %d\n", seed)
+		res, err := torture.RunSchedule(seed, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[torture] clean: %d waves, %d faults fired, %d reopens\n",
+			res.Waves, res.Faults, res.Reopens)
+		return nil
+	}
+	fmt.Printf("[torture] sweep: seed %d, budget %v\n", seed, budget)
+	rep := torture.Run(torture.Config{
+		Seed:      seed,
+		Budget:    budget,
+		Schedules: schedules,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if rep.Err != nil {
+		return fmt.Errorf("%w\nrepro: spabench -torture -seed %d", rep.Err, rep.FailedSeed)
+	}
+	fmt.Printf("[torture] clean: %d schedules, %d waves, %d faults fired, %d reopens in %v\n",
+		rep.Schedules, rep.Waves, rep.Faults, rep.Reopens, rep.Elapsed.Round(time.Millisecond))
 	return nil
 }
 

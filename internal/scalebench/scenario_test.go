@@ -1,0 +1,92 @@
+package scalebench
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestS6Smoke runs a miniature of spabench's [S6] section: the zipf +
+// diurnal mixed-endpoint scenario replay against a live pipelined stack.
+// Both the write side and the read side must deliver without errors, and
+// the replay must actually be skewed and actually mixed.
+func TestS6Smoke(t *testing.T) {
+	spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(spa, server.Options{Pipeline: true})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+		spa.Close()
+	}()
+
+	res, err := RunScenario(ScenarioConfig{
+		BaseURL:  ts.URL,
+		Seed:     11,
+		Users:    64,
+		Clients:  4,
+		Sessions: 64,
+		Register: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("scenario errors: %+v", res)
+	}
+	if res.Sessions != 64 {
+		t.Fatalf("sessions %d, want 64", res.Sessions)
+	}
+	if res.Events == 0 || res.WriteOps < res.Sessions {
+		t.Fatalf("write side did not run: %+v", res)
+	}
+	if res.ReadOps == 0 {
+		t.Fatalf("read side did not run: %+v", res)
+	}
+	if res.WriteP50 <= 0 || res.WriteP99 < res.WriteP50 || res.ReadP50 <= 0 || res.ReadP99 < res.ReadP50 {
+		t.Fatalf("degenerate latency measurements: %+v", res)
+	}
+	if res.WriteEventsPerSec <= 0 || res.ReadOpsPerSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", res)
+	}
+	// Zipf skew must be visible: the hottest 1% (here: 1 of 64 users) owns
+	// well more than a uniform 1/64 share of sessions.
+	if res.Top1PctShare < 2.0/64 {
+		t.Fatalf("replay not skewed: top-1%% share %.3f", res.Top1PctShare)
+	}
+}
+
+// TestScenarioPlansDeterministic pins that a seed fully determines the
+// replay content — the repro contract spabench -torture and [S6] print
+// seeds for.
+func TestScenarioPlansDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 7, Users: 32, Sessions: 40, ZipfS: 1.07}
+	popA, err := synthPop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popB, _ := synthPop(cfg)
+	plansA, shareA := buildSessionPlans(cfg, popA)
+	plansB, shareB := buildSessionPlans(cfg, popB)
+	if shareA != shareB || len(plansA) != len(plansB) {
+		t.Fatalf("plan shape diverged: %f/%d vs %f/%d", shareA, len(plansA), shareB, len(plansB))
+	}
+	for i := range plansA {
+		a, b := plansA[i], plansB[i]
+		if a.user != b.user || a.recommend != b.recommend || a.question != b.question ||
+			a.reward != b.reward || a.attr != b.attr || len(a.actions) != len(b.actions) {
+			t.Fatalf("session %d diverged: %+v vs %+v", i, a, b)
+		}
+		for k := range a.actions {
+			if a.actions[k] != b.actions[k] || a.types[k] != b.types[k] {
+				t.Fatalf("session %d event %d diverged", i, k)
+			}
+		}
+	}
+}

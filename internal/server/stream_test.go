@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -21,6 +22,8 @@ import (
 	"repro/internal/lifelog"
 	"repro/internal/spaclient"
 	"repro/internal/store"
+	"repro/internal/sum"
+	"repro/internal/torture"
 	"repro/internal/wire"
 )
 
@@ -865,5 +868,166 @@ func TestStreamRawTCPDisabledFallsBack(t *testing.T) {
 	}
 	if m.StreamFrames != 0 || m.StreamConns != 0 {
 		t.Fatalf("disabled raw listener served a stream: %+v", m)
+	}
+}
+
+// TestStreamTortureSmoke is the serving-layer slice of the storage torture
+// harness (internal/torture): a randomized fault schedule runs underneath
+// the pipelined coalescer while one persistent stream session multiplexes
+// several users' frames on top. Whatever the schedule injects — one-shot
+// failures, torn writes, a device kill — the durability contract must
+// hold: every frame the stream ACKNOWLEDGED is recovered when the
+// directory is reopened with healthy file ops. Frames the stream rejected
+// may land either way (their WAL record can be durable before the fault
+// fires), but only whole.
+func TestStreamTortureSmoke(t *testing.T) {
+	for _, seed := range []int64{3, 17, 29, 45, 61, 88} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			streamTortureRound(t, seed)
+		})
+	}
+}
+
+func streamTortureRound(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	classes := []torture.OpClass{
+		torture.OpWALWrite, torture.OpWALSync,
+		torture.OpSegCreate, torture.OpSegWrite, torture.OpSegSync,
+	}
+	modes := []torture.Mode{torture.ModeFail, torture.ModeShort, torture.ModeKill}
+	plan := make([]torture.Fault, 1+r.Intn(2))
+	for i := range plan {
+		plan[i] = torture.Fault{
+			Class: classes[r.Intn(len(classes))],
+			Mode:  modes[r.Intn(len(modes))],
+			// Coalescing merges the ~72 frames into a handful of WAL
+			// records, so early op indices are the ones a run reaches.
+			Nth: uint64(1 + r.Intn(12)),
+		}
+	}
+	fo := torture.NewScheduledOps(plan)
+
+	const (
+		users  = 6
+		frames = 12
+	)
+	dir := t.TempDir()
+	spa, err := core.New(core.Options{
+		DataDir: dir,
+		Store: store.Options{
+			SyncWrites:            true,
+			MemtableBytes:         2 << 10, // tiny: frames cross flushes, so segment faults matter
+			DisableAutoCompaction: true,
+			FileOps:               fo,
+		},
+		Shards: 4,
+		Clock:  clock.NewSimulated(t0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint64(1); u <= users; u++ {
+		if err := spa.Register(u, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(spa, Options{Pipeline: true, MaxDelay: time.Millisecond})
+	ts := httptest.NewServer(srv)
+	si := streamClient(t, ts.URL, spaclient.StreamOptions{})
+	fo.Arm()
+
+	// Each user ships frames in order on the shared stream and stops at
+	// its first failure, so at most one frame per user is ambiguous.
+	// Frame f carries events 2f+1 and 2f+2 — per-user monotone times.
+	frameEvents := func(u uint64, f int) []lifelog.Event {
+		return []lifelog.Event{evAt(u, 2*f+1), evAt(u, 2*f+2)}
+	}
+	acked := make([]int, users+1) // frames acknowledged, per user
+	failed := make([]bool, users+1)
+	var wg sync.WaitGroup
+	for u := uint64(1); u <= users; u++ {
+		wg.Add(1)
+		go func(u uint64) {
+			defer wg.Done()
+			for f := 0; f < frames; f++ {
+				resp, err := si.Ingest(frameEvents(u, f))
+				if err != nil {
+					failed[u] = true
+					return
+				}
+				if resp.Processed != 2 || resp.SkippedUnknown != 0 {
+					t.Errorf("user %d frame %d: acked with %+v", u, f, resp)
+					return
+				}
+				acked[u] = f + 1
+			}
+		}(u)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("plan %v, fired %v", plan, fo.Fired())
+	}
+	t.Logf("plan %v, fired %v, acked %v", plan, fo.Fired(), acked[1:])
+
+	// Tear the serving stack down; Close may fail on a faulted device,
+	// which is exactly a crash. No background compactor is running, so
+	// the directory is quiet afterwards either way.
+	si.Close()
+	ts.Close()
+	srv.Close()
+	_ = spa.Close()
+
+	// Reopen with healthy ops and rebuild the acked prefix on an
+	// in-memory shadow core; profiles must agree user by user.
+	spa2, err := core.New(core.Options{
+		DataDir: dir,
+		Store:   store.Options{SyncWrites: true, DisableAutoCompaction: true},
+		Shards:  4,
+		Clock:   clock.NewSimulated(t0),
+	})
+	if err != nil {
+		t.Fatalf("recovery open failed (plan %v, fired %v): %v", plan, fo.Fired(), err)
+	}
+	defer spa2.Close()
+	shadow, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shadow.Close()
+
+	profile := func(c *core.SPA, u uint64) []byte {
+		t.Helper()
+		p, err := c.Profile(u)
+		if err != nil {
+			t.Fatalf("profile %d (plan %v, fired %v): %v", u, plan, fo.Fired(), err)
+		}
+		return sum.Encode(&p)
+	}
+	for u := uint64(1); u <= users; u++ {
+		if err := shadow.Register(u, nil); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < acked[u]; f++ {
+			if _, _, err := shadow.IngestEvents(frameEvents(u, f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := profile(spa2, u)
+		if bytes.Equal(got, profile(shadow, u)) {
+			continue
+		}
+		// One allowance: the frame whose answer was an error may still
+		// have committed before the fault fired — durable ahead of the
+		// ack is legal, a torn or reordered frame is not.
+		if failed[u] && acked[u] < frames {
+			if _, _, err := shadow.IngestEvents(frameEvents(u, acked[u])); err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(got, profile(shadow, u)) {
+				continue
+			}
+		}
+		t.Fatalf("user %d: %d acked frames not recovered (plan %v, fired %v)",
+			u, acked[u], plan, fo.Fired())
 	}
 }

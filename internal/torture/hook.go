@@ -1,0 +1,7 @@
+package torture
+
+// tamperAfterRun, when set, runs against the schedule directory after the
+// final simulated crash and before verification — the hook the harness's
+// own detection tests (tamper_test.go) use to prove the invariant checks
+// can actually fail. Never set outside tests.
+var tamperAfterRun func(dir string)

@@ -1,0 +1,34 @@
+package torture
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHarnessDetectsDataLoss is the watchdog's watchdog: a sweep that
+// never fails proves nothing unless the checks can fail. Deleting the WAL
+// after the final crash simulates a storage stack that lied about
+// durability — acked waves that never reached a segment vanish — and the
+// chain-membership check must catch it within a few schedules.
+func TestHarnessDetectsDataLoss(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 200; i++ {
+		seed := scheduleSeed(99, i)
+		sub := filepath.Join(dir, "s")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		tamperAfterRun = func(d string) {
+			os.Remove(filepath.Join(d, "wal.log"))
+		}
+		_, err := RunSchedule(seed, sub)
+		tamperAfterRun = nil
+		os.RemoveAll(sub)
+		if err != nil {
+			t.Logf("schedule %d caught the loss: %v", i, err)
+			return
+		}
+	}
+	t.Fatal("deleting the WAL never produced a detected violation in 200 schedules")
+}

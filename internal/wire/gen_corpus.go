@@ -1,0 +1,97 @@
+//go:build ignore
+
+// Regenerates the checked-in fuzz seed corpora under testdata/fuzz.
+//
+//	cd internal/wire && go run gen_corpus.go
+//
+// The corpus gives `go test` (which always executes seed inputs, no
+// -fuzz flag needed) coverage of the interesting decode paths: valid
+// frames of every kind, truncations at each structural boundary, bad
+// magic, version skew, kind confusion, count overclaims and oversized
+// length prefixes. A fuzzing run that finds a new crasher appends its
+// minimized input here via the usual testdata/fuzz mechanism.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	events := []wire.Event{
+		{UserID: 1, TimeUnixNano: 1136214245000000000, Type: 1, Action: 7},
+		{UserID: math.MaxUint64, TimeUnixNano: -62135596800000000, Type: 255, Action: 983, Value: -3.5, Campaign: math.MaxUint32},
+		{UserID: 42, TimeUnixNano: 0, Value: math.MaxFloat32, Campaign: 9},
+		{UserID: 7, TimeUnixNano: math.MaxInt64, Type: 3, Action: 12, Value: 0.25, Campaign: 1},
+	}
+
+	framed := func(frame []byte) []byte {
+		var buf bytes.Buffer
+		if err := wire.WriteStreamFrame(&buf, frame); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	validReq := wire.EncodeIngestRequest(events)
+
+	// Count overclaim: a valid request whose event-count varint promises
+	// far more events than the payload carries.
+	overclaim := append([]byte(nil), validReq...)
+	overclaim[6] = 0xFF // count uvarint follows the 6-byte header
+	overclaim = append(overclaim[:7], append([]byte{0x7F}, overclaim[7:]...)...)
+
+	versionSkew := append([]byte(nil), validReq...)
+	versionSkew[4] ^= 0x40
+
+	badMagic := append([]byte(nil), validReq...)
+	copy(badMagic, "SPAM")
+
+	stream := map[string][]byte{
+		"hello":          framed(wire.EncodeStreamHello(wire.StreamHello{Credit: 32, MaxFrameBytes: 8 << 20})),
+		"credit":         framed(wire.EncodeStreamCredit(1)),
+		"credit-zero":    framed(wire.EncodeStreamCredit(0)),
+		"drain":          framed(wire.EncodeStreamDrain()),
+		"error":          framed(wire.EncodeStreamError(503, "draining")),
+		"error-outrange": framed(wire.EncodeStreamError(99999, "status beyond the HTTP range")),
+		"ingest":         framed(validReq),
+		"back-to-back":   append(framed(wire.EncodeStreamCredit(2)), framed(wire.EncodeStreamDrain())...),
+		"bad-magic":      framed(badMagic),
+		"empty-frame":    framed(nil),
+		"len-overclaim":  {0xC0, 0x80, 0x80, 0x80, 0x08, 'S', 'P', 'A', 'B'}, // uvarint claims ~2GiB
+		"truncated-body": framed(validReq)[:8],
+	}
+	ingest := map[string][]byte{
+		"empty-events":   wire.EncodeIngestRequest(nil),
+		"sample":         validReq,
+		"half":           validReq[:len(validReq)/2],
+		"header-only":    validReq[:6],
+		"count-overclm":  overclaim,
+		"version-skew":   versionSkew,
+		"bad-magic":      badMagic,
+		"kind-confusion": wire.EncodeIngestResponse(wire.IngestResponse{Processed: 3, CoalescedWith: 2}),
+		"trailing-junk":  append(append([]byte(nil), wire.EncodeIngestRequest(nil)...), 0xDE, 0xAD),
+	}
+
+	write("FuzzDecodeStreamFrame", stream)
+	write("FuzzDecodeIngestRequest", ingest)
+}
+
+func write(fuzzer string, corpus map[string][]byte) {
+	dir := filepath.Join("testdata", "fuzz", fuzzer)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, data := range corpus {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s/%s: %d bytes\n", fuzzer, name, len(data))
+	}
+}
