@@ -72,6 +72,8 @@ func main() {
 	tortureMode := flag.Bool("torture", false, "run the storage torture sweep and exit; with an explicit -seed N, replay that one fault schedule")
 	tortureBudget := flag.Duration("torture-budget", 30*time.Second, "with -torture: wall-clock budget for the sweep")
 	tortureSchedules := flag.Int("torture-schedules", 0, "with -torture: max fault schedules (0 = budget-bound)")
+	stages := flag.Bool("stages", false, "after [S4]/[S5], rerun the favored mode once instrumented and print the per-stage latency breakdown from /metrics")
+	checkMetrics := flag.String("check-metrics", "", "scrape a running spad's /metrics in both formats, cross-check them, and exit (CI smoke)")
 	flag.Parse()
 
 	em := &emitter{w: os.Stdout}
@@ -81,6 +83,14 @@ func main() {
 	}
 
 	var err error
+	if *checkMetrics != "" {
+		if err := scalebench.CheckMetricsFormats(*checkMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "spabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics formats ok")
+		return
+	}
 	if *tortureMode {
 		seedSet := false
 		flag.Visit(func(f *flag.Flag) {
@@ -94,7 +104,7 @@ func main() {
 	} else if *loadgen != "" {
 		err = runLoadgen(em, *loadgen, *clients, *requests, *stream, !*noRegister)
 	} else {
-		err = run(em, *users, *seed, !*skipAblations, !*skipScale, *clients, *requests)
+		err = run(em, *users, *seed, !*skipAblations, !*skipScale, *clients, *requests, *stages)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spabench: %v\n", err)
@@ -121,7 +131,7 @@ func (e *emitter) emit(section string, v map[string]any) {
 	e.enc.Encode(v)
 }
 
-func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, requests int) error {
+func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, requests int, stages bool) error {
 	start := time.Now()
 	em.printf("SPA reproduction harness — %d users, seed %d\n", users, seed)
 	em.printf("====================================================================\n")
@@ -265,8 +275,18 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 		if err := runScaleServePipeline(em, clients, requests); err != nil {
 			return err
 		}
+		if stages {
+			if err := runStagesPass(em, "S4", clients, requests, false); err != nil {
+				return err
+			}
+		}
 		if err := runScaleServeStream(em, clients, requests); err != nil {
 			return err
+		}
+		if stages {
+			if err := runStagesPass(em, "S5", clients, requests, true); err != nil {
+				return err
+			}
 		}
 		if err := runScaleServeScenario(em, seed, clients); err != nil {
 			return err
@@ -644,6 +664,64 @@ func runScaleServeStream(em *emitter, clients, requests int) error {
 		"streamed":    streamed,
 		"speedup":     speedup,
 		"ok":          ok,
+	})
+	return nil
+}
+
+// runStagesPass (spabench -stages) reruns a section's favored mode once
+// more — [S4]'s pipelined dispatcher over per-request HTTP, [S5]'s over
+// the persistent stream — on a fresh stack, then scrapes /metrics and
+// prints the per-stage latency breakdown next to the loadgen's end-to-end
+// percentiles. The cross-check: the medians of the stages a request
+// traverses (decode, queue, gather, prepare, commit) should sum to
+// roughly the e2e p50, within the histogram's ±9% bucket error plus the
+// fan-back/transport overhead the stages don't cover.
+func runStagesPass(em *emitter, section string, clients, requests int, stream bool) error {
+	const streamWindow = 4
+	var res scalebench.LoadgenResult
+	var stats []scalebench.StageStat
+	err := serveStack(true, true, 32, func(baseURL string) error {
+		cfg := scalebench.LoadgenConfig{
+			BaseURL:         baseURL,
+			Clients:         clients,
+			Requests:        requests,
+			Register:        true,
+			UsersPerRequest: 32,
+		}
+		if stream {
+			cfg.Stream = true
+			cfg.StreamWindow = streamWindow
+		}
+		var err error
+		res, err = scalebench.RunLoadgen(cfg)
+		if err != nil {
+			return err
+		}
+		m, err := scalebench.FetchMetrics(baseURL)
+		if err != nil {
+			return err
+		}
+		stats = scalebench.StageBreakdown(m)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mode := "per-request binary HTTP"
+	if stream {
+		mode = fmt.Sprintf("persistent stream, window %d", streamWindow)
+	}
+	em.printf("\n[%s-stages] Stage breakdown: pipelined dispatcher, %s (instrumented pass)\n", section, mode)
+	em.printf("%s", scalebench.FormatStages(stats))
+	sum := scalebench.SumStageP50(stats)
+	em.printf("  sum of request-path stage p50s: %s   e2e p50: %s   e2e p99: %s\n",
+		sum.Round(time.Microsecond), res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	em.emit(section+"-stages", map[string]any{
+		"stages":         stats,
+		"sum_stage_p50":  sum.Nanoseconds(),
+		"e2e_p50":        res.P50.Nanoseconds(),
+		"e2e_p99":        res.P99.Nanoseconds(),
+		"events_per_sec": res.EventsPerSec,
 	})
 	return nil
 }

@@ -8,7 +8,8 @@
 //
 //	spad [-addr :8372] [-stream-addr ADDR] [-data DIR] [-shards 16] [-sync]
 //	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
-//	     [-no-binary] [-pipeline]
+//	     [-no-binary] [-pipeline] [-debug-addr ADDR] [-access-log]
+//	     [-slow-wave 1s]
 //
 // An empty -data serves an in-memory (non-durable) instance, useful for
 // load experiments; production points -data at a directory and usually
@@ -19,7 +20,17 @@
 // raw TCP listener speaking the same framed protocol without the HTTP
 // handshake. SIGTERM drains streams too: live sessions get a drain frame,
 // their in-flight frames commit and are answered, then the coalescer and
-// store close.
+// store close. /readyz flips to 503 "draining" the moment the signal
+// arrives — before the listener shuts — so load balancers route away
+// first; /healthz keeps answering 200 for as long as the process lives.
+//
+// Observability: /metrics serves the JSON snapshot by default and the
+// Prometheus text exposition under ?format=prometheus or an Accept header
+// naming text/plain; /debug/waves shows the last coalescer wave traces;
+// -slow-wave logs any wave slower than the threshold; -access-log logs
+// one line per request. -debug-addr opens a SEPARATE listener serving
+// net/http/pprof — profiling stays off the serving mux and off by
+// default; bind it to localhost.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,54 +52,78 @@ import (
 	"repro/internal/store"
 )
 
+// config carries the parsed flags into run.
+type config struct {
+	addr       string
+	streamAddr string
+	debugAddr  string
+	data       string
+	shards     int
+	sync       bool
+	queue      int
+	maxBatch   int
+	maxDelay   time.Duration
+	noCoalesce bool
+	noBinary   bool
+	pipeline   bool
+	accessLog  bool
+	slowWave   time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8372", "listen address")
-	streamAddr := flag.String("stream-addr", "", "raw TCP streamed-ingest listener address (empty: stream via HTTP upgrade only)")
-	data := flag.String("data", "", "profile store directory (empty: in-memory, non-durable)")
-	shards := flag.Int("shards", 16, "profile shard count (rounded up to a power of two)")
-	sync := flag.Bool("sync", false, "fsync the WAL on every group commit")
-	queue := flag.Int("queue", 256, "pending ingest queue depth (full queue answers 503)")
-	maxBatch := flag.Int("max-batch", 64, "max requests merged into one group commit")
-	maxDelay := flag.Duration("max-delay", 0, "linger before committing a partial batch (0: commit whatever is pending)")
-	noCoalesce := flag.Bool("no-coalesce", false, "commit every ingest request on its own (measurement baseline)")
-	noBinary := flag.Bool("no-binary", false, "refuse the binary ingest framing (clients fall back to JSON)")
-	pipeline := flag.Bool("pipeline", false, "pipeline the coalescer: overlap a wave's CPU-bound prepare with the previous wave's store commit")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8372", "listen address")
+	flag.StringVar(&cfg.streamAddr, "stream-addr", "", "raw TCP streamed-ingest listener address (empty: stream via HTTP upgrade only)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "separate net/http/pprof listener address (empty: profiling off; bind to localhost)")
+	flag.StringVar(&cfg.data, "data", "", "profile store directory (empty: in-memory, non-durable)")
+	flag.IntVar(&cfg.shards, "shards", 16, "profile shard count (rounded up to a power of two)")
+	flag.BoolVar(&cfg.sync, "sync", false, "fsync the WAL on every group commit")
+	flag.IntVar(&cfg.queue, "queue", 256, "pending ingest queue depth (full queue answers 503)")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 64, "max requests merged into one group commit")
+	flag.DurationVar(&cfg.maxDelay, "max-delay", 0, "linger before committing a partial batch (0: commit whatever is pending)")
+	flag.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "commit every ingest request on its own (measurement baseline)")
+	flag.BoolVar(&cfg.noBinary, "no-binary", false, "refuse the binary ingest framing (clients fall back to JSON)")
+	flag.BoolVar(&cfg.pipeline, "pipeline", false, "pipeline the coalescer: overlap a wave's CPU-bound prepare with the previous wave's store commit")
+	flag.BoolVar(&cfg.accessLog, "access-log", false, "log one line per completed HTTP request")
+	flag.DurationVar(&cfg.slowWave, "slow-wave", time.Second, "log any coalescer wave slower than this gather-to-commit (0: off)")
 	flag.Parse()
 
-	if err := run(*addr, *streamAddr, *data, *shards, *sync, *queue, *maxBatch, *maxDelay, *noCoalesce, *noBinary, *pipeline); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "spad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, streamAddr, data string, shards int, sync bool, queue, maxBatch int, maxDelay time.Duration, noCoalesce, noBinary, pipeline bool) error {
+func run(cfg config) error {
 	spa, err := core.New(core.Options{
-		DataDir: data,
-		Store:   store.Options{SyncWrites: sync},
-		Shards:  shards,
+		DataDir: cfg.data,
+		Store:   store.Options{SyncWrites: cfg.sync},
+		Shards:  cfg.shards,
 	})
 	if err != nil {
 		return err
 	}
 
 	srv := server.New(spa, server.Options{
-		DisableCoalescing: noCoalesce,
-		QueueDepth:        queue,
-		MaxBatch:          maxBatch,
-		MaxDelay:          maxDelay,
-		DisableBinary:     noBinary,
-		Pipeline:          pipeline,
+		DisableCoalescing: cfg.noCoalesce,
+		QueueDepth:        cfg.queue,
+		MaxBatch:          cfg.maxBatch,
+		MaxDelay:          cfg.maxDelay,
+		DisableBinary:     cfg.noBinary,
+		Pipeline:          cfg.pipeline,
+		AccessLog:         cfg.accessLog,
+		SlowWave:          cfg.slowWave,
 	})
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	var streamLn net.Listener
-	if streamAddr != "" {
+	if cfg.streamAddr != "" {
 		var err error
-		streamLn, err = net.Listen("tcp", streamAddr)
+		streamLn, err = net.Listen("tcp", cfg.streamAddr)
 		if err != nil {
 			spa.Close()
 			return fmt.Errorf("stream listener: %w", err)
@@ -100,10 +136,24 @@ func run(addr, streamAddr, data string, shards int, sync bool, queue, maxBatch i
 		log.Printf("spad: streamed ingest on raw tcp %s", streamLn.Addr())
 	}
 
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux (the blank
+		// net/http/pprof import), which the serving path never touches —
+		// profiling traffic cannot reach the API listener and vice versa.
+		debugSrv = &http.Server{Addr: cfg.debugAddr, Handler: http.DefaultServeMux}
+		go func() {
+			log.Printf("spad: pprof on %s/debug/pprof/", cfg.debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("spad: debug listener: %v", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v pipeline=%v, %d users loaded)",
-			addr, data, shards, sync, !noCoalesce, pipeline && !noCoalesce, spa.Users())
+			cfg.addr, cfg.data, cfg.shards, cfg.sync, !cfg.noCoalesce, cfg.pipeline && !cfg.noCoalesce, spa.Users())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -121,11 +171,13 @@ func run(addr, streamAddr, data string, shards int, sync bool, queue, maxBatch i
 		return err
 	}
 
-	// Shutdown order matters: stop accepting connections and finish
-	// in-flight handlers, stop accepting raw stream connections, then
-	// drain stream sessions and the coalescer (srv.Close — handlers and
-	// stream readers already enqueued are waiting on it), then flush and
-	// close the store.
+	// Shutdown order matters: flip /readyz to "draining" so load balancers
+	// route away while the listener still answers, stop accepting
+	// connections and finish in-flight handlers, stop accepting raw stream
+	// connections, then drain stream sessions and the coalescer (srv.Close
+	// — handlers and stream readers already enqueued are waiting on it),
+	// then flush and close the store.
+	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -135,6 +187,9 @@ func run(addr, streamAddr, data string, shards int, sync bool, queue, maxBatch i
 		streamLn.Close()
 	}
 	srv.Close()
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if err := spa.Close(); err != nil {
 		return fmt.Errorf("closing store: %w", err)
 	}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attributes"
 	"repro/internal/baseline"
@@ -84,6 +85,10 @@ type SPA struct {
 
 	shards []*shard
 	mask   uint64
+	// users mirrors the total profile count so Users() never touches the
+	// shard locks — health probes must answer even while a commit holds a
+	// shard write-locked through a slow fsync.
+	users atomic.Int64
 
 	// Propensity-model state, replaced wholesale by TrainPropensity.
 	modelMu sync.RWMutex
@@ -147,6 +152,7 @@ func New(opts Options) (*SPA, error) {
 		if err := sum.ForEach(db, func(p *sum.Profile) bool {
 			sh := s.shardFor(p.UserID)
 			sh.profiles[p.UserID] = p
+			s.users.Add(1)
 			return true
 		}); err != nil {
 			db.Close()
@@ -204,6 +210,7 @@ func (s *SPA) Register(userID uint64, objective []float64) error {
 	p.Objective = append([]float64(nil), objective...)
 	p.Subjective = make([]float64, lifelog.DenseLen)
 	sh.profiles[userID] = p
+	s.users.Add(1)
 	return s.persist(p)
 }
 
@@ -216,15 +223,12 @@ func (s *SPA) persist(p *sum.Profile) error {
 	return sum.Save(s.db, p)
 }
 
-// Users returns the number of registered profiles.
+// Users returns the number of registered profiles. Lock-free by design:
+// /healthz reports it, and a liveness probe that can block behind a shard
+// write lock (held across a stalled fsync) would report the disk's health,
+// not the process's.
 func (s *SPA) Users() int {
-	n := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		n += len(sh.profiles)
-		sh.mu.RUnlock()
-	}
-	return n
+	return int(s.users.Load())
 }
 
 // Profile returns a copy of the user's SUM (callers cannot mutate internal
@@ -373,6 +377,15 @@ func (s *SPA) StoreStats() (st store.Stats, ok bool) {
 		return store.Stats{}, false
 	}
 	return s.db.Stats(), true
+}
+
+// SetStoreObserver installs (or removes, with nil) the embedded store's
+// engine observer — the serving layer's hook for WAL-sync and compaction
+// latency. A no-op on an in-memory instance.
+func (s *SPA) SetStoreObserver(o store.Observer) {
+	if s.db != nil {
+		s.db.SetObserver(o)
+	}
 }
 
 // FeatureVector materializes a user's full learner input (objective +

@@ -144,7 +144,17 @@ type PreparedMulti struct {
 	out       []IngestOutcome
 	groups    []*preparedGroup // sorted by shard index
 	committed bool
+	wave      uint64
 }
+
+// SetWaveID tags the prepared wave for observability: Commit's store
+// sequence carries the tag to the WAL sync (store.ApplyAllTagged), so the
+// engine observer can attribute the fsync back to this wave. Call between
+// PrepareMulti and Commit; zero (the default) means untagged.
+func (pm *PreparedMulti) SetWaveID(id uint64) { pm.wave = id }
+
+// Shards reports how many shards the wave touches.
+func (pm *PreparedMulti) Shards() int { return len(pm.groups) }
 
 // Commit persists and installs the staged wave, returning the per-batch
 // outcomes (same shape and, on success, byte-identical profile state to a
@@ -207,7 +217,7 @@ func (pm *PreparedMulti) Commit() []IngestOutcome {
 		// Nothing to persist (all events skipped): install immediately.
 		s.installShardLocked(g)
 	}
-	if err := s.db.ApplyAll(seq); err != nil {
+	if err := s.db.ApplyAllTagged(seq, pm.wave); err != nil {
 		for _, g := range contributing {
 			g.res.failStore(g.excluded, err)
 		}

@@ -1,0 +1,210 @@
+// Package obs is the observability kernel: lock-free latency histograms,
+// the wave-trace ring buffer, and the Prometheus text exposition
+// writer/parser. It depends on nothing but the standard library and is
+// imported by every layer that measures itself (server, store adapters,
+// benches), so the instrumentation vocabulary cannot drift between them.
+//
+// The histogram is fixed-shape: log-spaced buckets, 4 per octave, starting
+// at 64ns. Recording is one atomic add into a bucket plus one into the sum
+// — no locks, no allocation — so it is safe on the ingest hot path.
+// Quantiles are estimated from the bucket a rank falls into, taking the
+// geometric midpoint of the bucket's bounds; with 4 buckets per octave the
+// worst-case relative error is 2^(1/8) ≈ ±9%.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// minBoundNanos is the first bucket's upper bound: everything at or
+	// under 64ns lands in bucket 0 (well below anything a stage measures).
+	minBoundNanos    = 64
+	bucketsPerOctave = 4
+	numOctaves       = 28
+	// NumBuckets counts the finite buckets plus the overflow bucket. The
+	// finite range tops out at 64ns·2^27.75 ≈ 14.4s; anything slower —
+	// already an outage, not a latency — lands in the overflow bucket.
+	NumBuckets = bucketsPerOctave*numOctaves + 1
+)
+
+// boundsNanos[i] is the inclusive upper bound of bucket i in nanoseconds;
+// the overflow bucket (index NumBuckets-1) has no finite bound.
+var boundsNanos [NumBuckets - 1]int64
+
+func init() {
+	for i := range boundsNanos {
+		boundsNanos[i] = int64(math.Round(minBoundNanos * math.Pow(2, float64(i)/bucketsPerOctave)))
+	}
+}
+
+// BoundsNanos returns a copy of the shared bucket upper bounds. Every
+// histogram in the process uses the same bounds, so one copy in a metrics
+// snapshot describes all of them.
+func BoundsNanos() []int64 {
+	out := make([]int64, len(boundsNanos))
+	copy(out, boundsNanos[:])
+	return out
+}
+
+// bucketIndex maps a duration in nanoseconds to its bucket. Bounds at
+// whole-octave indices are exact powers of two (64<<k), so the octave is
+// one bit-length computation and the sub-octave position at most a 4-step
+// scan — cheap enough for a per-request hot path.
+func bucketIndex(n int64) int {
+	if n <= minBoundNanos {
+		return 0
+	}
+	// v ∈ (64<<k, 64<<(k+1)] ⇒ bits.Len64(v-1) == 7+k.
+	k := bits.Len64(uint64(n-1)) - 7
+	if k >= numOctaves {
+		return NumBuckets - 1
+	}
+	for i := bucketsPerOctave*k + 1; i < len(boundsNanos); i++ {
+		if n <= boundsNanos[i] {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. The zero value
+// is NOT ready to use — histograms hold an atomic array and must not be
+// copied after first use; allocate with new(Histogram) and share the
+// pointer.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total observed nanoseconds
+}
+
+// Observe records one duration. Negative durations (a clock that stepped
+// backwards mid-measurement) clamp to zero rather than corrupting a bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	h.counts[bucketIndex(n)].Add(1)
+	h.sum.Add(uint64(n))
+}
+
+// Snapshot copies the live counters. Concurrent Observe calls may land
+// between the bucket reads, so a snapshot is consistent only to within the
+// observations in flight while it was taken — fine for metrics, and why
+// counts and sum are read without a lock.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// Snapshot is an immutable copy of a histogram's counters, the unit that
+// merges, diffs and answers quantile queries.
+type Snapshot struct {
+	Counts   [NumBuckets]uint64
+	SumNanos uint64
+}
+
+// Count is the total number of observations in the snapshot.
+func (s Snapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean is the average observed duration, zero when empty.
+func (s Snapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	return QuantileFromCounts(s.Counts[:], q)
+}
+
+// Sub returns the observations recorded between prev and s — the
+// before/after diff a bench section uses to attribute latency to its own
+// window. Counters are monotonic, so saturating subtraction only triggers
+// if prev postdates s.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var out Snapshot
+	for i := range s.Counts {
+		if s.Counts[i] > prev.Counts[i] {
+			out.Counts[i] = s.Counts[i] - prev.Counts[i]
+		}
+	}
+	if s.SumNanos > prev.SumNanos {
+		out.SumNanos = s.SumNanos - prev.SumNanos
+	}
+	return out
+}
+
+// Merge returns the union of two snapshots (shard or replica roll-up).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := s
+	for i := range o.Counts {
+		out.Counts[i] += o.Counts[i]
+	}
+	out.SumNanos += o.SumNanos
+	return out
+}
+
+// QuantileFromCounts estimates the q-quantile from per-bucket counts over
+// the shared bounds. counts may be shorter than NumBuckets (trailing zero
+// buckets trimmed, as the wire form does); longer slices are an error by
+// construction and the extra buckets are ignored. Empty counts answer 0.
+//
+// The estimate is the geometric midpoint of the bucket the rank falls in:
+// exact to within the bucket's width (relative error ≤ 2^(1/8) ≈ 9%). The
+// overflow bucket answers its lower bound.
+func QuantileFromCounts(counts []uint64, q float64) time.Duration {
+	if len(counts) > NumBuckets {
+		counts = counts[:NumBuckets]
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(boundsNanos) {
+			return time.Duration(boundsNanos[len(boundsNanos)-1])
+		}
+		hi := boundsNanos[i]
+		if i == 0 {
+			return time.Duration(hi / 2)
+		}
+		lo := boundsNanos[i-1]
+		return time.Duration(math.Round(math.Sqrt(float64(lo) * float64(hi))))
+	}
+	return time.Duration(boundsNanos[len(boundsNanos)-1])
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// referenceIndex is the obviously-correct bucket lookup: a binary search
+// over the bounds. bucketIndex must agree everywhere.
+func referenceIndex(n int64) int {
+	i := sort.Search(len(boundsNanos), func(i int) bool { return n <= boundsNanos[i] })
+	return i // len(boundsNanos) == overflow == NumBuckets-1
+}
+
+func TestBucketIndexMatchesReference(t *testing.T) {
+	var cases []int64
+	cases = append(cases, 0, 1, 63, 64, 65)
+	for _, b := range boundsNanos {
+		cases = append(cases, b-1, b, b+1)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for range 10000 {
+		cases = append(cases, rng.Int63n(int64(30*time.Second)))
+	}
+	cases = append(cases, math.MaxInt64)
+	for _, n := range cases {
+		if got, want := bucketIndex(n), referenceIndex(n); got != want {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBoundsMonotonic(t *testing.T) {
+	for i := 1; i < len(boundsNanos); i++ {
+		if boundsNanos[i] <= boundsNanos[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d then %d", i, boundsNanos[i-1], boundsNanos[i])
+		}
+	}
+	if boundsNanos[0] != minBoundNanos {
+		t.Fatalf("first bound = %d, want %d", boundsNanos[0], minBoundNanos)
+	}
+	// Whole-octave bounds are exact powers of two times the base.
+	for k := 0; k < numOctaves; k++ {
+		if boundsNanos[bucketsPerOctave*k] != minBoundNanos<<k {
+			t.Fatalf("octave bound %d = %d, want %d", k, boundsNanos[bucketsPerOctave*k], minBoundNanos<<k)
+		}
+	}
+}
+
+func TestQuantileWithinBucketError(t *testing.T) {
+	h := new(Histogram)
+	rng := rand.New(rand.NewSource(7))
+	var exact []float64
+	for range 20000 {
+		// Log-uniform over 100ns..100ms — spans many octaves.
+		d := time.Duration(math.Exp(rng.Float64()*math.Log(1e6) + math.Log(100)))
+		h.Observe(d)
+		exact = append(exact, float64(d))
+	}
+	sort.Float64s(exact)
+	s := h.Snapshot()
+	if got, want := s.Count(), uint64(len(exact)); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	// The geometric-midpoint estimate must stay within one bucket's width
+	// of the true quantile: a factor of 2^(1/4) each way is generous cover
+	// for the ±2^(1/8) nominal bound plus rank discretization.
+	slack := math.Pow(2, 0.25)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := exact[int(math.Ceil(q*float64(len(exact))))-1]
+		got := float64(s.Quantile(q))
+		if got < want/slack || got > want*slack {
+			t.Errorf("Quantile(%g) = %g, true %g (ratio %.3f)", q, got, want, got/want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Snapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	h := new(Histogram)
+	h.Observe(100 * time.Hour) // beyond the finite range
+	s := h.Snapshot()
+	if got, want := s.Quantile(0.5), time.Duration(boundsNanos[len(boundsNanos)-1]); got != want {
+		t.Fatalf("overflow Quantile = %v, want %v", got, want)
+	}
+	h2 := new(Histogram)
+	h2.Observe(-time.Second) // clamped, not corrupted
+	if got := h2.Snapshot().Count(); got != 1 {
+		t.Fatalf("negative observation Count = %d, want 1", got)
+	}
+}
+
+func TestSnapshotSubAndMerge(t *testing.T) {
+	h := new(Histogram)
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(time.Second)
+	h.Observe(2 * time.Second)
+	diff := h.Snapshot().Sub(before)
+	if got := diff.Count(); got != 2 {
+		t.Fatalf("Sub Count = %d, want 2", got)
+	}
+	if got, lo, hi := diff.Quantile(0.5), 800*time.Millisecond, 1300*time.Millisecond; got < lo || got > hi {
+		t.Fatalf("Sub Quantile(0.5) = %v, want ~1s", got)
+	}
+	merged := before.Merge(diff)
+	if got, want := merged.Count(), h.Snapshot().Count(); got != want {
+		t.Fatalf("Merge Count = %d, want %d", got, want)
+	}
+	if merged.SumNanos != h.Snapshot().SumNanos {
+		t.Fatalf("Merge Sum = %d, want %d", merged.SumNanos, h.Snapshot().SumNanos)
+	}
+}
+
+func TestQuantileFromTrimmedCounts(t *testing.T) {
+	h := new(Histogram)
+	for range 100 {
+		h.Observe(time.Microsecond)
+	}
+	s := h.Snapshot()
+	// Trim trailing zeros the way the wire form does.
+	last := 0
+	for i, c := range s.Counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	trimmed := s.Counts[:last+1]
+	if got, want := QuantileFromCounts(trimmed, 0.5), s.Quantile(0.5); got != want {
+		t.Fatalf("trimmed Quantile = %v, full %v", got, want)
+	}
+}
+
+// TestHistogramConcurrent is the -race exercise: concurrent observers and
+// snapshotters, with the final snapshot exactly accounting for every
+// observation.
+func TestHistogramConcurrent(t *testing.T) {
+	h := new(Histogram)
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := range goroutines {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for range perG {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(g))
+	}
+	// Snapshot while writes are in flight: must not race or corrupt.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range 100 {
+			s := h.Snapshot()
+			if s.Count() > goroutines*perG {
+				t.Error("snapshot overcounts")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Snapshot().Count(); got != goroutines*perG {
+		t.Fatalf("final Count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestWaveRing(t *testing.T) {
+	r := NewWaveRing(4)
+	if got := r.Last(10); len(got) != 0 {
+		t.Fatalf("empty ring Last = %v", got)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		r.Record(WaveTrace{ID: i})
+	}
+	got := r.Last(10)
+	if len(got) != 4 {
+		t.Fatalf("Last returned %d traces, want 4", len(got))
+	}
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if got[i].ID != want {
+			t.Fatalf("Last[%d].ID = %d, want %d (newest first)", i, got[i].ID, want)
+		}
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].ID != 6 || got[1].ID != 5 {
+		t.Fatalf("Last(2) = %v", got)
+	}
+}
+
+func TestWaveTraceTotal(t *testing.T) {
+	tr := WaveTrace{Gather: 1, Prepare: 2, CommitWait: 3, Commit: 4, QueueWait: 100}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("Total = %v, want 10 (queue wait excluded)", got)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) writer. The serving
+// layer renders one wire.Metrics snapshot through this, so the Prometheus
+// and JSON views of /metrics can never disagree about a counter.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromFamily is one metric family to expose: a counter/gauge with plain
+// samples, or a histogram with one bucketed series per label set.
+type PromFamily struct {
+	Name string
+	Help string
+	Type string // "counter", "gauge" or "histogram"
+
+	// Samples are the counter/gauge series. Labels is the pre-rendered
+	// label body without braces (`stage="decode"`), empty for none; values
+	// must already be escaped (the server only uses identifier-safe ones).
+	Samples []PromSample
+
+	// Hists are the histogram series, one per label set, all over the
+	// shared BoundsNanos buckets. Counts are per-bucket (non-cumulative);
+	// trailing buckets may be trimmed. The writer emits the cumulative
+	// `_bucket` series, `_sum` (seconds) and `_count`.
+	Hists []PromHist
+}
+
+// PromSample is one counter/gauge sample.
+type PromSample struct {
+	Labels string
+	Value  float64
+}
+
+// PromHist is one histogram series.
+type PromHist struct {
+	Labels   string
+	Counts   []uint64
+	SumNanos uint64
+}
+
+// WriteProm renders the families in exposition order: HELP, TYPE, then
+// every sample of the family.
+func WriteProm(w io.Writer, fams []PromFamily) error {
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			writeSample(&b, f.Name, s.Labels, s.Value)
+		}
+		for _, h := range f.Hists {
+			writeHist(&b, f.Name, h)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatPromValue(v))
+	b.WriteByte('\n')
+}
+
+func writeHist(b *strings.Builder, name string, h PromHist) {
+	counts := h.Counts
+	if len(counts) > NumBuckets {
+		counts = counts[:NumBuckets]
+	}
+	var cum uint64
+	for i, bound := range boundsNanos {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		writeSample2(b, name+"_bucket", h.Labels, `le="`+formatPromValue(float64(bound)/1e9)+`"`, float64(cum))
+	}
+	// Overflow bucket folds into +Inf.
+	if len(counts) == NumBuckets {
+		cum += counts[NumBuckets-1]
+	}
+	writeSample2(b, name+"_bucket", h.Labels, `le="+Inf"`, float64(cum))
+	writeSample2(b, name+"_sum", h.Labels, "", float64(h.SumNanos)/1e9)
+	writeSample2(b, name+"_count", h.Labels, "", float64(cum))
+}
+
+// writeSample2 writes one sample with up to two label bodies joined.
+func writeSample2(b *strings.Builder, name, labels, extra string, v float64) {
+	joined := labels
+	if extra != "" {
+		if joined != "" {
+			joined += ","
+		}
+		joined += extra
+	}
+	writeSample(b, name, joined, v)
+}
+
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

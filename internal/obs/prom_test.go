@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	h := new(Histogram)
+	h.Observe(time.Microsecond)
+	h.Observe(time.Millisecond)
+	h.Observe(100 * time.Hour) // exercises the overflow → +Inf fold
+	s := h.Snapshot()
+
+	fams := []PromFamily{
+		{Name: "spa_requests_total", Help: "Total requests.", Type: "counter",
+			Samples: []PromSample{{Value: 42}}},
+		{Name: "spa_queue_depth", Help: "Pending jobs.", Type: "gauge",
+			Samples: []PromSample{{Value: 3}}},
+		{Name: "spa_stage_duration_seconds", Help: "Stage latency.", Type: "histogram",
+			Hists: []PromHist{
+				{Labels: `stage="decode"`, Counts: s.Counts[:], SumNanos: s.SumNanos},
+				{Labels: `stage="commit"`, Counts: nil, SumNanos: 0},
+			}},
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, fams); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	parsed, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\nexposition:\n%s", err, text)
+	}
+	if got := parsed["spa_requests_total"].Samples["spa_requests_total"]; got != 42 {
+		t.Fatalf("counter = %g, want 42", got)
+	}
+	hist := parsed["spa_stage_duration_seconds"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+	if got := hist.Samples[`spa_stage_duration_seconds_count{stage="decode"}`]; got != 3 {
+		t.Fatalf("_count = %g, want 3", got)
+	}
+	if got := hist.Samples[`spa_stage_duration_seconds_bucket{le="+Inf",stage="decode"}`]; got != 3 {
+		t.Fatalf("+Inf bucket = %g, want 3", got)
+	}
+	wantSum := float64(s.SumNanos) / 1e9
+	if got := hist.Samples[`spa_stage_duration_seconds_sum{stage="decode"}`]; math.Abs(got-wantSum) > wantSum*1e-9 {
+		t.Fatalf("_sum = %g, want %g", got, wantSum)
+	}
+	// The empty label set still exposes a full, zero-valued bucket series.
+	if got := hist.Samples[`spa_stage_duration_seconds_count{stage="commit"}`]; got != 0 {
+		t.Fatalf("empty hist _count = %g, want 0", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing HELP": `# TYPE x counter
+x 1
+`,
+		"missing TYPE": `# HELP x help
+x 1
+`,
+		"sample before TYPE": `x 1
+# HELP x help
+# TYPE x counter
+`,
+		"bad value": `# HELP x help
+# TYPE x counter
+x notanumber
+`,
+		"unknown type": `# HELP x help
+# TYPE x rainbow
+x 1
+`,
+		"duplicate series": `# HELP x help
+# TYPE x counter
+x 1
+x 2
+`,
+		"histogram without +Inf": `# HELP h help
+# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_sum 0.05
+h_count 1
+`,
+		"non-cumulative buckets": `# HELP h help
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="0.2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 0.5
+h_count 5
+`,
+		"count disagrees with +Inf": `# HELP h help
+# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_sum 0.5
+h_count 4
+`,
+		"missing _sum": `# HELP h help
+# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_count 5
+`,
+	}
+	for name, text := range cases {
+		if _, err := ParseProm(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parse accepted malformed exposition", name)
+		}
+	}
+}
+
+func TestParseAcceptsLabelsAndTimestamps(t *testing.T) {
+	text := `# HELP x help text here
+# TYPE x counter
+x{path="/v1/ingest",method="POST"} 7 1712345678901
+`
+	fams, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams["x"].Samples[`x{method="POST",path="/v1/ingest"}`]; got != 7 {
+		t.Fatalf("labelled sample = %g, want 7", got)
+	}
+}

@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"errors"
+	"log"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lifelog"
+	"repro/internal/obs"
 )
 
 // The cross-request ingest coalescer: the server-side analogue of the
@@ -93,6 +95,9 @@ func (p spaPreparer) PrepareWave(batches [][]lifelog.Event) waveCommit {
 type ingestJob struct {
 	events []lifelog.Event
 	done   chan ingestDone
+	// enqueuedAt stamps admission (set inside enqueue/enqueueWait); the
+	// dispatcher observes the queue-wait stage against it at gather time.
+	enqueuedAt time.Time
 }
 
 type ingestDone struct {
@@ -107,6 +112,11 @@ type coalescer struct {
 	queue    chan *ingestJob
 	maxBatch int
 	maxDelay time.Duration
+	// slowWave, when positive, logs a line for every wave whose
+	// gather→commit total meets the threshold; logf defaults to
+	// log.Printf (tests substitute a recorder).
+	slowWave time.Duration
+	logf     func(format string, args ...any)
 
 	mu     sync.Mutex
 	closed bool
@@ -120,12 +130,15 @@ type coalescer struct {
 	producers sync.WaitGroup
 }
 
-func newCoalescer(backend multiIngester, pipe wavePreparer, met *metrics, queueDepth, maxBatch int, maxDelay time.Duration) *coalescer {
+func newCoalescer(backend multiIngester, pipe wavePreparer, met *metrics, queueDepth, maxBatch int, maxDelay, slowWave time.Duration, logf func(string, ...any)) *coalescer {
 	if queueDepth <= 0 {
 		queueDepth = 256
 	}
 	if maxBatch <= 0 {
 		maxBatch = 64
+	}
+	if logf == nil {
+		logf = log.Printf
 	}
 	c := &coalescer{
 		backend:  backend,
@@ -134,6 +147,8 @@ func newCoalescer(backend multiIngester, pipe wavePreparer, met *metrics, queueD
 		queue:    make(chan *ingestJob, queueDepth),
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
+		slowWave: slowWave,
+		logf:     logf,
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -169,6 +184,9 @@ func (c *coalescer) enqueue(job *ingestJob) error {
 	if c.closed {
 		return errDraining
 	}
+	// Stamp before the send: the dispatcher may pick the job up the moment
+	// it lands in the channel. A rejected job's stamp is discarded with it.
+	job.enqueuedAt = time.Now()
 	select {
 	case c.queue <- job:
 		return nil
@@ -200,6 +218,9 @@ func (c *coalescer) enqueueWait(ctx context.Context, job *ingestJob) error {
 	c.producers.Add(1)
 	c.mu.Unlock()
 	defer c.producers.Done()
+	// Stamped before the (possibly blocking) send: a producer parked on a
+	// full queue is exactly the wait the queue stage should show.
+	job.enqueuedAt = time.Now()
 	select {
 	case c.queue <- job:
 		return nil
@@ -246,17 +267,76 @@ func (c *coalescer) run() {
 			c.drain()
 			return
 		}
+		gatherStart := time.Now()
 		batch := c.gather(first)
-		c.dispatch(batch)
+		c.dispatch(batch, gatherStart)
 	}
 }
 
+// observeQueueWaits records each job's admission→gather wait in the queue
+// histogram and returns the longest — the wave's QueueWait. Jobs without a
+// stamp (tests constructing jobs by hand) are skipped.
+func (c *coalescer) observeQueueWaits(jobs []*ingestJob, gatherStart time.Time) time.Duration {
+	var maxWait time.Duration
+	var st *obsState
+	if c.met != nil {
+		st = c.met.obs()
+	}
+	for _, j := range jobs {
+		if j.enqueuedAt.IsZero() {
+			continue
+		}
+		w := gatherStart.Sub(j.enqueuedAt)
+		if w < 0 {
+			w = 0
+		}
+		if st != nil {
+			st.stage("queue", w)
+		}
+		if w > maxWait {
+			maxWait = w
+		}
+	}
+	return maxWait
+}
+
+// finishWave records the completed trace in the ring and emits the
+// slow-wave log line when the gather→commit total meets the threshold.
+func (c *coalescer) finishWave(t obs.WaveTrace) {
+	if c.met != nil {
+		c.met.obs().waves.Record(t)
+	}
+	if c.slowWave > 0 && t.Total() >= c.slowWave {
+		c.logf("spad: slow wave %d: total=%s requests=%d events=%d shards=%d queue_wait=%s gather=%s prepare=%s commit_wait=%s commit=%s wal_sync=%s err=%t",
+			t.ID, t.Total(), t.Requests, t.Events, t.Shards,
+			t.QueueWait, t.Gather, t.Prepare, t.CommitWait, t.Commit, t.WALSync, t.Err)
+	}
+}
+
+// anyErr reports whether any batch in the wave failed.
+func anyErr(outs []core.IngestOutcome) bool {
+	for _, o := range outs {
+		if o.Err != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // wave is one gathered-and-prepared group commit in flight between the
-// pipeline's stages.
+// pipeline's stages, carrying its trace-so-far across the handoff.
 type wave struct {
 	jobs     []*ingestJob
 	events   int
 	prepared waveCommit
+
+	id        uint64
+	start     time.Time // gather began
+	queueWait time.Duration
+	gather    time.Duration
+	prepare   time.Duration
+	prepDone  time.Time // prepare finished; commitStart - prepDone = handoff stall
+	shards    int
 }
 
 // runPipelined is the two-stage dispatcher: this goroutine is stage 1
@@ -288,13 +368,15 @@ func (c *coalescer) runPipelined() {
 			for {
 				select {
 				case j := <-c.queue:
-					c.prepareAndSend(commitq, c.gatherPending([]*ingestJob{j}))
+					gatherStart := time.Now()
+					c.prepareAndSend(commitq, c.gatherPending([]*ingestJob{j}), gatherStart)
 				default:
 					return
 				}
 			}
 		}
-		c.prepareAndSend(commitq, c.gather(first))
+		gatherStart := time.Now()
+		c.prepareAndSend(commitq, c.gather(first), gatherStart)
 	}
 }
 
@@ -308,21 +390,42 @@ func (c *coalescer) runPipelined() {
 // AFTER the prepare returns — it advances only when the prepare finished
 // while an earlier wave was still in flight, i.e. the two stages genuinely
 // ran concurrently (waves over disjoint shards).
-func (c *coalescer) prepareAndSend(commitq chan<- *wave, jobs []*ingestJob) {
+func (c *coalescer) prepareAndSend(commitq chan<- *wave, jobs []*ingestJob, gatherStart time.Time) {
 	batches := make([][]lifelog.Event, len(jobs))
 	events := 0
 	for i, j := range jobs {
 		batches[i] = j.events
 		events += len(j.events)
 	}
+	w := &wave{jobs: jobs, events: events, start: gatherStart}
+	w.queueWait = c.observeQueueWaits(jobs, gatherStart)
+	w.gather = time.Since(gatherStart)
 	if c.met != nil {
+		w.id = c.met.waveSeq.Add(1)
+		c.met.obs().stage("gather", w.gather)
 		c.met.pipelineDepth.Add(1)
 	}
+	// The wave ID rides the prepared commit into the store so the WAL sync
+	// it triggers can be attributed back to this trace. Optional interface:
+	// test fakes that only implement Commit keep working untagged.
+	prepStart := time.Now()
 	prepared := c.pipe.PrepareWave(batches)
-	if c.met != nil && c.met.pipelineDepth.Load() > 1 {
-		c.met.pipelineOverlap.Add(1)
+	if tagged, ok := prepared.(interface{ SetWaveID(uint64) }); ok {
+		tagged.SetWaveID(w.id)
 	}
-	commitq <- &wave{jobs: jobs, events: events, prepared: prepared}
+	w.prepare = time.Since(prepStart)
+	w.prepDone = time.Now()
+	if sh, ok := prepared.(interface{ Shards() int }); ok {
+		w.shards = sh.Shards()
+	}
+	if c.met != nil {
+		c.met.obs().stage("prepare", w.prepare)
+		if c.met.pipelineDepth.Load() > 1 {
+			c.met.pipelineOverlap.Add(1)
+		}
+	}
+	w.prepared = prepared
+	commitq <- w
 }
 
 // commitWave is stage 2: persist the prepared wave and release its waiters.
@@ -330,10 +433,32 @@ func (c *coalescer) prepareAndSend(commitq chan<- *wave, jobs []*ingestJob) {
 // the instant its response arrives must see the wave accounted for and the
 // depth gauge back down.
 func (c *coalescer) commitWave(w *wave) {
+	commitStart := time.Now()
+	commitWait := commitStart.Sub(w.prepDone)
+	if commitWait < 0 {
+		commitWait = 0
+	}
 	outs := w.prepared.Commit()
+	commit := time.Since(commitStart)
 	if c.met != nil {
+		st := c.met.obs()
+		st.stage("commit", commit)
 		c.met.pipelineDepth.Add(-1)
 		c.met.noteCommit(len(w.jobs), w.events)
+		c.finishWave(obs.WaveTrace{
+			ID:         w.id,
+			Start:      w.start,
+			Requests:   len(w.jobs),
+			Events:     w.events,
+			Shards:     w.shards,
+			QueueWait:  w.queueWait,
+			Gather:     w.gather,
+			Prepare:    w.prepare,
+			CommitWait: commitWait,
+			Commit:     commit,
+			WALSync:    st.takeWaveSync(w.id),
+			Err:        anyErr(outs),
+		})
 	}
 	for i, j := range w.jobs {
 		j.done <- ingestDone{outcome: outs[i], merged: len(w.jobs)}
@@ -391,25 +516,51 @@ func (c *coalescer) drain() {
 	for {
 		select {
 		case j := <-c.queue:
-			c.dispatch(c.gatherPending([]*ingestJob{j}))
+			gatherStart := time.Now()
+			c.dispatch(c.gatherPending([]*ingestJob{j}), gatherStart)
 		default:
 			return
 		}
 	}
 }
 
-func (c *coalescer) dispatch(jobs []*ingestJob) {
+// dispatch is the serialized path's single stage: gather already happened
+// (gatherStart marks its beginning), MultiIngest is prepare+commit fused,
+// so the whole call lands in the commit histogram and the trace's
+// Prepare/CommitWait/WALSync stay zero — /debug/waves shows which shape
+// produced a trace by which stages are populated.
+func (c *coalescer) dispatch(jobs []*ingestJob, gatherStart time.Time) {
 	batches := make([][]lifelog.Event, len(jobs))
 	events := 0
 	for i, j := range jobs {
 		batches[i] = j.events
 		events += len(j.events)
 	}
+	queueWait := c.observeQueueWaits(jobs, gatherStart)
+	gather := time.Since(gatherStart)
+	var id uint64
+	if c.met != nil {
+		id = c.met.waveSeq.Add(1)
+		c.met.obs().stage("gather", gather)
+	}
+	commitStart := time.Now()
 	outs := c.backend.MultiIngest(batches)
+	commit := time.Since(commitStart)
 	for i, j := range jobs {
 		j.done <- ingestDone{outcome: outs[i], merged: len(jobs)}
 	}
 	if c.met != nil {
+		c.met.obs().stage("commit", commit)
 		c.met.noteCommit(len(jobs), events)
+		c.finishWave(obs.WaveTrace{
+			ID:        id,
+			Start:     gatherStart,
+			Requests:  len(jobs),
+			Events:    events,
+			QueueWait: queueWait,
+			Gather:    gather,
+			Commit:    commit,
+			Err:       anyErr(outs),
+		})
 	}
 }

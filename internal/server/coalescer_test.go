@@ -85,7 +85,7 @@ func newTestCoalescer(backend multiIngester, pipelined bool, met *metrics, queue
 	if pipelined {
 		pipe = pipeAdapter{mi: backend}
 	}
-	return newCoalescer(backend, pipe, met, queueDepth, maxBatch, maxDelay)
+	return newCoalescer(backend, pipe, met, queueDepth, maxBatch, maxDelay, 0, nil)
 }
 
 func evAt(user uint64, seq int) lifelog.Event {
@@ -198,7 +198,7 @@ func TestCoalescerErrorFanback(t *testing.T) {
 		if pipelined {
 			pipe = spaPreparer{spa: spa}
 		}
-		c := newCoalescer(spa, pipe, nil, 256, 64, time.Millisecond)
+		c := newCoalescer(spa, pipe, nil, 256, 64, time.Millisecond, 0, nil)
 		defer c.close()
 
 		var wg sync.WaitGroup
@@ -326,7 +326,7 @@ func TestCoalescerDrainMergesBacklog(t *testing.T) {
 	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
 	// maxDelay > 0 is the trigger: it put the quit case into gather's
 	// select in the first place.
-	c := newCoalescer(backend, nil, nil, 64, 64, time.Millisecond)
+	c := newCoalescer(backend, nil, nil, 64, 64, time.Millisecond, 0, nil)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, backlog+1)
@@ -449,7 +449,7 @@ func TestPipelinedDrainMergesBacklog(t *testing.T) {
 // handler goroutine is freed without breaking the no-loss guarantee.
 func TestCoalescerSubmitHonorsContext(t *testing.T) {
 	backend := &gatedBackend{started: make(chan struct{}), release: make(chan struct{})}
-	c := newCoalescer(backend, nil, nil, 64, 1, 0) // maxBatch 1: the canceled job commits alone
+	c := newCoalescer(backend, nil, nil, 64, 1, 0, 0, nil) // maxBatch 1: the canceled job commits alone
 	defer c.close()
 
 	// Occupy the dispatcher so the next submit stays queued.
@@ -634,7 +634,7 @@ func (p *journalPreparer) preparedCount() int {
 func TestPipelinedOverlapAndCommitOrder(t *testing.T) {
 	jp := &journalPreparer{gate: make(chan struct{})}
 	met := &metrics{}
-	c := newCoalescer(nil, jp, met, 64, 1, 0)
+	c := newCoalescer(nil, jp, met, 64, 1, 0, 0, nil)
 	defer c.close()
 
 	results := make(chan error, 2)

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// writePromMetrics renders one metrics snapshot as Prometheus text
+// exposition (version 0.0.4). It consumes the same wire.Metrics value the
+// JSON encoder does — the two representations are projections of a single
+// snapshot, never separate reads of the live counters.
+//
+// Naming follows the Prometheus conventions the JSON names predate:
+// monotonic counters get _total, durations become seconds, and the stage /
+// endpoint histograms fold into two families with a label instead of a
+// family per name.
+func writePromMetrics(w io.Writer, m wire.Metrics) error {
+	bool01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	fams := []obs.PromFamily{
+		{Name: "spad_uptime_seconds", Help: "Seconds since the server started.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: m.UptimeSeconds}}},
+		{Name: "spad_users", Help: "Registered Smart User Models.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.Users)}}},
+		{Name: "spad_requests_total", Help: "HTTP requests received.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.Requests)}}},
+		{Name: "spad_request_errors_total", Help: "HTTP requests answered with an error body.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.RequestErrors)}}},
+		{Name: "spad_ingest_requests_total", Help: "Ingest requests received (HTTP and stream frames).", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.IngestRequests)}}},
+		{Name: "spad_ingest_binary_total", Help: "Ingest requests that negotiated the binary framing.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.IngestBinary)}}},
+		{Name: "spad_ingest_events_total", Help: "Events committed through group commits.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.IngestEvents)}}},
+		{Name: "spad_ingest_rejected_total", Help: "Ingest requests rejected by admission control (503).", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.IngestRejected)}}},
+		{Name: "spad_ingest_commits_total", Help: "Group commits dispatched.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.IngestCommits)}}},
+		{Name: "spad_coalesced_requests_total", Help: "Requests summed over group commits.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.CoalescedRequests)}}},
+		{Name: "spad_max_coalesced", Help: "Largest group commit observed.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.MaxCoalesced)}}},
+		{Name: "spad_queue_depth", Help: "Pending ingest queue length.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.QueueDepth)}}},
+		{Name: "spad_queue_capacity", Help: "Pending ingest queue bound.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.QueueCapacity)}}},
+		{Name: "spad_pipeline_depth", Help: "Coalescer waves in flight (pipelined dispatcher, <= 2).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.PipelineDepth)}}},
+		{Name: "spad_pipeline_overlap_total", Help: "Waves whose prepare finished while an earlier wave was in flight.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.PipelineOverlap)}}},
+		{Name: "spad_stream_conns", Help: "Live ingest stream sessions.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.StreamConns)}}},
+		{Name: "spad_stream_frames_total", Help: "Ingest request frames received over streams.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.StreamFrames)}}},
+		{Name: "spad_last_wave_id", Help: "Newest coalescer wave ID minted (0 before the first wave).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.LastWaveID)}}},
+		{Name: "spad_durable", Help: "1 when the core runs on a durable store.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: bool01(m.Durable)}}},
+		{Name: "spad_store_segments", Help: "On-disk segments in the store.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.StoreSegments)}}},
+		{Name: "spad_store_segment_bytes", Help: "Total bytes across store segments.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.StoreSegmentBytes)}}},
+		{Name: "spad_store_memtable_keys", Help: "Keys resident in the store memtable.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.StoreMemtableKeys)}}},
+		{Name: "spad_store_compactions_total", Help: "Completed store compactions.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.StoreCompactions)}}},
+	}
+	if fam, ok := histFamily("spad_stage_duration_seconds",
+		"Pipeline stage latency (decode, queue, gather, prepare, commit, wal_sync, compaction).",
+		"stage", stageNames, m.Stages); ok {
+		fams = append(fams, fam)
+	}
+	if fam, ok := histFamily("spad_endpoint_duration_seconds",
+		"HTTP endpoint latency by handler name.",
+		"endpoint", endpointNames, m.Endpoints); ok {
+		fams = append(fams, fam)
+	}
+	return obs.WriteProm(w, fams)
+}
+
+// histFamily folds a name→histogram map into one labeled Prometheus
+// histogram family, in the fixed name order so scrapes are diffable.
+func histFamily(name, help, label string, order []string, hists map[string]wire.Histogram) (obs.PromFamily, bool) {
+	fam := obs.PromFamily{Name: name, Help: help, Type: "histogram"}
+	for _, n := range order {
+		h, ok := hists[n]
+		if !ok {
+			continue
+		}
+		fam.Hists = append(fam.Hists, obs.PromHist{
+			Labels:   fmt.Sprintf("%s=%q", label, n),
+			Counts:   h.Counts,
+			SumNanos: h.SumNanos,
+		})
+	}
+	return fam, len(fam.Hists) > 0
+}

@@ -21,14 +21,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/emotion"
 	"repro/internal/lifelog"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -75,19 +79,35 @@ type Options struct {
 	// StreamDrainWait bounds how long Close waits for a stream client to
 	// acknowledge the drain frame (default 5s).
 	StreamDrainWait time.Duration
+	// SlowWave logs a line for every coalescer wave whose gather→commit
+	// total meets the threshold (spad -slow-wave); zero disables.
+	SlowWave time.Duration
+	// AccessLog logs one line per completed HTTP request — method, path,
+	// status, bytes, duration (spad -access-log). The duration shares the
+	// endpoint histogram's clock, so a logged line and the histogram agree.
+	AccessLog bool
+	// Logf receives slow-wave and access-log lines (default log.Printf);
+	// tests substitute a recorder.
+	Logf func(format string, args ...any)
 }
 
 // Server is the spad request handler. Create with New, serve with any
 // http.Server, and Close on the way out (after the http.Server has stopped
 // accepting) to drain the coalescer.
 type Server struct {
-	spa      *core.SPA
-	mux      *http.ServeMux
-	co       *coalescer // nil when coalescing is disabled
-	met      metrics
-	maxBody  int64
-	noBinary bool
-	start    time.Time
+	spa       *core.SPA
+	mux       *http.ServeMux
+	co        *coalescer // nil when coalescing is disabled
+	met       metrics
+	maxBody   int64
+	noBinary  bool
+	start     time.Time
+	accessLog bool
+	logf      func(format string, args ...any)
+	// draining flips once shutdown begins (BeginDrain/Close); /readyz
+	// answers 503 from then on so load balancers stop routing while
+	// in-flight requests finish.
+	draining atomic.Bool
 
 	// Streamed-ingest session registry (stream.go).
 	streamWindow    int
@@ -120,29 +140,93 @@ func New(spa *core.SPA, opts Options) *Server {
 	if s.streamDrainWait <= 0 {
 		s.streamDrainWait = defaultStreamDrainWait
 	}
+	s.accessLog = opts.AccessLog
+	s.logf = opts.Logf
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
 	if !opts.DisableCoalescing {
 		var pipe wavePreparer
 		if opts.Pipeline {
 			pipe = spaPreparer{spa: spa}
 		}
-		s.co = newCoalescer(spa, pipe, &s.met, opts.QueueDepth, opts.MaxBatch, opts.MaxDelay)
+		s.co = newCoalescer(spa, pipe, &s.met, opts.QueueDepth, opts.MaxBatch, opts.MaxDelay, opts.SlowWave, s.logf)
 	}
-	s.mux.HandleFunc("POST /v1/users", s.handleRegister)
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	// The store reports WAL-sync and compaction durations straight into the
+	// stage histograms (and tagged syncs into their wave's trace).
+	spa.SetStoreObserver(storeObserver{m: &s.met})
+	s.mux.HandleFunc("POST /v1/users", s.handle("register", s.handleRegister))
+	s.mux.HandleFunc("POST /v1/ingest", s.handle("ingest", s.handleIngest))
+	// The stream upgrade is deliberately unwrapped: its hijacked connection
+	// outlives the "request", so a latency sample would be meaningless.
 	s.mux.HandleFunc("GET "+wire.StreamPath, s.handleIngestStream)
-	s.mux.HandleFunc("GET /v1/users/{id}/question", s.handleQuestion)
-	s.mux.HandleFunc("POST /v1/users/{id}/answer", s.handleAnswer)
-	s.mux.HandleFunc("POST /v1/users/{id}/reward", s.handleReinforce(true))
-	s.mux.HandleFunc("POST /v1/users/{id}/punish", s.handleReinforce(false))
-	s.mux.HandleFunc("GET /v1/users/{id}/propensity", s.handlePropensity)
-	s.mux.HandleFunc("GET /v1/users/{id}/sensibilities", s.handleSensibilities)
-	s.mux.HandleFunc("GET /v1/users/{id}/advice", s.handleAdvice)
-	s.mux.HandleFunc("GET /v1/users/{id}/recommendations", s.handleRecommend)
-	s.mux.HandleFunc("GET /v1/select-top", s.handleSelectTop)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/users/{id}/question", s.handle("question", s.handleQuestion))
+	s.mux.HandleFunc("POST /v1/users/{id}/answer", s.handle("answer", s.handleAnswer))
+	s.mux.HandleFunc("POST /v1/users/{id}/reward", s.handle("reward", s.handleReinforce(true)))
+	s.mux.HandleFunc("POST /v1/users/{id}/punish", s.handle("punish", s.handleReinforce(false)))
+	s.mux.HandleFunc("GET /v1/users/{id}/propensity", s.handle("propensity", s.handlePropensity))
+	s.mux.HandleFunc("GET /v1/users/{id}/sensibilities", s.handle("sensibilities", s.handleSensibilities))
+	s.mux.HandleFunc("GET /v1/users/{id}/advice", s.handle("advice", s.handleAdvice))
+	s.mux.HandleFunc("GET /v1/users/{id}/recommendations", s.handle("recommend", s.handleRecommend))
+	s.mux.HandleFunc("GET /v1/select-top", s.handle("select_top", s.handleSelectTop))
+	s.mux.HandleFunc("GET /healthz", s.handle("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", s.handle("readyz", s.handleReady))
+	s.mux.HandleFunc("GET /metrics", s.handle("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/waves", s.handle("debug_waves", s.handleWaves))
 	return s
 }
+
+// handle wraps one endpoint with per-endpoint latency observation and the
+// optional access log. The handler name is fixed at registration — never
+// derived from the request path — so the histogram label set stays bounded
+// whatever clients send.
+func (s *Server) handle(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &respRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		d := time.Since(start)
+		if hist := s.met.obs().endpoints[name]; hist != nil {
+			hist.Observe(d)
+		}
+		if s.accessLog {
+			s.logf("spad: %s %s %d %dB %s", r.Method, r.URL.Path, rec.status, rec.bytes, d)
+		}
+	}
+}
+
+// respRecorder captures status and byte count for the access log while
+// delegating everything else. Unwrap keeps http.ResponseController
+// features (flush, deadlines) reachable through the wrapper.
+type respRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	wroteHeader bool
+}
+
+func (r *respRecorder) WriteHeader(status int) {
+	if !r.wroteHeader {
+		r.status = status
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *respRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *respRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// BeginDrain marks the server not-ready: /readyz starts answering 503
+// "draining" while /healthz keeps reporting live. Call it before the HTTP
+// listener's graceful Shutdown so load balancers drain traffic first.
+// Close calls it too, for callers that skip the explicit step.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +241,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // committed and answered before the coalescer's final sweep; then the
 // coalescer drains everything queued. Safe to call more than once.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.drainStreams()
 	if s.co != nil {
 		s.co.close()
@@ -283,6 +368,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // error vocabulary (errors always answer as JSON, whatever the request
 // spoke — status handling stays one code path for every client).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	decodeStart := time.Now()
 	binaryReq := wire.IsBinaryContentType(r.Header.Get("Content-Type"))
 	var events []lifelog.Event
 	if binaryReq {
@@ -309,6 +395,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		events = wire.ToEvents(req.Events)
 	}
+	// The decode stage covers body read + unmarshal + domain conversion for
+	// both framings — the successful ones; a 400/413 never reaches here.
+	s.met.obs().stage("decode", time.Since(decodeStart))
 	s.met.ingestRequests.Add(1)
 
 	var (
@@ -520,11 +609,50 @@ func (s *Server) handleSelectTop(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, wire.SelectTopResponse{UserIDs: ids})
 }
 
+// handleHealth is pure liveness: 200 "ok" for as long as the process can
+// answer at all, drain or no drain — restart-deciders watch this one.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, wire.Health{Status: "ok", Users: s.spa.Users()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleReady is readiness: 200 "ok" until drain begins, 503 "draining"
+// after — routing-deciders watch this one, and flip before the listener
+// dies rather than when it dies.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, wire.Health{Status: "draining", Users: s.spa.Users()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.Health{Status: "ok", Users: s.spa.Users()})
+}
+
+// handleWaves serves the last n coalescer wave traces, newest first
+// (?n=, default 64, capped at the ring size).
+func (s *Server) handleWaves(w http.ResponseWriter, r *http.Request) {
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	if n > waveRingSize {
+		n = waveRingSize
+	}
+	traces := s.met.obs().waves.Last(n)
+	resp := wire.WavesResponse{Waves: make([]wire.WaveTrace, len(traces))}
+	for i, t := range traces {
+		resp.Waves[i] = waveDTO(t)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// snapshotMetrics collects the full metrics snapshot once; both the JSON
+// and the Prometheus renderers serve from the same value, so the two
+// formats cannot disagree about a scrape.
+func (s *Server) snapshotMetrics() wire.Metrics {
 	m := wire.Metrics{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Users:             s.spa.Users(),
@@ -541,6 +669,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PipelineOverlap:   s.met.pipelineOverlap.Load(),
 		StreamConns:       int(s.met.streamConns.Load()),
 		StreamFrames:      s.met.streamFrames.Load(),
+		LastWaveID:        s.met.waveSeq.Load(),
 	}
 	if s.co != nil {
 		m.QueueDepth = s.co.depth()
@@ -553,6 +682,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.StoreMemtableKeys = st.MemtableKeys
 		m.StoreCompactions = st.Compactions
 		m.StoreCompactError = st.CompactionErr
+	}
+	ob := s.met.obs()
+	m.StageBoundsNanos = obs.BoundsNanos()
+	m.Stages = make(map[string]wire.Histogram, len(stageNames))
+	for _, n := range stageNames {
+		m.Stages[n] = histDTO(ob.stages[n])
+	}
+	m.Endpoints = make(map[string]wire.Histogram, len(endpointNames))
+	for _, n := range endpointNames {
+		m.Endpoints[n] = histDTO(ob.endpoints[n])
+	}
+	return m
+}
+
+// wantsProm decides the /metrics representation. JSON stays the default —
+// spabench, the smoke scripts and curl without headers predate the text
+// exposition — so Prometheus must be asked for, by ?format=prometheus or
+// an Accept naming text/plain or OpenMetrics. (A scraper's typical Accept
+// lists both; curl's default */* keeps JSON.)
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.snapshotMetrics()
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		writePromMetrics(w, m)
+		return
 	}
 	s.writeJSON(w, http.StatusOK, m)
 }

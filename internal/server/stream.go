@@ -275,6 +275,7 @@ loop:
 			s.met.requests.Add(1)
 			s.met.ingestRequests.Add(1)
 			s.met.streamFrames.Add(1)
+			decodeStart := time.Now()
 			wevents, err := wire.DecodeIngestRequest(frame)
 			if err != nil {
 				// The frame boundary was sound, so only this request is
@@ -284,6 +285,7 @@ loop:
 				continue
 			}
 			events := wire.ToEvents(wevents)
+			s.met.obs().stage("decode", time.Since(decodeStart))
 			job := &ingestJob{events: events, done: make(chan ingestDone, 1)}
 			if s.co == nil {
 				out := s.spa.MultiIngest([][]lifelog.Event{events})[0]

@@ -336,10 +336,10 @@ func (si *StreamIngester) dial() (*streamState, error) {
 	}
 	conn.SetDeadline(time.Time{})
 	st := &streamState{
-		conn:       conn,
-		br:         br,
-		bw:         bufio.NewWriter(conn),
-		maxFrame:   hello.MaxFrameBytes,
+		conn:     conn,
+		br:       br,
+		bw:       bufio.NewWriter(conn),
+		maxFrame: hello.MaxFrameBytes,
 		// Sized to the server's grant (DecodeStreamHello bounds it at
 		// wire.MaxStreamCredit) so no granted credit is ever dropped.
 		credit:     make(chan struct{}, hello.Credit),

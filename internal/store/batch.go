@@ -99,6 +99,14 @@ func (db *DB) Apply(b *WriteBatch) error {
 //
 // Empty batches are skipped; an all-empty (or empty) sequence is a no-op.
 func (db *DB) ApplyAll(batches []*WriteBatch) error {
+	return db.ApplyAllTagged(batches, 0)
+}
+
+// ApplyAllTagged is ApplyAll with a serving-layer wave tag: the sequence's
+// single WAL sync reports to the engine observer (observer.go) carrying
+// wave, so the serving layer can attribute the fsync stall back to the
+// group commit that paid it. A zero wave is untagged.
+func (db *DB) ApplyAllTagged(batches []*WriteBatch, wave uint64) error {
 	live := batches[:0:0]
 	for _, b := range batches {
 		if b.Len() == 0 {
@@ -133,7 +141,10 @@ func (db *DB) ApplyAll(batches []*WriteBatch) error {
 		}
 	}
 	if db.opts.SyncWrites {
-		if err := db.wal.sync(); err != nil {
+		db.syncWave = wave
+		err := db.wal.sync()
+		db.syncWave = 0
+		if err != nil {
 			return err
 		}
 	}

@@ -80,12 +80,21 @@ func (db *DB) compactOnce() bool {
 	db.nextSeg++
 	db.mu.Unlock()
 
-	run := snapshot[start:]
-	dropTombs := start == 0
+	t0 := time.Now()
+	changed, err := db.mergeRun(snapshot[start:], start == 0, id)
+	db.noteCompaction(time.Since(t0), err)
+	return changed
+}
+
+// mergeRun performs one picked tiered merge: merge off-lock, install under
+// the lock, remove the replaced files. The returned error is this
+// attempt's failure (also recorded via setCompactErr); a stale abort is
+// not a failure.
+func (db *DB) mergeRun(run []*segment, dropTombs bool, id uint64) (bool, error) {
 	merged, err := mergeSegments(run, dropTombs)
 	if err != nil {
 		db.setCompactErr(err)
-		return false
+		return false, err
 	}
 	// Write the merge output under a name loadSegments ignores. It only
 	// becomes a real segment by the rename below, inside the splice's
@@ -96,13 +105,13 @@ func (db *DB) compactOnce() bool {
 	pending := path + ".merge"
 	if err := writeSegment(db.fops, pending, merged); err != nil {
 		db.setCompactErr(err)
-		return false
+		return false, err
 	}
 	seg, err := openSegment(pending, id)
 	if err != nil {
 		db.fops.Remove(pending)
 		db.setCompactErr(err)
-		return false
+		return false, err
 	}
 
 	db.mu.Lock()
@@ -112,13 +121,13 @@ func (db *DB) compactOnce() bool {
 		// our output is stale. Drop it.
 		db.mu.Unlock()
 		db.fops.Remove(pending)
-		return false
+		return false, nil
 	}
 	if err := db.fops.Rename(pending, path); err != nil {
 		db.mu.Unlock()
 		db.fops.Remove(pending)
 		db.setCompactErr(err)
-		return false
+		return false, err
 	}
 	seg.path = path
 	newSegs := make([]*segment, 0, idx+1+len(db.segments)-(idx+len(run)))
@@ -135,11 +144,12 @@ func (db *DB) compactOnce() bool {
 	for _, s := range run {
 		s.close()
 		if err := db.fops.Remove(s.path); err != nil {
-			db.setCompactErr(fmt.Errorf("store: removing compacted segment: %w", err))
-			return true
+			err = fmt.Errorf("store: removing compacted segment: %w", err)
+			db.setCompactErr(err)
+			return true, err
 		}
 	}
-	return true
+	return true, nil
 }
 
 func (db *DB) setCompactErr(err error) {

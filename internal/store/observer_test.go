@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recObserver records callbacks for assertions.
+type recObserver struct {
+	mu          sync.Mutex
+	syncWaves   []uint64
+	compactions int
+	compactErrs int
+}
+
+func (o *recObserver) WALSync(wave uint64, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.syncWaves = append(o.syncWaves, wave)
+}
+
+func (o *recObserver) Compaction(d time.Duration, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.compactions++
+	if err != nil {
+		o.compactErrs++
+	}
+}
+
+func TestObserverWALSyncAndWaveTags(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{SyncWrites: true, DisableAutoCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	obs := &recObserver{}
+	db.SetObserver(obs)
+
+	// A plain Put syncs untagged.
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// A tagged wave's single sync carries the wave ID.
+	var b WriteBatch
+	b.Put([]byte("k2"), []byte("v2"))
+	if err := db.ApplyAllTagged([]*WriteBatch{&b}, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit Sync is untagged again — the tag must not stick.
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.mu.Lock()
+	waves := append([]uint64(nil), obs.syncWaves...)
+	obs.mu.Unlock()
+	want := []uint64{0, 7, 0}
+	if fmt.Sprint(waves) != fmt.Sprint(want) {
+		t.Fatalf("sync waves = %v, want %v", waves, want)
+	}
+
+	// Removing the observer stops callbacks.
+	db.SetObserver(nil)
+	if err := db.Put([]byte("k3"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	obs.mu.Lock()
+	n := len(obs.syncWaves)
+	obs.mu.Unlock()
+	if n != len(want) {
+		t.Fatalf("observer still called after removal: %d syncs", n)
+	}
+}
+
+func TestObserverCompaction(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{DisableAutoCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	obs := &recObserver{}
+	db.SetObserver(obs)
+
+	// Two segments so the forced merge has work to do.
+	for i := range 2 {
+		if err := db.Put([]byte{byte('a' + i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.compactions != 1 || obs.compactErrs != 0 {
+		t.Fatalf("compactions = %d (errs %d), want 1 clean merge", obs.compactions, obs.compactErrs)
+	}
+}

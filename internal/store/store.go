@@ -102,6 +102,12 @@ type DB struct {
 	wg          sync.WaitGroup
 	compactErr  error  // last background compaction failure, under mu
 	compactions uint64 // merges completed (background + forced), under mu
+
+	// obs is the optional engine observer (observer.go); syncWave, written
+	// under mu, tags the next WAL sync with the serving-layer wave it
+	// belongs to (zero outside ApplyAllTagged).
+	obs      obsPtr
+	syncWave uint64
 }
 
 // Open opens (or creates) a database in dir, replaying any WAL left by a
@@ -136,6 +142,14 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.wal = w
+	// Report WAL sync durations to the observer. Every sync runs under
+	// db.mu, so reading syncWave here is ordered with ApplyAllTagged's
+	// write of it.
+	w.onSync = func(d time.Duration) {
+		if o := db.observer(); o != nil {
+			o.WALSync(db.syncWave, d)
+		}
+	}
 	for _, e := range entries {
 		if e.tombstone {
 			db.mem.delete(e.key)
@@ -301,6 +315,15 @@ func (db *DB) Compact() error {
 	if len(db.segments) <= 1 {
 		return nil
 	}
+	t0 := time.Now()
+	err := db.compactFullLocked()
+	db.noteCompaction(time.Since(t0), err)
+	return err
+}
+
+// compactFullLocked merges every segment into one; the caller holds db.mu
+// and has flushed the memtable.
+func (db *DB) compactFullLocked() error {
 	merged, err := mergeSegments(db.segments, true)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 )
 
 // wal is the write-ahead log. Record framing:
@@ -26,6 +27,10 @@ type wal struct {
 	w         *bufio.Writer
 	syncEvery bool
 	path      string
+	// onSync, when set, is called with every sync's duration (flush +
+	// fsync, the write path's durability stall). Called under the same
+	// lock discipline as the sync itself.
+	onSync func(d time.Duration)
 }
 
 type walEntry struct {
@@ -264,10 +269,20 @@ func (w *wal) writeRecordNoSync(buf []byte) error {
 func (w *wal) sync() error { return w.syncLocked() }
 
 func (w *wal) syncLocked() error {
+	var start time.Time
+	if w.onSync != nil {
+		start = time.Now()
+	}
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	err := w.f.Sync()
+	if w.onSync != nil {
+		// Failed syncs report too: a device stalling before it errors is
+		// exactly what latency instrumentation exists to show.
+		w.onSync(time.Since(start))
+	}
+	return err
 }
 
 // reset truncates the log after a memtable flush: the flushed segment now

@@ -173,10 +173,50 @@ type Error struct {
 	Message string `json:"error"`
 }
 
-// Health is the liveness body.
+// Health is the liveness body. /healthz answers it with Status "ok" while
+// the process lives; /readyz answers it with Status "ok" (200) until drain
+// begins, then "draining" (503) so load balancers stop routing before the
+// listener dies.
 type Health struct {
 	Status string `json:"status"`
 	Users  int    `json:"users"`
+}
+
+// Histogram is the wire form of one obs latency histogram: per-bucket
+// (non-cumulative) observation counts over the shared log-spaced bounds
+// published in Metrics.StageBoundsNanos, with trailing zero buckets
+// trimmed. SumNanos is the total observed time.
+type Histogram struct {
+	Count    uint64   `json:"count"`
+	SumNanos uint64   `json:"sum_nanos"`
+	Counts   []uint64 `json:"counts,omitempty"`
+}
+
+// WaveTrace is the wire form of one coalescer wave's stage timeline
+// (GET /debug/waves). All stage fields are nanoseconds; QueueWait is the
+// longest pre-gather queue wait among the wave's requests, CommitWait the
+// pipelined handoff stall, WALSync the slice of Commit spent in the
+// store's fsync. Total is gather→commit (queue wait overlaps the previous
+// wave and is excluded).
+type WaveTrace struct {
+	ID              uint64 `json:"id"`
+	StartUnixNano   int64  `json:"start_unix_nano"`
+	Requests        int    `json:"requests"`
+	Events          int    `json:"events"`
+	Shards          int    `json:"shards"`
+	QueueWaitNanos  int64  `json:"queue_wait_nanos"`
+	GatherNanos     int64  `json:"gather_nanos"`
+	PrepareNanos    int64  `json:"prepare_nanos"`
+	CommitWaitNanos int64  `json:"commit_wait_nanos"`
+	CommitNanos     int64  `json:"commit_nanos"`
+	WALSyncNanos    int64  `json:"wal_sync_nanos"`
+	TotalNanos      int64  `json:"total_nanos"`
+	Err             bool   `json:"err,omitempty"`
+}
+
+// WavesResponse is the GET /debug/waves body, newest wave first.
+type WavesResponse struct {
+	Waves []WaveTrace `json:"waves"`
 }
 
 // Metrics is the /metrics snapshot: serving-layer counters plus the
@@ -224,4 +264,15 @@ type Metrics struct {
 	StoreMemtableKeys int    `json:"store_memtable_keys"`
 	StoreCompactions  uint64 `json:"store_compactions"`
 	StoreCompactError string `json:"store_compact_error,omitempty"`
+
+	// Stage-latency histograms (internal/obs). StageBoundsNanos is the
+	// bucket upper-bound vector shared by every histogram below. Stages is
+	// keyed by pipeline stage — decode, queue, gather, prepare, commit,
+	// wal_sync, compaction; Endpoints by handler name (register, ingest,
+	// recommend, ...). LastWaveID is the newest wave ID the coalescer
+	// minted (wave IDs are 1-based; 0 means no wave yet).
+	StageBoundsNanos []int64              `json:"stage_bounds_nanos,omitempty"`
+	Stages           map[string]Histogram `json:"stages,omitempty"`
+	Endpoints        map[string]Histogram `json:"endpoints,omitempty"`
+	LastWaveID       uint64               `json:"last_wave_id,omitempty"`
 }
