@@ -61,7 +61,7 @@ func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
-	skipScale := flag.Bool("skip-scale", false, "skip the S1-S5 scale sections")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1-S7 scale sections")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per section instead of the table")
 	clients := flag.Int("clients", scalebench.Workers, "concurrent clients for S2/loadgen")
 	requests := flag.Int("requests", 2048, "total ingest requests for S2/loadgen")
@@ -291,6 +291,9 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 		if err := runScaleServeScenario(em, seed, clients); err != nil {
 			return err
 		}
+		if err := runScaleServeMixed(em, seed, clients); err != nil {
+			return err
+		}
 	}
 	em.printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -363,16 +366,28 @@ func runScale(em *emitter) error {
 // hands the base URL to fn, tearing everything down afterwards. Shared by
 // [S2], [S3] and [S4] so all measure the identical serving configuration.
 func serveStack(coalesce, pipeline bool, shards int, fn func(baseURL string) error) error {
+	return serveStackCore(coalesce, pipeline, shards, false, func(baseURL string, _ *core.SPA) error {
+		return fn(baseURL)
+	})
+}
+
+// serveStackCore is serveStack with the core handle exposed and the
+// locked-reads baseline selectable. [S7] needs both: the propensity model
+// has no training endpoint on the wire (training is an offline batch job,
+// per the paper), so the section trains in-process before driving the
+// mixed load, and the read-path comparison flips Options.LockedReads.
+func serveStackCore(coalesce, pipeline bool, shards int, lockedReads bool, fn func(baseURL string, spa *core.SPA) error) error {
 	dir, err := os.MkdirTemp("", "spabench-serve-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
 	spa, err := core.New(core.Options{
-		DataDir: dir,
-		Store:   store.Options{SyncWrites: true},
-		Shards:  shards,
-		Clock:   clock.NewSimulated(clock.Epoch),
+		DataDir:     dir,
+		Store:       store.Options{SyncWrites: true},
+		Shards:      shards,
+		LockedReads: lockedReads,
+		Clock:       clock.NewSimulated(clock.Epoch),
 	})
 	if err != nil {
 		return err
@@ -396,7 +411,7 @@ func serveStack(coalesce, pipeline bool, shards int, fn func(baseURL string) err
 		srv.Close()
 		spa.Close()
 	}()
-	return fn("http://" + ln.Addr().String())
+	return fn("http://"+ln.Addr().String(), spa)
 }
 
 // runScaleServe is the serving-side comparison [S2]: a live spad stack on
@@ -771,6 +786,123 @@ func runScaleServeScenario(em *emitter, seed uint64, clients int) error {
 	em.emit("S6", map[string]any{
 		"result": res,
 		"ok":     ok,
+	})
+	return nil
+}
+
+// runScaleServeMixed is the read-path section [S7]: a 90/10 read-heavy
+// mixed workload (recommendation pulls, advice, propensity, select-top
+// against concurrent ingest bursts) over the full pipelined stack, with
+// the epoch-snapshot read path versus the -locked-reads baseline. Under
+// the baseline a read that lands on a committing shard waits out the
+// fsync the commit holds the shard write lock across, so the read tail
+// inherits disk latency; under snapshots reads never take a shard lock
+// and the tail stays at in-memory scale while write throughput holds.
+func runScaleServeMixed(em *emitter, seed uint64, clients int) error {
+	const ops = 1200
+	em.printf("\n[S7] Mixed read/write: epoch-snapshot reads vs locked reads (90/10 mix, %d ops, %d clients, fsync on, seed %d)\n",
+		ops, clients, seed)
+
+	measure := func(locked bool) (res scalebench.MixedResult, err error) {
+		err = serveStackCore(true, true, 32, locked, func(baseURL string, spa *core.SPA) error {
+			// Warm population + CF interactions (a near-write-only pass),
+			// then train the propensity model in-process so every read in
+			// the measured mix is answerable.
+			warm, err := scalebench.RunMixed(scalebench.MixedConfig{
+				BaseURL: baseURL, Seed: seed, Clients: clients,
+				Ops: 64, ReadFraction: 0.01, Register: true,
+			})
+			if err != nil {
+				return err
+			}
+			if warm.Errors > 0 {
+				return fmt.Errorf("warmup: %d errors", warm.Errors)
+			}
+			var feats [][]float64
+			var labels []bool
+			for id := uint64(1); id <= scalebench.Users; id++ {
+				fv, err := spa.FeatureVector(id)
+				if err != nil {
+					return err
+				}
+				feats = append(feats, fv)
+				labels = append(labels, id%2 == 0)
+			}
+			if err := spa.TrainPropensity(feats, labels); err != nil {
+				return err
+			}
+			res, err = scalebench.RunMixed(scalebench.MixedConfig{
+				BaseURL: baseURL,
+				Seed:    seed,
+				Clients: clients,
+				Ops:     ops,
+			})
+			return err
+		})
+		return res, err
+	}
+
+	// Same discipline as [S2]-[S5]: interleave the modes and keep each
+	// one's best of two windows — here the window with the best read tail,
+	// since the read p99 is the number under test.
+	var locked, snap scalebench.MixedResult
+	better := func(a, b scalebench.MixedResult) bool {
+		if b.ReadP99 == 0 {
+			return true
+		}
+		return a.ReadP99 > 0 && a.ReadP99 < b.ReadP99
+	}
+	for round := 0; round < 2; round++ {
+		l, err := measure(true)
+		if err != nil {
+			return err
+		}
+		if better(l, locked) {
+			locked = l
+		}
+		s, err := measure(false)
+		if err != nil {
+			return err
+		}
+		if better(s, snap) {
+			snap = s
+		}
+	}
+	gainP99 := 0.0
+	if snap.ReadP99 > 0 {
+		gainP99 = float64(locked.ReadP99) / float64(snap.ReadP99)
+	}
+	gainP50 := 0.0
+	if snap.ReadP50 > 0 {
+		gainP50 = float64(locked.ReadP50) / float64(snap.ReadP50)
+	}
+	writeRatio := 0.0
+	if locked.WriteEventsPerSec > 0 {
+		writeRatio = snap.WriteEventsPerSec / locked.WriteEventsPerSec
+	}
+	// The lock-free read path must beat the locked baseline ≥3x somewhere in
+	// the latency distribution while holding write throughput. On a host
+	// with spare cores the p99 carries the signal (locked reads wait out
+	// fsync-length lock windows; snapshot reads never do); on a saturated
+	// single-core host the p99 of both modes floors at scheduler queueing
+	// and the median carries it instead — so either gain qualifies.
+	ok := (gainP99 >= 3 || gainP50 >= 3) && gainP99 > 1 &&
+		snap.Errors == 0 && locked.Errors == 0 && writeRatio >= 0.9
+	em.printf("  locked reads   : reads %8.0f ops/s  p50 %6s  p99 %6s | writes %8.0f events/s  p99 %6s  (%d errors)\n",
+		locked.ReadOpsPerSec, locked.ReadP50.Round(time.Microsecond), locked.ReadP99.Round(time.Microsecond),
+		locked.WriteEventsPerSec, locked.WriteP99.Round(time.Microsecond), locked.Errors)
+	em.printf("  snapshot reads : reads %8.0f ops/s  p50 %6s  p99 %6s | writes %8.0f events/s  p99 %6s  (%d errors)\n",
+		snap.ReadOpsPerSec, snap.ReadP50.Round(time.Microsecond), snap.ReadP99.Round(time.Microsecond),
+		snap.WriteEventsPerSec, snap.WriteP99.Round(time.Microsecond), snap.Errors)
+	em.printf("  read gain      : p50 %.1fx  p99 %.1fx   write throughput held: %.0f%%   %s\n",
+		gainP50, gainP99, writeRatio*100, okIf(ok))
+	em.emit("S7", map[string]any{
+		"locked_reads":   locked,
+		"snapshot_reads": snap,
+		"read_p50_gain":  gainP50,
+		"read_p99_gain":  gainP99,
+		"write_ratio":    writeRatio,
+		"ok":             ok,
 	})
 	return nil
 }

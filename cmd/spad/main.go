@@ -54,20 +54,21 @@ import (
 
 // config carries the parsed flags into run.
 type config struct {
-	addr       string
-	streamAddr string
-	debugAddr  string
-	data       string
-	shards     int
-	sync       bool
-	queue      int
-	maxBatch   int
-	maxDelay   time.Duration
-	noCoalesce bool
-	noBinary   bool
-	pipeline   bool
-	accessLog  bool
-	slowWave   time.Duration
+	addr        string
+	streamAddr  string
+	debugAddr   string
+	data        string
+	shards      int
+	sync        bool
+	queue       int
+	maxBatch    int
+	maxDelay    time.Duration
+	noCoalesce  bool
+	noBinary    bool
+	pipeline    bool
+	lockedReads bool
+	accessLog   bool
+	slowWave    time.Duration
 }
 
 func main() {
@@ -84,6 +85,7 @@ func main() {
 	flag.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "commit every ingest request on its own (measurement baseline)")
 	flag.BoolVar(&cfg.noBinary, "no-binary", false, "refuse the binary ingest framing (clients fall back to JSON)")
 	flag.BoolVar(&cfg.pipeline, "pipeline", false, "pipeline the coalescer: overlap a wave's CPU-bound prepare with the previous wave's store commit")
+	flag.BoolVar(&cfg.lockedReads, "locked-reads", false, "serve reads under shard locks instead of epoch snapshots (measurement baseline)")
 	flag.BoolVar(&cfg.accessLog, "access-log", false, "log one line per completed HTTP request")
 	flag.DurationVar(&cfg.slowWave, "slow-wave", time.Second, "log any coalescer wave slower than this gather-to-commit (0: off)")
 	flag.Parse()
@@ -96,9 +98,10 @@ func main() {
 
 func run(cfg config) error {
 	spa, err := core.New(core.Options{
-		DataDir: cfg.data,
-		Store:   store.Options{SyncWrites: cfg.sync},
-		Shards:  cfg.shards,
+		DataDir:     cfg.data,
+		Store:       store.Options{SyncWrites: cfg.sync},
+		Shards:      cfg.shards,
+		LockedReads: cfg.lockedReads,
 	})
 	if err != nil {
 		return err

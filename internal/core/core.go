@@ -24,13 +24,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/attributes"
 	"repro/internal/baseline"
-	"repro/internal/cf"
 	"repro/internal/clock"
 	"repro/internal/emotion"
 	"repro/internal/lifelog"
@@ -60,6 +58,13 @@ type Options struct {
 	// and BenchmarkShardedIngest can quantify the group-commit win against
 	// the old architecture; production should leave it off.
 	UnbatchedWrites bool
+	// LockedReads restores the pre-snapshot read path: every read takes
+	// its shard's read lock (and RecommendActions rebuilds the kNN under a
+	// stampeding mutex), so reads contend with writers exactly as they did
+	// before the epoch-snapshot refactor. The measurement twin of
+	// UnbatchedWrites — spabench [S7] quantifies the snapshot win with it;
+	// production should leave it off.
+	LockedReads bool
 	// Params tune the SUM learning dynamics; zero value selects defaults.
 	Params sum.Params
 	// Clock is the time source; nil selects the wall clock.
@@ -82,6 +87,10 @@ type SPA struct {
 	threshold float64
 	policy    messaging.Policy
 	unbatched bool
+	// lockedReads routes reads through the legacy shard-lock path (see
+	// Options.LockedReads); snapshots are still published so the mode can
+	// be compared against the default on the same build.
+	lockedReads bool
 
 	shards []*shard
 	mask   uint64
@@ -90,15 +99,30 @@ type SPA struct {
 	// shard write-locked through a slow fsync.
 	users atomic.Int64
 
-	// Propensity-model state, replaced wholesale by TrainPropensity.
-	modelMu sync.RWMutex
-	scorer  baseline.Scorer
-	scaler  *svm.Scaler
+	// epoch is the read-snapshot generation: 1 after New, +1 per shard
+	// publish (snapshot.go).
+	epoch atomic.Uint64
 
-	// Recommendation-function state (see recommend.go).
-	recMu  sync.Mutex
-	knn    *cf.KNN
-	tagger ActionTagger
+	// Propensity-model state, replaced wholesale by TrainPropensity;
+	// readers load the pair with one atomic load (select.go).
+	pmodel atomic.Pointer[propModel]
+	// prop is the materialized propensity ranking SelectTop serves from,
+	// rebuilt single-flight per (epoch, model) under propBuildMu.
+	prop        atomic.Pointer[propIndex]
+	propBuildMu sync.Mutex
+
+	// Recommendation-function state (see recommend.go): the frozen kNN
+	// model tagged with its invalidation generation, rebuilt single-flight
+	// under recBuildMu while concurrent readers serve the previous model.
+	recGen     atomic.Uint64
+	rec        atomic.Pointer[recState]
+	recBuildMu sync.Mutex
+	tagger     atomic.Pointer[ActionTagger]
+
+	// Read-path counters (snapshot.go ReadStats).
+	readCacheHits   atomic.Uint64
+	readCacheMisses atomic.Uint64
+	knnRebuilds     atomic.Uint64
 }
 
 // ErrNoProfile is returned for operations on unregistered users.
@@ -129,13 +153,14 @@ func New(opts Options) (*SPA, error) {
 		threshold = 0.30
 	}
 	s := &SPA{
-		model:     model,
-		msgdb:     messaging.NewDB(),
-		registry:  defaultRegistry(),
-		clk:       clk,
-		threshold: threshold,
-		policy:    opts.Policy,
-		unbatched: opts.UnbatchedWrites,
+		model:       model,
+		msgdb:       messaging.NewDB(),
+		registry:    defaultRegistry(),
+		clk:         clk,
+		threshold:   threshold,
+		policy:      opts.Policy,
+		unbatched:   opts.UnbatchedWrites,
+		lockedReads: opts.LockedReads,
 	}
 	n := shardCount(opts.Shards)
 	s.mask = uint64(n - 1)
@@ -159,6 +184,7 @@ func New(opts Options) (*SPA, error) {
 			return nil, fmt.Errorf("core: loading profiles: %w", err)
 		}
 	}
+	s.seedSnapshots()
 	return s, nil
 }
 
@@ -211,6 +237,7 @@ func (s *SPA) Register(userID uint64, objective []float64) error {
 	p.Subjective = make([]float64, lifelog.DenseLen)
 	sh.profiles[userID] = p
 	s.users.Add(1)
+	s.publishShardLocked(sh, []uint64{userID}, nil)
 	return s.persist(p)
 }
 
@@ -234,12 +261,9 @@ func (s *SPA) Users() int {
 // Profile returns a copy of the user's SUM (callers cannot mutate internal
 // state).
 func (s *SPA) Profile(userID uint64) (sum.Profile, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return sum.Profile{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return sum.Profile{}, err
 	}
 	cp := *p
 	cp.Objective = append([]float64(nil), p.Objective...)
@@ -260,12 +284,9 @@ func (s *SPA) IngestEvents(events []lifelog.Event) (processed, skippedUnknown in
 // NextQuestion returns the user's next Gradual EIT item (cycling the bank
 // when exhausted, as the deployment keeps asking indefinitely).
 func (s *SPA) NextQuestion(userID uint64) (emotion.Item, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return emotion.Item{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return emotion.Item{}, err
 	}
 	item, err := s.model.NextItem(p)
 	if errors.Is(err, emotion.ErrExhausted) {
@@ -286,6 +307,7 @@ func (s *SPA) SubmitAnswer(userID uint64, ans emotion.Answer) error {
 	if err := s.model.ApplyEITAnswer(p, ans, s.clk.Now()); err != nil {
 		return err
 	}
+	s.publishShardLocked(sh, []uint64{userID}, nil)
 	return s.persist(p)
 }
 
@@ -300,6 +322,7 @@ func (s *SPA) Reward(userID uint64, attrs []emotion.Attribute) error {
 		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
 	s.model.Reward(p, attrs, s.clk.Now())
+	s.publishShardLocked(sh, []uint64{userID}, nil)
 	return s.persist(p)
 }
 
@@ -313,18 +336,16 @@ func (s *SPA) Punish(userID uint64, attrs []emotion.Attribute) error {
 		return fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
 	s.model.Punish(p, attrs, s.clk.Now())
+	s.publishShardLocked(sh, []uint64{userID}, nil)
 	return s.persist(p)
 }
 
 // Sensibilities returns the user's absolute sensibility weights, indexed by
 // emotion.Attribute.
 func (s *SPA) Sensibilities(userID uint64) ([]float64, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return nil, err
 	}
 	return s.model.Sensibilities(p), nil
 }
@@ -332,12 +353,9 @@ func (s *SPA) Sensibilities(userID uint64) ([]float64, error) {
 // DominantAttributes reports the user's dominant emotional attributes
 // (relative weights above the threshold), strongest first.
 func (s *SPA) DominantAttributes(userID uint64) ([]attributes.Sensibility, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return nil, err
 	}
 	return attributes.DominantAttributes(s.model.RelativeSensibilities(p), 0.5), nil
 }
@@ -345,24 +363,18 @@ func (s *SPA) DominantAttributes(userID uint64) ([]attributes.Sensibility, error
 // Advise returns the SUM advice-stage excitation/inhibition vector for a
 // domain.
 func (s *SPA) Advise(userID uint64, domain string) (sum.Advice, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return sum.Advice{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return sum.Advice{}, err
 	}
 	return s.model.Advise(p, domain), nil
 }
 
 // AssignMessage runs the Messaging Agent for a product (§5.3).
 func (s *SPA) AssignMessage(userID uint64, product messaging.Product) (messaging.Assignment, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return messaging.Assignment{}, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return messaging.Assignment{}, err
 	}
 	return s.msgdb.Assign(product, s.model.Sensibilities(p), s.threshold, s.policy)
 }
@@ -391,12 +403,9 @@ func (s *SPA) SetStoreObserver(o store.Observer) {
 // FeatureVector materializes a user's full learner input (objective +
 // subjective + emotional blocks).
 func (s *SPA) FeatureVector(userID uint64) ([]float64, error) {
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	p, ok := sh.profiles[userID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	p, err := s.viewProfile(userID)
+	if err != nil {
+		return nil, err
 	}
 	return p.FeatureVector(true, true, true), nil
 }
@@ -430,79 +439,6 @@ func (s *SPA) TrainPropensity(features [][]float64, responded []bool) error {
 	if err != nil {
 		return err
 	}
-	s.modelMu.Lock()
-	s.scaler = scaler
-	s.scorer = &baseline.SVMScorer{Model: m}
-	s.modelMu.Unlock()
+	s.pmodel.Store(&propModel{scorer: &baseline.SVMScorer{Model: m}, scaler: scaler})
 	return nil
-}
-
-// Propensity returns the calibrated probability that the user responds to a
-// touch — the selection function's ranking key.
-func (s *SPA) Propensity(userID uint64) (float64, error) {
-	s.modelMu.RLock()
-	scorer, scaler := s.scorer, s.scaler
-	s.modelMu.RUnlock()
-	if scorer == nil {
-		return 0, ErrNoModel
-	}
-	sh := s.shardFor(userID)
-	sh.mu.RLock()
-	p, ok := sh.profiles[userID]
-	var x []float64
-	if ok {
-		// Materialize under the shard lock: a concurrent ingest may be
-		// rewriting the profile's slices.
-		x = p.FeatureVector(true, true, true)
-	}
-	sh.mu.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrNoProfile, userID)
-	}
-	if _, err := scaler.Transform(x); err != nil {
-		return 0, err
-	}
-	return scorer.Score(x)
-}
-
-// SelectTop ranks all registered users by propensity and returns the top-k
-// user IDs — the paper's selection function. Ties break by ascending ID.
-func (s *SPA) SelectTop(k int) ([]uint64, error) {
-	if k < 1 {
-		return nil, errors.New("core: k must be >= 1")
-	}
-	var ids []uint64
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for id := range sh.profiles {
-			ids = append(ids, id)
-		}
-		sh.mu.RUnlock()
-	}
-	type scored struct {
-		id    uint64
-		score float64
-	}
-	all := make([]scored, 0, len(ids))
-	for _, id := range ids {
-		v, err := s.Propensity(id)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, scored{id, v})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].score != all[j].score {
-			return all[i].score > all[j].score
-		}
-		return all[i].id < all[j].id
-	})
-	if k > len(all) {
-		k = len(all)
-	}
-	out := make([]uint64, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].id
-	}
-	return out, nil
 }

@@ -377,7 +377,9 @@ func (s *SPA) commitShardLocked(g *preparedGroup) {
 		// persistence (see Options.UnbatchedWrites). Each profile installs
 		// right after its own save succeeds, so memory never diverges from
 		// durable state; on the first failure the rest of the group stays
-		// unapplied (and uninstalled).
+		// unapplied (and uninstalled). One snapshot publish covers whatever
+		// was installed, so readers see the same prefix the live map holds.
+		installed := make([]uint64, 0, len(g.vectors))
 		for id, vec := range g.vectors {
 			p := sh.profiles[id]
 			if p == nil {
@@ -387,11 +389,17 @@ func (s *SPA) commitShardLocked(g *preparedGroup) {
 			cp.Subjective = vec
 			if err := sum.Save(s.db, &cp); err != nil {
 				g.res.failStore(g.excluded, err)
+				if len(installed) > 0 {
+					s.publishShardLocked(sh, installed, nil)
+				}
 				return
 			}
 			p.Subjective = vec
+			installed = append(installed, id)
 		}
-		g.installInteractionsLocked(sh)
+		if s.publishShardLocked(sh, installed, g.interactions) > 0 {
+			g.res.interactions = true
+		}
 		return
 	}
 	batch, err := s.buildShardBatchLocked(g)
@@ -431,31 +439,28 @@ func (s *SPA) buildShardBatchLocked(g *preparedGroup) (*store.WriteBatch, error)
 	return &batch, nil
 }
 
-// installShardLocked makes the staged updates live in shard memory. The
-// caller holds the shard's write lock and has already made them durable (or
-// runs non-durably).
+// installShardLocked makes the staged updates live in shard memory and
+// publishes the shard's next read snapshot — the epoch installation point
+// of the commit stage (DESIGN.md §8). The caller holds the shard's write
+// lock and has already made the updates durable (or runs non-durably).
 func (s *SPA) installShardLocked(g *preparedGroup) {
 	sh := s.shards[g.shardIdx]
+	changed := make([]uint64, 0, len(g.vectors))
 	for id, vec := range g.vectors {
 		if p := sh.profiles[id]; p != nil {
 			p.Subjective = vec
+			changed = append(changed, id)
 		}
 	}
-	g.installInteractionsLocked(sh)
-}
-
-func (g *preparedGroup) installInteractionsLocked(sh *shard) {
-	for _, te := range g.interactions {
-		if sh.noteInteraction(te.Event) {
-			g.res.interactions = true
-		}
+	if s.publishShardLocked(sh, changed, g.interactions) > 0 {
+		g.res.interactions = true
 	}
 }
 
 // finishMulti folds the shard groups' accounting into the per-batch
 // outcomes and invalidates the frozen recommender if any group recorded
-// interactions. Called with no shard locks held (invalidateRecommender
-// takes recMu, which buildKNN holds while taking shard locks).
+// interactions (a lock-free generation bump; the rebuild happens
+// single-flight on the next read, from snapshots, with no shard locks).
 func (s *SPA) finishMulti(out []IngestOutcome, groups []*preparedGroup) {
 	staleKNN := false
 	for _, g := range groups {

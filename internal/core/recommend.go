@@ -19,9 +19,17 @@ import (
 // "activation or inhibition of excitatory attributes from each domain"
 // applied to the action catalogue.
 //
-// Interaction counts accumulate per shard (under the shard's lock, on the
-// ingest path); the frozen kNN model is global, guarded by recMu, and is
-// invalidated whenever any shard notes a new interaction.
+// Interaction counts live in the shard snapshots (snapshot.go): the ingest
+// publish folds each wave's events into copy-on-write rows, so the kNN
+// build iterates frozen state without a single lock. The frozen model
+// itself is rebuilt single-flight per invalidation generation: the first
+// reader to observe a stale model rebuilds it under recBuildMu while
+// concurrent readers keep serving the previous model (bounded staleness —
+// at most the waves ingested since that build), so an ingest can never
+// stampede the read path into N parallel rebuilds. On top of the model, a
+// small per-shard cache remembers finished rankings; it is keyed to the
+// exact (snapshot, model) pair, so any write to the shard or model rebuild
+// invalidates it wholesale.
 
 // ErrNoInteractions is returned by RecommendActions before any interaction
 // has been ingested — there is nothing for collaborative filtering to rank
@@ -35,19 +43,33 @@ var ErrNoInteractions = errors.New("core: no interactions ingested yet")
 // impatient). A nil tagger disables emotional re-weighting.
 type ActionTagger func(action uint32) []emotion.Attribute
 
-// SetActionTagger installs the tagger used by RecommendActions.
+// SetActionTagger installs the tagger used by RecommendActions. Cached
+// rankings were computed with the previous tagger, so every shard's
+// recommend cache is dropped.
 func (s *SPA) SetActionTagger(t ActionTagger) {
-	s.recMu.Lock()
-	defer s.recMu.Unlock()
-	s.tagger = t
+	if t == nil {
+		s.tagger.Store(nil)
+	} else {
+		s.tagger.Store(&t)
+	}
+	for _, sh := range s.shards {
+		sh.cache.Store(&recCache{})
+	}
 }
 
-// invalidateRecommender drops the frozen kNN model; the next
-// RecommendActions call rebuilds it from the shards' interaction counts.
+// actionTagger loads the installed tagger (nil when none).
+func (s *SPA) actionTagger() ActionTagger {
+	if p := s.tagger.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// invalidateRecommender marks the frozen kNN model stale; the next
+// RecommendActions call rebuilds it (single-flight) from the shard
+// snapshots' interaction counts.
 func (s *SPA) invalidateRecommender() {
-	s.recMu.Lock()
-	s.knn = nil
-	s.recMu.Unlock()
+	s.recGen.Add(1)
 }
 
 // interactionWeight grades event types for the CF matrix: transactions are
@@ -67,50 +89,126 @@ func interactionWeight(t lifelog.EventType) float64 {
 	}
 }
 
-// noteInteraction accumulates a raw event into the shard's pending
-// interaction counts (called with the shard's write lock held). It reports
-// whether it recorded anything, so the caller can invalidate the frozen
-// model once per batch instead of once per event.
-func (sh *shard) noteInteraction(e lifelog.Event) bool {
-	w := interactionWeight(e.Type)
-	if w == 0 || int(e.Action) >= lifelog.ActionUniverse {
-		return false
-	}
-	if sh.pending == nil {
-		sh.pending = make(map[uint64]map[uint32]float64)
-	}
-	row := sh.pending[e.UserID]
-	if row == nil {
-		row = make(map[uint32]float64)
-		sh.pending[e.UserID] = row
-	}
-	row[e.Action] += w
-	return true
+// recState is one frozen kNN model tagged with the invalidation generation
+// it was built at.
+type recState struct {
+	knn *cf.KNN
+	gen uint64
 }
 
-// buildKNN freezes the accumulated interactions of every shard into a kNN
-// model. Called with recMu held; takes each shard's read lock in turn.
-func (s *SPA) buildKNN() (*cf.KNN, error) {
+// recCache is one shard's recommend cache: finished rankings valid only
+// for the exact snapshot and model identity they were computed under. The
+// maps are immutable after publish; inserts CAS a rebuilt cache in and
+// simply give up on contention (the cache is best-effort).
+type recCache struct {
+	snap    *shardSnap
+	knn     *cf.KNN
+	entries map[uint64]recEntry
+}
+
+// recEntry is one cached ranking, keyed by the n it was computed for.
+type recEntry struct {
+	n    int
+	recs []cf.Recommendation
+}
+
+// recCacheCap bounds one shard's cache; a full cache restarts from the
+// inserted entry (generational eviction — cheap, and ingest clears it
+// anyway).
+const recCacheCap = 128
+
+// cacheInsert publishes a ranking into the shard cache, keyed to the
+// snapshot and model it was computed from. Lock-free: lost CAS races and
+// stale snapshots just skip the insert.
+func (sh *shard) cacheInsert(snap *shardSnap, knn *cf.KNN, userID uint64, n int, recs []cf.Recommendation) {
+	cur := sh.cache.Load()
+	next := &recCache{snap: snap, knn: knn}
+	if cur != nil && cur.snap == snap && cur.knn == knn && len(cur.entries) < recCacheCap {
+		next.entries = make(map[uint64]recEntry, len(cur.entries)+1)
+		for id, e := range cur.entries {
+			next.entries[id] = e
+		}
+	} else {
+		next.entries = make(map[uint64]recEntry, 1)
+	}
+	next.entries[userID] = recEntry{n: n, recs: append([]cf.Recommendation(nil), recs...)}
+	sh.cache.CompareAndSwap(cur, next)
+}
+
+// buildKNN freezes the shard snapshots' accumulated interactions into a
+// kNN model. Lock-free: snapshots are immutable, so no shard lock is taken
+// and no lock order exists between the model build and the write path.
+func (s *SPA) buildKNN(lockShards bool) (*cf.KNN, error) {
 	m := cf.NewInteractions(lifelog.ActionUniverse)
 	rows := 0
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for user, row := range sh.pending {
+		if lockShards {
+			sh.mu.RLock()
+		}
+		snap := sh.snap.Load()
+		for user, row := range snap.interactions {
 			rows++
 			for action, w := range row {
 				if err := m.Add(user, action, w); err != nil {
-					sh.mu.RUnlock()
+					if lockShards {
+						sh.mu.RUnlock()
+					}
 					return nil, err
 				}
 			}
 		}
-		sh.mu.RUnlock()
+		if lockShards {
+			sh.mu.RUnlock()
+		}
 	}
 	if rows == 0 {
 		return nil, ErrNoInteractions
 	}
 	m.Freeze()
 	return cf.NewKNN(m, 25)
+}
+
+// currentKNN returns a model no staler than the newest finished build:
+// fresh when this reader wins the rebuild (or nobody is rebuilding),
+// otherwise the previous generation's model — bounded staleness, never a
+// stampede.
+func (s *SPA) currentKNN() (*cf.KNN, error) {
+	gen := s.recGen.Load()
+	if st := s.rec.Load(); st != nil && st.gen == gen {
+		return st.knn, nil
+	}
+	if s.recBuildMu.TryLock() {
+		knn, err := s.rebuildKNNLocked()
+		s.recBuildMu.Unlock()
+		return knn, err
+	}
+	// A rebuild is in flight: serve the previous model.
+	if st := s.rec.Load(); st != nil {
+		return st.knn, nil
+	}
+	// No model has ever been built; wait for the builder and recheck.
+	s.recBuildMu.Lock()
+	knn, err := s.rebuildKNNLocked()
+	s.recBuildMu.Unlock()
+	return knn, err
+}
+
+// rebuildKNNLocked builds (or reuses, when a racing builder got there
+// first) the model for the current generation. Caller holds recBuildMu.
+func (s *SPA) rebuildKNNLocked() (*cf.KNN, error) {
+	// Generation before snapshots: a publish landing mid-build makes the
+	// result conservatively stale, never wrongly fresh.
+	gen := s.recGen.Load()
+	if st := s.rec.Load(); st != nil && st.gen == gen {
+		return st.knn, nil
+	}
+	knn, err := s.buildKNN(false)
+	if err != nil {
+		return nil, err
+	}
+	s.rec.Store(&recState{knn: knn, gen: gen})
+	s.knnRebuilds.Add(1)
+	return knn, nil
 }
 
 // RecommendActions returns the top-n actions for the user: the CF ranking
@@ -121,36 +219,78 @@ func (s *SPA) RecommendActions(userID uint64, n int) ([]cf.Recommendation, error
 	if n < 1 {
 		return nil, errors.New("core: n must be >= 1")
 	}
+	if s.lockedReads {
+		return s.recommendActionsLocked(userID, n)
+	}
 	// Identity before model state: an unknown user is ErrNoProfile even on
 	// a cold system where the kNN build would fail with ErrNoInteractions —
 	// callers (and the serving layer's 404-vs-409 mapping) must not see a
-	// registration question answered with a model answer. The shard lock is
-	// released before recMu so the buildKNN lock order (recMu → shard
-	// RLocks) is never nested in reverse.
+	// registration question answered with a model answer.
+	sh := s.shardFor(userID)
+	snap := sh.snap.Load()
+	p, ok := snap.profiles[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	knn, err := s.currentKNN()
+	if err != nil {
+		return nil, err
+	}
+	if c := sh.cache.Load(); c != nil && c.snap == snap && c.knn == knn {
+		if e, hit := c.entries[userID]; hit && e.n == n {
+			s.readCacheHits.Add(1)
+			return append([]cf.Recommendation(nil), e.recs...), nil
+		}
+	}
+	s.readCacheMisses.Add(1)
+	recs, err := s.rankActions(knn, p, userID, n)
+	if err != nil {
+		return nil, err
+	}
+	sh.cacheInsert(snap, knn, userID, n, recs)
+	return recs, nil
+}
+
+// recommendActionsLocked is the pre-snapshot read path (Options.
+// LockedReads): profile and advice under the shard read lock, then a
+// stampeding rebuild — every reader that finds the model stale rebuilds it
+// while holding the build mutex and the shard read locks, exactly the
+// contention the snapshot path removes. No cache.
+func (s *SPA) recommendActionsLocked(userID uint64, n int) ([]cf.Recommendation, error) {
 	sh := s.shardFor(userID)
 	sh.mu.RLock()
 	p, ok := sh.profiles[userID]
-	var adv sum.Advice
+	var cp sum.Profile
 	if ok {
-		adv = s.model.Advise(p, "training")
+		cp = *p
 	}
 	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
 	}
-
-	s.recMu.Lock()
-	if s.knn == nil {
-		knn, err := s.buildKNN()
+	s.recBuildMu.Lock()
+	gen := s.recGen.Load()
+	st := s.rec.Load()
+	if st == nil || st.gen != gen {
+		knn, err := s.buildKNN(true)
 		if err != nil {
-			s.recMu.Unlock()
+			s.recBuildMu.Unlock()
 			return nil, err
 		}
-		s.knn = knn
+		st = &recState{knn: knn, gen: gen}
+		s.rec.Store(st)
+		s.knnRebuilds.Add(1)
 	}
-	knn := s.knn
-	tagger := s.tagger
-	s.recMu.Unlock()
+	knn := st.knn
+	s.recBuildMu.Unlock()
+	return s.rankActions(knn, &cp, userID, n)
+}
+
+// rankActions runs the model query and the emotional re-weighting for one
+// frozen profile.
+func (s *SPA) rankActions(knn *cf.KNN, p *sum.Profile, userID uint64, n int) ([]cf.Recommendation, error) {
+	adv := s.model.Advise(p, "training")
+	tagger := s.actionTagger()
 
 	// Over-fetch so emotional re-ranking has candidates to promote.
 	fetch := n * 3

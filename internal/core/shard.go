@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lifelog"
 	"repro/internal/sum"
@@ -9,9 +10,11 @@ import (
 )
 
 // shard is one hash partition of the user population. Everything keyed by
-// user id lives here, under one read-write mutex per partition: profile
-// mutations for users in different shards never contend, which is what
-// lets BatchIngest (and independent API calls) run truly in parallel.
+// user id lives here: the live (writer-owned) profile map under one
+// read-write mutex per partition, and the immutable read snapshot behind an
+// atomic pointer. Writers mutate the live map under mu and publish a fresh
+// snapshot before unlocking; readers only ever load snap and never touch mu
+// (see snapshot.go and DESIGN.md §8).
 //
 // The partition function is a fixed bit-mixer over the user id, so a
 // profile's shard is stable across restarts and independent of shard count
@@ -21,11 +24,20 @@ type shard struct {
 	mu       sync.RWMutex
 	profiles map[uint64]*sum.Profile
 	trackers map[uint64]*values.Tracker // Human Values Scale, session-scoped
-	pending  map[uint64]map[uint32]float64
+
+	// snap is the current immutable read snapshot; never nil after newShard.
+	snap atomic.Pointer[shardSnap]
+	// cache is the per-shard recommend cache (recommend.go); entries are
+	// valid only for the exact (snapshot, kNN model) pair they were
+	// computed under. Never nil after newShard.
+	cache atomic.Pointer[recCache]
 }
 
 func newShard() *shard {
-	return &shard{profiles: make(map[uint64]*sum.Profile)}
+	sh := &shard{profiles: make(map[uint64]*sum.Profile)}
+	sh.snap.Store(&shardSnap{profiles: map[uint64]*sum.Profile{}})
+	sh.cache.Store(&recCache{})
+	return sh
 }
 
 // shardCount normalizes the option: 0 → 16, otherwise the next power of

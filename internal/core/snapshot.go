@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifelog"
+	"repro/internal/sum"
+)
+
+// Epoch-based immutable read snapshots (DESIGN.md §8). Every write path —
+// Register, SubmitAnswer, Reward, Punish, and both ingest commit shapes —
+// publishes a fresh copy-on-write snapshot of its shard while holding the
+// shard's write lock; every read path loads the current snapshot through an
+// atomic pointer and never touches sh.mu. A snapshot is immutable after
+// publish: changed profiles are shallow-cloned (the SUM read methods are
+// pure, writers mutate only the value-copied Emotional array and replace
+// the Subjective slice wholesale, so a struct copy freezes the state), and
+// interaction rows are cloned before the wave's deltas are folded in.
+//
+// The global epoch counts publishes. It is process-local: reopening a store
+// replays the durable profiles into a fresh epoch-1 snapshot, and cross-
+// restart ordering belongs to the WAL sequence, not the epoch. Within a
+// process the epoch is strictly monotone, so "did anything change since I
+// looked" is one atomic load.
+
+// shardSnap is one shard's immutable read snapshot: the profile map and the
+// accumulated CF interaction counts, both frozen at publish time.
+type shardSnap struct {
+	profiles map[uint64]*sum.Profile
+	// interactions is the cumulative user → action → weight matrix the
+	// recommender freezes into a kNN model. Owned by the snapshot chain:
+	// there is no mutable copy anywhere, a publish clones only the rows the
+	// wave touched.
+	interactions map[uint64]map[uint32]float64
+}
+
+// publishShardLocked installs a new immutable snapshot for sh, re-cloning
+// the changed profiles from live shard memory and folding the given
+// interaction events into copy-on-write rows. The caller holds sh.mu for
+// writing. Returns how many interaction events were recorded (zero-weight
+// and out-of-universe events don't count), so ingest can invalidate the
+// recommender once per wave.
+func (s *SPA) publishShardLocked(sh *shard, changed []uint64, events []taggedEvent) int {
+	prev := sh.snap.Load()
+	next := &shardSnap{
+		profiles:     make(map[uint64]*sum.Profile, len(prev.profiles)+len(changed)),
+		interactions: prev.interactions,
+	}
+	for id, p := range prev.profiles {
+		next.profiles[id] = p
+	}
+	for _, id := range changed {
+		if p := sh.profiles[id]; p != nil {
+			cp := *p
+			next.profiles[id] = &cp
+		}
+	}
+	recorded := 0
+	if len(events) > 0 {
+		inter := make(map[uint64]map[uint32]float64, len(prev.interactions)+1)
+		for u, row := range prev.interactions {
+			inter[u] = row
+		}
+		cloned := make(map[uint64]bool, 4)
+		for _, te := range events {
+			w := interactionWeight(te.Type)
+			if w == 0 || int(te.Action) >= lifelog.ActionUniverse {
+				continue
+			}
+			row := inter[te.UserID]
+			if !cloned[te.UserID] {
+				nrow := make(map[uint32]float64, len(row)+1)
+				for a, v := range row {
+					nrow[a] = v
+				}
+				inter[te.UserID] = nrow
+				row = nrow
+				cloned[te.UserID] = true
+			}
+			row[te.Action] += w
+			recorded++
+		}
+		next.interactions = inter
+	}
+	sh.snap.Store(next)
+	// The per-shard recommend cache keys its validity to the snapshot
+	// pointer, so dropping it here is an optimization (free the entries),
+	// not a correctness requirement.
+	sh.cache.Store(&recCache{})
+	s.epoch.Add(1)
+	return recorded
+}
+
+// seedSnapshots builds every shard's initial snapshot from the profiles New
+// just loaded (or none) and establishes epoch 1. Called before the SPA is
+// visible to any other goroutine.
+func (s *SPA) seedSnapshots() {
+	for _, sh := range s.shards {
+		profiles := make(map[uint64]*sum.Profile, len(sh.profiles))
+		for id, p := range sh.profiles {
+			cp := *p
+			profiles[id] = &cp
+		}
+		sh.snap.Store(&shardSnap{profiles: profiles})
+	}
+	s.epoch.Store(1)
+}
+
+// viewProfile returns a stable profile for reading. In snapshot mode (the
+// default) it is a lock-free load: the returned profile is frozen, safe to
+// read concurrently with any writer. With Options.LockedReads it reproduces
+// the pre-snapshot read path — shard read lock, copy out — so benchmarks
+// can measure what the snapshot buys.
+func (s *SPA) viewProfile(userID uint64) (*sum.Profile, error) {
+	sh := s.shardFor(userID)
+	if s.lockedReads {
+		sh.mu.RLock()
+		p, ok := sh.profiles[userID]
+		var cp sum.Profile
+		if ok {
+			cp = *p
+		}
+		sh.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+		}
+		return &cp, nil
+	}
+	p, ok := sh.snap.Load().profiles[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProfile, userID)
+	}
+	return p, nil
+}
+
+// SnapshotEpoch reports the current read-snapshot epoch: 1 after New
+// (including a reopen's replay), +1 per shard publish. Monotone within the
+// process; see the package comment in this file for the restart contract.
+func (s *SPA) SnapshotEpoch() uint64 {
+	return s.epoch.Load()
+}
+
+// ReadStats snapshots the read-path counters for /metrics.
+type ReadStats struct {
+	// SnapshotEpoch is SnapshotEpoch().
+	SnapshotEpoch uint64
+	// ReadCacheHits / ReadCacheMisses count per-shard recommend-cache
+	// outcomes. Process-local, reset to zero on restart.
+	ReadCacheHits   uint64
+	ReadCacheMisses uint64
+	// KNNRebuilds counts single-flight kNN model builds — with healthy
+	// caching this grows with invalidation epochs, not with read traffic.
+	KNNRebuilds uint64
+}
+
+// ReadStats reports the read-path counters.
+func (s *SPA) ReadStats() ReadStats {
+	return ReadStats{
+		SnapshotEpoch:   s.epoch.Load(),
+		ReadCacheHits:   s.readCacheHits.Load(),
+		ReadCacheMisses: s.readCacheMisses.Load(),
+		KNNRebuilds:     s.knnRebuilds.Load(),
+	}
+}

@@ -152,10 +152,17 @@ func CheckMetricsFormats(baseURL string) error {
 		return 0, fmt.Errorf("scalebench: series %s missing from exposition", name)
 	}
 	stable := map[string]float64{
-		"spad_users":                 float64(m.Users),
-		"spad_ingest_commits_total":  float64(m.IngestCommits),
-		"spad_ingest_events_total":   float64(m.IngestEvents),
-		"spad_ingest_requests_total": float64(m.IngestRequests),
+		"spad_users":                   float64(m.Users),
+		"spad_ingest_commits_total":    float64(m.IngestCommits),
+		"spad_ingest_events_total":     float64(m.IngestEvents),
+		"spad_ingest_requests_total":   float64(m.IngestRequests),
+		"spad_snapshot_epoch":          float64(m.SnapshotEpoch),
+		"spad_read_cache_hits_total":   float64(m.ReadCacheHits),
+		"spad_knn_rebuilds_total":      float64(m.KNNRebuilds),
+		"spad_read_cache_misses_total": float64(m.ReadCacheMisses),
+	}
+	if m.SnapshotEpoch < 1 {
+		return fmt.Errorf("scalebench: snapshot_epoch %d, want >= 1 on a live core", m.SnapshotEpoch)
 	}
 	for name, want := range stable {
 		got, err := series(name)

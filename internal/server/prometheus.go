@@ -61,6 +61,14 @@ func writePromMetrics(w io.Writer, m wire.Metrics) error {
 			Samples: []obs.PromSample{{Value: float64(m.StreamFrames)}}},
 		{Name: "spad_last_wave_id", Help: "Newest coalescer wave ID minted (0 before the first wave).", Type: "gauge",
 			Samples: []obs.PromSample{{Value: float64(m.LastWaveID)}}},
+		{Name: "spad_snapshot_epoch", Help: "Read-snapshot generation (1 after open, +1 per shard publish; process-local).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.SnapshotEpoch)}}},
+		{Name: "spad_read_cache_hits_total", Help: "Recommend-cache hits on the lock-free read path.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.ReadCacheHits)}}},
+		{Name: "spad_read_cache_misses_total", Help: "Recommend-cache misses on the lock-free read path.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.ReadCacheMisses)}}},
+		{Name: "spad_knn_rebuilds_total", Help: "Single-flight CF kNN model rebuilds.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.KNNRebuilds)}}},
 		{Name: "spad_durable", Help: "1 when the core runs on a durable store.", Type: "gauge",
 			Samples: []obs.PromSample{{Value: bool01(m.Durable)}}},
 		{Name: "spad_store_segments", Help: "On-disk segments in the store.", Type: "gauge",

@@ -603,7 +603,16 @@ func (s *Server) handleSelectTop(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.spa.SelectTop(k)
 	if err != nil {
-		s.writeDomainError(w, err)
+		// A partial ranking is an answer, not a failure: some profiles
+		// could not be scored (core.ErrPartialSelection) but the ranking
+		// over the rest is valid, so answer 200 with the skip count
+		// instead of failing the whole request.
+		var partial *core.PartialSelectionError
+		if !errors.As(err, &partial) {
+			s.writeDomainError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, wire.SelectTopResponse{UserIDs: ids, Skipped: partial.Skipped})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, wire.SelectTopResponse{UserIDs: ids})
@@ -671,6 +680,11 @@ func (s *Server) snapshotMetrics() wire.Metrics {
 		StreamFrames:      s.met.streamFrames.Load(),
 		LastWaveID:        s.met.waveSeq.Load(),
 	}
+	rs := s.spa.ReadStats()
+	m.SnapshotEpoch = rs.SnapshotEpoch
+	m.ReadCacheHits = rs.ReadCacheHits
+	m.ReadCacheMisses = rs.ReadCacheMisses
+	m.KNNRebuilds = rs.KNNRebuilds
 	if s.co != nil {
 		m.QueueDepth = s.co.depth()
 		m.QueueCapacity = s.co.capacity()

@@ -145,9 +145,12 @@ type SensibilitiesResponse struct {
 	Sensibilities map[string]float64 `json:"sensibilities"`
 }
 
-// SelectTopResponse ranks users by propensity, best first.
+// SelectTopResponse ranks users by propensity, best first. Skipped counts
+// registered profiles the model could not score (the ranking is still
+// valid without them); zero in the common case.
 type SelectTopResponse struct {
 	UserIDs []uint64 `json:"user_ids"`
+	Skipped int      `json:"skipped,omitempty"`
 }
 
 // AdviceResponse is the SUM advice-stage excitation/inhibition vector,
@@ -256,6 +259,16 @@ type Metrics struct {
 	// subset of IngestRequests).
 	StreamConns  int    `json:"stream_conns"`
 	StreamFrames uint64 `json:"stream_frames"`
+
+	// Read path (core epoch snapshots, DESIGN.md §8). SnapshotEpoch is the
+	// current read-snapshot generation (1 after open, +1 per shard
+	// publish; process-local). ReadCacheHits/Misses count per-shard
+	// recommend-cache outcomes; KNNRebuilds counts single-flight CF model
+	// builds — it should track invalidation epochs, not read traffic.
+	SnapshotEpoch   uint64 `json:"snapshot_epoch"`
+	ReadCacheHits   uint64 `json:"read_cache_hits"`
+	ReadCacheMisses uint64 `json:"read_cache_misses"`
+	KNNRebuilds     uint64 `json:"knn_rebuilds"`
 
 	// Store internals; zero-valued with Durable=false.
 	Durable           bool   `json:"durable"`
