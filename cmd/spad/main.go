@@ -9,11 +9,18 @@
 //	spad [-addr :8372] [-stream-addr ADDR] [-data DIR] [-shards 16] [-sync]
 //	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
 //	     [-no-binary] [-pipeline] [-debug-addr ADDR] [-access-log]
-//	     [-slow-wave 1s]
+//	     [-slow-wave 1s] [-follow LEADER] [-repl-window 256]
 //
 // An empty -data serves an in-memory (non-durable) instance, useful for
 // load experiments; production points -data at a directory and usually
 // adds -sync so every group commit is fsynced before it is acknowledged.
+//
+// -follow LEADER (host:port or URL) starts this spad as a read-only
+// replication follower: before the core opens it bootstraps the -data
+// directory from the leader (a state snapshot when the local position
+// predates the leader's retained WAL history), then applies the leader's
+// committed waves live. Every read endpoint serves from replicated state;
+// writes answer 421 naming the leader. Requires -data.
 //
 // Streamed binary ingest is always reachable as an HTTP upgrade on
 // /v1/ingest/stream (unless -no-binary); -stream-addr additionally opens a
@@ -69,6 +76,8 @@ type config struct {
 	lockedReads bool
 	accessLog   bool
 	slowWave    time.Duration
+	follow      string
+	replWindow  int
 }
 
 func main() {
@@ -88,6 +97,8 @@ func main() {
 	flag.BoolVar(&cfg.lockedReads, "locked-reads", false, "serve reads under shard locks instead of epoch snapshots (measurement baseline)")
 	flag.BoolVar(&cfg.accessLog, "access-log", false, "log one line per completed HTTP request")
 	flag.DurationVar(&cfg.slowWave, "slow-wave", time.Second, "log any coalescer wave slower than this gather-to-commit (0: off)")
+	flag.StringVar(&cfg.follow, "follow", "", "replicate from this leader (host:port or URL) and serve reads only; requires -data")
+	flag.IntVar(&cfg.replWindow, "repl-window", 256, "replication wave credit granted to the leader")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -97,9 +108,27 @@ func main() {
 }
 
 func run(cfg config) error {
+	stOpts := store.Options{SyncWrites: cfg.sync}
+	var bootstrapBytes int64
+	if cfg.follow != "" {
+		if cfg.data == "" {
+			return errors.New("-follow requires -data (replication ships the WAL)")
+		}
+		// The store-level bootstrap must happen before the core opens: the
+		// core loads its shard memory from the store exactly once, so a
+		// snapshot restored after New would be invisible until a restart.
+		var err error
+		bootstrapBytes, err = server.BootstrapFollower(cfg.data, cfg.follow, stOpts)
+		if err != nil {
+			return fmt.Errorf("bootstrapping from %s: %w", cfg.follow, err)
+		}
+		if bootstrapBytes > 0 {
+			log.Printf("spad: bootstrapped %d snapshot bytes from %s", bootstrapBytes, cfg.follow)
+		}
+	}
 	spa, err := core.New(core.Options{
 		DataDir:     cfg.data,
-		Store:       store.Options{SyncWrites: cfg.sync},
+		Store:       stOpts,
 		Shards:      cfg.shards,
 		LockedReads: cfg.lockedReads,
 	})
@@ -108,14 +137,17 @@ func run(cfg config) error {
 	}
 
 	srv := server.New(spa, server.Options{
-		DisableCoalescing: cfg.noCoalesce,
-		QueueDepth:        cfg.queue,
-		MaxBatch:          cfg.maxBatch,
-		MaxDelay:          cfg.maxDelay,
-		DisableBinary:     cfg.noBinary,
-		Pipeline:          cfg.pipeline,
-		AccessLog:         cfg.accessLog,
-		SlowWave:          cfg.slowWave,
+		DisableCoalescing:      cfg.noCoalesce,
+		QueueDepth:             cfg.queue,
+		MaxBatch:               cfg.maxBatch,
+		MaxDelay:               cfg.maxDelay,
+		DisableBinary:          cfg.noBinary,
+		Pipeline:               cfg.pipeline,
+		AccessLog:              cfg.accessLog,
+		SlowWave:               cfg.slowWave,
+		FollowerOf:             cfg.follow,
+		ReplWindow:             cfg.replWindow,
+		FollowerBootstrapBytes: bootstrapBytes,
 	})
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
@@ -155,8 +187,12 @@ func run(cfg config) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v pipeline=%v, %d users loaded)",
-			cfg.addr, cfg.data, cfg.shards, cfg.sync, !cfg.noCoalesce, cfg.pipeline && !cfg.noCoalesce, spa.Users())
+		role := ""
+		if cfg.follow != "" {
+			role = " follower-of=" + cfg.follow
+		}
+		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v pipeline=%v%s, %d users loaded)",
+			cfg.addr, cfg.data, cfg.shards, cfg.sync, !cfg.noCoalesce, cfg.pipeline && !cfg.noCoalesce, role, spa.Users())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -436,6 +436,12 @@ func (s *SPA) buildShardBatchLocked(g *preparedGroup) (*store.WriteBatch, error)
 		}
 		batch.Put(sum.Key(id), sum.Encode(&cp))
 	}
+	// The wave's interaction events ride the record's annotation: opaque to
+	// the store and to replay, but a follower applying this record needs
+	// them to rebuild the CF matrix (replicate.go).
+	if batch.Len() > 0 && len(g.interactions) > 0 {
+		batch.SetAnnotation(encodeWaveAnnotation(g.interactions))
+	}
 	return &batch, nil
 }
 

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/lifelog"
+	"repro/internal/store"
+	"repro/internal/sum"
+)
+
+// Follower-side replication (DESIGN.md §9). A leader's committed log records
+// carry everything a replica needs to reproduce its read state:
+//
+//   - The key/value entries rebuild the durable profiles — the same bytes the
+//     leader's own crash recovery would replay.
+//   - The record's annotation carries what the entries cannot express: the
+//     wave's interaction events, which exist only in the shard snapshots'
+//     CF matrix (snapshot.go) and never reach the store. The leader's commit
+//     path attaches them (buildShardBatchLocked); replay ignores them; a
+//     follower decodes them here and folds them through the same
+//     publishShardLocked path the leader used, so RecommendActions converges
+//     along with the profile reads.
+//
+// ApplyReplicatedWave is deliberately shaped like PreparedMulti.Commit's
+// install half: store write first (with the leader's LSN, enforcing exact
+// log contiguity), then per-shard install + snapshot publish under the shard
+// write locks, taken in index order — the same ordering argument that makes
+// concurrent local commits deadlock-free makes the follower's apply loop
+// safe next to its own read traffic.
+
+// waveAnnotationVersion tags the interaction-event annotation codec.
+const waveAnnotationVersion = 0x01
+
+// encodeWaveAnnotation packs a wave's interaction events into the opaque
+// annotation blob of its log record: a version byte, a uvarint count, then
+// per event uvarint user id, one type byte, uvarint action. Only the fields
+// the CF fold (publishShardLocked) consumes travel.
+func encodeWaveAnnotation(events []taggedEvent) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(events)*(binary.MaxVarintLen64+1+binary.MaxVarintLen32))
+	buf = append(buf, waveAnnotationVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(events)))
+	for _, te := range events {
+		buf = binary.AppendUvarint(buf, te.UserID)
+		buf = append(buf, byte(te.Type))
+		buf = binary.AppendUvarint(buf, uint64(te.Action))
+	}
+	return buf
+}
+
+// decodeWaveAnnotation unpacks an annotation blob. An empty blob is a wave
+// with no interaction events (e.g. a Register or EIT-answer record).
+func decodeWaveAnnotation(blob []byte) ([]taggedEvent, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	if blob[0] != waveAnnotationVersion {
+		return nil, fmt.Errorf("core: unknown wave annotation version %d", blob[0])
+	}
+	p := blob[1:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, errors.New("core: truncated wave annotation count")
+	}
+	p = p[n:]
+	// Each event costs at least 1+1+1 bytes; never trust the count further.
+	if maxPossible := uint64(len(p)) / 3; count > maxPossible {
+		return nil, fmt.Errorf("core: wave annotation declares %d events, at most %d fit", count, maxPossible)
+	}
+	events := make([]taggedEvent, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var te taggedEvent
+		id, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, errors.New("core: truncated wave annotation user id")
+		}
+		p = p[n:]
+		if len(p) == 0 {
+			return nil, errors.New("core: truncated wave annotation type")
+		}
+		te.UserID = id
+		te.Type = lifelog.EventType(p[0])
+		p = p[1:]
+		action, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, errors.New("core: truncated wave annotation action")
+		}
+		if action > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("core: wave annotation action %d overflows uint32", action)
+		}
+		p = p[n:]
+		te.Action = uint32(action)
+		events = append(events, te)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in wave annotation", len(p))
+	}
+	return events, nil
+}
+
+// sumKeyUser parses a profile store key ("sum/" + big-endian user id).
+func sumKeyUser(key []byte) (uint64, bool) {
+	if len(key) != 12 || string(key[:4]) != "sum/" {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(key[4:]), true
+}
+
+// AppliedLSN reports the durable log position this instance has committed
+// through; ok is false on an in-memory-only instance (which has no log to
+// ship or apply).
+func (s *SPA) AppliedLSN() (lsn uint64, ok bool) {
+	if s.db == nil {
+		return 0, false
+	}
+	return s.db.AppliedLSN(), true
+}
+
+// LogFloor reports the oldest retained log position (store.LogFloor); ok is
+// false on an in-memory-only instance.
+func (s *SPA) LogFloor() (lsn uint64, ok bool) {
+	if s.db == nil {
+		return 0, false
+	}
+	return s.db.LogFloor(), true
+}
+
+// TailLog subscribes to the committed log (store.TailLog) — the leader half
+// of replication.
+func (s *SPA) TailLog(fromLSN uint64) (*store.LogTail, error) {
+	if s.db == nil {
+		return nil, errors.New("core: replication requires a durable store")
+	}
+	return s.db.TailLog(fromLSN)
+}
+
+// ExportSnapshot captures the durable key space and its LSN for follower
+// bootstrap (store.ExportSnapshot).
+func (s *SPA) ExportSnapshot() ([]store.LogEntry, uint64, error) {
+	if s.db == nil {
+		return nil, 0, errors.New("core: replication requires a durable store")
+	}
+	return s.db.ExportSnapshot()
+}
+
+// ApplyReplicatedWave applies one shipped log record to a follower: the
+// entries commit to the local store under the leader's LSN (exact contiguity
+// enforced by store.ApplyReplicated), then install into shard memory and
+// publish fresh read snapshots, with the annotation's interaction events
+// folded into the CF matrix — the same install + publish + invalidate
+// sequence the leader's commit stage ran, so every snapshot read API
+// (profile, recommend, propensity, select-top) converges to the leader's
+// results at the same LSN.
+func (s *SPA) ApplyReplicatedWave(lsn uint64, annotation []byte, entries []store.LogEntry) error {
+	if s.db == nil {
+		return errors.New("core: replication requires a durable store")
+	}
+	events, err := decodeWaveAnnotation(annotation)
+	if err != nil {
+		return fmt.Errorf("core: wave %d: %w", lsn, err)
+	}
+	type shardWork struct {
+		install map[uint64]*sum.Profile
+		drop    []uint64
+		events  []taggedEvent
+	}
+	work := make(map[int]*shardWork)
+	get := func(idx int) *shardWork {
+		w := work[idx]
+		if w == nil {
+			w = &shardWork{}
+			work[idx] = w
+		}
+		return w
+	}
+	for _, e := range entries {
+		id, ok := sumKeyUser(e.Key)
+		if !ok {
+			// A foreign key space: persisted below, nothing to install.
+			continue
+		}
+		w := get(s.shardIndexFor(id))
+		if e.Tombstone {
+			w.drop = append(w.drop, id)
+			continue
+		}
+		p, err := sum.Decode(e.Value)
+		if err != nil {
+			return fmt.Errorf("core: wave %d profile %d: %w", lsn, id, err)
+		}
+		if p.UserID != id {
+			return fmt.Errorf("core: wave %d key/profile user mismatch: %d vs %d", lsn, id, p.UserID)
+		}
+		if w.install == nil {
+			w.install = make(map[uint64]*sum.Profile)
+		}
+		w.install[id] = p
+	}
+	for _, te := range events {
+		w := get(s.shardIndexFor(te.UserID))
+		w.events = append(w.events, te)
+	}
+
+	idxs := make([]int, 0, len(work))
+	for idx := range work {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		s.shards[idx].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(idxs) - 1; i >= 0; i-- {
+			s.shards[idxs[i]].mu.Unlock()
+		}
+	}
+	if err := s.db.ApplyReplicated(lsn, annotation, entries); err != nil {
+		unlock()
+		return err
+	}
+	recorded := 0
+	for _, idx := range idxs {
+		sh := s.shards[idx]
+		w := work[idx]
+		changed := make([]uint64, 0, len(w.install)+len(w.drop))
+		for id, p := range w.install {
+			if _, exists := sh.profiles[id]; !exists {
+				s.users.Add(1)
+			}
+			sh.profiles[id] = p
+			changed = append(changed, id)
+		}
+		for _, id := range w.drop {
+			if _, exists := sh.profiles[id]; exists {
+				s.users.Add(-1)
+				delete(sh.profiles, id)
+				changed = append(changed, id)
+			}
+		}
+		recorded += s.publishShardLocked(sh, changed, w.events)
+	}
+	unlock()
+	if recorded > 0 {
+		s.invalidateRecommender()
+	}
+	return nil
+}

@@ -53,6 +53,10 @@ func (s *SPA) publishShardLocked(sh *shard, changed []uint64, events []taggedEve
 		if p := sh.profiles[id]; p != nil {
 			cp := *p
 			next.profiles[id] = &cp
+		} else {
+			// The id left live memory since the last publish (a replicated
+			// tombstone): drop it from the read snapshot too.
+			delete(next.profiles, id)
 		}
 	}
 	recorded := 0

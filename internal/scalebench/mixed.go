@@ -53,6 +53,14 @@ type MixedConfig struct {
 	Register bool
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// ReadFrom lists follower base URLs; when set, every lane's client
+	// spreads its reads round-robin across the primary and these replicas
+	// ([S8] — the two-node read-scaling measurement). Writes always go to
+	// BaseURL.
+	ReadFrom []string
+	// MaxStalenessWaves bounds how far a follower may lag and still take
+	// routed reads (spaclient.Options.MaxStalenessWaves).
+	MaxStalenessWaves uint64
 }
 
 // MixedResult is one mixed run's measurement, split like the scenario
@@ -121,7 +129,11 @@ func RunMixed(cfg MixedConfig) (MixedResult, error) {
 
 	clients := make([]*spaclient.Client, cfg.Clients)
 	for i := range clients {
-		clients[i] = spaclient.New(cfg.BaseURL, spaclient.Options{Timeout: cfg.Timeout})
+		clients[i] = spaclient.New(cfg.BaseURL, spaclient.Options{
+			Timeout:           cfg.Timeout,
+			ReadFrom:          cfg.ReadFrom,
+			MaxStalenessWaves: cfg.MaxStalenessWaves,
+		})
 	}
 	if cfg.Register {
 		if err := registerPopulation(clients, cfg.Users); err != nil {

@@ -1,0 +1,57 @@
+package scalebench
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/spaclient"
+)
+
+// Follower-staleness sampling for the [S8] two-node section. The routed
+// clients bound staleness per read (spaclient gates on LagWaves); this
+// sampler reports what the follower's lag actually WAS across the run, so
+// the section can print a staleness distribution next to the throughput
+// scaling instead of just asserting the bound held.
+
+// Staleness summarizes the follower lag observed during a run, in waves
+// (leader LSN minus follower applied LSN at each sample).
+type Staleness struct {
+	Samples int    `json:"samples"`
+	P50     uint64 `json:"p50_waves"`
+	P95     uint64 `json:"p95_waves"`
+	Max     uint64 `json:"max_waves"`
+}
+
+// SampleFollowerLag polls the follower's /v1/replication/status every
+// interval until stop closes, then reduces the observed LagWaves series to
+// a distribution. Poll errors are skipped (a sample gap, not a failure):
+// the caller's workload is the thing under measurement, not the poller.
+func SampleFollowerLag(followerURL string, interval time.Duration, stop <-chan struct{}) Staleness {
+	c := spaclient.New(followerURL, spaclient.Options{Timeout: 5 * time.Second})
+	var lags []uint64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return reduceLags(lags)
+		case <-tick.C:
+			st, err := c.ReplicationStatus()
+			if err == nil && st.Role == "follower" {
+				lags = append(lags, st.LagWaves)
+			}
+		}
+	}
+}
+
+func reduceLags(lags []uint64) Staleness {
+	st := Staleness{Samples: len(lags)}
+	if len(lags) == 0 {
+		return st
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	st.P50 = lags[len(lags)/2]
+	st.P95 = lags[(len(lags)*95)/100]
+	st.Max = lags[len(lags)-1]
+	return st
+}

@@ -18,7 +18,9 @@ import (
 // smoke runs (-check-metrics).
 
 // StageOrder is the pipeline-order key set of wire.Metrics.Stages.
-var StageOrder = []string{"decode", "queue", "gather", "prepare", "commit", "wal_sync", "compaction"}
+// repl_apply is the follower-side stage (applying one shipped wave through
+// the core); it has observations only on a node running with -follow.
+var StageOrder = []string{"decode", "queue", "gather", "prepare", "commit", "wal_sync", "compaction", "repl_apply"}
 
 // summedStages are the stages a request actually traverses start-to-finish;
 // their medians should add up to roughly the end-to-end p50. wal_sync is a
@@ -160,6 +162,7 @@ func CheckMetricsFormats(baseURL string) error {
 		"spad_read_cache_hits_total":   float64(m.ReadCacheHits),
 		"spad_knn_rebuilds_total":      float64(m.KNNRebuilds),
 		"spad_read_cache_misses_total": float64(m.ReadCacheMisses),
+		"spad_repl_applied_lsn":        float64(m.ReplAppliedLSN),
 	}
 	if m.SnapshotEpoch < 1 {
 		return fmt.Errorf("scalebench: snapshot_epoch %d, want >= 1 on a live core", m.SnapshotEpoch)

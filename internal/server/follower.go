@@ -1,0 +1,484 @@
+package server
+
+// Follower-side replication (DESIGN.md §9). A follower spad is a normal
+// durable instance whose writes arrive over the replication stream
+// instead of the ingest endpoints: it dials the leader, subscribes from
+// its own committed position, and applies each wave through
+// core.ApplyReplicatedWave — the same store-commit + shard-install +
+// snapshot-publish sequence the leader's commit stage ran, so every read
+// API serves from state that converges to the leader's at the applied
+// position. Client-facing writes answer 421 + the leader's address
+// (rejectFollowerWrite in server.go).
+//
+// Startup ordering matters: a follower whose position predates the
+// leader's retained log floor must restore a state snapshot BEFORE the
+// core opens (the core loads its shard memory from the store exactly
+// once, at New). BootstrapFollower does that store-level restore; the
+// in-process follower loop then only ever needs the tail. If the follower
+// falls behind the floor mid-run — the leader answers a reconnect with a
+// snapshot — the loop parks in the "stalled" state and keeps serving
+// stale reads; a process restart re-bootstraps. That trade keeps the
+// live core's memory install path append-only (no mid-run state swap).
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+const (
+	// defaultReplWindow is the wave credit a follower grants its leader.
+	defaultReplWindow = 256
+	// replDialTimeout bounds connect + upgrade + hello + subscribe.
+	replDialTimeout = 10 * time.Second
+	// replReadTimeout bounds one frame wait on the follower; the leader
+	// heartbeats every second, so several missed intervals mean a dead
+	// connection, not an idle one.
+	replReadTimeout = 10 * time.Second
+	// replBackoffMax caps the reconnect backoff.
+	replBackoffMax = 5 * time.Second
+)
+
+var errFollowerStopped = errors.New("server: follower stopped")
+
+// errNeedsSnapshot marks a mid-run resume the leader answered with a
+// snapshot: the follower fell behind the retained history.
+var errNeedsSnapshot = errors.New("server: follower fell behind the leader's retained log; restart to re-bootstrap")
+
+// follower is the in-process replication loop of a FollowerOf server.
+type follower struct {
+	srv    *Server
+	leader string // host:port
+	window int
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu            sync.Mutex
+	state         string // "connecting", "streaming", "stalled"
+	lastErr       string
+	leaderLSN     uint64
+	lastHeartbeat time.Time
+	conn          net.Conn // live connection, closed by stopWait to unblock reads
+}
+
+func newFollower(s *Server, leader string, window int) *follower {
+	if window <= 0 {
+		window = defaultReplWindow
+	}
+	if window > wire.MaxStreamCredit {
+		window = wire.MaxStreamCredit
+	}
+	return &follower{
+		srv:    s,
+		leader: leader,
+		window: window,
+		state:  "connecting",
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// run is the follower's reconnect loop; it exits only on stopWait.
+func (f *follower) run() {
+	defer close(f.done)
+	backoff := 250 * time.Millisecond
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		started := time.Now()
+		err := f.session()
+		if errors.Is(err, errFollowerStopped) {
+			return
+		}
+		if errors.Is(err, errNeedsSnapshot) {
+			f.setState("stalled", err.Error())
+			f.srv.logf("spad: replication: %v", err)
+			backoff = replBackoffMax
+		} else {
+			f.setState("connecting", err.Error())
+			f.srv.logf("spad: replication: leader %s: %v (reconnecting)", f.leader, err)
+			if time.Since(started) > replReadTimeout {
+				// A session that lived a while earns a fresh backoff.
+				backoff = 250 * time.Millisecond
+			}
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > replBackoffMax {
+			backoff = replBackoffMax
+		}
+	}
+}
+
+// stopWait stops the loop and waits for it to unwind.
+func (f *follower) stopWait() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	f.mu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+func (f *follower) setState(state, lastErr string) {
+	f.mu.Lock()
+	f.state = state
+	f.lastErr = lastErr
+	f.mu.Unlock()
+}
+
+// adoptConn publishes the live connection for stopWait; returns false if
+// the follower is already stopping (the caller must close conn and bail).
+func (f *follower) adoptConn(conn net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.stop:
+		return false
+	default:
+	}
+	f.conn = conn
+	return true
+}
+
+func (f *follower) noteWave(lsn uint64) {
+	f.mu.Lock()
+	if lsn > f.leaderLSN {
+		f.leaderLSN = lsn
+	}
+	f.mu.Unlock()
+}
+
+func (f *follower) noteHeartbeat(leaderLSN uint64) {
+	f.mu.Lock()
+	if leaderLSN > f.leaderLSN {
+		f.leaderLSN = leaderLSN
+	}
+	f.lastHeartbeat = time.Now()
+	f.mu.Unlock()
+}
+
+// fillStatus adds the follower's live view to a status snapshot.
+func (f *follower) fillStatus(st *wire.ReplicationStatus, applied uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st.State = f.state
+	st.LeaderLSN = f.leaderLSN
+	if !f.lastHeartbeat.IsZero() {
+		st.LastHeartbeatUnixNano = f.lastHeartbeat.UnixNano()
+	}
+	if f.leaderLSN > applied {
+		st.LagWaves = f.leaderLSN - applied
+	}
+}
+
+// lagWaves reports how far the follower trails the last reported leader
+// position.
+func (f *follower) lagWaves(applied uint64) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.leaderLSN > applied {
+		return f.leaderLSN - applied
+	}
+	return 0
+}
+
+// session runs one connection: dial, subscribe from the local applied
+// position, then apply waves until the connection dies.
+func (f *follower) session() error {
+	applied, ok := f.srv.spa.AppliedLSN()
+	if !ok {
+		// Misconfiguration, not a transient: park until stopped.
+		f.setState("stalled", "replication requires a durable store")
+		<-f.stop
+		return errFollowerStopped
+	}
+	conn, br, bw, hello, err := dialRepl(f.leader, applied+1, f.window)
+	if err != nil {
+		return err
+	}
+	if !f.adoptConn(conn) {
+		conn.Close()
+		return errFollowerStopped
+	}
+	defer conn.Close()
+	f.setState("streaming", "")
+	maxFrame := hello.MaxFrameBytes
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(replReadTimeout))
+		frame, err := wire.ReadStreamFrame(br, maxFrame)
+		if err != nil {
+			select {
+			case <-f.stop:
+				return errFollowerStopped
+			default:
+			}
+			return err
+		}
+		kind, err := wire.FrameKind(frame)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case wire.KindReplWave:
+			wv, err := wire.DecodeReplWave(frame)
+			if err != nil {
+				return err
+			}
+			entries := make([]store.LogEntry, len(wv.Entries))
+			for i, e := range wv.Entries {
+				entries[i] = store.LogEntry{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone}
+			}
+			applyStart := time.Now()
+			if err := f.srv.spa.ApplyReplicatedWave(wv.LSN, wv.Annotation, entries); err != nil {
+				return fmt.Errorf("applying wave %d: %w", wv.LSN, err)
+			}
+			f.srv.met.obs().stage("repl_apply", time.Since(applyStart))
+			f.noteWave(wv.LSN)
+			conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+			if err := wire.WriteStreamFrame(bw, wire.EncodeReplAck(wv.LSN)); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			conn.SetWriteDeadline(time.Time{})
+		case wire.KindReplHeartbeat:
+			lsn, err := wire.DecodeReplHeartbeat(frame)
+			if err != nil {
+				return err
+			}
+			f.noteHeartbeat(lsn)
+		case wire.KindReplSnapshotBegin:
+			// Our position predates the leader's retained history; a
+			// snapshot cannot be installed into a live core (the shard
+			// memory was loaded at New), so park stalled.
+			return errNeedsSnapshot
+		case wire.KindStreamError:
+			se, derr := wire.DecodeStreamError(frame)
+			if derr != nil {
+				return derr
+			}
+			return fmt.Errorf("leader refused: %d %s", se.Status, se.Message)
+		case wire.KindStreamDrain:
+			return errors.New("leader draining")
+		default:
+			return fmt.Errorf("unexpected frame kind %#x", kind)
+		}
+	}
+}
+
+// leaderHostPort normalizes a leader address: a bare host:port passes
+// through, a URL contributes its host.
+func leaderHostPort(addr string) (string, error) {
+	if strings.Contains(addr, "://") {
+		u, err := url.Parse(addr)
+		if err != nil {
+			return "", fmt.Errorf("server: parsing leader address: %w", err)
+		}
+		if u.Host == "" {
+			return "", fmt.Errorf("server: leader address %q has no host", addr)
+		}
+		addr = u.Host
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return "", fmt.Errorf("server: leader address %q is not host:port: %w", addr, err)
+	}
+	return addr, nil
+}
+
+// dialRepl connects to a leader and completes the replication handshake:
+// HTTP upgrade on wire.ReplPath, the leader's hello, then the subscribe.
+// The returned connection has no deadline armed.
+func dialRepl(leaderAddr string, fromLSN uint64, window int) (net.Conn, *bufio.Reader, *bufio.Writer, wire.StreamHello, error) {
+	var hello wire.StreamHello
+	addr, err := leaderHostPort(leaderAddr)
+	if err != nil {
+		return nil, nil, nil, hello, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, replDialTimeout)
+	if err != nil {
+		return nil, nil, nil, hello, err
+	}
+	conn.SetDeadline(time.Now().Add(replDialTimeout))
+	br := bufio.NewReader(conn)
+	req := "GET " + wire.ReplPath + " HTTP/1.1\r\nHost: " + addr +
+		"\r\nConnection: Upgrade\r\nUpgrade: " + wire.StreamProtocol + "\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, err
+	}
+	resp, err := http.ReadResponse(br, &http.Request{Method: "GET"})
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, err
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		conn.Close()
+		msg := strings.TrimSpace(string(raw))
+		return nil, nil, nil, hello, fmt.Errorf("server: leader %s answered %d to the replication upgrade: %s", addr, resp.StatusCode, msg)
+	}
+	frame, err := wire.ReadStreamFrame(br, 1<<20)
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, fmt.Errorf("server: reading replication hello: %w", err)
+	}
+	if kind, kerr := wire.FrameKind(frame); kerr == nil && kind == wire.KindStreamError {
+		se, derr := wire.DecodeStreamError(frame)
+		conn.Close()
+		if derr != nil {
+			return nil, nil, nil, hello, derr
+		}
+		return nil, nil, nil, hello, fmt.Errorf("server: leader refused replication: %d %s", se.Status, se.Message)
+	}
+	if hello, err = wire.DecodeStreamHello(frame); err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, fmt.Errorf("server: decoding replication hello: %w", err)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := wire.WriteStreamFrame(bw, wire.EncodeReplSubscribe(wire.ReplSubscribe{
+		FromLSN: fromLSN,
+		Window:  window,
+	})); err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, err
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, br, bw, hello, nil
+}
+
+// BootstrapFollower prepares a follower's data directory before its core
+// opens: it subscribes to the leader from the directory's committed
+// position and, if the leader answers with a snapshot (the position
+// predates the retained log floor — always true for a fresh directory
+// against a pruned leader), restores it at the store level. The core then
+// opens on the restored state and the in-process follower loop resumes
+// from the snapshot position. Returns the restored snapshot bytes (zero
+// when the position was still retained and no snapshot was needed).
+func BootstrapFollower(dataDir, leaderAddr string, stOpts store.Options) (int64, error) {
+	db, err := store.Open(dataDir, stOpts)
+	if err != nil {
+		return 0, err
+	}
+	restored, err := bootstrapStore(db, leaderAddr)
+	cerr := db.Close()
+	if err != nil {
+		return 0, err
+	}
+	return restored, cerr
+}
+
+// bootstrapStore probes the leader once with the store's applied position
+// and restores the snapshot if one is offered.
+func bootstrapStore(db *store.DB, leaderAddr string) (int64, error) {
+	conn, br, _, hello, err := dialRepl(leaderAddr, db.AppliedLSN()+1, defaultReplWindow)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	maxFrame := hello.MaxFrameBytes
+
+	readFrame := func() ([]byte, byte, error) {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		frame, err := wire.ReadStreamFrame(br, maxFrame)
+		if err != nil {
+			return nil, 0, err
+		}
+		kind, err := wire.FrameKind(frame)
+		if err != nil {
+			return nil, 0, err
+		}
+		return frame, kind, nil
+	}
+
+	frame, kind, err := readFrame()
+	if err != nil {
+		return 0, fmt.Errorf("server: bootstrap probe: %w", err)
+	}
+	switch kind {
+	case wire.KindReplWave, wire.KindReplHeartbeat:
+		// The position is still retained: the runtime loop can resume
+		// directly. (The leader started streaming to this probe; dropping
+		// the connection is fine, nothing was acked.)
+		return 0, nil
+	case wire.KindReplSnapshotBegin:
+	case wire.KindStreamError:
+		se, derr := wire.DecodeStreamError(frame)
+		if derr != nil {
+			return 0, derr
+		}
+		return 0, fmt.Errorf("server: leader refused bootstrap: %d %s", se.Status, se.Message)
+	default:
+		return 0, fmt.Errorf("server: unexpected bootstrap frame kind %#x", kind)
+	}
+
+	begin, err := wire.DecodeReplSnapshotBegin(frame)
+	if err != nil {
+		return 0, err
+	}
+	var pairs []store.LogEntry
+	var restored int64
+	for {
+		frame, kind, err := readFrame()
+		if err != nil {
+			return 0, fmt.Errorf("server: snapshot transfer: %w", err)
+		}
+		if kind == wire.KindReplSnapshotEnd {
+			endLSN, err := wire.DecodeReplSnapshotEnd(frame)
+			if err != nil {
+				return 0, err
+			}
+			if endLSN != begin.SnapshotLSN {
+				return 0, fmt.Errorf("server: snapshot end lsn %d, began at %d", endLSN, begin.SnapshotLSN)
+			}
+			break
+		}
+		if kind != wire.KindReplSnapshotChunk {
+			return 0, fmt.Errorf("server: unexpected frame kind %#x inside snapshot", kind)
+		}
+		chunk, err := wire.DecodeReplSnapshotChunk(frame)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range chunk {
+			pairs = append(pairs, store.LogEntry{Key: e.Key, Value: e.Value})
+			restored += int64(len(e.Key) + len(e.Value))
+		}
+	}
+	if uint64(len(pairs)) != begin.Pairs {
+		return 0, fmt.Errorf("server: snapshot carried %d pairs, begin declared %d", len(pairs), begin.Pairs)
+	}
+	if err := db.RestoreSnapshot(pairs, begin.SnapshotLSN); err != nil {
+		return 0, err
+	}
+	return restored, nil
+}

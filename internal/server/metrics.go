@@ -46,6 +46,12 @@ type metrics struct {
 	// tags group commits with (1-based; 0 means "no wave").
 	waveSeq atomic.Uint64
 
+	// replSnapshotBytes counts snapshot bytes this process moved for
+	// replication: chunk frames shipped to bootstrapping followers on a
+	// leader, or the restored bootstrap size on a follower (seeded from
+	// Options.FollowerBootstrapBytes).
+	replSnapshotBytes atomic.Int64
+
 	// Stage-latency histograms and the wave-trace ring, built lazily so a
 	// zero-value metrics (tests construct these directly) works without a
 	// constructor.
@@ -55,8 +61,9 @@ type metrics struct {
 
 // stageNames is the fixed key set of the per-stage histograms, in pipeline
 // order. "queue" is the wait between admission and gather; "wal_sync" and
-// "compaction" arrive through the store observer.
-var stageNames = []string{"decode", "queue", "gather", "prepare", "commit", "wal_sync", "compaction"}
+// "compaction" arrive through the store observer; "repl_apply" is the
+// follower-side wave apply (repl.go), zero on a leader.
+var stageNames = []string{"decode", "queue", "gather", "prepare", "commit", "wal_sync", "compaction", "repl_apply"}
 
 // endpointNames is the fixed key set of the per-endpoint latency
 // histograms; the maps stay immutable after build so lookups are
@@ -65,7 +72,7 @@ var stageNames = []string{"decode", "queue", "gather", "prepare", "commit", "wal
 var endpointNames = []string{
 	"register", "ingest", "question", "answer", "reward", "punish",
 	"propensity", "sensibilities", "advice", "recommend", "select_top",
-	"healthz", "readyz", "metrics", "debug_waves",
+	"healthz", "readyz", "metrics", "debug_waves", "replication_status",
 }
 
 // waveRingSize is how many wave traces /debug/waves retains.

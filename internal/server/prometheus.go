@@ -79,9 +79,23 @@ func writePromMetrics(w io.Writer, m wire.Metrics) error {
 			Samples: []obs.PromSample{{Value: float64(m.StoreMemtableKeys)}}},
 		{Name: "spad_store_compactions_total", Help: "Completed store compactions.", Type: "counter",
 			Samples: []obs.PromSample{{Value: float64(m.StoreCompactions)}}},
+		{Name: "spad_wal_sealed_files", Help: "Sealed WAL history files retained for replication.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.WALSealedFiles)}}},
+		{Name: "spad_wal_sealed_bytes", Help: "Bytes across sealed WAL history files.", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.WALSealedBytes)}}},
+		{Name: "spad_wal_discarded_bytes_total", Help: "WAL bytes dropped by corrupt-tail truncation during replay.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.WALDiscardedBytes)}}},
+		{Name: "spad_repl_applied_lsn", Help: "Last log position committed locally (leader: committed; follower: applied).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.ReplAppliedLSN)}}},
+		{Name: "spad_repl_lag_waves", Help: "Replication lag in waves (leader: worst follower; follower: behind last reported leader position).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.ReplLagWaves)}}},
+		{Name: "spad_repl_followers", Help: "Live replication sessions (0 on followers and standalone nodes).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.ReplFollowers)}}},
+		{Name: "spad_repl_snapshot_bytes_total", Help: "Snapshot bytes moved for replication (shipped on a leader, restored on a follower).", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.ReplSnapshotBytes)}}},
 	}
 	if fam, ok := histFamily("spad_stage_duration_seconds",
-		"Pipeline stage latency (decode, queue, gather, prepare, commit, wal_sync, compaction).",
+		"Pipeline stage latency (decode, queue, gather, prepare, commit, wal_sync, compaction, repl_apply).",
 		"stage", stageNames, m.Stages); ok {
 		fams = append(fams, fam)
 	}

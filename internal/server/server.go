@@ -89,6 +89,20 @@ type Options struct {
 	// Logf receives slow-wave and access-log lines (default log.Printf);
 	// tests substitute a recorder.
 	Logf func(format string, args ...any)
+
+	// FollowerOf makes this server a replication follower of the given
+	// leader (host:port or URL). A follower applies the leader's waves
+	// through the core — every read API works — and answers writes with
+	// 421 + an X-SPA-Leader header naming where they belong. Requires a
+	// durable core (replication ships the WAL).
+	FollowerOf string
+	// ReplWindow is the wave credit a follower grants its leader — waves
+	// in flight before the leader must wait for acks (default 256).
+	ReplWindow int
+	// FollowerBootstrapBytes seeds the repl_snapshot_bytes counter with
+	// the size of the snapshot BootstrapFollower restored before the core
+	// opened, so the follower's metrics account for its own bootstrap.
+	FollowerBootstrapBytes int64
 }
 
 // Server is the spad request handler. Create with New, serve with any
@@ -115,6 +129,15 @@ type Server struct {
 	streamMu        sync.Mutex
 	streams         map[*streamSession]struct{}
 	streamsDraining bool
+
+	// Replication (repl.go leader side, follower.go follower side).
+	// followerOf is the normalized leader host:port, empty on a leader;
+	// follower is the in-process apply loop when followerOf is set.
+	followerOf    string
+	follower      *follower
+	replMu        sync.Mutex
+	repls         map[*replSession]struct{}
+	replsDraining bool
 }
 
 // New wires the handler around an opened SPA. The caller keeps ownership of
@@ -173,7 +196,42 @@ func New(spa *core.SPA, opts Options) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handle("readyz", s.handleReady))
 	s.mux.HandleFunc("GET /metrics", s.handle("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/waves", s.handle("debug_waves", s.handleWaves))
+	// The replication upgrade is unwrapped like the ingest stream: the
+	// hijacked connection outlives the "request".
+	s.mux.HandleFunc("GET "+wire.ReplPath, s.handleReplStream)
+	s.mux.HandleFunc("GET /v1/replication/status", s.handle("replication_status", s.handleReplStatus))
+	s.met.replSnapshotBytes.Store(opts.FollowerBootstrapBytes)
+	if opts.FollowerOf != "" {
+		leader, err := leaderHostPort(opts.FollowerOf)
+		if err != nil {
+			// Surface the misconfiguration loudly but keep the read path up:
+			// the follower parks stalled and never streams.
+			s.logf("spad: %v", err)
+			leader = opts.FollowerOf
+		}
+		s.followerOf = leader
+		s.follower = newFollower(s, leader, opts.ReplWindow)
+		go s.follower.run()
+	}
 	return s
+}
+
+// IsFollower reports whether this server replicates from a leader; Leader
+// names it (host:port) when so.
+func (s *Server) IsFollower() bool { return s.followerOf != "" }
+func (s *Server) Leader() string   { return s.followerOf }
+
+// rejectFollowerWrite answers a write on a follower: 421 Misdirected
+// Request plus an X-SPA-Leader header naming where writes belong. Returns
+// true when the request was rejected.
+func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
+	if s.followerOf == "" {
+		return false
+	}
+	w.Header().Set("X-SPA-Leader", s.followerOf)
+	s.writeError(w, http.StatusMisdirectedRequest,
+		fmt.Errorf("this instance is a read-only follower; write to the leader at %s", s.followerOf))
+	return true
 }
 
 // handle wraps one endpoint with per-endpoint latency observation and the
@@ -242,7 +300,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // coalescer drains everything queued. Safe to call more than once.
 func (s *Server) Close() {
 	s.BeginDrain()
+	if s.follower != nil {
+		s.follower.stopWait()
+	}
 	s.drainStreams()
+	s.drainRepls()
 	if s.co != nil {
 		s.co.close()
 	}
@@ -346,6 +408,9 @@ func (s *Server) userID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 // ---- handlers ----
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req wire.RegisterRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -368,6 +433,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // error vocabulary (errors always answer as JSON, whatever the request
 // spoke — status handling stays one code path for every client).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	decodeStart := time.Now()
 	binaryReq := wire.IsBinaryContentType(r.Header.Get("Content-Type"))
 	var events []lifelog.Event
@@ -465,6 +533,9 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	id, ok := s.userID(w, r)
 	if !ok {
 		return
@@ -488,6 +559,9 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReinforce(reward bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.rejectFollowerWrite(w) {
+			return
+		}
 		id, ok := s.userID(w, r)
 		if !ok {
 			return
@@ -696,6 +770,17 @@ func (s *Server) snapshotMetrics() wire.Metrics {
 		m.StoreMemtableKeys = st.MemtableKeys
 		m.StoreCompactions = st.Compactions
 		m.StoreCompactError = st.CompactionErr
+		m.WALSealedFiles = st.WALSealedFiles
+		m.WALSealedBytes = st.WALSealedBytes
+		m.WALDiscardedBytes = st.WALDiscardedBytes
+		// Replication is meaningful only on a durable core; the status and
+		// the metrics snapshot share one collector so they cannot disagree.
+		rst := s.replicationStatus()
+		m.ReplRole = rst.Role
+		m.ReplAppliedLSN = rst.AppliedLSN
+		m.ReplLagWaves = rst.LagWaves
+		m.ReplFollowers = len(rst.Followers)
+		m.ReplSnapshotBytes = rst.SnapshotBytes
 	}
 	ob := s.met.obs()
 	m.StageBoundsNanos = obs.BoundsNanos()

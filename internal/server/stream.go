@@ -208,6 +208,16 @@ func (s *Server) serveStream(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) 
 		conn.Close()
 		return
 	}
+	if s.followerOf != "" {
+		// Streamed ingest is a write path; a follower refuses it with the
+		// same status the HTTP write handlers answer, naming the leader.
+		s.met.requestErrors.Add(1)
+		wire.WriteStreamFrame(bw, wire.EncodeStreamError(http.StatusMisdirectedRequest,
+			"this instance is a read-only follower; write to the leader at "+s.followerOf))
+		bw.Flush()
+		conn.Close()
+		return
+	}
 	sess := &streamSession{
 		srv:     s,
 		conn:    conn,

@@ -37,6 +37,17 @@ type Options struct {
 	// time the server answers 415 — so the same client works against a
 	// daemon running -no-binary or a pre-framing build.
 	DisableBinary bool
+	// ReadFrom lists follower base URLs to route read requests to
+	// (readroute.go). Empty keeps every request on the primary. Writes
+	// always go to the primary; reads round-robin across followers whose
+	// replication status is streaming and within MaxStalenessWaves, and
+	// fall back to the primary when no follower qualifies or a routed
+	// request fails.
+	ReadFrom []string
+	// MaxStalenessWaves bounds how many waves behind the leader a
+	// follower may report and still serve this client's reads. Zero
+	// demands a follower that reported no lag at its last status poll.
+	MaxStalenessWaves uint64
 }
 
 // Client talks to one spad instance. Safe for concurrent use.
@@ -44,6 +55,12 @@ type Client struct {
 	base     string
 	hc       *http.Client
 	jsonOnly atomic.Bool // flipped on by Options.DisableBinary or a 415
+
+	// Follower read routing (readroute.go); replicas is empty when the
+	// client is pinned to the primary.
+	replicas []*replica
+	maxStale uint64
+	rr       atomic.Uint64
 }
 
 // New creates a client for the daemon at baseURL (e.g.
@@ -68,8 +85,11 @@ func New(baseURL string, opts Options) *Client {
 			},
 		}
 	}
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, maxStale: opts.MaxStalenessWaves}
 	c.jsonOnly.Store(opts.DisableBinary)
+	for _, base := range opts.ReadFrom {
+		c.replicas = append(c.replicas, &replica{base: strings.TrimRight(base, "/")})
+	}
 	return c
 }
 
@@ -125,8 +145,13 @@ func apiError(resp *http.Response, raw []byte) *APIError {
 	return apiErr
 }
 
-// do runs one JSON round-trip; out may be nil.
+// do runs one JSON round-trip against the primary; out may be nil.
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doAt(c.base, method, path, in, out)
+}
+
+// doAt runs one JSON round-trip against an explicit base URL.
+func (c *Client) doAt(base, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -135,7 +160,7 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequest(method, base+path, body)
 	if err != nil {
 		return err
 	}
@@ -249,7 +274,7 @@ func (c *Client) Punish(userID uint64, attributes []string) error {
 // Propensity returns the user's calibrated response probability.
 func (c *Client) Propensity(userID uint64) (float64, error) {
 	var resp wire.PropensityResponse
-	err := c.do("GET", userPath(userID, "propensity"), nil, &resp)
+	err := c.doRead(userPath(userID, "propensity"), &resp)
 	return resp.Propensity, err
 }
 
@@ -257,28 +282,28 @@ func (c *Client) Propensity(userID uint64) (float64, error) {
 // attribute name.
 func (c *Client) Sensibilities(userID uint64) (map[string]float64, error) {
 	var resp wire.SensibilitiesResponse
-	err := c.do("GET", userPath(userID, "sensibilities"), nil, &resp)
+	err := c.doRead(userPath(userID, "sensibilities"), &resp)
 	return resp.Sensibilities, err
 }
 
 // Advise returns the SUM advice-stage excitation vector for a domain.
 func (c *Client) Advise(userID uint64, domain string) (wire.AdviceResponse, error) {
 	var resp wire.AdviceResponse
-	err := c.do("GET", userPath(userID, "advice")+"?domain="+url.QueryEscape(domain), nil, &resp)
+	err := c.doRead(userPath(userID, "advice")+"?domain="+url.QueryEscape(domain), &resp)
 	return resp, err
 }
 
 // Recommend returns the top-n individualized actions.
 func (c *Client) Recommend(userID uint64, n int) ([]wire.Recommendation, error) {
 	var resp wire.RecommendResponse
-	err := c.do("GET", fmt.Sprintf("%s?n=%d", userPath(userID, "recommendations"), n), nil, &resp)
+	err := c.doRead(fmt.Sprintf("%s?n=%d", userPath(userID, "recommendations"), n), &resp)
 	return resp.Recommendations, err
 }
 
 // SelectTop returns the k users with the highest propensity.
 func (c *Client) SelectTop(k int) ([]uint64, error) {
 	var resp wire.SelectTopResponse
-	err := c.do("GET", "/v1/select-top?k="+strconv.Itoa(k), nil, &resp)
+	err := c.doRead("/v1/select-top?k="+strconv.Itoa(k), &resp)
 	return resp.UserIDs, err
 }
 
@@ -294,4 +319,11 @@ func (c *Client) Metrics() (wire.Metrics, error) {
 	var m wire.Metrics
 	err := c.do("GET", "/metrics", nil, &m)
 	return m, err
+}
+
+// ReplicationStatus reports the primary's replication role and positions.
+func (c *Client) ReplicationStatus() (wire.ReplicationStatus, error) {
+	var st wire.ReplicationStatus
+	err := c.do("GET", "/v1/replication/status", nil, &st)
+	return st, err
 }

@@ -1,0 +1,215 @@
+package spaclient
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lifelog"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// mockPair builds a canned primary + follower for routing decisions: the
+// follower serves the given replication status and both sides count the
+// sensibilities reads they answer.
+func mockPair(t *testing.T, st wire.ReplicationStatus) (c *Client, primaryReads, followerReads *atomic.Int64) {
+	t.Helper()
+	primaryReads, followerReads = new(atomic.Int64), new(atomic.Int64)
+	sens := func(count *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			count.Add(1)
+			json.NewEncoder(w).Encode(wire.SensibilitiesResponse{Sensibilities: map[string]float64{}})
+		}
+	}
+	pm := http.NewServeMux()
+	pm.HandleFunc("GET /v1/users/1/sensibilities", sens(primaryReads))
+	primary := httptest.NewServer(pm)
+	t.Cleanup(primary.Close)
+
+	fm := http.NewServeMux()
+	fm.HandleFunc("GET /v1/users/1/sensibilities", sens(followerReads))
+	fm.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(st)
+	})
+	follower := httptest.NewServer(fm)
+	t.Cleanup(follower.Close)
+
+	return New(primary.URL, Options{ReadFrom: []string{follower.URL}, MaxStalenessWaves: 3}), primaryReads, followerReads
+}
+
+// TestReadRoutingEligibility pins the guardrails: only a streaming
+// follower within the staleness bound with fresh heartbeats takes reads;
+// everything else falls back to the primary.
+func TestReadRoutingEligibility(t *testing.T) {
+	now := time.Now().UnixNano()
+	healthy := wire.ReplicationStatus{
+		Role: "follower", State: "streaming", LastHeartbeatUnixNano: now,
+	}
+	cases := []struct {
+		name         string
+		status       wire.ReplicationStatus
+		wantFollower bool
+	}{
+		{"streaming in bound", healthy, true},
+		{"lag at bound", func() wire.ReplicationStatus { s := healthy; s.LagWaves = 3; return s }(), true},
+		{"lag past bound", func() wire.ReplicationStatus { s := healthy; s.LagWaves = 4; return s }(), false},
+		{"stalled", func() wire.ReplicationStatus { s := healthy; s.State = "stalled"; return s }(), false},
+		{"not a follower", func() wire.ReplicationStatus { s := healthy; s.Role = "leader"; return s }(), false},
+		{"stale heartbeat", func() wire.ReplicationStatus {
+			s := healthy
+			s.LastHeartbeatUnixNano = time.Now().Add(-10 * time.Second).UnixNano()
+			return s
+		}(), false},
+		{"no heartbeat yet", func() wire.ReplicationStatus { s := healthy; s.LastHeartbeatUnixNano = 0; return s }(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, primaryReads, followerReads := mockPair(t, tc.status)
+			if _, err := c.Sensibilities(1); err != nil {
+				t.Fatal(err)
+			}
+			gotFollower := followerReads.Load() == 1 && primaryReads.Load() == 0
+			gotPrimary := followerReads.Load() == 0 && primaryReads.Load() == 1
+			if tc.wantFollower && !gotFollower {
+				t.Fatalf("read not routed to follower (follower=%d primary=%d)", followerReads.Load(), primaryReads.Load())
+			}
+			if !tc.wantFollower && !gotPrimary {
+				t.Fatalf("read not on primary (follower=%d primary=%d)", followerReads.Load(), primaryReads.Load())
+			}
+		})
+	}
+}
+
+// TestReadRoutingFallbackOnError: a replica that passes the status check
+// but fails the read itself must not lose the request — the primary
+// answers, and the replica stops taking reads until its next poll.
+func TestReadRoutingFallbackOnError(t *testing.T) {
+	var primaryReads atomic.Int64
+	pm := http.NewServeMux()
+	pm.HandleFunc("GET /v1/users/1/sensibilities", func(w http.ResponseWriter, r *http.Request) {
+		primaryReads.Add(1)
+		json.NewEncoder(w).Encode(wire.SensibilitiesResponse{Sensibilities: map[string]float64{}})
+	})
+	primary := httptest.NewServer(pm)
+	t.Cleanup(primary.Close)
+
+	var followerReads atomic.Int64
+	fm := http.NewServeMux()
+	fm.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.ReplicationStatus{
+			Role: "follower", State: "streaming", LastHeartbeatUnixNano: time.Now().UnixNano(),
+		})
+	})
+	fm.HandleFunc("GET /v1/users/1/sensibilities", func(w http.ResponseWriter, r *http.Request) {
+		followerReads.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	})
+	follower := httptest.NewServer(fm)
+	t.Cleanup(follower.Close)
+
+	c := New(primary.URL, Options{ReadFrom: []string{follower.URL}})
+	if _, err := c.Sensibilities(1); err != nil {
+		t.Fatalf("fallback read failed: %v", err)
+	}
+	if primaryReads.Load() != 1 || followerReads.Load() != 1 {
+		t.Fatalf("want one failed follower read + one primary answer, got follower=%d primary=%d",
+			followerReads.Load(), primaryReads.Load())
+	}
+	// The failure benched the replica: the next read (inside the status
+	// cache window) goes straight to the primary.
+	if _, err := c.Sensibilities(1); err != nil {
+		t.Fatal(err)
+	}
+	if primaryReads.Load() != 2 || followerReads.Load() != 1 {
+		t.Fatalf("benched replica still took a read: follower=%d primary=%d",
+			followerReads.Load(), primaryReads.Load())
+	}
+}
+
+// TestReadRoutingLive runs the routing against a real leader+follower
+// pair: reads land on the follower and return replicated state, writes
+// stay on the leader.
+func TestReadRoutingLive(t *testing.T) {
+	clk := clock.NewSimulated(t0.Add(24 * time.Hour))
+	spaL, err := core.New(core.Options{DataDir: t.TempDir(), Shards: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvL := server.New(spaL, server.Options{})
+	leaderTS := httptest.NewServer(srvL)
+	t.Cleanup(func() {
+		leaderTS.Close()
+		srvL.Close()
+		spaL.Close()
+	})
+
+	// Seed the leader before the follower exists.
+	seed := New(leaderTS.URL, Options{})
+	if err := seed.Register(1, []float64{30, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Ingest([]lifelog.Event{click(1, 1), click(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderAddr := strings.TrimPrefix(leaderTS.URL, "http://")
+	spaF, err := core.New(core.Options{DataDir: t.TempDir(), Shards: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvF := server.New(spaF, server.Options{FollowerOf: leaderAddr})
+	var followerReads atomic.Int64
+	followerTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/sensibilities") {
+			followerReads.Add(1)
+		}
+		srvF.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		followerTS.Close()
+		srvF.Close()
+		spaF.Close()
+	})
+
+	// Wait for the follower to stream and catch up to the leader.
+	fprobe := New(followerTS.URL, Options{})
+	lst, err := seed.ReplicationStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := fprobe.ReplicationStatus()
+		if err == nil && st.State == "streaming" && st.AppliedLSN >= lst.AppliedLSN && st.LastHeartbeatUnixNano > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v (err %v)", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c := New(leaderTS.URL, Options{ReadFrom: []string{followerTS.URL}, MaxStalenessWaves: 64})
+	sens, err := c.Sensibilities(1)
+	if err != nil {
+		t.Fatalf("routed read: %v", err)
+	}
+	if len(sens) == 0 {
+		t.Fatal("routed read returned no sensibilities")
+	}
+	if followerReads.Load() == 0 {
+		t.Fatal("read was not routed to the follower")
+	}
+
+	// Writes bypass routing entirely and land on the leader.
+	if err := c.Register(2, []float64{30, 1}); err != nil {
+		t.Fatalf("write through routing client: %v", err)
+	}
+}

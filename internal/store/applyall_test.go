@@ -189,13 +189,16 @@ func TestApplyAllSingleSync(t *testing.T) {
 // state the call reported as failed.
 func TestApplyAllWALFaultNothingVisible(t *testing.T) {
 	for _, tc := range []struct {
-		name  string
-		arm   func(*faultOps)
-		retry bool // bufio's error is sticky after a write fault, so only
-		// the sync case stays serviceable without a reopen (as with Apply)
+		name string
+		arm  func(*faultOps)
+		// durable: the fault hit after the record bytes reached the file
+		// (a sync fault), so reopening resolves the in-doubt records to
+		// committed. A write fault leaves at most a torn prefix, which
+		// replay discards.
+		durable bool
 	}{
 		{name: "write", arm: func(f *faultOps) { f.failWALWriteAt = f.walWrites + 1 }},
-		{name: "sync", arm: func(f *faultOps) { f.failWALSyncAt = f.walSyncs + 1 }, retry: true},
+		{name: "sync", arm: func(f *faultOps) { f.failWALSyncAt = f.walSyncs + 1 }, durable: true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			fo := &faultOps{}
@@ -218,14 +221,34 @@ func TestApplyAllWALFaultNothingVisible(t *testing.T) {
 					t.Fatalf("failed sequence installed %s: %v", k, err)
 				}
 			}
-			if !tc.retry {
-				return
+			// The failed records' LSNs are in doubt (their bytes may be on
+			// disk); the log refuses to re-bind them and disables itself
+			// until a reopen resolves the tail — appending past an in-doubt
+			// record would let crash replay and a replication tail disagree
+			// about what its LSN means.
+			if err := db.ApplyAll([]*WriteBatch{mkBatch("after", "3")}); !errors.Is(err, ErrWALFailed) {
+				t.Fatalf("append after WAL fault: %v, want ErrWALFailed", err)
 			}
-			// The store stays serviceable once the fault clears.
-			if err := db.ApplyAll([]*WriteBatch{mkBatch("after", "3")}); err != nil {
-				t.Fatalf("retry after fault: %v", err)
+			db.Close()
+			db2, err := Open(dir, Options{SyncWrites: true, DisableAutoCompaction: true, FileOps: fo})
+			if err != nil {
+				t.Fatalf("reopen after fault: %v", err)
 			}
-			if v, err := db.Get([]byte("after")); err != nil || string(v) != "3" {
+			defer db2.Close()
+			for _, k := range []string{"a", "b"} {
+				_, err := db2.Get([]byte(k))
+				if tc.durable && err != nil {
+					t.Fatalf("reopen lost in-doubt record %s that was on disk: %v", k, err)
+				}
+				if !tc.durable && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("reopen resurrected torn record %s: %v", k, err)
+				}
+			}
+			// Reopen resolved the doubt; the store is serviceable again.
+			if err := db2.ApplyAll([]*WriteBatch{mkBatch("after", "3")}); err != nil {
+				t.Fatalf("append after reopen: %v", err)
+			}
+			if v, err := db2.Get([]byte("after")); err != nil || string(v) != "3" {
 				t.Fatalf("after = %q %v", v, err)
 			}
 		})

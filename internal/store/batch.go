@@ -14,8 +14,9 @@ import (
 // A WriteBatch is not safe for concurrent use; build it on one goroutine
 // and hand it to Apply. It may be reused after Reset.
 type WriteBatch struct {
-	entries []walEntry
-	size    int
+	entries    []walEntry
+	annotation []byte
+	size       int
 }
 
 // Put queues a key/value pair. Both slices are copied immediately.
@@ -36,6 +37,16 @@ func (b *WriteBatch) Delete(key []byte) {
 	b.size += len(key)
 }
 
+// SetAnnotation attaches an opaque blob to the batch's log record. The
+// engine persists it in the WAL framing and delivers it to log tails
+// (LogRecord.Annotation) but never interprets it — replay ignores it. The
+// ingest path uses it to ship derived state (the wave's interaction
+// events) alongside the key updates so a replica can rebuild what the
+// key/value entries alone cannot express. The slice is copied.
+func (b *WriteBatch) SetAnnotation(data []byte) {
+	b.annotation = append([]byte(nil), data...)
+}
+
 // Len returns the number of queued operations.
 func (b *WriteBatch) Len() int { return len(b.entries) }
 
@@ -46,6 +57,7 @@ func (b *WriteBatch) Size() int { return b.size }
 // Reset clears the batch for reuse, keeping allocated capacity.
 func (b *WriteBatch) Reset() {
 	b.entries = b.entries[:0]
+	b.annotation = nil
 	b.size = 0
 }
 
@@ -65,10 +77,13 @@ func (db *DB) Apply(b *WriteBatch) error {
 	if db.closed {
 		return ErrClosed
 	}
-	if err := db.wal.appendBatch(b.entries); err != nil {
+	lsn := db.lastLSN + 1
+	payload := encodeLSNRecord(lsn, b.annotation, b.entries)
+	if err := db.wal.writeRecord(payload); err != nil {
 		return err
 	}
 	db.installBatchLocked(b)
+	db.noteCommitLocked(lsn, payload)
 	if db.mem.bytes >= db.opts.MemtableBytes {
 		return db.flushLocked()
 	}
@@ -95,7 +110,13 @@ func (db *DB) Apply(b *WriteBatch) error {
 //     with Apply, a sync failure cannot un-append: records already written
 //     may still surface after a crash-restart even though the call
 //     reported failure — the standard WAL caveat for unacknowledged
-//     writes.)
+//     writes.) A failed append, flush or sync also disables the log
+//     (ErrWALFailed) until the store is reopened: the failed record's
+//     bytes may already be durable under an LSN the caller was told
+//     failed, and appending a NEW record under that LSN would make the
+//     log ambiguous at that position — a replication tail and crash
+//     replay could then resolve the same LSN to different contents.
+//     Reopening replays what actually landed and continues past it.
 //
 // Empty batches are skipped; an all-empty (or empty) sequence is a no-op.
 func (db *DB) ApplyAll(batches []*WriteBatch) error {
@@ -122,7 +143,7 @@ func (db *DB) ApplyAllTagged(batches []*WriteBatch, wave uint64) error {
 		// is not a sticky writer error, so earlier batches of the wave
 		// would otherwise sit valid in the buffer and become durable on
 		// the next flush — a wave the caller was told failed.
-		if bound := walBatchRecordBound(b.entries); bound > maxWALRecord {
+		if bound := walLSNRecordBound(b.annotation, b.entries); bound > maxWALRecord {
 			return fmt.Errorf("store: batch record ~%d bytes exceeds %d-byte cap", bound, maxWALRecord)
 		}
 		live = append(live, b)
@@ -135,10 +156,15 @@ func (db *DB) ApplyAllTagged(batches []*WriteBatch, wave uint64) error {
 	if db.closed {
 		return ErrClosed
 	}
+	lsn := db.lastLSN
+	recs := make([]logRec, 0, len(live))
 	for _, b := range live {
-		if err := db.wal.appendBatchNoSync(b.entries); err != nil {
+		lsn++
+		payload := encodeLSNRecord(lsn, b.annotation, b.entries)
+		if err := db.wal.writeRecordNoSync(payload); err != nil {
 			return err
 		}
+		recs = append(recs, logRec{lsn: lsn, payload: payload})
 	}
 	if db.opts.SyncWrites {
 		db.syncWave = wave
@@ -151,6 +177,12 @@ func (db *DB) ApplyAllTagged(batches []*WriteBatch, wave uint64) error {
 	for _, b := range live {
 		db.installBatchLocked(b)
 	}
+	// Only now — durable per the configuration and installed — do the
+	// records join the shippable history: a tail never streams a record
+	// this call will report as failed.
+	db.activeRecs = append(db.activeRecs, recs...)
+	db.lastLSN = lsn
+	db.notifyTailLocked()
 	if db.mem.bytes >= db.opts.MemtableBytes {
 		return db.flushLocked()
 	}

@@ -57,6 +57,12 @@ type Options struct {
 	// (flushes also wake it immediately). Default 500 ms.
 	CompactInterval time.Duration
 
+	// LogRetainBytes budgets the sealed WAL history kept for replication
+	// (log.go): after a memtable flush the old log is sealed and retained,
+	// and the oldest sealed files are pruned once their total exceeds this.
+	// The newest sealed file always survives. Default 64 MiB.
+	LogRetainBytes int64
+
 	// FileOps substitutes the filesystem seam (segment files and WAL).
 	// Nil selects the os package. It exists for fault-injection tests —
 	// including callers outside this package exercising their own
@@ -76,6 +82,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactInterval <= 0 {
 		o.CompactInterval = 500 * time.Millisecond
+	}
+	if o.LogRetainBytes <= 0 {
+		o.LogRetainBytes = 64 << 20
 	}
 	return o
 }
@@ -108,6 +117,18 @@ type DB struct {
 	// belongs to (zero outside ApplyAllTagged).
 	obs      obsPtr
 	syncWave uint64
+
+	// Replicated-log state (log.go), all under mu: the last committed LSN,
+	// the in-memory mirror of the active WAL file, the sealed history
+	// index, the next sealed-file sequence number, the corrupt tail bytes
+	// discarded at open, and the broadcast channel tail subscribers block
+	// on (closed and replaced on every commit).
+	lastLSN      uint64
+	activeRecs   []logRec
+	sealed       []sealedLog
+	nextWALSeq   uint64
+	walDiscarded int64
+	tailCh       chan struct{}
 }
 
 // Open opens (or creates) a database in dir, replaying any WAL left by a
@@ -137,11 +158,33 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.segments = segs
 	db.nextSeg = maxID + 1
 
-	w, entries, err := openWAL(fops, filepath.Join(dir, "wal.log"), opts.SyncWrites)
+	// The sealed log history anchors the LSN sequence: the active file's
+	// records continue from the newest sealed record.
+	sealed, nextWALSeq, sealedLast, err := loadSealedLogs(dir)
 	if err != nil {
 		return nil, err
 	}
+	db.sealed = sealed
+	db.nextWALSeq = nextWALSeq
+
+	walPath := filepath.Join(dir, "wal.log")
+	_ = fops.Remove(walPath + ".migrate") // stray file from a crashed migration
+	w, recs, discarded, err := openWAL(fops, walPath, opts.SyncWrites)
+	if err != nil {
+		return nil, err
+	}
+	lastLSN, migrated := assignLSNs(recs, sealedLast)
+	if migrated {
+		// Legacy (pre-LSN) records: rewrite the active log in rev-2 framing
+		// so the history is uniformly LSN-addressed before its first seal.
+		if w, err = rewriteWAL(fops, w, recs); err != nil {
+			return nil, err
+		}
+	}
 	db.wal = w
+	db.lastLSN = lastLSN
+	db.walDiscarded = discarded
+	db.tailCh = make(chan struct{})
 	// Report WAL sync durations to the observer. Every sync runs under
 	// db.mu, so reading syncWave here is ordered with ApplyAllTagged's
 	// write of it.
@@ -150,12 +193,15 @@ func Open(dir string, opts Options) (*DB, error) {
 			o.WALSync(db.syncWave, d)
 		}
 	}
-	for _, e := range entries {
-		if e.tombstone {
-			db.mem.delete(e.key)
-		} else {
-			db.mem.put(e.key, e.value)
+	for _, rec := range recs {
+		for _, e := range rec.entries {
+			if e.tombstone {
+				db.mem.delete(e.key)
+			} else {
+				db.mem.put(e.key, e.value)
+			}
 		}
+		db.activeRecs = append(db.activeRecs, logRec{lsn: rec.lsn, payload: rec.payload})
 	}
 	if !opts.DisableAutoCompaction {
 		db.wg.Add(1)
@@ -175,10 +221,13 @@ func (db *DB) Put(key, value []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	if err := db.wal.append(walEntry{key: key, value: value}); err != nil {
+	lsn := db.lastLSN + 1
+	payload := encodeLSNRecord(lsn, nil, []walEntry{{key: key, value: value}})
+	if err := db.wal.writeRecord(payload); err != nil {
 		return err
 	}
 	db.mem.put(key, value)
+	db.noteCommitLocked(lsn, payload)
 	if db.mem.bytes >= db.opts.MemtableBytes {
 		return db.flushLocked()
 	}
@@ -196,10 +245,13 @@ func (db *DB) Delete(key []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	if err := db.wal.append(walEntry{key: key, tombstone: true}); err != nil {
+	lsn := db.lastLSN + 1
+	payload := encodeLSNRecord(lsn, nil, []walEntry{{key: key, tombstone: true}})
+	if err := db.wal.writeRecord(payload); err != nil {
 		return err
 	}
 	db.mem.delete(key)
+	db.noteCommitLocked(lsn, payload)
 	if db.mem.bytes >= db.opts.MemtableBytes {
 		return db.flushLocked()
 	}
@@ -272,7 +324,7 @@ func (db *DB) flushLocked() error {
 	db.segments = append(db.segments, seg)
 	db.nextSeg++
 	db.mem = newMemtable()
-	if err := db.wal.reset(); err != nil {
+	if err := db.sealWALLocked(); err != nil {
 		return err
 	}
 	db.kickCompactor()
@@ -439,6 +491,17 @@ type Stats struct {
 	// CompactionErr is the most recent background compaction failure, empty
 	// when healthy.
 	CompactionErr string
+	// AppliedLSN is the last committed log sequence number; LogFloorLSN the
+	// oldest LSN still retained (log.go).
+	AppliedLSN  uint64
+	LogFloorLSN uint64
+	// WALSealedFiles / WALSealedBytes describe the retained log history.
+	WALSealedFiles int
+	WALSealedBytes int64
+	// WALDiscardedBytes counts the corrupt tail bytes replay dropped at
+	// open — zero on a clean log, nonzero after a torn write, so a
+	// replication divergence on a crashed leader is diagnosable.
+	WALDiscardedBytes int64
 }
 
 // Stats snapshots the engine counters.
@@ -446,13 +509,20 @@ func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	st := Stats{
-		Segments:      len(db.segments),
-		MemtableKeys:  db.mem.len(),
-		MemtableBytes: db.mem.bytes,
-		Compactions:   db.compactions,
+		Segments:          len(db.segments),
+		MemtableKeys:      db.mem.len(),
+		MemtableBytes:     db.mem.bytes,
+		Compactions:       db.compactions,
+		AppliedLSN:        db.lastLSN,
+		LogFloorLSN:       db.logFloorLocked(),
+		WALSealedFiles:    len(db.sealed),
+		WALDiscardedBytes: db.walDiscarded,
 	}
 	for _, s := range db.segments {
 		st.SegmentBytes += s.size
+	}
+	for _, s := range db.sealed {
+		st.WALSealedBytes += s.bytes
 	}
 	if db.compactErr != nil {
 		st.CompactionErr = db.compactErr.Error()
@@ -479,6 +549,8 @@ func (db *DB) Close() error {
 		err = werr
 	}
 	db.closed = true
+	// Wake blocked tail subscribers so they observe the close.
+	db.notifyTailLocked()
 	return err
 }
 

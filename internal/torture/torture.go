@@ -34,6 +34,9 @@ type Config struct {
 	Dir string
 	// Log, when set, receives coarse progress lines.
 	Log func(format string, args ...any)
+	// Schedule is the per-seed schedule body (default RunSchedule). The
+	// replication sweep substitutes RunReplSchedule (repl.go).
+	Schedule func(seed uint64, dir string) (ScheduleResult, error)
 }
 
 // Report is one sweep's outcome. Err is the first violation (or harness
@@ -97,6 +100,9 @@ func Run(cfg Config) Report {
 	if cfg.Schedules <= 0 && cfg.Budget <= 0 {
 		cfg.Schedules = 8
 	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = RunSchedule
+	}
 	var (
 		mu   sync.Mutex
 		rep  Report
@@ -125,7 +131,7 @@ func Run(cfg Config) Report {
 				dir, err := os.MkdirTemp(cfg.Dir, "torture-")
 				var res ScheduleResult
 				if err == nil {
-					res, err = RunSchedule(seed, dir)
+					res, err = cfg.Schedule(seed, dir)
 					// A crashed instance's fenced compactor may race the
 					// removal; leftover scratch is the OS tempdir's problem.
 					os.RemoveAll(dir)

@@ -59,6 +59,47 @@ func TestTortureSweep(t *testing.T) {
 		rep.Schedules, rep.Waves, rep.Faults, rep.Reopens, rep.Elapsed.Round(time.Millisecond))
 }
 
+// TestReplTortureSweep is the leader+follower fault sweep: both sides of
+// a replicated pair run over scheduled-fault devices, the leader crashes
+// mid-wave, the follower crashes mid-apply, and every schedule must end
+// with byte-equal convergence without the follower ever getting ahead of
+// the leader's durable log. Same flag vocabulary as TestTortureSweep;
+// replay one seed with `-torture.seed=N -run TestReplTortureSweep`.
+func TestReplTortureSweep(t *testing.T) {
+	if *tortureSeed != 0 {
+		res, err := RunReplSchedule(*tortureSeed, t.TempDir())
+		if err != nil {
+			t.Fatalf("repl schedule seed %d: %v", *tortureSeed, err)
+		}
+		t.Logf("repl schedule seed %d clean: %d waves, %d faults fired, %d reopens",
+			*tortureSeed, res.Waves, res.Faults, res.Reopens)
+		return
+	}
+	cfg := Config{
+		Seed:      *sweepSeed,
+		Schedules: *tortureSchedules,
+		Budget:    *tortureBudget,
+		Dir:       t.TempDir(),
+		Log:       t.Logf,
+		Schedule:  RunReplSchedule,
+	}
+	if cfg.Schedules == 0 && cfg.Budget == 0 {
+		cfg.Schedules = 12
+		if testing.Short() {
+			cfg.Schedules = 3
+		}
+	}
+	rep := Run(cfg)
+	if rep.Err != nil {
+		t.Fatalf("%v\nrepro: go test ./internal/torture -run TestReplTortureSweep -torture.seed=%d", rep.Err, rep.FailedSeed)
+	}
+	if rep.Schedules == 0 {
+		t.Fatal("sweep ran zero schedules")
+	}
+	t.Logf("repl torture: %d schedules, %d waves, %d faults fired, %d reopens in %v",
+		rep.Schedules, rep.Waves, rep.Faults, rep.Reopens, rep.Elapsed.Round(time.Millisecond))
+}
+
 // TestScheduleSeedStable pins the seed derivation: a printed failure seed
 // must mean the same schedule forever.
 func TestScheduleSeedStable(t *testing.T) {

@@ -185,6 +185,49 @@ type Health struct {
 	Users  int    `json:"users"`
 }
 
+// ReplFollowerStatus is one live replication session seen from the
+// leader: the follower's cumulative acknowledged position and how far it
+// trails the leader's committed head.
+type ReplFollowerStatus struct {
+	AckedLSN uint64 `json:"acked_lsn"`
+	LagWaves uint64 `json:"lag_waves"`
+	// LagBytes is the wave payload in flight to this follower — sent but
+	// not yet acknowledged.
+	LagBytes int64 `json:"lag_bytes"`
+}
+
+// ReplicationStatus is the GET /v1/replication/status body. Role is
+// "leader" (a durable instance, whether or not anyone subscribed),
+// "follower" (Options.FollowerOf), or "none" (in-memory: no log to ship).
+// Fields beyond the role/position pair are populated per role.
+type ReplicationStatus struct {
+	Role       string `json:"role"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// LogFloorLSN is the oldest retained log position; followers resuming
+	// below it bootstrap from a snapshot.
+	LogFloorLSN uint64 `json:"log_floor_lsn,omitempty"`
+	// LagWaves is the worst follower lag (leader) or this follower's own
+	// lag behind LeaderLSN (follower). LagBytes is the matching in-flight
+	// wave payload, known only on the leader.
+	LagWaves uint64 `json:"lag_waves"`
+	LagBytes int64  `json:"lag_bytes,omitempty"`
+	// SnapshotBytes counts snapshot bytes shipped to bootstrapping
+	// followers (leader) or restored at bootstrap (follower).
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+
+	// Follower-only fields.
+	Leader string `json:"leader,omitempty"`
+	// State is "connecting", "streaming", or "stalled" (the follower fell
+	// behind the leader's retained history and needs a restart to
+	// re-bootstrap; it keeps serving stale reads meanwhile).
+	State                 string `json:"state,omitempty"`
+	LeaderLSN             uint64 `json:"leader_lsn,omitempty"`
+	LastHeartbeatUnixNano int64  `json:"last_heartbeat_unix_nano,omitempty"`
+
+	// Leader-only: one entry per live replication session.
+	Followers []ReplFollowerStatus `json:"followers,omitempty"`
+}
+
 // Histogram is the wire form of one obs latency histogram: per-bucket
 // (non-cumulative) observation counts over the shared log-spaced bounds
 // published in Metrics.StageBoundsNanos, with trailing zero buckets
@@ -277,6 +320,25 @@ type Metrics struct {
 	StoreMemtableKeys int    `json:"store_memtable_keys"`
 	StoreCompactions  uint64 `json:"store_compactions"`
 	StoreCompactError string `json:"store_compact_error,omitempty"`
+	// Retained log history and replay health (zero with Durable=false).
+	// WALDiscardedBytes counts the corrupt tail bytes replay dropped at
+	// open — nonzero after a torn write.
+	WALSealedFiles    int   `json:"wal_sealed_files"`
+	WALSealedBytes    int64 `json:"wal_sealed_bytes"`
+	WALDiscardedBytes int64 `json:"wal_discarded_bytes"`
+
+	// Replication (DESIGN.md §9). ReplRole is "leader" (durable,
+	// shippable log), "follower" (Options.FollowerOf), or empty on an
+	// in-memory instance. ReplAppliedLSN mirrors the store's committed
+	// position; ReplLagWaves is the worst follower lag seen from a leader,
+	// or this follower's own lag behind the last reported leader position.
+	// ReplSnapshotBytes counts snapshot bytes shipped (leader) or restored
+	// at bootstrap (follower).
+	ReplRole          string `json:"repl_role,omitempty"`
+	ReplAppliedLSN    uint64 `json:"repl_applied_lsn"`
+	ReplLagWaves      uint64 `json:"repl_lag_waves"`
+	ReplFollowers     int    `json:"repl_followers"`
+	ReplSnapshotBytes int64  `json:"repl_snapshot_bytes"`
 
 	// Stage-latency histograms (internal/obs). StageBoundsNanos is the
 	// bucket upper-bound vector shared by every histogram below. Stages is
