@@ -34,6 +34,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/emotion"
+	"repro/internal/keyspace"
 	"repro/internal/lifelog"
 	"repro/internal/messaging"
 	"repro/internal/scalebench"
@@ -57,13 +59,14 @@ import (
 	"repro/internal/spaclient"
 	"repro/internal/store"
 	"repro/internal/torture"
+	"repro/internal/wire"
 )
 
 func main() {
 	users := flag.Int("users", 5000, "population per campaign (paper: 1,340,432)")
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	skipAblations := flag.Bool("skip-ablations", false, "skip A1-A3")
-	skipScale := flag.Bool("skip-scale", false, "skip the S1-S8 scale sections")
+	skipScale := flag.Bool("skip-scale", false, "skip the S1-S9 scale sections")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per section instead of the table")
 	clients := flag.Int("clients", scalebench.Workers, "concurrent clients for S2/loadgen")
 	requests := flag.Int("requests", 2048, "total ingest requests for S2/loadgen")
@@ -297,6 +300,9 @@ func run(em *emitter, users int, seed uint64, ablations, scale bool, clients, re
 			return err
 		}
 		if err := runScaleServeRepl(em, seed, clients); err != nil {
+			return err
+		}
+		if err := runScaleServeCluster(em, seed, clients); err != nil {
 			return err
 		}
 	}
@@ -1080,6 +1086,388 @@ func runScaleServeRepl(em *emitter, seed uint64, clients int) error {
 		"ok":            ok,
 	})
 	return nil
+}
+
+// runScaleServeCluster is the cluster section [S9]: the [S6] scenario
+// replay against a 3-node slot-partitioned cluster (DESIGN.md §10) with
+// topology-routed clients, versus the same replay against one node of the
+// identical stack configuration. Three properties are under test: the
+// slot map spreads both slots and users across the nodes (within 2x of
+// the ideal share), aggregate ingest scales with the node count when the
+// host has the cores to back it, and a live slot handoff under write load
+// loses no acknowledged write — checked by mirroring every acknowledged
+// batch into a standalone shadow node and comparing the moved users'
+// profiles byte-for-byte afterwards.
+func runScaleServeCluster(em *emitter, seed uint64, clients int) error {
+	const (
+		sessions = 256
+		numNodes = 3
+	)
+	em.printf("\n[S9] Cluster: %d slot-partitioned nodes vs single node (zipf scenario, %d sessions, %d clients, fsync on, seed %d)\n",
+		numNodes, sessions, clients, seed)
+
+	// Single-node baseline: the same scenario on the same stack shape.
+	var single scalebench.ScenarioResult
+	err := serveStack(true, true, 32, func(baseURL string) error {
+		var err error
+		single, err = scalebench.RunScenario(scalebench.ScenarioConfig{
+			BaseURL: baseURL, Seed: seed, Clients: clients,
+			Sessions: sessions, Register: true,
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	var clusterRes scalebench.ScenarioResult
+	slotsOwned := make([]int, numNodes)
+	usersOwned := make([]int, numNodes)
+	var handoff wire.HandoffResponse
+	lost := -1
+	moved := 0
+	err = clusterStack(numNodes, func(ids, urls []string) error {
+		var err error
+		clusterRes, err = scalebench.RunScenario(scalebench.ScenarioConfig{
+			Endpoints: urls, Cluster: true, Seed: seed, Clients: clients,
+			Sessions: sessions, Register: true,
+		})
+		if err != nil {
+			return err
+		}
+		for i, u := range urls {
+			m, err := scalebench.FetchMetrics(u)
+			if err != nil {
+				return err
+			}
+			slotsOwned[i] = int(m.ClusterSlotsOwned)
+			usersOwned[i] = int(m.Users)
+		}
+		handoff, lost, moved, err = clusterHandoffCheck(ids, urls)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	scaling := 0.0
+	if single.WriteEventsPerSec > 0 {
+		scaling = clusterRes.WriteEventsPerSec / single.WriteEventsPerSec
+	}
+	// Balance: no node may own more than twice its ideal slot share, and
+	// every node must own something (the deterministic epoch-1 map is
+	// round-robin, so this is really a check that routing respected it).
+	ideal := keyspace.NumSlots / numNodes
+	balanced := true
+	for _, n := range slotsOwned {
+		if n == 0 || n > 2*ideal {
+			balanced = false
+		}
+	}
+	// Like [S8], the scaling target needs real cores behind the nodes:
+	// with ≥4 CPUs three nodes commit on independent fsync streams and
+	// aggregate ingest must reach ≥2x the single node. On a smaller host
+	// the nodes time-share one CPU and the criterion degrades to "routing
+	// and ownership enforcement must not crater throughput" (≥0.5x).
+	scalingFloor := 2.0
+	if runtime.NumCPU() < 4 {
+		scalingFloor = 0.5
+	}
+	ok := single.Errors == 0 && clusterRes.Errors == 0 && balanced &&
+		scaling >= scalingFloor && moved > 0 && handoff.Epoch > 1 && lost == 0
+	em.printf("  single node    : %8.0f events/s   write p99 %6s  read p99 %6s  (%d errors)\n",
+		single.WriteEventsPerSec, single.WriteP99.Round(time.Microsecond),
+		single.ReadP99.Round(time.Microsecond), single.Errors)
+	em.printf("  %d-node cluster : %8.0f events/s   write p99 %6s  read p99 %6s  (%d errors)\n",
+		numNodes, clusterRes.WriteEventsPerSec, clusterRes.WriteP99.Round(time.Microsecond),
+		clusterRes.ReadP99.Round(time.Microsecond), clusterRes.Errors)
+	em.printf("  balance        : slots %v (ideal %d, bound %d)   users %v\n",
+		slotsOwned, ideal, 2*ideal, usersOwned)
+	em.printf("  ingest scaling : %.2fx (target %.1fx on %d cpus)\n",
+		scaling, scalingFloor, runtime.NumCPU())
+	em.printf("  live handoff   : %d slots moved, epoch %d, %d mismatched profiles of the moved users   %s\n",
+		moved, handoff.Epoch, lost, okIf(ok))
+	em.emit("S9", map[string]any{
+		"single":        single,
+		"cluster":       clusterRes,
+		"write_scaling": scaling,
+		"scaling_floor": scalingFloor,
+		"cpus":          runtime.NumCPU(),
+		"slots_owned":   slotsOwned,
+		"users_owned":   usersOwned,
+		"handoff_moved": moved,
+		"handoff_epoch": handoff.Epoch,
+		"lost_profiles": lost,
+		"ok":            ok,
+	})
+	return nil
+}
+
+// clusterStack boots an n-node durable spad cluster on loopback — every
+// node a full [S6]-shape stack (pipelined coalescer, 32 shards, fsync on)
+// plus the cluster layer — and hands fn the node IDs and base URLs in the
+// same order. Listeners are bound before any node starts so the peer map
+// can name every advertised address up front.
+func clusterStack(n int, fn func(ids, urls []string) error) error {
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	ids := make([]string, n)
+	urls := make([]string, n)
+	peers := make(map[string]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ids[i] = string(rune('a' + i))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		cleanup = append(cleanup, func() { ln.Close() })
+		listeners[i] = ln
+		peers[ids[i]] = ln.Addr().String()
+		urls[i] = "http://" + peers[ids[i]]
+	}
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "spabench-cluster-*")
+		if err != nil {
+			return err
+		}
+		cleanup = append(cleanup, func() { os.RemoveAll(dir) })
+		spa, err := core.New(core.Options{
+			DataDir: dir,
+			Store:   store.Options{SyncWrites: true},
+			Shards:  32,
+			Clock:   clock.NewSimulated(clock.Epoch),
+		})
+		if err != nil {
+			return err
+		}
+		srv := server.New(spa, server.Options{
+			Pipeline:      true,
+			MaxDelay:      2 * time.Millisecond,
+			ClusterNodeID: ids[i],
+			ClusterAddr:   peers[ids[i]],
+			ClusterPeers:  peers,
+			ClusterDir:    dir,
+		})
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(listeners[i])
+		cleanup = append(cleanup, func() {
+			httpSrv.Close()
+			srv.Close()
+			spa.Close()
+		})
+	}
+	return fn(ids, urls)
+}
+
+// clusterHandoffCheck is [S9]'s no-acked-write-loss probe: a writer keeps
+// ingesting to users owned by the last node while the second node pulls
+// every slot away from it (wire.HandoffPath with FromNode), and every
+// acknowledged batch is mirrored into a standalone in-memory shadow spad.
+// The cores run frozen simulated clocks and see identical event streams,
+// so after the handoff the moved users' sensibility documents on the new
+// owner must be byte-identical to the shadow's — any drift means a write
+// was acknowledged by the cluster and then lost in the move. Returns the
+// handoff response, the mismatch count, and how many slots moved.
+func clusterHandoffCheck(ids, urls []string) (wire.HandoffResponse, int, int, error) {
+	var handoff wire.HandoffResponse
+	fail := func(err error) (wire.HandoffResponse, int, int, error) {
+		return handoff, -1, 0, err
+	}
+
+	var topo wire.Topology
+	if err := getJSON(urls[0]+wire.TopologyPath, &topo); err != nil {
+		return fail(err)
+	}
+	if err := topo.Validate(); err != nil {
+		return fail(err)
+	}
+
+	// Shadow: a plain single-node in-memory stack, no cluster layer.
+	sspa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+	if err != nil {
+		return fail(err)
+	}
+	ssrv := server.New(sspa, server.Options{Pipeline: true})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ssrv.Close()
+		sspa.Close()
+		return fail(err)
+	}
+	shttp := &http.Server{Handler: ssrv}
+	go shttp.Serve(sln)
+	shadowURL := "http://" + sln.Addr().String()
+	defer func() {
+		shttp.Close()
+		ssrv.Close()
+		sspa.Close()
+	}()
+
+	// Fresh users (far above the scenario population) whose slots the
+	// source node owns right now, per the actual published map.
+	src, target := ids[len(ids)-1], urls[1]
+	var users []uint64
+	for id := uint64(1_000_000); len(users) < 12 && id < 1_010_000; id++ {
+		if topo.Slots[keyspace.Partition(id)] == src {
+			users = append(users, id)
+		}
+	}
+	if len(users) < 12 {
+		return fail(fmt.Errorf("no users partition to node %s", src))
+	}
+
+	rc := spaclient.New(urls[0], spaclient.Options{Cluster: true})
+	sc := spaclient.New(shadowURL, spaclient.Options{})
+	for _, u := range users {
+		if err := rc.Register(u, nil); err != nil {
+			return fail(err)
+		}
+		if err := sc.Register(u, nil); err != nil {
+			return fail(err)
+		}
+	}
+
+	// ingest retries through the handoff fence (503 + Retry-After) but
+	// nothing else; the 421 bounce after the flip is the routed client's
+	// own job. Every batch is one owner group, so a fenced batch was
+	// rejected whole and the retry cannot double-apply.
+	ingest := func(batch []lifelog.Event) error {
+		for attempt := 0; ; attempt++ {
+			_, err := rc.Ingest(batch)
+			var apiErr *spaclient.APIError
+			if err != nil && errors.As(err, &apiErr) &&
+				apiErr.Status == http.StatusServiceUnavailable && attempt < 500 {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+	}
+
+	const rounds = 60
+	handoffDone := make(chan error, 1)
+	cursor := clock.Epoch
+	for r := 0; r < rounds; r++ {
+		if r == rounds/3 {
+			go func() {
+				handoffDone <- postJSON(target+wire.HandoffPath,
+					wire.HandoffRequest{FromNode: src}, &handoff)
+			}()
+		}
+		batch := make([]lifelog.Event, 0, len(users))
+		for _, u := range users {
+			cursor = cursor.Add(13 * time.Second)
+			batch = append(batch, lifelog.Event{
+				UserID: u, Time: cursor, Type: lifelog.EventClick,
+				Action: uint32(r % 7), Value: 1,
+			})
+		}
+		if err := ingest(batch); err != nil {
+			return fail(fmt.Errorf("ingest round %d: %w", r, err))
+		}
+		if _, err := sc.Ingest(batch); err != nil {
+			return fail(fmt.Errorf("shadow mirror round %d: %w", r, err))
+		}
+		// Stretch the write window so the transfer genuinely overlaps it.
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-handoffDone; err != nil {
+		return fail(fmt.Errorf("handoff: %w", err))
+	}
+	if handoff.Moved == 0 {
+		return fail(fmt.Errorf("handoff moved 0 slots (epoch %d)", handoff.Epoch))
+	}
+
+	// Gossip must converge every node on the post-flip epoch before the
+	// survivors can be probed deterministically.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		settled := true
+		for _, u := range urls {
+			var t wire.Topology
+			if err := getJSON(u+wire.TopologyPath, &t); err != nil || t.Epoch < handoff.Epoch {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("cluster never converged on epoch %d", handoff.Epoch))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	lost := 0
+	for _, u := range users {
+		path := fmt.Sprintf("/v1/users/%d/sensibilities", u)
+		got, err := getBody(target + path)
+		if err != nil {
+			lost++
+			continue
+		}
+		want, err := getBody(shadowURL + path)
+		if err != nil {
+			return fail(fmt.Errorf("shadow read: %w", err))
+		}
+		if !bytes.Equal(got, want) {
+			lost++
+		}
+	}
+	return handoff, lost, handoff.Moved, nil
+}
+
+// getJSON decodes a GET response body into out, insisting on 200.
+func getJSON(url string, out any) error {
+	raw, err := getBody(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// getBody GETs url and returns the body, insisting on 200.
+func getBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, raw)
+	}
+	return raw, nil
+}
+
+// postJSON POSTs in as JSON and decodes the 200 response into out.
+func postJSON(url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, raw)
+	}
+	return json.Unmarshal(raw, out)
 }
 
 // waitFollower blocks until the follower reports a streaming session

@@ -10,10 +10,24 @@
 //	     [-queue 256] [-max-batch 64] [-max-delay 0s] [-no-coalesce]
 //	     [-no-binary] [-pipeline] [-debug-addr ADDR] [-access-log]
 //	     [-slow-wave 1s] [-follow LEADER] [-repl-window 256]
+//	     [-cluster] [-node-id ID] [-cluster-addr HOST:PORT] [-peers ID=HOST:PORT,...]
 //
 // An empty -data serves an in-memory (non-durable) instance, useful for
 // load experiments; production points -data at a directory and usually
 // adds -sync so every group commit is fsynced before it is acknowledged.
+//
+// -cluster makes this spad one node of a slot-partitioned cluster
+// (internal/server cluster.go): users hash to 256 fixed slots, each slot
+// is owned by exactly one node, and requests for users this node does not
+// own bounce 421 + X-SPA-Owner so a topology-aware client retries against
+// the owner. -node-id names the node (required with -cluster); -peers
+// lists the other nodes as comma-separated id=host:port pairs, giving
+// every node the same deterministic epoch-1 slot map and a gossip target
+// set; -cluster-addr is this node's advertised client-reachable address
+// (defaults to -addr with a loopback host filled in). Slots move between
+// live nodes via POST /v1/cluster/handoff on the receiving node.
+// -cluster and -follow are mutually exclusive: a cluster node is a leader
+// for the slots it owns.
 //
 // -follow LEADER (host:port or URL) starts this spad as a read-only
 // replication follower: before the core opens it bootstraps the -data
@@ -51,6 +65,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,6 +93,10 @@ type config struct {
 	slowWave    time.Duration
 	follow      string
 	replWindow  int
+	cluster     bool
+	nodeID      string
+	clusterAddr string
+	peers       string
 }
 
 func main() {
@@ -99,6 +118,10 @@ func main() {
 	flag.DurationVar(&cfg.slowWave, "slow-wave", time.Second, "log any coalescer wave slower than this gather-to-commit (0: off)")
 	flag.StringVar(&cfg.follow, "follow", "", "replicate from this leader (host:port or URL) and serve reads only; requires -data")
 	flag.IntVar(&cfg.replWindow, "repl-window", 256, "replication wave credit granted to the leader")
+	flag.BoolVar(&cfg.cluster, "cluster", false, "serve as one node of a slot-partitioned cluster (requires -node-id)")
+	flag.StringVar(&cfg.nodeID, "node-id", "", "this node's cluster id")
+	flag.StringVar(&cfg.clusterAddr, "cluster-addr", "", "advertised client-reachable address (default: -addr with a loopback host)")
+	flag.StringVar(&cfg.peers, "peers", "", "other cluster nodes as id=host:port, comma-separated")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -108,6 +131,26 @@ func main() {
 }
 
 func run(cfg config) error {
+	var peers map[string]string
+	clusterAddr := ""
+	if cfg.cluster {
+		if cfg.nodeID == "" {
+			return errors.New("-cluster requires -node-id")
+		}
+		if cfg.follow != "" {
+			return errors.New("-cluster and -follow are mutually exclusive (a cluster node leads its own slots)")
+		}
+		var err error
+		if peers, err = parsePeers(cfg.peers); err != nil {
+			return err
+		}
+		if clusterAddr, err = advertisedAddr(cfg.clusterAddr, cfg.addr); err != nil {
+			return err
+		}
+	} else if cfg.nodeID != "" || cfg.peers != "" || cfg.clusterAddr != "" {
+		return errors.New("-node-id, -peers and -cluster-addr need -cluster")
+	}
+
 	stOpts := store.Options{SyncWrites: cfg.sync}
 	var bootstrapBytes int64
 	if cfg.follow != "" {
@@ -148,6 +191,10 @@ func run(cfg config) error {
 		FollowerOf:             cfg.follow,
 		ReplWindow:             cfg.replWindow,
 		FollowerBootstrapBytes: bootstrapBytes,
+		ClusterNodeID:          cfg.nodeID,
+		ClusterAddr:            clusterAddr,
+		ClusterPeers:           peers,
+		ClusterDir:             cfg.data,
 	})
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
@@ -190,6 +237,9 @@ func run(cfg config) error {
 		role := ""
 		if cfg.follow != "" {
 			role = " follower-of=" + cfg.follow
+		}
+		if cfg.cluster {
+			role = fmt.Sprintf(" cluster-node=%s advertised=%s peers=%d", cfg.nodeID, clusterAddr, len(peers))
 		}
 		log.Printf("spad: serving on %s (data=%q shards=%d sync=%v coalesce=%v pipeline=%v%s, %d users loaded)",
 			cfg.addr, cfg.data, cfg.shards, cfg.sync, !cfg.noCoalesce, cfg.pipeline && !cfg.noCoalesce, role, spa.Users())
@@ -234,4 +284,45 @@ func run(cfg config) error {
 	}
 	log.Printf("spad: drained and closed")
 	return nil
+}
+
+// parsePeers splits "-peers a=host:port,b=host:port" into a map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=host:port", pair)
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return nil, fmt.Errorf("-peers entry %q: %w", pair, err)
+		}
+		peers[id] = addr
+	}
+	return peers, nil
+}
+
+// advertisedAddr resolves the address peers and clients reach this node
+// at: the explicit -cluster-addr, or -addr with an unspecified host
+// ("", 0.0.0.0, ::) replaced by loopback — good enough for the
+// single-machine clusters the flag default targets; multi-host deployments
+// must set -cluster-addr.
+func advertisedAddr(explicit, listen string) (string, error) {
+	if explicit != "" {
+		if _, _, err := net.SplitHostPort(explicit); err != nil {
+			return "", fmt.Errorf("-cluster-addr %q: %w", explicit, err)
+		}
+		return explicit, nil
+	}
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", fmt.Errorf("deriving -cluster-addr from -addr %q: %w", listen, err)
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port), nil
 }

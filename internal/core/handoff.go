@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/keyspace"
+	"repro/internal/store"
+	"repro/internal/sum"
+)
+
+// Shard handoff (DESIGN.md §10). Moving a set of keyspace slots between
+// cluster nodes reuses the replication machinery with one twist on each
+// side:
+//
+//   - The source ships only the records of the moving slots. Both the
+//     snapshot export and the tailed waves pass through a slot filter —
+//     profile keys name their user ("sum/" + id), the user names the slot
+//     (keyspace.Partition), and wave annotations are re-encoded with only
+//     the surviving interaction events. Keys outside the profile key space
+//     never move; they are node-local state.
+//   - The target applies shipped records as LOCAL commits. A follower
+//     mirrors the leader's log positions exactly (store.ApplyReplicated),
+//     but a handoff target has its own live log, so each filtered wave
+//     becomes an ordinary WriteBatch that the store stamps with the next
+//     local LSN. The source's LSNs still flow back as stream acks — they
+//     are positions in the source's log, not the target's.
+//
+// ApplyHandoffWave's install half is ApplyReplicatedWave's, under the same
+// index-ascending shard lock order, so it is deadlock-free against local
+// commits and follower applies alike.
+
+// entrySlot resolves a store key to its keyspace slot; ok is false for
+// keys outside the profile key space.
+func entrySlot(key []byte) (int, bool) {
+	id, ok := sumKeyUser(key)
+	if !ok {
+		return 0, false
+	}
+	return keyspace.Partition(id), true
+}
+
+// FilterEntriesForSlots keeps the entries whose user belongs to one of the
+// given slots. Keys outside the profile key space are dropped: they carry
+// node-local state and never travel in a handoff.
+func FilterEntriesForSlots(entries []store.LogEntry, slots *keyspace.SlotSet) []store.LogEntry {
+	out := make([]store.LogEntry, 0, len(entries))
+	for _, e := range entries {
+		if slot, ok := entrySlot(e.Key); ok && slots.Has(slot) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FilterWaveForSlots projects one log record onto a slot set: entries are
+// filtered by their user's slot, and the annotation is re-encoded with only
+// the interaction events of users in those slots. Both results are empty
+// when the wave touched none of the slots — the caller skips shipping it
+// (the target never sees the record, which is fine because handoff waves
+// carry no positions the target must stay contiguous with).
+func FilterWaveForSlots(annotation []byte, entries []store.LogEntry, slots *keyspace.SlotSet) ([]byte, []store.LogEntry, error) {
+	kept := FilterEntriesForSlots(entries, slots)
+	events, err := decodeWaveAnnotation(annotation)
+	if err != nil {
+		return nil, nil, err
+	}
+	var keptEvents []taggedEvent
+	for _, te := range events {
+		if slots.Has(keyspace.Partition(te.UserID)) {
+			keptEvents = append(keptEvents, te)
+		}
+	}
+	var ann []byte
+	if len(keptEvents) > 0 {
+		ann = encodeWaveAnnotation(keptEvents)
+	}
+	return ann, kept, nil
+}
+
+// ExportSlotSnapshot captures the live profile pairs of the given slots and
+// the log position the capture is current through — the bootstrap half of a
+// handoff stream, as ExportSnapshot is for a full follower.
+func (s *SPA) ExportSlotSnapshot(slots *keyspace.SlotSet) ([]store.LogEntry, uint64, error) {
+	pairs, lsn, err := s.ExportSnapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	return FilterEntriesForSlots(pairs, slots), lsn, nil
+}
+
+// ApplyHandoffWave applies one slot-filtered shipped record on a handoff
+// target: the entries commit to the local store as an ordinary batch (the
+// store assigns the next local LSN — the source's positions have no meaning
+// in this log), then install into shard memory and publish read snapshots
+// exactly as ApplyReplicatedWave does, with the annotation's interaction
+// events folded into the CF matrix and re-persisted for this node's own
+// future followers.
+func (s *SPA) ApplyHandoffWave(annotation []byte, entries []store.LogEntry) error {
+	if s.db == nil {
+		return errors.New("core: handoff requires a durable store")
+	}
+	if len(entries) == 0 {
+		return errors.New("core: empty handoff wave")
+	}
+	events, err := decodeWaveAnnotation(annotation)
+	if err != nil {
+		return fmt.Errorf("core: handoff wave: %w", err)
+	}
+	type shardWork struct {
+		install map[uint64]*sum.Profile
+		drop    []uint64
+		events  []taggedEvent
+	}
+	work := make(map[int]*shardWork)
+	get := func(idx int) *shardWork {
+		w := work[idx]
+		if w == nil {
+			w = &shardWork{}
+			work[idx] = w
+		}
+		return w
+	}
+	batch := new(store.WriteBatch)
+	batch.SetAnnotation(annotation)
+	for _, e := range entries {
+		id, ok := sumKeyUser(e.Key)
+		if !ok {
+			return fmt.Errorf("core: handoff wave entry outside profile key space: %q", e.Key)
+		}
+		w := get(s.shardIndexFor(id))
+		if e.Tombstone {
+			batch.Delete(e.Key)
+			w.drop = append(w.drop, id)
+			continue
+		}
+		p, err := sum.Decode(e.Value)
+		if err != nil {
+			return fmt.Errorf("core: handoff wave profile %d: %w", id, err)
+		}
+		if p.UserID != id {
+			return fmt.Errorf("core: handoff wave key/profile user mismatch: %d vs %d", id, p.UserID)
+		}
+		batch.Put(e.Key, e.Value)
+		if w.install == nil {
+			w.install = make(map[uint64]*sum.Profile)
+		}
+		w.install[id] = p
+	}
+	for _, te := range events {
+		w := get(s.shardIndexFor(te.UserID))
+		w.events = append(w.events, te)
+	}
+
+	idxs := make([]int, 0, len(work))
+	for idx := range work {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		s.shards[idx].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(idxs) - 1; i >= 0; i-- {
+			s.shards[idxs[i]].mu.Unlock()
+		}
+	}
+	if err := s.db.Apply(batch); err != nil {
+		unlock()
+		return err
+	}
+	recorded := 0
+	for _, idx := range idxs {
+		sh := s.shards[idx]
+		w := work[idx]
+		changed := make([]uint64, 0, len(w.install)+len(w.drop))
+		for id, p := range w.install {
+			if _, exists := sh.profiles[id]; !exists {
+				s.users.Add(1)
+			}
+			sh.profiles[id] = p
+			changed = append(changed, id)
+		}
+		for _, id := range w.drop {
+			if _, exists := sh.profiles[id]; exists {
+				s.users.Add(-1)
+				delete(sh.profiles, id)
+				changed = append(changed, id)
+			}
+		}
+		recorded += s.publishShardLocked(sh, changed, w.events)
+	}
+	unlock()
+	if recorded > 0 {
+		s.invalidateRecommender()
+	}
+	return nil
+}
+
+// DropSlotUsers removes every resident user of the given slots from shard
+// memory and publishes fresh read snapshots — the source's final step after
+// ownership flips to the target. Durable records of the dropped users stay
+// in the source's log (rewriting history would break its own followers);
+// they are dead weight until compaction and are filtered out again if the
+// slots ever hand back. Returns the number of users dropped.
+func (s *SPA) DropSlotUsers(slots *keyspace.SlotSet) int {
+	// With shards ≤ NumSlots a slot's users share one shard (shard index =
+	// slot & mask), so only those shards need their write lock; with more
+	// shards than slots every shard may hold slot users.
+	candidates := make(map[int]bool)
+	if len(s.shards) <= keyspace.NumSlots {
+		for _, slot := range slots.Slots() {
+			candidates[slot&int(s.mask)] = true
+		}
+	} else {
+		for idx := range s.shards {
+			candidates[idx] = true
+		}
+	}
+	dropped := 0
+	for idx, sh := range s.shards {
+		if !candidates[idx] {
+			continue
+		}
+		sh.mu.Lock()
+		var changed []uint64
+		for id := range sh.profiles {
+			if slots.Has(keyspace.Partition(id)) {
+				delete(sh.profiles, id)
+				s.users.Add(-1)
+				changed = append(changed, id)
+			}
+		}
+		if len(changed) > 0 {
+			dropped += len(changed)
+			s.publishShardLocked(sh, changed, nil)
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		s.invalidateRecommender()
+	}
+	return dropped
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/keyspace"
+)
+
+// TestShardAssignmentAgreesWithPartition pins the contract cluster routing
+// is built on: the server-side shard index is keyspace.Partition masked to
+// the shard count, for every shard count the core accepts — so a client
+// that knows only Partition and the slot→node topology always names the
+// node (and inside it, the shard) that owns a user. If the core's mixer or
+// masking ever drifts from keyspace, handoff slot filters would silently
+// split users across nodes; this test makes that a loud failure.
+func TestShardAssignmentAgreesWithPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, shards := range []int{1, 2, 8, 16, 64, 256} {
+		s, err := New(Options{Shards: shards, Clock: clock.NewSimulated(clock.Epoch)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := len(s.shards)
+		if count != shards {
+			t.Fatalf("shard count %d normalized to %d", shards, count)
+		}
+		for i := 0; i < 4096; i++ {
+			id := rng.Uint64()
+			got := s.shardIndexFor(id)
+			if want := keyspace.PartitionN(id, count); got != want {
+				t.Fatalf("shards=%d id=%d: shardIndexFor=%d, PartitionN=%d", shards, id, got, want)
+			}
+			// count ≤ NumSlots here, so the slot determines the shard: the
+			// property a slot-filtered handoff stream depends on.
+			if want := keyspace.Partition(id) & (count - 1); got != want {
+				t.Fatalf("shards=%d id=%d: shardIndexFor=%d, Partition&mask=%d", shards, id, got, want)
+			}
+		}
+		s.Close()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/keyspace"
 	"repro/internal/lifelog"
 	"repro/internal/sum"
 	"repro/internal/values"
@@ -64,15 +65,12 @@ func (s *SPA) shardFor(userID uint64) *shard {
 
 // shardIndexFor is shardFor by index — the multi-shard ingest paths key
 // their groups by index so lock acquisition can follow a deterministic
-// (index-ascending) order.
+// (index-ascending) order. The mixer is keyspace.Mix64, shared with the
+// cluster slot map: shard counts and keyspace.NumSlots are both powers of
+// two, so a slot's users always share a shard (for Shards ≤ NumSlots) and a
+// handoff can filter log records by slot.
 func (s *SPA) shardIndexFor(userID uint64) int {
-	h := userID
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return int(h & s.mask)
+	return int(keyspace.Mix64(userID) & s.mask)
 }
 
 // BatchIngest is the high-throughput ingest facade: events are grouped by

@@ -1,0 +1,55 @@
+// Package keyspace is the single definition of how a user id maps onto the
+// partitioned key space — the one function the in-process shards
+// (internal/core), the cluster's slot ownership (internal/server), and the
+// client-side router (internal/spaclient) must all agree on. It lives in its
+// own leaf package so the client can import it without dragging in the core.
+//
+// The map has two levels:
+//
+//   - Mix64 is the splitmix64 finalizer: a fixed bijective bit-mixer that
+//     spreads sequential user ids (the common registration pattern) evenly
+//     across the low bits. It is part of the wire contract — changing it
+//     reshuffles every slot and orphans every persisted topology.
+//   - Partition masks the mixed id down to one of NumSlots fixed slots.
+//     Slots are the unit of cluster ownership and of shard handoff: a
+//     topology maps each slot to an owning node, and rebalancing moves whole
+//     slots, never individual users.
+//
+// NumSlots is a power of two, and so is every core shard count, so the two
+// partitions nest: for any shard count S ≤ NumSlots, the shard index is
+// Partition(id) & (S-1) — every user of a slot lives in the same core shard,
+// which is what lets a handoff stream filter log records by slot without
+// understanding shards (see TestPartitionNestsShards).
+package keyspace
+
+// NumSlots is the fixed cluster slot count. 256 slots over a handful of
+// nodes keeps per-node ownership granular enough to balance (dozens of
+// slots per node) while a full slot map still fits in one small frame
+// (a 32-byte bitmap, or 256 JSON entries).
+const NumSlots = 256
+
+// slotMask selects the slot bits of a mixed id.
+const slotMask = NumSlots - 1
+
+// Mix64 is the splitmix64 finalizer — the fixed bit-mixer under both the
+// core's shard index and the cluster's slot index.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Partition maps a user id to its slot in [0, NumSlots).
+func Partition(userID uint64) int {
+	return int(Mix64(userID) & slotMask)
+}
+
+// PartitionN maps a user id onto n partitions, where n must be a power of
+// two (every core shard count is). For n ≤ NumSlots the result is derivable
+// from Partition alone: PartitionN(id, n) == Partition(id) & (n-1).
+func PartitionN(userID uint64, n int) int {
+	return int(Mix64(userID) & uint64(n-1))
+}

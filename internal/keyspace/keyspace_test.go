@@ -1,0 +1,62 @@
+package keyspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionNestsShards pins the nesting property the cluster relies on:
+// for any power-of-two partition count n ≤ NumSlots, the n-way partition is
+// the slot masked down — so all users of one slot land in one core shard,
+// and a handoff can move a slot by filtering records per user id.
+func TestPartitionNestsShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 4, 16, 64, 128, 256} {
+		for i := 0; i < 4096; i++ {
+			id := rng.Uint64()
+			if got, want := PartitionN(id, n), Partition(id)&(n-1); got != want {
+				t.Fatalf("PartitionN(%d, %d) = %d, want Partition&mask = %d", id, n, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionRange pins the slot domain and that sequential ids — the
+// registration pattern — spread over many slots instead of clustering.
+func TestPartitionRange(t *testing.T) {
+	seen := make(map[int]bool)
+	for id := uint64(1); id <= 4096; id++ {
+		s := Partition(id)
+		if s < 0 || s >= NumSlots {
+			t.Fatalf("Partition(%d) = %d outside [0, %d)", id, s, NumSlots)
+		}
+		seen[s] = true
+	}
+	if len(seen) < NumSlots*9/10 {
+		t.Fatalf("4096 sequential ids hit only %d of %d slots", len(seen), NumSlots)
+	}
+}
+
+// TestMix64Fixed pins the mixer's exact algorithm: it is a wire contract
+// (the client routes by it, topologies persist slot maps keyed by it), so
+// any change must surface as a compatibility break, not pass as a refactor.
+// The reference is an independent spelling of the splitmix64 finalizer.
+func TestMix64Fixed(t *testing.T) {
+	ref := func(h uint64) uint64 {
+		h = (h ^ (h >> 33)) * 0xff51afd7ed558ccd
+		h = (h ^ (h >> 33)) * 0xc4ceb9fe1a85ec53
+		return h ^ (h >> 33)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, in := range []uint64{0, 1, 2, 12345, ^uint64(0)} {
+		if got, want := Mix64(in), ref(in); got != want {
+			t.Fatalf("Mix64(%#x) = %#x, want %#x", in, got, want)
+		}
+	}
+	for i := 0; i < 1024; i++ {
+		in := rng.Uint64()
+		if got, want := Mix64(in), ref(in); got != want {
+			t.Fatalf("Mix64(%#x) = %#x, want %#x", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package keyspace
+
+// SlotSet is a fixed bitmap over the NumSlots slots — the unit a handoff
+// stream negotiates (one subscribe frame names every slot it moves) and the
+// shape a node's ownership filter takes. The zero value is the empty set.
+type SlotSet [NumSlots / 8]byte
+
+// Add marks slot as a member. Out-of-range slots are ignored.
+func (s *SlotSet) Add(slot int) {
+	if slot < 0 || slot >= NumSlots {
+		return
+	}
+	s[slot/8] |= 1 << (slot % 8)
+}
+
+// Has reports membership. Out-of-range slots are never members.
+func (s *SlotSet) Has(slot int) bool {
+	if slot < 0 || slot >= NumSlots {
+		return false
+	}
+	return s[slot/8]&(1<<(slot%8)) != 0
+}
+
+// Count returns the number of member slots.
+func (s *SlotSet) Count() int {
+	n := 0
+	for slot := 0; slot < NumSlots; slot++ {
+		if s.Has(slot) {
+			n++
+		}
+	}
+	return n
+}
+
+// Slots lists the member slots in ascending order.
+func (s *SlotSet) Slots() []int {
+	out := make([]int, 0, s.Count())
+	for slot := 0; slot < NumSlots; slot++ {
+		if s.Has(slot) {
+			out = append(out, slot)
+		}
+	}
+	return out
+}

@@ -38,6 +38,16 @@ import (
 type ScenarioConfig struct {
 	// BaseURL locates the daemon.
 	BaseURL string
+	// Endpoints lists every node of a multi-node target (replica set or
+	// cluster); empty replays against BaseURL alone. Session workers are
+	// spread round-robin across the endpoints, so reads and writes arrive
+	// at every node even before routing kicks in.
+	Endpoints []string
+	// Cluster enables topology-aware routing in the replay clients: each
+	// user-keyed request goes to the slot owner per /v1/topology, with the
+	// single-hop 421 bounce retry. Without it a multi-endpoint replay
+	// relies on the server-side bounce alone and counts 421s as errors.
+	Cluster bool
 	// Seed derives the population, skew, and every session's content.
 	Seed uint64
 	// Users is the synthetic population size (default Users).
@@ -99,6 +109,9 @@ type sessionPlan struct {
 
 // RunScenario replays the scenario against a live daemon.
 func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	if cfg.BaseURL == "" && len(cfg.Endpoints) > 0 {
+		cfg.BaseURL = cfg.Endpoints[0]
+	}
 	if cfg.BaseURL == "" {
 		return ScenarioResult{}, errors.New("scalebench: scenario needs a base URL")
 	}
@@ -124,9 +137,14 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 
 	plans, topShare := buildSessionPlans(cfg, pop)
 
+	bases := cfg.Endpoints
+	if len(bases) == 0 {
+		bases = []string{cfg.BaseURL}
+	}
 	clients := make([]*spaclient.Client, cfg.Clients)
 	for i := range clients {
-		clients[i] = spaclient.New(cfg.BaseURL, spaclient.Options{Timeout: cfg.Timeout})
+		clients[i] = spaclient.New(bases[i%len(bases)],
+			spaclient.Options{Timeout: cfg.Timeout, Cluster: cfg.Cluster})
 	}
 	if cfg.Register {
 		if err := registerPopulation(clients, cfg.Users); err != nil {

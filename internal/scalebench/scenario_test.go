@@ -1,6 +1,7 @@
 package scalebench
 
 import (
+	"net"
 	"net/http/httptest"
 	"testing"
 
@@ -59,6 +60,72 @@ func TestS6Smoke(t *testing.T) {
 	// well more than a uniform 1/64 share of sessions.
 	if res.Top1PctShare < 2.0/64 {
 		t.Fatalf("replay not skewed: top-1%% share %.3f", res.Top1PctShare)
+	}
+}
+
+// TestScenarioClusterSmoke replays the scenario against a 2-node cluster
+// through the multi-endpoint + topology-routing path the [S9] section
+// uses: every session must land without errors (no unretried 421s), and
+// the population must actually split across both nodes.
+func TestScenarioClusterSmoke(t *testing.T) {
+	ids := []string{"a", "b"}
+	peers := make(map[string]string, len(ids))
+	listeners := make(map[string]net.Listener, len(ids))
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[id] = ln
+		peers[id] = ln.Addr().String()
+	}
+	spas := make(map[string]*core.SPA, len(ids))
+	var endpoints []string
+	for _, id := range ids {
+		spa, err := core.New(core.Options{Shards: 4, Clock: clock.NewSimulated(clock.Epoch)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(spa, server.Options{
+			Pipeline:      true,
+			ClusterNodeID: id,
+			ClusterAddr:   peers[id],
+			ClusterPeers:  peers,
+		})
+		ts := httptest.NewUnstartedServer(srv)
+		ts.Listener.Close()
+		ts.Listener = listeners[id]
+		ts.Start()
+		defer func() {
+			ts.Close()
+			srv.Close()
+			spa.Close()
+		}()
+		spas[id] = spa
+		endpoints = append(endpoints, "http://"+peers[id])
+	}
+
+	res, err := RunScenario(ScenarioConfig{
+		Endpoints: endpoints,
+		Cluster:   true,
+		Seed:      11,
+		Users:     64,
+		Clients:   4,
+		Sessions:  64,
+		Register:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("cluster scenario errors: %+v", res)
+	}
+	if res.Events == 0 || res.ReadOps == 0 {
+		t.Fatalf("replay did not exercise both paths: %+v", res)
+	}
+	na, nb := spas["a"].Users(), spas["b"].Users()
+	if na+nb != 64 || na == 0 || nb == 0 {
+		t.Fatalf("population split %d/%d, want all 64 users spread across both nodes", na, nb)
 	}
 }
 

@@ -163,6 +163,12 @@ func CheckMetricsFormats(baseURL string) error {
 		"spad_knn_rebuilds_total":      float64(m.KNNRebuilds),
 		"spad_read_cache_misses_total": float64(m.ReadCacheMisses),
 		"spad_repl_applied_lsn":        float64(m.ReplAppliedLSN),
+		// The cluster series render on every daemon (zeros outside cluster
+		// mode), so their presence is part of the stable contract.
+		"spad_cluster_epoch":         float64(m.ClusterEpoch),
+		"spad_cluster_slots_owned":   float64(m.ClusterSlotsOwned),
+		"spad_cluster_bounces_total": float64(m.ClusterBounces),
+		"spad_slot_moves_total":      float64(m.SlotMoves),
 	}
 	if m.SnapshotEpoch < 1 {
 		return fmt.Errorf("scalebench: snapshot_epoch %d, want >= 1 on a live core", m.SnapshotEpoch)

@@ -314,8 +314,33 @@ func leaderHostPort(addr string) (string, error) {
 // HTTP upgrade on wire.ReplPath, the leader's hello, then the subscribe.
 // The returned connection has no deadline armed.
 func dialRepl(leaderAddr string, fromLSN uint64, window int) (net.Conn, *bufio.Reader, *bufio.Writer, wire.StreamHello, error) {
+	conn, br, bw, hello, err := dialUpgrade(leaderAddr)
+	if err != nil {
+		return nil, nil, nil, hello, err
+	}
+	if err := wire.WriteStreamFrame(bw, wire.EncodeReplSubscribe(wire.ReplSubscribe{
+		FromLSN: fromLSN,
+		Window:  window,
+	})); err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, nil, hello, err
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, br, bw, hello, nil
+}
+
+// dialUpgrade connects to a peer's replication endpoint and completes the
+// transport handshake — TCP dial, HTTP upgrade on wire.ReplPath, the
+// peer's hello — leaving the protocol's opening frame (replication or
+// handoff subscribe) to the caller. The dial deadline is still armed on
+// return; the caller clears it after writing its first frame.
+func dialUpgrade(peerAddr string) (net.Conn, *bufio.Reader, *bufio.Writer, wire.StreamHello, error) {
 	var hello wire.StreamHello
-	addr, err := leaderHostPort(leaderAddr)
+	addr, err := leaderHostPort(peerAddr)
 	if err != nil {
 		return nil, nil, nil, hello, err
 	}
@@ -360,20 +385,7 @@ func dialRepl(leaderAddr string, fromLSN uint64, window int) (net.Conn, *bufio.R
 		conn.Close()
 		return nil, nil, nil, hello, fmt.Errorf("server: decoding replication hello: %w", err)
 	}
-	bw := bufio.NewWriter(conn)
-	if err := wire.WriteStreamFrame(bw, wire.EncodeReplSubscribe(wire.ReplSubscribe{
-		FromLSN: fromLSN,
-		Window:  window,
-	})); err != nil {
-		conn.Close()
-		return nil, nil, nil, hello, err
-	}
-	if err := bw.Flush(); err != nil {
-		conn.Close()
-		return nil, nil, nil, hello, err
-	}
-	conn.SetDeadline(time.Time{})
-	return conn, br, bw, hello, nil
+	return conn, br, bufio.NewWriter(conn), hello, nil
 }
 
 // BootstrapFollower prepares a follower's data directory before its core

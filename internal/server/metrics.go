@@ -46,6 +46,14 @@ type metrics struct {
 	// tags group commits with (1-based; 0 means "no wave").
 	waveSeq atomic.Uint64
 
+	// Cluster mode (cluster.go). clusterBounces counts requests answered
+	// 421 because another node owns the user's slot; slotMoves counts
+	// slots this node shipped or acquired through handoffs. Both stay
+	// zero outside cluster mode but always render, so the metric key set
+	// is deployment-independent.
+	clusterBounces atomic.Uint64
+	slotMoves      atomic.Uint64
+
 	// replSnapshotBytes counts snapshot bytes this process moved for
 	// replication: chunk frames shipped to bootstrapping followers on a
 	// leader, or the restored bootstrap size on a follower (seeded from
@@ -73,6 +81,7 @@ var endpointNames = []string{
 	"register", "ingest", "question", "answer", "reward", "punish",
 	"propensity", "sensibilities", "advice", "recommend", "select_top",
 	"healthz", "readyz", "metrics", "debug_waves", "replication_status",
+	"topology", "handoff",
 }
 
 // waveRingSize is how many wave traces /debug/waves retains.

@@ -93,6 +93,14 @@ func writePromMetrics(w io.Writer, m wire.Metrics) error {
 			Samples: []obs.PromSample{{Value: float64(m.ReplFollowers)}}},
 		{Name: "spad_repl_snapshot_bytes_total", Help: "Snapshot bytes moved for replication (shipped on a leader, restored on a follower).", Type: "counter",
 			Samples: []obs.PromSample{{Value: float64(m.ReplSnapshotBytes)}}},
+		{Name: "spad_cluster_epoch", Help: "Topology epoch this node serves under (0 outside cluster mode).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.ClusterEpoch)}}},
+		{Name: "spad_cluster_slots_owned", Help: "Keyspace slots this node currently owns (0 outside cluster mode).", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(m.ClusterSlotsOwned)}}},
+		{Name: "spad_cluster_bounces_total", Help: "Requests bounced 421 to the owning node.", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.ClusterBounces)}}},
+		{Name: "spad_slot_moves_total", Help: "Slots moved through handoffs (shipped or acquired).", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(m.SlotMoves)}}},
 	}
 	if fam, ok := histFamily("spad_stage_duration_seconds",
 		"Pipeline stage latency (decode, queue, gather, prepare, commit, wal_sync, compaction, repl_apply).",

@@ -256,9 +256,22 @@ func (s *Server) serveRepl(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 
 	// The subscribe must be the follower's first and only unsolicited
 	// frame; bound the wait so a silent connection cannot pin a session.
+	// The frame kind picks the protocol: a replication subscribe starts a
+	// follower stream, a handoff subscribe starts a slot transfer
+	// (handoff.go) over the same transport.
 	conn.SetReadDeadline(time.Now().Add(replWriteTimeout))
 	frame, err := wire.ReadStreamFrame(br, replAckFrameMax)
 	if err != nil {
+		return
+	}
+	if kind, kerr := wire.FrameKind(frame); kerr == nil && kind == wire.KindHandoffSubscribe {
+		hs, err := wire.DecodeHandoffSubscribe(frame)
+		if err != nil {
+			sess.sendError(http.StatusBadRequest, err)
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		s.serveHandoff(sess, br, hs)
 		return
 	}
 	sub, err := wire.DecodeReplSubscribe(frame)
@@ -363,11 +376,21 @@ func (sess *replSession) sendSnapshot() (resumeFrom uint64, err error) {
 		sess.sendError(http.StatusInternalServerError, err)
 		return 0, err
 	}
+	if err := sess.sendSnapshotPairs(pairs, snapLSN); err != nil {
+		return 0, err
+	}
+	return snapLSN + 1, nil
+}
+
+// sendSnapshotPairs ships an already-exported pair set as the snapshot
+// begin/chunk/end sequence — shared by full-state follower bootstraps and
+// slot-filtered handoff bootstraps.
+func (sess *replSession) sendSnapshotPairs(pairs []store.LogEntry, snapLSN uint64) error {
 	if err := sess.writeFrames(wire.EncodeReplSnapshotBegin(wire.ReplSnapshotBegin{
 		SnapshotLSN: snapLSN,
 		Pairs:       uint64(len(pairs)),
 	})); err != nil {
-		return 0, err
+		return err
 	}
 	var chunk []wire.ReplEntry
 	var chunkBytes int
@@ -385,17 +408,14 @@ func (sess *replSession) sendSnapshot() (resumeFrom uint64, err error) {
 		chunkBytes += len(p.Key) + len(p.Value)
 		if chunkBytes >= replSnapshotChunkBytes {
 			if err := flush(); err != nil {
-				return 0, err
+				return err
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return 0, err
+		return err
 	}
-	if err := sess.writeFrames(wire.EncodeReplSnapshotEnd(snapLSN)); err != nil {
-		return 0, err
-	}
-	return snapLSN + 1, nil
+	return sess.writeFrames(wire.EncodeReplSnapshotEnd(snapLSN))
 }
 
 // readAcks is the session's read side: cumulative acks reopen the wave
@@ -501,6 +521,10 @@ func (s *Server) drainRepls() {
 // disagree about a scrape.
 func (s *Server) replicationStatus() wire.ReplicationStatus {
 	st := wire.ReplicationStatus{Role: "none"}
+	if s.cluster != nil {
+		st.NodeID = s.cluster.nodeID
+		st.TopologyEpoch = s.cluster.epochNow()
+	}
 	applied, durable := s.spa.AppliedLSN()
 	st.AppliedLSN = applied
 	if floor, ok := s.spa.LogFloor(); ok {

@@ -103,6 +103,23 @@ type Options struct {
 	// the size of the snapshot BootstrapFollower restored before the core
 	// opened, so the follower's metrics account for its own bootstrap.
 	FollowerBootstrapBytes int64
+
+	// ClusterNodeID makes this server a cluster node (cluster.go): it
+	// serves only the keyspace slots it owns, bounces the rest with
+	// 421 + X-SPA-Owner, exposes the slot map on /v1/topology, and takes
+	// part in shard handoffs (spad -cluster). Mutually exclusive with
+	// FollowerOf: a node is either a partition owner or a read replica.
+	ClusterNodeID string
+	// ClusterAddr is this node's advertised host:port — the address peers
+	// and bounced clients are told to dial. Required with ClusterNodeID.
+	ClusterAddr string
+	// ClusterPeers maps peer node IDs to their advertised addresses
+	// (spad -peers id=addr,...). The deterministic epoch-1 slot map
+	// round-robins over the sorted IDs of peers ∪ self.
+	ClusterPeers map[string]string
+	// ClusterDir persists topology.json across restarts (usually the data
+	// dir); empty keeps the map in memory only.
+	ClusterDir string
 }
 
 // Server is the spad request handler. Create with New, serve with any
@@ -138,6 +155,10 @@ type Server struct {
 	replMu        sync.Mutex
 	repls         map[*replSession]struct{}
 	replsDraining bool
+
+	// Cluster mode (cluster.go): slot ownership, topology, write fence.
+	// nil on standalone and follower servers.
+	cluster *cluster
 }
 
 // New wires the handler around an opened SPA. The caller keeps ownership of
@@ -200,7 +221,13 @@ func New(spa *core.SPA, opts Options) *Server {
 	// hijacked connection outlives the "request".
 	s.mux.HandleFunc("GET "+wire.ReplPath, s.handleReplStream)
 	s.mux.HandleFunc("GET /v1/replication/status", s.handle("replication_status", s.handleReplStatus))
+	s.mux.HandleFunc("GET "+wire.TopologyPath, s.handle("topology", s.handleTopology))
+	s.mux.HandleFunc("POST "+wire.HandoffPath, s.handle("handoff", s.handleHandoff))
 	s.met.replSnapshotBytes.Store(opts.FollowerBootstrapBytes)
+	if opts.ClusterNodeID != "" {
+		s.cluster = newCluster(s, opts.ClusterNodeID, opts.ClusterAddr, opts.ClusterPeers, opts.ClusterDir)
+		go s.cluster.gossipLoop()
+	}
 	if opts.FollowerOf != "" {
 		leader, err := leaderHostPort(opts.FollowerOf)
 		if err != nil {
@@ -302,6 +329,9 @@ func (s *Server) Close() {
 	s.BeginDrain()
 	if s.follower != nil {
 		s.follower.stopWait()
+	}
+	if s.cluster != nil {
+		s.cluster.stopWait()
 	}
 	s.drainStreams()
 	s.drainRepls()
@@ -419,6 +449,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("zero user id"))
 		return
 	}
+	release, ok := s.admitClusterWrite(w, req.UserID)
+	if !ok {
+		return
+	}
+	defer release()
 	if err := s.spa.Register(req.UserID, req.Objective); err != nil {
 		// Duplicate → 409; anything else (store write failure) is ours.
 		s.writeDomainError(w, err)
@@ -467,6 +502,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// both framings — the successful ones; a 400/413 never reaches here.
 	s.met.obs().stage("decode", time.Since(decodeStart))
 	s.met.ingestRequests.Add(1)
+	// Cluster ownership covers every user in the batch, and the guard is
+	// held through the commit (submit waits for it): an acked write to an
+	// owned slot is durably logged before any handoff fence barrier passes.
+	release, ok := s.admitClusterWrite(w, ingestUserIDs(events)...)
+	if !ok {
+		return
+	}
+	defer release()
 
 	var (
 		out    core.IngestOutcome
@@ -520,6 +563,9 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.bounceMisowned(w, id) {
+		return
+	}
 	item, err := s.spa.NextQuestion(id)
 	if err != nil {
 		s.writeDomainError(w, err)
@@ -540,6 +586,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	release, ok := s.admitClusterWrite(w, id)
+	if !ok {
+		return
+	}
+	defer release()
 	var req wire.AnswerRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -566,6 +617,11 @@ func (s *Server) handleReinforce(reward bool) http.HandlerFunc {
 		if !ok {
 			return
 		}
+		release, ok := s.admitClusterWrite(w, id)
+		if !ok {
+			return
+		}
+		defer release()
 		var req wire.AttributesRequest
 		if !s.decode(w, r, &req) {
 			return
@@ -593,6 +649,9 @@ func (s *Server) handlePropensity(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.bounceMisowned(w, id) {
+		return
+	}
 	p, err := s.spa.Propensity(id)
 	if err != nil {
 		s.writeDomainError(w, err)
@@ -604,6 +663,9 @@ func (s *Server) handlePropensity(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSensibilities(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.userID(w, r)
 	if !ok {
+		return
+	}
+	if s.bounceMisowned(w, id) {
 		return
 	}
 	sens, err := s.spa.Sensibilities(id)
@@ -621,6 +683,9 @@ func (s *Server) handleSensibilities(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.userID(w, r)
 	if !ok {
+		return
+	}
+	if s.bounceMisowned(w, id) {
 		return
 	}
 	domain := r.URL.Query().Get("domain")
@@ -642,6 +707,9 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.userID(w, r)
 	if !ok {
+		return
+	}
+	if s.bounceMisowned(w, id) {
 		return
 	}
 	n := 10
@@ -669,6 +737,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSelectTop ranks this node's resident users. In cluster mode that
+// is deliberately node-local: a global top-k would need a scatter-gather
+// over every owner, and the endpoint's contract ("rank the users this
+// instance models") already matches the partitioned reality.
 func (s *Server) handleSelectTop(w http.ResponseWriter, r *http.Request) {
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
 	if err != nil || k < 1 {
@@ -782,6 +854,15 @@ func (s *Server) snapshotMetrics() wire.Metrics {
 		m.ReplFollowers = len(rst.Followers)
 		m.ReplSnapshotBytes = rst.SnapshotBytes
 	}
+	// The cluster series render on every node — zeros outside cluster mode
+	// — so dashboards and the -check-metrics stable map never see the key
+	// set change with deployment shape.
+	if s.cluster != nil {
+		m.ClusterEpoch = s.cluster.epochNow()
+		m.ClusterSlotsOwned = s.cluster.slotsOwned()
+	}
+	m.ClusterBounces = s.met.clusterBounces.Load()
+	m.SlotMoves = s.met.slotMoves.Load()
 	ob := s.met.obs()
 	m.StageBoundsNanos = obs.BoundsNanos()
 	m.Stages = make(map[string]wire.Histogram, len(stageNames))

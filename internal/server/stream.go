@@ -296,16 +296,29 @@ loop:
 			}
 			events := wire.ToEvents(wevents)
 			s.met.obs().stage("decode", time.Since(decodeStart))
+			// Cluster ownership check. Unlike the HTTP path the guard is
+			// released after ENQUEUE, not commit — the responder, not this
+			// reader, waits out the commit, and blocking the reader on it
+			// would serialize the stream. A handoff fence closes that gap
+			// with a coalescer sentinel flush (handoff.go) that drains
+			// everything enqueued before the barrier.
+			release, refuse := s.admitStreamWrite(events)
+			if refuse != nil {
+				sess.pending <- streamPending{frame: refuse}
+				continue
+			}
 			job := &ingestJob{events: events, done: make(chan ingestDone, 1)}
 			if s.co == nil {
 				out := s.spa.MultiIngest([][]lifelog.Event{events})[0]
 				s.met.noteCommit(1, len(events))
 				job.done <- ingestDone{outcome: out, merged: 1}
 			} else if err := s.co.enqueueWait(context.Background(), job); err != nil {
+				release()
 				sess.pending <- streamPending{frame: wire.EncodeStreamError(
 					http.StatusServiceUnavailable, err.Error())}
 				continue
 			}
+			release()
 			sess.pending <- streamPending{job: job}
 		case wire.KindStreamDrain:
 			// Client is done sending; answer what we have and close.

@@ -48,6 +48,13 @@ type Options struct {
 	// follower may report and still serve this client's reads. Zero
 	// demands a follower that reported no lag at its last status poll.
 	MaxStalenessWaves uint64
+	// Cluster enables topology-aware routing (topology.go): the client
+	// fetches the slot map from BaseURL's /v1/topology, routes user-keyed
+	// requests to the owning node, splits Ingest batches by owner, and on
+	// a 421 bounce retries once against the owner the server named. User
+	// reads then follow the topology, not ReadFrom. Harmless against a
+	// standalone daemon: with no topology everything stays on BaseURL.
+	Cluster bool
 }
 
 // Client talks to one spad instance. Safe for concurrent use.
@@ -61,6 +68,9 @@ type Client struct {
 	replicas []*replica
 	maxStale uint64
 	rr       atomic.Uint64
+
+	// Cluster routing (topology.go); nil outside cluster mode.
+	cluster *clusterRouter
 }
 
 // New creates a client for the daemon at baseURL (e.g.
@@ -90,6 +100,9 @@ func New(baseURL string, opts Options) *Client {
 	for _, base := range opts.ReadFrom {
 		c.replicas = append(c.replicas, &replica{base: strings.TrimRight(base, "/")})
 	}
+	if opts.Cluster {
+		c.cluster = &clusterRouter{}
+	}
 	return c
 }
 
@@ -99,6 +112,9 @@ type APIError struct {
 	Status     int
 	Message    string
 	RetryAfter time.Duration
+	// Owner is the wire.OwnerHeader of a 421 cluster bounce: the host:port
+	// of the node that owns the request's user slot (empty otherwise).
+	Owner string
 }
 
 // Error implements error.
@@ -142,6 +158,7 @@ func apiError(resp *http.Response, raw []byte) *APIError {
 		apiErr.Message = strings.TrimSpace(string(raw))
 	}
 	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+	apiErr.Owner = resp.Header.Get(wire.OwnerHeader)
 	return apiErr
 }
 
@@ -191,16 +208,42 @@ func userPath(userID uint64, leaf string) string {
 
 // Register creates a Smart User Model.
 func (c *Client) Register(userID uint64, objective []float64) error {
-	return c.do("POST", "/v1/users", wire.RegisterRequest{UserID: userID, Objective: objective}, nil)
+	return c.doUser(userID, "POST", "/v1/users", wire.RegisterRequest{UserID: userID, Objective: objective}, nil)
 }
 
 // Ingest submits one event batch and returns the server's outcome. It
 // prefers the binary framing (the hot path skips JSON encode/decode
 // entirely); a 415 flips this client to JSON permanently and the batch is
-// retried transparently, so callers never see the negotiation.
+// retried transparently, so callers never see the negotiation. In cluster
+// mode the batch is split by owning node (one request per owner, counts
+// summed); a group that fails mid-batch returns the error with the totals
+// of the groups already committed.
 func (c *Client) Ingest(events []lifelog.Event) (wire.IngestResponse, error) {
+	if c.cluster == nil {
+		return c.ingestAt(c.base, events)
+	}
+	groups := c.splitByOwner(events)
+	if len(groups) == 0 {
+		// Empty batches keep the single-node semantics (server answers
+		// processed: 0) rather than short-circuiting client-side.
+		return c.ingestRouted(ingestGroup{base: c.base})
+	}
+	var total wire.IngestResponse
+	for _, g := range groups {
+		resp, err := c.ingestRouted(g)
+		mergeIngest(&total, resp)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ingestAt runs one ingest round-trip against an explicit base, with the
+// binary-then-JSON negotiation.
+func (c *Client) ingestAt(base string, events []lifelog.Event) (wire.IngestResponse, error) {
 	if !c.jsonOnly.Load() {
-		resp, err := c.ingestBinary(events)
+		resp, err := c.ingestBinary(base, events)
 		var apiErr *APIError
 		if err == nil || !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnsupportedMediaType {
 			return resp, err
@@ -210,14 +253,14 @@ func (c *Client) Ingest(events []lifelog.Event) (wire.IngestResponse, error) {
 		c.jsonOnly.Store(true)
 	}
 	var resp wire.IngestResponse
-	err := c.do("POST", "/v1/ingest", wire.IngestRequest{Events: wire.FromEvents(events)}, &resp)
+	err := c.doAt(base, "POST", "/v1/ingest", wire.IngestRequest{Events: wire.FromEvents(events)}, &resp)
 	return resp, err
 }
 
 // ingestBinary runs one binary-framed ingest round-trip.
-func (c *Client) ingestBinary(events []lifelog.Event) (wire.IngestResponse, error) {
+func (c *Client) ingestBinary(base string, events []lifelog.Event) (wire.IngestResponse, error) {
 	frame := wire.EncodeIngestRequest(wire.FromEvents(events))
-	req, err := http.NewRequest("POST", c.base+"/v1/ingest", bytes.NewReader(frame))
+	req, err := http.NewRequest("POST", base+"/v1/ingest", bytes.NewReader(frame))
 	if err != nil {
 		return wire.IngestResponse{}, err
 	}
@@ -252,29 +295,29 @@ func (c *Client) ingestBinary(events []lifelog.Event) (wire.IngestResponse, erro
 // NextQuestion fetches the user's next Gradual EIT item.
 func (c *Client) NextQuestion(userID uint64) (wire.Question, error) {
 	var q wire.Question
-	err := c.do("GET", userPath(userID, "question"), nil, &q)
+	err := c.doUser(userID, "GET", userPath(userID, "question"), nil, &q)
 	return q, err
 }
 
 // SubmitAnswer applies a Gradual EIT answer.
 func (c *Client) SubmitAnswer(userID uint64, itemID, option int) error {
-	return c.do("POST", userPath(userID, "answer"), wire.AnswerRequest{ItemID: itemID, Option: option}, nil)
+	return c.doUser(userID, "POST", userPath(userID, "answer"), wire.AnswerRequest{ItemID: itemID, Option: option}, nil)
 }
 
 // Reward applies positive reinforcement for the named attributes.
 func (c *Client) Reward(userID uint64, attributes []string) error {
-	return c.do("POST", userPath(userID, "reward"), wire.AttributesRequest{Attributes: attributes}, nil)
+	return c.doUser(userID, "POST", userPath(userID, "reward"), wire.AttributesRequest{Attributes: attributes}, nil)
 }
 
 // Punish applies negative reinforcement for the named attributes.
 func (c *Client) Punish(userID uint64, attributes []string) error {
-	return c.do("POST", userPath(userID, "punish"), wire.AttributesRequest{Attributes: attributes}, nil)
+	return c.doUser(userID, "POST", userPath(userID, "punish"), wire.AttributesRequest{Attributes: attributes}, nil)
 }
 
 // Propensity returns the user's calibrated response probability.
 func (c *Client) Propensity(userID uint64) (float64, error) {
 	var resp wire.PropensityResponse
-	err := c.doRead(userPath(userID, "propensity"), &resp)
+	err := c.doUserRead(userID, userPath(userID, "propensity"), &resp)
 	return resp.Propensity, err
 }
 
@@ -282,25 +325,27 @@ func (c *Client) Propensity(userID uint64) (float64, error) {
 // attribute name.
 func (c *Client) Sensibilities(userID uint64) (map[string]float64, error) {
 	var resp wire.SensibilitiesResponse
-	err := c.doRead(userPath(userID, "sensibilities"), &resp)
+	err := c.doUserRead(userID, userPath(userID, "sensibilities"), &resp)
 	return resp.Sensibilities, err
 }
 
 // Advise returns the SUM advice-stage excitation vector for a domain.
 func (c *Client) Advise(userID uint64, domain string) (wire.AdviceResponse, error) {
 	var resp wire.AdviceResponse
-	err := c.doRead(userPath(userID, "advice")+"?domain="+url.QueryEscape(domain), &resp)
+	err := c.doUserRead(userID, userPath(userID, "advice")+"?domain="+url.QueryEscape(domain), &resp)
 	return resp, err
 }
 
 // Recommend returns the top-n individualized actions.
 func (c *Client) Recommend(userID uint64, n int) ([]wire.Recommendation, error) {
 	var resp wire.RecommendResponse
-	err := c.doRead(fmt.Sprintf("%s?n=%d", userPath(userID, "recommendations"), n), &resp)
+	err := c.doUserRead(userID, fmt.Sprintf("%s?n=%d", userPath(userID, "recommendations"), n), &resp)
 	return resp.Recommendations, err
 }
 
-// SelectTop returns the k users with the highest propensity.
+// SelectTop returns the k users with the highest propensity. In cluster
+// mode the answer is node-local (the daemon scans only users it owns);
+// a cluster-wide top-k is the caller's merge across nodes.
 func (c *Client) SelectTop(k int) ([]uint64, error) {
 	var resp wire.SelectTopResponse
 	err := c.doRead("/v1/select-top?k="+strconv.Itoa(k), &resp)

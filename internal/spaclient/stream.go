@@ -61,6 +61,17 @@ var ErrIngesterClosed = errors.New("spaclient: stream ingester closed")
 type StreamIngester struct {
 	c    *Client
 	opts StreamOptions
+	base string // pinned dial target (base URL); empty dials the client's base
+
+	// Cluster mode (topology.go): a routed parent never dials itself — it
+	// splits each batch by owning node and multiplexes the groups over one
+	// pinned child stream per node. An explicit StreamOptions.Addr opts
+	// out: the caller named a socket, so every frame goes there.
+	routed  bool
+	childMu sync.Mutex
+	// children maps base URL → pinned stream; nil after Close, which is
+	// what makes a racing Ingest fail instead of resurrecting a child.
+	children map[string]*StreamIngester
 
 	// dialMu serializes (re)dials and is held across the connect +
 	// handshake. It is separate from mu so a slow dial — bounded only by
@@ -75,7 +86,8 @@ type StreamIngester struct {
 
 // Stream creates a streamed ingester over the client's daemon. The
 // connection is dialed lazily on the first Ingest and redialed after
-// failures; Close it to release the connection.
+// failures; Close it to release the connection. In cluster mode the
+// ingester keeps one stream per node and routes each batch by slot owner.
 func (c *Client) Stream(opts StreamOptions) *StreamIngester {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 10 * time.Second
@@ -87,7 +99,12 @@ func (c *Client) Stream(opts StreamOptions) *StreamIngester {
 			opts.Timeout = 30 * time.Second
 		}
 	}
-	return &StreamIngester{c: c, opts: opts}
+	si := &StreamIngester{c: c, opts: opts}
+	if c.cluster != nil && opts.Addr == "" {
+		si.routed = true
+		si.children = make(map[string]*StreamIngester)
+	}
+	return si
 }
 
 // streamCall is one in-flight frame awaiting its in-order answer. done is
@@ -125,8 +142,63 @@ type streamState struct {
 
 // Ingest ships one event batch over the stream and returns its in-order
 // answer. Stream-level errors carry the same *APIError statuses the HTTP
-// path produces, so retry/backoff policies compose unchanged.
+// path produces, so retry/backoff policies compose unchanged. In cluster
+// mode the batch is split by owning node, each group riding that node's
+// pinned stream.
 func (si *StreamIngester) Ingest(events []lifelog.Event) (wire.IngestResponse, error) {
+	if si.routed {
+		return si.ingestRouted(events)
+	}
+	return si.ingestDirect(events)
+}
+
+// ingestRouted fans a batch out across the per-node streams. A 421 from a
+// stream carries no owner address (frames have no headers), so a bounced
+// group refreshes the map and re-sends once over the client's per-request
+// HTTP path, whose own bounce retry is single-hop — two bounded hops
+// total, never a loop.
+func (si *StreamIngester) ingestRouted(events []lifelog.Event) (wire.IngestResponse, error) {
+	groups := si.c.splitByOwner(events)
+	if len(groups) == 0 {
+		groups = []ingestGroup{{base: si.c.base}}
+	}
+	var total wire.IngestResponse
+	for _, g := range groups {
+		child, err := si.child(g.base)
+		if err != nil {
+			return total, err
+		}
+		resp, err := child.ingestDirect(g.events)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusMisdirectedRequest {
+			si.c.cluster.invalidate()
+			resp, err = si.c.Ingest(g.events)
+		}
+		mergeIngest(&total, resp)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// child returns the pinned stream for one node, creating it on first use.
+func (si *StreamIngester) child(base string) (*StreamIngester, error) {
+	si.childMu.Lock()
+	defer si.childMu.Unlock()
+	if si.children == nil {
+		return nil, ErrIngesterClosed
+	}
+	st := si.children[base]
+	if st == nil {
+		st = &StreamIngester{c: si.c, opts: si.opts, base: base}
+		si.children[base] = st
+	}
+	return st, nil
+}
+
+// ingestDirect runs one batch over this ingester's own connection.
+func (si *StreamIngester) ingestDirect(events []lifelog.Event) (wire.IngestResponse, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		st, fallback, err := si.state()
@@ -150,6 +222,17 @@ func (si *StreamIngester) Ingest(events []lifelog.Event) (wire.IngestResponse, e
 // outstanding and close, then releases the connection. Further Ingest
 // calls fail with ErrIngesterClosed.
 func (si *StreamIngester) Close() error {
+	if si.routed {
+		// Detach the child map first — a racing Ingest then fails in
+		// child() instead of resurrecting a stream — and drain each child.
+		si.childMu.Lock()
+		children := si.children
+		si.children = nil
+		si.childMu.Unlock()
+		for _, st := range children {
+			st.Close()
+		}
+	}
 	si.mu.Lock()
 	if si.closed {
 		si.mu.Unlock()
@@ -263,7 +346,11 @@ func (si *StreamIngester) dial() (*streamState, error) {
 	host := addr
 	upgrade := addr == ""
 	if upgrade {
-		u, err := url.Parse(si.c.base)
+		base := si.base
+		if base == "" {
+			base = si.c.base
+		}
+		u, err := url.Parse(base)
 		if err != nil {
 			return nil, fmt.Errorf("spaclient: parsing base URL: %w", err)
 		}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/keyspace"
+)
+
+// testHandoffSubscribe builds a representative valid subscribe; shared
+// with repl_test.go's dispatch, fuzz, and truncation coverage.
+func testHandoffSubscribe() HandoffSubscribe {
+	h := HandoffSubscribe{Window: 32, NodeID: "node-b", Addr: "127.0.0.1:9102"}
+	h.Slots.Add(0)
+	h.Slots.Add(17)
+	h.Slots.Add(keyspace.NumSlots - 1)
+	return h
+}
+
+func TestHandoffSubscribeRoundTrip(t *testing.T) {
+	in := testHandoffSubscribe()
+	got, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots != in.Slots || got.Window != in.Window || got.NodeID != in.NodeID || got.Addr != in.Addr {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+
+	empty := in
+	empty.Slots = keyspace.SlotSet{}
+	if _, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(empty)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty slot set accepted: %v", err)
+	}
+	noWindow := in
+	noWindow.Window = 0
+	if _, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(noWindow)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("window 0 accepted: %v", err)
+	}
+	bigWindow := in
+	bigWindow.Window = MaxStreamCredit + 1
+	if _, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(bigWindow)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized window accepted: %v", err)
+	}
+	noNode := in
+	noNode.NodeID = ""
+	if _, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(noNode)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty node id accepted: %v", err)
+	}
+	noAddr := in
+	noAddr.Addr = ""
+	if _, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(noAddr)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty addr accepted: %v", err)
+	}
+	longID := in
+	for len(longID.NodeID) <= maxHandoffString {
+		longID.NodeID += "x"
+	}
+	if _, err := DecodeHandoffSubscribe(EncodeHandoffSubscribe(longID)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized node id accepted: %v", err)
+	}
+}
+
+func TestHandoffCommitRoundTrip(t *testing.T) {
+	got, err := DecodeHandoffCommit(EncodeHandoffCommit(HandoffCommit{LSN: 9001, Epoch: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != 9001 || got.Epoch != 4 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// LSN 0 is legal (the source log held nothing for the moving slots);
+	// epoch 0 is not (epochs start at 1).
+	if _, err := DecodeHandoffCommit(EncodeHandoffCommit(HandoffCommit{LSN: 0, Epoch: 1})); err != nil {
+		t.Fatalf("lsn 0 rejected: %v", err)
+	}
+	if _, err := DecodeHandoffCommit(EncodeHandoffCommit(HandoffCommit{LSN: 1, Epoch: 0})); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("epoch 0 accepted: %v", err)
+	}
+	// The handoff kinds must not cross-decode.
+	if _, err := DecodeHandoffCommit(EncodeHandoffSubscribe(testHandoffSubscribe())); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("subscribe decoded as commit: %v", err)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	slots := make([]string, keyspace.NumSlots)
+	for i := range slots {
+		if i%2 == 0 {
+			slots[i] = "a"
+		} else {
+			slots[i] = "b"
+		}
+	}
+	topo := Topology{
+		Epoch:  1,
+		NodeID: "a",
+		Nodes:  map[string]string{"a": "127.0.0.1:9101", "b": "127.0.0.1:9102"},
+		Slots:  slots,
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := topo
+	bad.Epoch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("epoch 0 accepted")
+	}
+	bad = topo
+	bad.Slots = slots[:100]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short slot vector accepted")
+	}
+	bad = topo
+	bad.Slots = append([]string(nil), slots...)
+	bad.Slots[7] = "ghost"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("slot owned by unknown node accepted")
+	}
+}

@@ -121,6 +121,8 @@ func TestReplFrameKindsDispatch(t *testing.T) {
 		KindReplSnapshotEnd:   EncodeReplSnapshotEnd(1),
 		KindReplAck:           EncodeReplAck(1),
 		KindReplHeartbeat:     EncodeReplHeartbeat(1),
+		KindHandoffSubscribe:  EncodeHandoffSubscribe(testHandoffSubscribe()),
+		KindHandoffCommit:     EncodeHandoffCommit(HandoffCommit{LSN: 1, Epoch: 1}),
 	}
 	for want, frame := range frames {
 		kind, err := FrameKind(frame)
@@ -155,6 +157,10 @@ func decodeAnyReplFrame(frame []byte) {
 		DecodeReplAck(frame)
 	case KindReplHeartbeat:
 		DecodeReplHeartbeat(frame)
+	case KindHandoffSubscribe:
+		DecodeHandoffSubscribe(frame)
+	case KindHandoffCommit:
+		DecodeHandoffCommit(frame)
 	}
 }
 
@@ -169,6 +175,8 @@ func FuzzDecodeReplFrame(f *testing.F) {
 	f.Add(EncodeReplSnapshotEnd(3))
 	f.Add(EncodeReplAck(3))
 	f.Add(EncodeReplHeartbeat(4))
+	f.Add(EncodeHandoffSubscribe(testHandoffSubscribe()))
+	f.Add(EncodeHandoffCommit(HandoffCommit{LSN: 12, Epoch: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeAnyReplFrame(data)
 	})
@@ -184,6 +192,7 @@ func TestDecodeReplTruncations(t *testing.T) {
 			{Key: []byte("key-two"), Tombstone: true},
 		}}),
 		EncodeReplSnapshotChunk([]ReplEntry{{Key: []byte("key"), Value: []byte("value")}}),
+		EncodeHandoffSubscribe(testHandoffSubscribe()),
 	}
 	for _, frame := range frames {
 		kind, err := FrameKind(frame)
@@ -200,6 +209,8 @@ func TestDecodeReplTruncations(t *testing.T) {
 				_, derr = DecodeReplWave(truncated)
 			case KindReplSnapshotChunk:
 				_, derr = DecodeReplSnapshotChunk(truncated)
+			case KindHandoffSubscribe:
+				_, derr = DecodeHandoffSubscribe(truncated)
 			}
 			if derr == nil {
 				t.Fatalf("kind %#x truncated at %d/%d decoded cleanly", kind, cut, len(frame))

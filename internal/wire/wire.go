@@ -226,6 +226,12 @@ type ReplicationStatus struct {
 
 	// Leader-only: one entry per live replication session.
 	Followers []ReplFollowerStatus `json:"followers,omitempty"`
+
+	// Cluster-only: this node's id and the topology epoch it is serving
+	// under, so an operator can tell from one status body whether the
+	// cluster has converged on a map.
+	NodeID        string `json:"node_id,omitempty"`
+	TopologyEpoch uint64 `json:"topology_epoch,omitempty"`
 }
 
 // Histogram is the wire form of one obs latency histogram: per-bucket
@@ -339,6 +345,17 @@ type Metrics struct {
 	ReplLagWaves      uint64 `json:"repl_lag_waves"`
 	ReplFollowers     int    `json:"repl_followers"`
 	ReplSnapshotBytes int64  `json:"repl_snapshot_bytes"`
+
+	// Cluster mode (DESIGN.md §10). All four stay zero on a non-cluster
+	// node, so the series are always present. ClusterEpoch is the current
+	// topology epoch; ClusterSlotsOwned the slots this node owns;
+	// ClusterBounces counts requests refused with 421 because another node
+	// owns the user's slot; SlotMoves counts slots this node has acquired
+	// via handoff.
+	ClusterEpoch      uint64 `json:"cluster_epoch"`
+	ClusterSlotsOwned int    `json:"cluster_slots_owned"`
+	ClusterBounces    uint64 `json:"cluster_bounces"`
+	SlotMoves         uint64 `json:"slot_moves"`
 
 	// Stage-latency histograms (internal/obs). StageBoundsNanos is the
 	// bucket upper-bound vector shared by every histogram below. Stages is
