@@ -15,9 +15,18 @@ package server
 //     -peers flag with no coordination.
 //   - Every ownership change (a shard handoff, handoff.go) bumps the epoch
 //     exactly once, on the handoff source, and the new map reaches the
-//     target in the handoff-commit frame. Everyone else learns it by
-//     gossip: each node polls its peers' /v1/topology a few times a second
-//     and adopts any validated map with a higher epoch than its own.
+//     target in the handoff-commit frame. Before minting, the source
+//     adopts the target's current map (syncWith): a multi-owner handoff
+//     reaches each source in turn, usually faster than gossip, and a
+//     source minting from a map that predates the previous source's flip
+//     would collide — two conflicting maps at the same epoch never
+//     reconcile, and a later mint from the stale line could gossip
+//     already-moved slots back to a node that has dropped their users.
+//     Syncing first makes every epoch minted along a handoff chain
+//     strictly higher than every flip the target has already absorbed.
+//     Everyone else learns new maps by gossip: each node polls its peers'
+//     /v1/topology a few times a second and adopts any validated map with
+//     a higher epoch than its own.
 //   - Each adopted or minted epoch is persisted (topology.json in the data
 //     dir), so a restarting node resumes from the last map it served
 //     under, not from the epoch-1 default — a node whose slots moved away
@@ -204,6 +213,34 @@ func (c *cluster) adopt(t wire.Topology) bool {
 	}
 	c.adoptLocked(t)
 	return true
+}
+
+// syncWith pulls a peer's current topology and adopts it if newer — the
+// cross-node coordination step a handoff source runs against its target
+// before minting an epoch (see the lifecycle comment above). Adopting is
+// best-effort monotonic (adopt ignores equal or lower epochs); only a
+// failure to obtain a valid map at all is an error, because then the
+// source cannot rule out that its own map predates a flip the target has
+// already absorbed.
+func (c *cluster) syncWith(addr string) error {
+	client := &http.Client{Timeout: gossipTimeout}
+	resp, err := client.Get("http://" + addr + wire.TopologyPath)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer %s answered %d to topology fetch", addr, resp.StatusCode)
+	}
+	var t wire.Topology
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return err
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	c.adopt(t)
+	return nil
 }
 
 // ensureNode records a node's advertised address (a handoff target may be

@@ -292,6 +292,82 @@ func TestClusterHandoffMovesSlotsOverHTTP(t *testing.T) {
 	}
 }
 
+// TestClusterMultiOwnerHandoffEpochsChain pins the epoch-coordination fix:
+// a target pulling from two owners back-to-back (faster than gossip can
+// spread the first flip) must see strictly increasing epochs, because each
+// source adopts the target's map before minting. Without the sync both
+// sources mint the same epoch with conflicting maps — gossip (higher-epoch
+// only) never reconciles them, and slots already moved can be gossiped
+// back to a node that has dropped their users.
+func TestClusterMultiOwnerHandoffEpochsChain(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b", "c"}, true)
+	a, b, c := nodes["a"], nodes["b"], nodes["c"]
+	topo := fetchTopology(t, c.url())
+
+	// Seed a user on each source so the moved slots carry state.
+	aUser := usersOwnedBy(topo, "a", 1, 1)[0]
+	bUser := usersOwnedBy(topo, "b", 1, 1)[0]
+	registerAndIngest(t, a.url(), aUser)
+	registerAndIngest(t, b.url(), bUser)
+	beforeA := getBody(t, a.url()+"/v1/users/"+strconv.FormatUint(aUser, 10)+"/sensibilities")
+	beforeB := getBody(t, b.url()+"/v1/users/"+strconv.FormatUint(bUser, 10)+"/sensibilities")
+
+	// One handoff request naming every slot: c pulls a's group, then b's,
+	// sequentially on the same POST — two flips, two distinct epochs.
+	all := make([]int, keyspace.NumSlots)
+	for i := range all {
+		all[i] = i
+	}
+	var resp wire.HandoffResponse
+	if code, _ := doJSON(t, "POST", c.url()+wire.HandoffPath,
+		wire.HandoffRequest{Slots: all}, &resp); code != http.StatusOK {
+		t.Fatalf("handoff: %d", code)
+	}
+	wantMoved := 0
+	for _, owner := range topo.Slots {
+		if owner != "c" {
+			wantMoved++
+		}
+	}
+	if resp.Moved != wantMoved || resp.Epoch != 3 {
+		t.Fatalf("handoff response %+v, want %d moved at epoch 3 (2 would mean a collision)", resp, wantMoved)
+	}
+
+	// The second source and the target hold the chained map immediately;
+	// the first source converges by gossip — it must end on epoch 3 with
+	// nothing assigned back to itself.
+	for _, n := range []*clusterNode{b, c} {
+		got := fetchTopology(t, n.url())
+		if got.Epoch != 3 {
+			t.Fatalf("node %s epoch %d after chained handoff, want 3", n.id, got.Epoch)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := fetchTopology(t, a.url())
+		if got.Epoch == 3 {
+			for slot, owner := range got.Slots {
+				if owner != "c" {
+					t.Fatalf("node a at epoch 3 still routes slot %d to %q", slot, owner)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node a stuck at epoch %d, gossip never delivered the chained map", got.Epoch)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Both moved users stay reachable on the new owner, byte-identical.
+	if got := getBody(t, c.url()+"/v1/users/"+strconv.FormatUint(aUser, 10)+"/sensibilities"); got != beforeA {
+		t.Fatalf("user %d diverged after chained handoff", aUser)
+	}
+	if got := getBody(t, c.url()+"/v1/users/"+strconv.FormatUint(bUser, 10)+"/sensibilities"); got != beforeB {
+		t.Fatalf("user %d diverged after chained handoff", bUser)
+	}
+}
+
 // getBody fetches a URL and returns its body, failing on non-200.
 func getBody(t *testing.T, url string) string {
 	t.Helper()

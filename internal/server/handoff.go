@@ -66,18 +66,21 @@ const (
 // and waits for its commit. Waves commit in FIFO order, so when the
 // sentinel's wave is done every job enqueued before it has committed —
 // the step that closes the gap between "the stream reader released the
-// cluster guard after enqueueing" and "that job's wave hit the log".
-func (s *Server) flushCoalescer() {
+// cluster guard after enqueueing" and "that job's wave hit the log". A
+// non-nil error means that conclusion does NOT hold (the sentinel never
+// committed); the caller must not treat the log as drained.
+func (s *Server) flushCoalescer() error {
 	if s.co == nil {
-		return
+		return nil
 	}
+	var err error
 	for attempt := 0; attempt < 100; attempt++ {
-		_, _, err := s.co.submit(context.Background(), nil)
-		if !errors.Is(err, errQueueFull) {
-			return
+		if _, _, err = s.co.submit(context.Background(), nil); !errors.Is(err, errQueueFull) {
+			return err
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	return fmt.Errorf("ingest queue stayed full through the flush window: %w", err)
 }
 
 // serveHandoff runs the source side of one slot transfer over an upgraded
@@ -98,12 +101,24 @@ func (s *Server) serveHandoff(sess *replSession, br *bufio.Reader, hs wire.Hando
 		return
 	}
 	defer c.handoffMu.Unlock()
+	c.ensureNode(hs.NodeID, hs.Addr)
+	// Epoch coordination: adopt the target's current map before doing
+	// anything else, so the epoch minted at the flip supersedes every flip
+	// the target has already absorbed from other sources (cluster.go's
+	// lifecycle comment has the collision scenario). No valid map means no
+	// safe mint — refuse the handoff.
+	if err := c.syncWith(hs.Addr); err != nil {
+		sess.sendError(http.StatusPreconditionFailed,
+			fmt.Errorf("syncing topology with target %s: %w", hs.Addr, err))
+		return
+	}
+	// Ownership is checked against the post-sync map: the adopted topology
+	// may have moved slots away from this node.
 	if owns, slot, owner, addr := c.ownsAll(&hs.Slots); !owns {
 		sess.sendError(http.StatusMisdirectedRequest,
 			fmt.Errorf("slot %d is owned by node %s at %s", slot, owner, addr))
 		return
 	}
-	c.ensureNode(hs.NodeID, hs.Addr)
 
 	// Bootstrap: the moving slots' current profiles, and the log position
 	// the capture is current through.
@@ -200,7 +215,15 @@ func (s *Server) serveHandoff(sess *replSession, br *bufio.Reader, hs wire.Hando
 	// waits out every reader admitted before the fence went up.
 	c.guard.Lock()
 	c.guard.Unlock() //nolint:staticcheck // SA2001: empty section intended
-	s.flushCoalescer()
+	if err := s.flushCoalescer(); err != nil {
+		// An unflushed queue can still hold a fenced-slot write admitted
+		// before the fence went up; flipping now would commit it on the old
+		// owner, unshipped — a lost acknowledged write. Abort instead: keep
+		// the slots, unfence (deferred), and let the target retry.
+		sess.sendError(http.StatusServiceUnavailable,
+			fmt.Errorf("draining pending ingest before the flip: %w", err))
+		return
+	}
 	final, _ := s.spa.AppliedLSN()
 	if err := shipThrough(final); err != nil {
 		return

@@ -27,29 +27,46 @@ import (
 // the cache immediately.
 const topologyTTL = 10 * time.Second
 
-// clusterRouter caches the cluster's slot map for request routing.
+// clusterRouter caches the cluster's slot map for request routing. The
+// mutex guards the fields only, never the topology fetch itself: routed
+// requests must not queue behind a round-trip to a possibly-down primary.
 type clusterRouter struct {
-	mu      sync.Mutex
-	epoch   uint64
-	owners  [keyspace.NumSlots]string // base URL per slot
-	fetched time.Time                 // last fetch attempt (success or not)
-	ok      bool                      // a map has been adopted
+	mu         sync.Mutex
+	epoch      uint64
+	owners     [keyspace.NumSlots]string // base URL per slot
+	fetched    time.Time                 // last fetch attempt (success or not)
+	ok         bool                      // a map has been adopted
+	invalid    bool                      // a bounce contradicted the map; refetch before routing by it
+	refreshing bool                      // a fetch is in flight (single-flight)
 }
 
-// ownerBase returns the base URL of the node owning userID's slot,
-// fetching or refreshing the topology when the cache is cold or expired.
-// Routing never fails: with no usable map every request goes to the
-// client's primary base, and the 421 bounce path corrects the course.
+// ownerBase returns the base URL of the node owning userID's slot.
+// Routing never fails and (almost) never waits: a TTL expiry refreshes
+// the map in the background while requests keep routing on the stale one
+// (stale routing is corrected by bounces); only a map a bounce has proven
+// wrong — or no map at all — is worth a synchronous fetch, and even then
+// exactly one caller pays the round-trip while everyone else falls
+// through to the primary base or the old map.
 func (c *Client) ownerBase(userID uint64) string {
 	cr := c.cluster
 	if cr == nil {
 		return c.base
 	}
 	cr.mu.Lock()
-	defer cr.mu.Unlock()
-	if cr.fetched.IsZero() || time.Since(cr.fetched) > topologyTTL {
-		cr.refreshLocked(c)
+	if !cr.refreshing {
+		stale := time.Since(cr.fetched) > topologyTTL // fetched zero => stale
+		switch {
+		case cr.invalid || (!cr.ok && stale):
+			cr.refreshing = true
+			cr.mu.Unlock()
+			cr.refresh(c)
+			cr.mu.Lock()
+		case stale:
+			cr.refreshing = true
+			go cr.refresh(c)
+		}
 	}
+	defer cr.mu.Unlock()
 	if !cr.ok {
 		return c.base
 	}
@@ -59,17 +76,22 @@ func (c *Client) ownerBase(userID uint64) string {
 	return c.base
 }
 
-// refreshLocked re-fetches the topology from the primary. Failures (node
+// refresh fetches the topology from the primary and installs it; the
+// caller has set cr.refreshing, which completion clears. Failures (node
 // down, standalone daemon answering 501) keep whatever map was already
-// adopted — stale routing is corrected by bounces, no routing is not.
-func (cr *clusterRouter) refreshLocked(c *Client) {
-	cr.fetched = time.Now()
+// adopted — stale routing is corrected by bounces, no routing is not —
+// and still stamp the attempt, so a dead primary is retried once per TTL,
+// not once per request.
+func (cr *clusterRouter) refresh(c *Client) {
 	var topo wire.Topology
-	if err := c.doAt(c.base, "GET", wire.TopologyPath, nil, &topo); err != nil {
-		return
-	}
-	if topo.Validate() != nil || (cr.ok && topo.Epoch < cr.epoch) {
-		return // malformed, or older than what we already route by
+	err := c.doAt(c.base, "GET", wire.TopologyPath, nil, &topo)
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.refreshing = false
+	cr.invalid = false
+	cr.fetched = time.Now()
+	if err != nil || topo.Validate() != nil || (cr.ok && topo.Epoch < cr.epoch) {
+		return // unreachable, malformed, or older than what we already route by
 	}
 	for i, node := range topo.Slots {
 		cr.owners[i] = "http://" + topo.Nodes[node]
@@ -78,10 +100,11 @@ func (cr *clusterRouter) refreshLocked(c *Client) {
 	cr.ok = true
 }
 
-// invalidate forces a re-fetch on the next routed call.
+// invalidate marks the map contradicted: the next routed call re-fetches
+// before trusting it again.
 func (cr *clusterRouter) invalidate() {
 	cr.mu.Lock()
-	cr.fetched = time.Time{}
+	cr.invalid = true
 	cr.mu.Unlock()
 }
 

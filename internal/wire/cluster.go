@@ -202,6 +202,13 @@ func (t *Topology) Validate() error {
 	if len(t.Slots) != keyspace.NumSlots {
 		return fmt.Errorf("wire: topology has %d slots, want %d", len(t.Slots), keyspace.NumSlots)
 	}
+	for id, addr := range t.Nodes {
+		if addr == "" {
+			// An empty address would silently become a "http://" client
+			// route and an empty X-SPA-Owner bounce target downstream.
+			return fmt.Errorf("wire: node %q has an empty address", id)
+		}
+	}
 	for i, owner := range t.Slots {
 		if _, ok := t.Nodes[owner]; !ok {
 			return fmt.Errorf("wire: slot %d owned by unknown node %q", i, owner)

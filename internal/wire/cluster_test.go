@@ -118,4 +118,9 @@ func TestTopologyValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Fatal("slot owned by unknown node accepted")
 	}
+	bad = topo
+	bad.Nodes = map[string]string{"a": "127.0.0.1:9101", "b": ""}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("node with empty address accepted")
+	}
 }
